@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Each figure bench runs its experiment exactly once (``benchmark.pedantic``
+with one round — the experiments are minutes-scale, not microseconds), then
+prints the paper-style table and writes it to ``benchmarks/results/`` so
+the series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Returns a function that prints a table and persists it to disk."""
+
+    def _record(name: str, *tables) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(str(t) for t in tables)
+        print(f"\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,117 @@
+"""E9 — substrate benchmarks: performance and behaviour of the simulators.
+
+These are not paper figures; they are regression benches for the
+substrates the reproduction is built on:
+
+- equilibrium-solver latency (it is called inside every env round);
+- PPO update throughput (dominates training time);
+- mobility simulation throughput (handover events per simulated minute);
+- pre-copy vs stop-and-copy AoTM/downtime trade-off across dirty rates
+  (the live-migration claim the paper's AoTM metric abstracts).
+"""
+
+import numpy as np
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.drl.buffer import RolloutBuffer
+from repro.drl.policy import ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig
+from repro.entities.vmu import paper_fig2_population, sample_population
+from repro.entities.vt import VehicularTwin, VtPayload
+from repro.migration.precopy import simulate_precopy, simulate_stop_and_copy
+from repro.mobility.models import RandomWaypoint
+from repro.mobility.road import grid_city
+from repro.mobility.trace import deploy_rsus_along_highway, simulate_handovers
+from repro.utils.tables import Table
+
+
+def test_equilibrium_solver_speed(benchmark):
+    market = StackelbergMarket(sample_population(6, seed=0))
+    equilibrium = benchmark(market.equilibrium)
+    assert equilibrium.msp_utility > 0.0
+
+
+def test_market_round_speed(benchmark):
+    market = StackelbergMarket(paper_fig2_population())
+    outcome = benchmark(market.round_outcome, 25.0)
+    assert outcome.msp_utility > 0.0
+
+
+def test_ppo_update_speed(benchmark):
+    agent = PPOAgent(ActorCritic(obs_dim=12, seed=0), PPOConfig(learning_rate=1e-3))
+    rng = np.random.default_rng(0)
+    buffer = RolloutBuffer(gamma=0.0)
+    for _ in range(20):
+        obs = rng.normal(size=12)
+        raw, log_prob, value = agent.act(obs, seed=rng)
+        buffer.add(obs, raw, float(rng.normal()), log_prob, value)
+    buffer.finalize(0.0)
+    batch = buffer.sample(20, seed=0)
+    stats = benchmark(agent.update, batch)
+    assert np.isfinite(stats.policy_loss)
+
+
+def test_mobility_throughput(benchmark, record_table):
+    """20 random-waypoint vehicles on a 5x5 grid city for 5 sim-minutes."""
+    network = grid_city(5, 5, block_m=300.0)
+    rsus = deploy_rsus_along_highway(
+        1200.0, spacing_m=400.0, coverage_radius_m=650.0
+    )
+
+    def run():
+        agents = [
+            RandomWaypoint(f"veh-{i}", network, seed=i) for i in range(20)
+        ]
+        return simulate_handovers(agents, rsus, duration_s=300.0, tick_s=1.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        headers=("vehicles", "sim seconds", "events", "migrations"),
+        title="E9 — mobility substrate throughput",
+    )
+    table.add_row(20, 300.0, len(result.events), len(result.migrations))
+    record_table("substrate_mobility", table)
+    assert len(result.events) >= 20  # everyone at least attaches
+
+
+def test_precopy_vs_stop_and_copy(benchmark, record_table):
+    """AoTM and downtime across dirty rates — the live-migration trade."""
+
+    def run():
+        table = Table(
+            headers=(
+                "dirty (MB/s)",
+                "precopy AoTM (s)",
+                "precopy downtime (s)",
+                "stopcopy AoTM (s)",
+                "stopcopy downtime (s)",
+                "overhead x",
+            ),
+            title="E9 — pre-copy vs stop-and-copy (200 MB twin, 100 MB/s link)",
+        )
+        for dirty in (0.0, 10.0, 30.0, 60.0):
+            twin = VehicularTwin(
+                vt_id="vt:bench",
+                vmu_id="bench",
+                payload=VtPayload.with_total(200.0),
+                dirty_rate_mb_s=dirty,
+            )
+            live = simulate_precopy(twin, 100.0)
+            cold = simulate_stop_and_copy(twin, 100.0)
+            table.add_row(
+                dirty,
+                live.total_time_s,
+                live.downtime_s,
+                cold.total_time_s,
+                cold.downtime_s,
+                live.overhead_ratio,
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("substrate_precopy", table)
+    downtimes = table.column("precopy downtime (s)")
+    cold_downtimes = table.column("stopcopy downtime (s)")
+    # Live migration always has (weakly) lower downtime; strictly lower
+    # once memory dominates the payload.
+    assert all(live < cold for live, cold in zip(downtimes, cold_downtimes))

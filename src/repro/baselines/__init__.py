@@ -1,0 +1,29 @@
+"""Baseline pricing policies the paper compares against.
+
+- :class:`RandomPricing` — the paper's "random scheme": a uniform price
+  each round.
+- :class:`GreedyPricing` — the paper's "greedy scheme": replay the best
+  price seen in past rounds (with ε-exploration so "past rounds" contain
+  more than one candidate).
+- :class:`FixedPricing` — a constant posted price (sanity baseline).
+- :class:`OraclePricing` — the complete-information Stackelberg
+  equilibrium price (the upper bound every learning scheme chases).
+- :class:`LearnedPricing` — adapts a trained PPO agent to the
+  :class:`~repro.core.mechanism.PricingPolicy` protocol.
+"""
+
+from repro.baselines.policies import (
+    FixedPricing,
+    GreedyPricing,
+    LearnedPricing,
+    OraclePricing,
+    RandomPricing,
+)
+
+__all__ = [
+    "FixedPricing",
+    "GreedyPricing",
+    "LearnedPricing",
+    "OraclePricing",
+    "RandomPricing",
+]

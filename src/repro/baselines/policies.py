@@ -1,0 +1,179 @@
+"""Implementations of the baseline pricing policies.
+
+All classes satisfy :class:`repro.core.mechanism.PricingPolicy`:
+``propose_price(history) -> float`` plus ``reset()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mechanism import GameHistory
+from repro.core.stackelberg import StackelbergMarket
+from repro.drl.policy import ActionScaler
+from repro.drl.ppo import PPOAgent
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_probability
+
+__all__ = [
+    "RandomPricing",
+    "GreedyPricing",
+    "FixedPricing",
+    "OraclePricing",
+    "LearnedPricing",
+]
+
+
+class RandomPricing:
+    """Uniform-random price in ``[C, p_max]`` every round (paper baseline)."""
+
+    def __init__(self, low: float, high: float, *, seed: SeedLike = None) -> None:
+        if not low < high:
+            raise ConfigurationError(f"need low < high, got [{low}, {high}]")
+        self.low, self.high = float(low), float(high)
+        self._rng = as_generator(seed)
+
+    def propose_price(self, history: GameHistory) -> float:
+        """A fresh uniform draw, independent of history."""
+        return float(self._rng.uniform(self.low, self.high))
+
+    def reset(self) -> None:
+        """Stateless (the RNG stream continues)."""
+
+
+class GreedyPricing:
+    """Replay the best past price; explore randomly with probability ε.
+
+    The paper's greedy scheme "determines the best price by selecting from
+    past game rounds". With no exploration it could only ever replay its
+    first draw, so we keep a small ε-exploration (ε = 0.1 by default) and
+    always explore on an empty history.
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        *,
+        epsilon: float = 0.1,
+        seed: SeedLike = None,
+    ) -> None:
+        if not low < high:
+            raise ConfigurationError(f"need low < high, got [{low}, {high}]")
+        self.low, self.high = float(low), float(high)
+        self.epsilon = require_probability("epsilon", epsilon)
+        self._rng = as_generator(seed)
+
+    def propose_price(self, history: GameHistory) -> float:
+        """Best past price, or a uniform draw with probability ε."""
+        best = history.best_price
+        if best is None or self._rng.uniform() < self.epsilon:
+            return float(self._rng.uniform(self.low, self.high))
+        return float(best)
+
+    def reset(self) -> None:
+        """Stateless across episodes (history is supplied per call)."""
+
+
+class FixedPricing:
+    """Always post the same price."""
+
+    def __init__(self, price: float) -> None:
+        if price <= 0.0:
+            raise ConfigurationError(f"price must be > 0, got {price}")
+        self.price = float(price)
+
+    def propose_price(self, history: GameHistory) -> float:
+        """The configured constant."""
+        return self.price
+
+    def reset(self) -> None:
+        """Stateless."""
+
+
+class OraclePricing:
+    """The complete-information Stackelberg equilibrium price.
+
+    Computes the equilibrium of the supplied market once and replays it —
+    the theoretical optimum the DRL agent should converge to (Fig. 2(b)).
+    """
+
+    def __init__(self, market: StackelbergMarket) -> None:
+        self._price = market.equilibrium().price
+
+    @property
+    def equilibrium_price(self) -> float:
+        """The cached equilibrium price."""
+        return self._price
+
+    def propose_price(self, history: GameHistory) -> float:
+        """The equilibrium price, always."""
+        return self._price
+
+    def reset(self) -> None:
+        """Stateless."""
+
+
+class LearnedPricing:
+    """Adapts a trained PPO agent to the pricing-policy protocol.
+
+    Reconstructs the agent's normalised observation from the public
+    history (mirroring :class:`repro.env.MigrationGameEnv`) and returns the
+    deterministic (mode) price.
+    """
+
+    def __init__(
+        self,
+        agent: PPOAgent,
+        scaler: ActionScaler,
+        market: StackelbergMarket,
+        *,
+        history_length: int = 4,
+        seed: SeedLike = None,
+    ) -> None:
+        if history_length < 1:
+            raise ConfigurationError(
+                f"history_length must be >= 1, got {history_length}"
+            )
+        self.agent = agent
+        self.scaler = scaler
+        self.market = market
+        self.history_length = history_length
+        self._rng = as_generator(seed)
+
+    def _observation(self, history: GameHistory) -> np.ndarray:
+        config = self.market.config
+        entries: list[np.ndarray] = []
+        records = history.last(self.history_length)
+        # Pad missing history with random rounds, like the env's reset.
+        for _ in range(self.history_length - len(records)):
+            price = float(self._rng.uniform(config.unit_cost, config.max_price))
+            demands = self.market.allocate(price)
+            entries.append(
+                np.concatenate(
+                    ([price / config.max_price], demands / config.capacity_natural)
+                )
+            )
+        for record in records:
+            demands = np.asarray(record.demands, dtype=float)
+            entries.append(
+                np.concatenate(
+                    (
+                        [record.price / config.max_price],
+                        demands / config.capacity_natural,
+                    )
+                )
+            )
+        return np.concatenate(entries)
+
+    def propose_price(self, history: GameHistory) -> float:
+        """Deterministic price from the trained policy."""
+        observation = self._observation(history)
+        raw_action, _, _ = self.agent.act(
+            observation, seed=self._rng, deterministic=True
+        )
+        return float(self.scaler.to_price(raw_action[0]))
+
+    def reset(self) -> None:
+        """Stateless between episodes (the network holds the knowledge)."""

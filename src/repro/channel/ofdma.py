@@ -1,0 +1,135 @@
+"""OFDMA subchannel pool with orthogonal allocation.
+
+The paper assumes OFDMA so that the channels occupied by source and
+destination RSUs are orthogonal. This module models the MSP's managed
+spectrum as a pool of equal-width subcarriers and enforces orthogonality:
+a subcarrier belongs to at most one VMU's migration flow at a time.
+
+The Stackelberg game abstracts bandwidth as a continuous quantity; this
+substrate shows how continuous demands map onto a discrete subcarrier grid
+(floor quantisation) and supports proportional rationing when total demand
+exceeds the pool — the same rationing rule the environment applies when
+``Σ b_n > B_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.utils.validation import require_positive, require_positive_int
+
+__all__ = ["Subchannel", "OfdmaPool", "proportional_rationing"]
+
+
+@dataclass(frozen=True)
+class Subchannel:
+    """One orthogonal OFDMA subcarrier.
+
+    Attributes:
+        index: position in the pool's grid.
+        width: bandwidth of the subcarrier (natural bandwidth units).
+    """
+
+    index: int
+    width: float
+
+
+class OfdmaPool:
+    """A fixed grid of orthogonal subcarriers managed by the MSP.
+
+    Args:
+        total_bandwidth: total pool width (natural bandwidth units).
+        num_subchannels: number of equal-width subcarriers in the grid.
+    """
+
+    def __init__(self, total_bandwidth: float, num_subchannels: int) -> None:
+        require_positive("total_bandwidth", total_bandwidth)
+        require_positive_int("num_subchannels", num_subchannels)
+        self._width = total_bandwidth / num_subchannels
+        self._total = float(total_bandwidth)
+        self._free: list[int] = list(range(num_subchannels))
+        self._owners: dict[int, str] = {}
+
+    @property
+    def subchannel_width(self) -> float:
+        """Width of one subcarrier."""
+        return self._width
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Total pool bandwidth."""
+        return self._total
+
+    @property
+    def free_bandwidth(self) -> float:
+        """Bandwidth not currently allocated."""
+        return self._width * len(self._free)
+
+    def allocation_of(self, owner: str) -> list[Subchannel]:
+        """Subcarriers currently held by ``owner``."""
+        return [
+            Subchannel(index=i, width=self._width)
+            for i, o in sorted(self._owners.items())
+            if o == owner
+        ]
+
+    def allocated_bandwidth(self, owner: str) -> float:
+        """Total bandwidth currently held by ``owner``."""
+        return self._width * sum(1 for o in self._owners.values() if o == owner)
+
+    def allocate(self, owner: str, bandwidth: float) -> list[Subchannel]:
+        """Grant ``owner`` at least ``bandwidth`` worth of subcarriers.
+
+        Grants ``ceil(bandwidth / width)`` subcarriers so the owner's rate is
+        never below the continuous-game rate it paid for.
+
+        Raises:
+            AllocationError: if the pool cannot satisfy the request.
+        """
+        require_positive("bandwidth", bandwidth)
+        needed = -(-bandwidth // self._width)  # ceil division
+        needed = int(needed)
+        if needed > len(self._free):
+            raise AllocationError(
+                f"requested {bandwidth} ({needed} subcarriers) but only "
+                f"{self.free_bandwidth} ({len(self._free)} subcarriers) free"
+            )
+        granted = [self._free.pop(0) for _ in range(needed)]
+        for idx in granted:
+            self._owners[idx] = owner
+        return [Subchannel(index=i, width=self._width) for i in granted]
+
+    def release(self, owner: str) -> float:
+        """Release every subcarrier held by ``owner``; returns freed width."""
+        held = [i for i, o in self._owners.items() if o == owner]
+        for idx in held:
+            del self._owners[idx]
+        self._free.extend(held)
+        self._free.sort()
+        return self._width * len(held)
+
+    def is_orthogonal(self) -> bool:
+        """Invariant check: no subcarrier has two owners and the free list
+        never overlaps the owned set."""
+        owned = set(self._owners)
+        free = set(self._free)
+        return not (owned & free) and len(self._free) == len(free)
+
+
+def proportional_rationing(demands: list[float], capacity: float) -> list[float]:
+    """Scale ``demands`` down proportionally so their sum fits ``capacity``.
+
+    This is the rule the environment applies when total VMU demand exceeds
+    ``B_max``: every VMU receives the same fraction of its request, which
+    keeps the allocation envy-free for identical per-unit prices. Demands
+    within capacity are returned unchanged.
+    """
+    require_positive("capacity", capacity)
+    if any(d < 0 for d in demands):
+        raise AllocationError(f"demands must be >= 0, got {demands!r}")
+    total = sum(demands)
+    if total <= capacity or total == 0.0:
+        return list(demands)
+    scale = capacity / total
+    return [d * scale for d in demands]

@@ -1,0 +1,92 @@
+"""Default parameters from the paper's evaluation section (Sec. V-A).
+
+All defaults are module-level constants so experiments, tests, and examples
+share one source of truth. The unit-system calibration is documented in
+DESIGN.md §3: data sizes enter the game in units of 100 MB
+(:data:`DATA_UNIT_MB`), and bandwidth strategies are *reported* in market
+units that are ``BANDWIDTH_REPORT_SCALE`` times the natural unit used inside
+the utility formulas.
+"""
+
+from __future__ import annotations
+
+# --- Radio parameters (paper Sec. V-A) -----------------------------------
+TRANSMIT_POWER_DBM: float = 40.0
+"""Transmitter power of the source RSU, ``ρ`` (dBm)."""
+
+CHANNEL_GAIN_DB: float = -20.0
+"""Unit channel power gain, ``h0`` (dB)."""
+
+RSU_DISTANCE_M: float = 500.0
+"""Distance between source and destination RSU, ``d`` (metres)."""
+
+PATH_LOSS_EXPONENT: float = 2.0
+"""Path-loss coefficient, ``ε`` (dimensionless)."""
+
+NOISE_POWER_DBM: float = -150.0
+"""Average noise power, ``N0`` (dBm)."""
+
+# --- Market parameters -----------------------------------------------------
+MAX_BANDWIDTH: float = 50.0
+"""MSP's maximum sellable bandwidth ``B_max`` (market units; see DESIGN.md)."""
+
+UNIT_TRANSMISSION_COST: float = 5.0
+"""MSP's unit transmission cost ``C``."""
+
+MAX_PRICE: float = 50.0
+"""MSP's maximum unit selling price ``p_max``."""
+
+BANDWIDTH_REPORT_SCALE: float = 100.0
+"""Market (reported) bandwidth units per natural bandwidth unit.
+
+The paper's Figs. 3(b)/3(d) report bandwidth strategies (and compare the sum
+against ``B_max = 50``) on an axis that is 100x the natural unit appearing in
+the utility formulas; see DESIGN.md §3 for the calibration evidence.
+"""
+
+# --- VMU population (paper Sec. V-A) ---------------------------------------
+DATA_UNIT_MB: float = 100.0
+"""Megabytes per natural data unit: ``D_n`` enters the game as MB / 100."""
+
+VT_DATA_SIZE_RANGE_MB: tuple[float, float] = (100.0, 300.0)
+"""Range of VT data sizes ``D_n`` (MB)."""
+
+IMMERSION_COEF_RANGE: tuple[float, float] = (5.0, 20.0)
+"""Range of immersion coefficients ``α_n``."""
+
+MAX_VMUS: int = 6
+"""Largest population size evaluated in the paper (``N ∈ [1, 6]``)."""
+
+# --- DRL hyper-parameters (paper Sec. V-A) ---------------------------------
+HISTORY_LENGTH: int = 4
+"""Observation history length ``L`` (past rounds of (price, demands))."""
+
+NUM_EPISODES: int = 500
+"""Training episodes ``E``."""
+
+ROUNDS_PER_EPISODE: int = 100
+"""Game rounds per episode ``K``."""
+
+UPDATE_EPOCHS: int = 10
+"""PPO epochs per update, ``M``."""
+
+BATCH_SIZE: int = 20
+"""Mini-batch size ``I`` (the paper's ``D = 20``)."""
+
+LEARNING_RATE: float = 1e-5
+"""Adam learning rate (paper: ``lr = 0.00001``)."""
+
+HIDDEN_SIZES: tuple[int, int] = (64, 64)
+"""Two hidden layers of 64 nodes each."""
+
+PPO_CLIP_EPSILON: float = 0.2
+"""Clipping parameter ``ϵ`` in Eq. (19) (standard PPO default)."""
+
+VALUE_LOSS_COEF: float = 0.5
+"""Loss coefficient ``c`` of the value-function term in Eq. (14)."""
+
+DISCOUNT_GAMMA: float = 0.99
+"""Reward discount factor ``γ`` in Eq. (13)."""
+
+GAE_LAMBDA: float = 0.95
+"""GAE(λ) parameter (paper cites Schulman et al. [14])."""

@@ -1,0 +1,61 @@
+"""The paper's core contribution: AoTM + the Stackelberg incentive market."""
+
+from repro.core.aotm import aotm, aotm_mb, bandwidth_for_target_aotm, freshness_gain
+from repro.core.immersion import immersion, immersion_from_bandwidth, marginal_immersion
+from repro.core.mechanism import GameHistory, PricingPolicy, RoundRecord, run_rounds
+from repro.core.metrics import (
+    ImmersionModel,
+    LogImmersion,
+    SigmoidImmersion,
+    average_aoi,
+    deadline_violation_probability,
+    peak_aoi,
+)
+from repro.core.multimsp import MspSpec, MultiMspMarket, OligopolyOutcome
+from repro.core.welfare import WelfareReport, social_welfare, welfare_report
+from repro.core.stackelberg import (
+    MarketConfig,
+    MarketOutcome,
+    StackelbergEquilibrium,
+    StackelbergMarket,
+)
+from repro.core.utilities import (
+    follower_best_response,
+    msp_utility,
+    vmu_utilities,
+    vmu_utility,
+)
+
+__all__ = [
+    "aotm",
+    "aotm_mb",
+    "bandwidth_for_target_aotm",
+    "freshness_gain",
+    "immersion",
+    "immersion_from_bandwidth",
+    "marginal_immersion",
+    "ImmersionModel",
+    "LogImmersion",
+    "SigmoidImmersion",
+    "average_aoi",
+    "deadline_violation_probability",
+    "peak_aoi",
+    "MspSpec",
+    "MultiMspMarket",
+    "OligopolyOutcome",
+    "WelfareReport",
+    "social_welfare",
+    "welfare_report",
+    "GameHistory",
+    "PricingPolicy",
+    "RoundRecord",
+    "run_rounds",
+    "MarketConfig",
+    "MarketOutcome",
+    "StackelbergEquilibrium",
+    "StackelbergMarket",
+    "follower_best_response",
+    "msp_utility",
+    "vmu_utilities",
+    "vmu_utility",
+]

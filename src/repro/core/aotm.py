@@ -1,0 +1,89 @@
+"""Age of Twin Migration (AoTM) — the paper's freshness metric (Eq. 1).
+
+AoTM is the time elapsed between the generation of the first VT block and
+the last successfully received block of a migration:
+
+    A_n = D_n / γ_n,     γ_n = b_n · log2(1 + SNR)
+
+Smaller AoTM = fresher migration = higher VMU immersion. The analytic
+formula below assumes one-shot transfer; the pre-copy simulator in
+:mod:`repro.migration` measures AoTM from an actual block trace and is
+lower-bounded by this value.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import constants
+from repro.channel.link import RsuLink, paper_link
+from repro.utils.units import megabytes_to_data_units
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "aotm",
+    "aotm_mb",
+    "bandwidth_for_target_aotm",
+    "freshness_gain",
+]
+
+
+def aotm(data_units: float, bandwidth: float, spectral_efficiency: float) -> float:
+    """AoTM of a one-shot migration (Eq. 1), in natural time units.
+
+    Args:
+        data_units: VT size ``D_n`` in natural data units (100 MB each).
+        bandwidth: purchased bandwidth ``b_n`` in natural units.
+        spectral_efficiency: ``log2(1 + SNR)`` of the RSU-to-RSU link.
+
+    Returns:
+        ``D_n / (b_n · SE)``; ``inf`` when bandwidth is zero.
+    """
+    require_non_negative("data_units", data_units)
+    require_non_negative("bandwidth", bandwidth)
+    require_positive("spectral_efficiency", spectral_efficiency)
+    if bandwidth == 0.0:
+        return math.inf
+    return data_units / (bandwidth * spectral_efficiency)
+
+
+def aotm_mb(
+    data_size_mb: float,
+    bandwidth: float,
+    *,
+    link: RsuLink | None = None,
+) -> float:
+    """AoTM from a data size in megabytes over a concrete link.
+
+    Converts MB to natural data units (DESIGN.md §3) and uses the link's
+    spectral efficiency; defaults to the paper's link parameters.
+    """
+    link = link if link is not None else paper_link()
+    units = megabytes_to_data_units(data_size_mb, constants.DATA_UNIT_MB)
+    return aotm(units, bandwidth, link.spectral_efficiency)
+
+
+def bandwidth_for_target_aotm(
+    data_units: float, target_aotm: float, spectral_efficiency: float
+) -> float:
+    """Invert Eq. (1): bandwidth needed to finish migration within
+    ``target_aotm``.
+
+    Useful for deadline-style provisioning: ``b = D / (A_target · SE)``.
+    """
+    require_positive("data_units", data_units)
+    require_positive("target_aotm", target_aotm)
+    require_positive("spectral_efficiency", spectral_efficiency)
+    return data_units / (target_aotm * spectral_efficiency)
+
+
+def freshness_gain(aotm_value: float) -> float:
+    """The freshness term ``ln(1 + 1/A)`` entering the immersion function.
+
+    Monotone decreasing in AoTM; ``A -> 0`` gives unbounded freshness,
+    ``A -> inf`` gives 0.
+    """
+    if math.isinf(aotm_value) and aotm_value > 0.0:
+        return 0.0
+    require_positive("aotm_value", aotm_value)
+    return math.log(1.0 + 1.0 / aotm_value)

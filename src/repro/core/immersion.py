@@ -1,0 +1,63 @@
+"""VMU immersion model: ``G_n = α_n · ln(1 + 1/A_n)`` (paper Sec. III-B1).
+
+Immersion is the VMU's monetised experience quality. It is increasing in
+migration freshness (decreasing in AoTM) with diminishing returns, which is
+what makes the follower's utility strictly concave in bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.aotm import aotm, freshness_gain
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["immersion", "immersion_from_bandwidth", "marginal_immersion"]
+
+
+def immersion(immersion_coef: float, aotm_value: float) -> float:
+    """``G = α · ln(1 + 1/A)`` — immersion at a given AoTM."""
+    require_positive("immersion_coef", immersion_coef)
+    return immersion_coef * freshness_gain(aotm_value)
+
+
+def immersion_from_bandwidth(
+    immersion_coef: float,
+    data_units: float,
+    bandwidth: float,
+    spectral_efficiency: float,
+) -> float:
+    """Immersion as a function of purchased bandwidth.
+
+    Substituting Eq. (1) into ``G``:
+    ``G(b) = α · ln(1 + b·SE/D)``, which is the form used in the follower's
+    concavity proof (Theorem 1).
+    """
+    require_positive("immersion_coef", immersion_coef)
+    require_non_negative("bandwidth", bandwidth)
+    if bandwidth == 0.0:
+        return 0.0
+    value = aotm(data_units, bandwidth, spectral_efficiency)
+    return immersion(immersion_coef, value)
+
+
+def marginal_immersion(
+    immersion_coef: float,
+    data_units: float,
+    bandwidth: float,
+    spectral_efficiency: float,
+) -> float:
+    """``dG/db = α·SE / (D + b·SE)`` — the follower's marginal benefit.
+
+    Setting this equal to the price ``p`` yields the best response of
+    Eq. (8): ``b* = α/p − D/SE``.
+    """
+    require_positive("immersion_coef", immersion_coef)
+    require_positive("data_units", data_units)
+    require_non_negative("bandwidth", bandwidth)
+    require_positive("spectral_efficiency", spectral_efficiency)
+    return (
+        immersion_coef
+        * spectral_efficiency
+        / (data_units + bandwidth * spectral_efficiency)
+    )

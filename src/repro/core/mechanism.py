@@ -1,0 +1,117 @@
+"""Incentive-mechanism interface: anything that posts prices.
+
+A *pricing policy* observes the public history of the repeated game (past
+prices and demand vectors — exactly the incomplete information the paper
+grants the MSP) and proposes the next unit price. The analytic equilibrium,
+the DRL agent, and all baselines implement this one protocol, so the
+experiment harness can sweep them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.stackelberg import MarketOutcome, StackelbergMarket
+
+__all__ = ["PricingPolicy", "RoundRecord", "GameHistory", "run_rounds"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """The public outcome of one game round (what the MSP can observe)."""
+
+    round_index: int
+    price: float
+    demands: tuple[float, ...]
+    msp_utility: float
+
+    @property
+    def total_demand(self) -> float:
+        """Σ b_n of the round (natural units)."""
+        return float(sum(self.demands))
+
+
+@dataclass
+class GameHistory:
+    """Append-only public history of a repeated pricing game."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Record a completed round."""
+        self.records.append(record)
+
+    def last(self, count: int) -> list[RoundRecord]:
+        """The most recent ``count`` records (fewer if history is short)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return self.records[-count:] if count else []
+
+    @property
+    def best_utility(self) -> float:
+        """Highest MSP utility observed so far (-inf when empty)."""
+        if not self.records:
+            return float("-inf")
+        return max(r.msp_utility for r in self.records)
+
+    @property
+    def best_price(self) -> float | None:
+        """Price that achieved :attr:`best_utility` (None when empty)."""
+        if not self.records:
+            return None
+        best = max(self.records, key=lambda r: r.msp_utility)
+        return best.price
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@runtime_checkable
+class PricingPolicy(Protocol):
+    """Anything that can act as the MSP's pricing strategy."""
+
+    def propose_price(self, history: GameHistory) -> float:
+        """Return the unit price for the next round given public history."""
+        ...
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh episode."""
+        ...
+
+
+def run_rounds(
+    market: StackelbergMarket,
+    policy: PricingPolicy,
+    num_rounds: int,
+    *,
+    history: GameHistory | None = None,
+) -> tuple[GameHistory, list[MarketOutcome]]:
+    """Play ``num_rounds`` of the repeated pricing game.
+
+    Each round: the policy proposes a price from public history (clamped to
+    the feasible ``[C, p_max]``), followers best-respond, and the outcome is
+    appended to the history. Returns the final history and per-round
+    outcomes.
+    """
+    if num_rounds < 1:
+        raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+    history = history if history is not None else GameHistory()
+    outcomes: list[MarketOutcome] = []
+    config = market.config
+    for round_index in range(num_rounds):
+        raw_price = float(policy.propose_price(history))
+        price = float(np.clip(raw_price, config.unit_cost, config.max_price))
+        outcome = market.round_outcome(price)
+        outcomes.append(outcome)
+        history.append(
+            RoundRecord(
+                round_index=round_index,
+                price=price,
+                demands=tuple(float(b) for b in outcome.allocations),
+                msp_utility=outcome.msp_utility,
+            )
+        )
+    return history, outcomes

@@ -1,0 +1,151 @@
+"""Extended freshness/immersion metrics (the paper's stated future work).
+
+The conclusion of the paper announces "more effective immersive metrics in
+conjunction with AoTM". This module provides the standard AoI-family
+metrics adapted to twin migration, plus alternative immersion shapes, so
+the incentive mechanism can be studied under different experience models:
+
+- :func:`average_aoi` — long-run average age of a periodically updated
+  twin whose updates are interrupted by migrations;
+- :func:`peak_aoi` — worst-case age right before an update lands;
+- :func:`deadline_violation_probability` — chance a migration misses an
+  AoTM deadline under a stochastic (faded) channel;
+- :class:`SigmoidImmersion` / :class:`LogImmersion` — immersion shapes
+  with the same interface, so markets can swap experience models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.fading import FadingModel, NoFading
+from repro.channel.link import RsuLink, paper_link
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "average_aoi",
+    "peak_aoi",
+    "deadline_violation_probability",
+    "ImmersionModel",
+    "LogImmersion",
+    "SigmoidImmersion",
+]
+
+
+def average_aoi(update_period: float, migration_aotm: float) -> float:
+    """Long-run average age of a twin updated every ``update_period``.
+
+    Between migrations the sawtooth age averages ``period/2 + delay``;
+    a migration of duration ``A`` (the AoTM) freezes updates, adding an
+    age excursion. For one migration per update cycle the time-average age
+    is ``period/2 + A + A²/(2·period)`` (area of the sawtooth plus the
+    migration triangle); with ``A = 0`` this is the classic ``period/2``.
+    """
+    require_positive("update_period", update_period)
+    require_non_negative("migration_aotm", migration_aotm)
+    return (
+        update_period / 2.0
+        + migration_aotm
+        + migration_aotm**2 / (2.0 * update_period)
+    )
+
+
+def peak_aoi(update_period: float, migration_aotm: float) -> float:
+    """Peak age just before the first post-migration update lands:
+    one full period of staleness plus the migration outage."""
+    require_positive("update_period", update_period)
+    require_non_negative("migration_aotm", migration_aotm)
+    return update_period + migration_aotm
+
+
+def deadline_violation_probability(
+    data_units: float,
+    bandwidth: float,
+    deadline: float,
+    *,
+    link: RsuLink | None = None,
+    fading: FadingModel | None = None,
+    samples: int = 10_000,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo probability that a migration misses an AoTM ``deadline``.
+
+    Draws fading realisations, recomputes the spectral efficiency per draw,
+    and checks ``D / (b · SE) > deadline``. With :class:`NoFading` the
+    result is exactly 0 or 1.
+    """
+    require_positive("data_units", data_units)
+    require_positive("bandwidth", bandwidth)
+    require_positive("deadline", deadline)
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    link = link if link is not None else paper_link()
+    fading = fading if fading is not None else NoFading()
+    rng = as_generator(seed)
+    gains = fading.sample(rng, size=samples)
+    snr = link.budget.snr * gains
+    spectral_efficiency = np.log2(1.0 + snr)
+    aotm_values = data_units / (bandwidth * spectral_efficiency)
+    return float(np.mean(aotm_values > deadline))
+
+
+class ImmersionModel:
+    """Interface: monetised immersion as a function of AoTM."""
+
+    def immersion(self, immersion_coef: float, aotm_value: float) -> float:
+        """Immersion value at a given AoTM."""
+        raise NotImplementedError
+
+    def from_bandwidth(
+        self,
+        immersion_coef: float,
+        data_units: float,
+        bandwidth: float,
+        spectral_efficiency: float,
+    ) -> float:
+        """Immersion as a function of purchased bandwidth."""
+        require_non_negative("bandwidth", bandwidth)
+        if bandwidth == 0.0:
+            return 0.0
+        aotm_value = data_units / (bandwidth * spectral_efficiency)
+        return self.immersion(immersion_coef, aotm_value)
+
+
+@dataclass(frozen=True)
+class LogImmersion(ImmersionModel):
+    """The paper's model: ``G = α ln(1 + 1/A)`` (strictly concave in b)."""
+
+    def immersion(self, immersion_coef: float, aotm_value: float) -> float:
+        require_positive("immersion_coef", immersion_coef)
+        require_positive("aotm_value", aotm_value)
+        return immersion_coef * math.log1p(1.0 / aotm_value)
+
+
+@dataclass(frozen=True)
+class SigmoidImmersion(ImmersionModel):
+    """Threshold-like experience: near-binary quality around a target age.
+
+    ``G = α / (1 + exp((A − midpoint)/steepness))`` — immersion collapses
+    once AoTM exceeds the midpoint. Models hard-real-time applications
+    (e.g. AR overlays) better than the log shape; note it is *not*
+    concave in bandwidth everywhere, so the closed-form best response of
+    Eq. (8) does not apply — use numeric best response instead.
+    """
+
+    midpoint: float = 0.5
+    steepness: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_positive("midpoint", self.midpoint)
+        require_positive("steepness", self.steepness)
+
+    def immersion(self, immersion_coef: float, aotm_value: float) -> float:
+        require_positive("immersion_coef", immersion_coef)
+        require_positive("aotm_value", aotm_value)
+        return immersion_coef / (
+            1.0 + math.exp((aotm_value - self.midpoint) / self.steepness)
+        )

@@ -1,0 +1,246 @@
+"""Multi-MSP price competition (the paper's second stated future work).
+
+The paper's market is a monopoly. Its conclusion proposes extending to
+"scenarios with multiple MSPs". This module implements the natural
+oligopoly extension:
+
+- Each MSP ``m`` posts a unit price ``p_m`` over its own capacity.
+- Each VMU buys from the *cheapest* MSP (ties split evenly) and
+  best-responds with Eq. (8) at that price; capacity is rationed per MSP.
+- MSPs compete à la Bertrand with capacity limits: given rivals' prices,
+  each MSP best-responds over ``[C_m, p_max]``; we iterate simultaneous
+  best responses to a (pure-strategy) equilibrium when one exists.
+
+Classic results to expect (and which the tests assert): with two identical
+unconstrained MSPs, undercutting drives prices down to cost (Bertrand);
+with tight capacities, prices stay above cost (Edgeworth interval can
+cycle — the dynamics then report non-convergence rather than looping
+forever).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.link import RsuLink, paper_link
+from repro.channel.ofdma import proportional_rationing
+from repro.core.utilities import follower_best_response
+from repro.entities.vmu import VmuProfile
+from repro.errors import ConfigurationError, GameError
+from repro.utils.validation import require_positive
+
+__all__ = ["MspSpec", "OligopolyOutcome", "MultiMspMarket"]
+
+
+@dataclass(frozen=True)
+class MspSpec:
+    """One competing provider.
+
+    Attributes:
+        msp_id: identifier.
+        unit_cost: its transmission cost ``C_m`` (price floor).
+        capacity: sellable bandwidth in natural units.
+    """
+
+    msp_id: str
+    unit_cost: float
+    capacity: float
+
+    def __post_init__(self) -> None:
+        require_positive("unit_cost", self.unit_cost)
+        require_positive("capacity", self.capacity)
+
+
+@dataclass(frozen=True)
+class OligopolyOutcome:
+    """Market outcome at a posted price vector."""
+
+    prices: np.ndarray
+    msp_utilities: np.ndarray
+    msp_sales: np.ndarray
+    """Bandwidth sold per MSP (natural units)."""
+    vmu_allocations: np.ndarray
+    """Bandwidth received per VMU (natural units)."""
+
+
+@dataclass(frozen=True)
+class OligopolyEquilibrium:
+    """Fixed point of simultaneous price best responses."""
+
+    prices: np.ndarray
+    msp_utilities: np.ndarray
+    converged: bool
+    iterations: int
+
+
+class MultiMspMarket:
+    """Price competition between several MSPs over one VMU population."""
+
+    def __init__(
+        self,
+        vmus: Sequence[VmuProfile],
+        msps: Sequence[MspSpec],
+        *,
+        max_price: float = 50.0,
+        price_tick: float = 0.05,
+        link: RsuLink | None = None,
+    ) -> None:
+        if len(vmus) == 0:
+            raise ConfigurationError("market needs at least one VMU")
+        if len(msps) < 1:
+            raise ConfigurationError("market needs at least one MSP")
+        ids = [m.msp_id for m in msps]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate MSP ids")
+        require_positive("max_price", max_price)
+        require_positive("price_tick", price_tick)
+        self._vmus = tuple(vmus)
+        self._msps = tuple(msps)
+        self._max_price = float(max_price)
+        self._price_tick = float(price_tick)
+        self._link = link if link is not None else paper_link()
+        self._alphas = np.array([v.immersion_coef for v in vmus])
+        self._data = np.array([v.data_units for v in vmus])
+
+    @property
+    def msps(self) -> tuple[MspSpec, ...]:
+        """The competing providers."""
+        return self._msps
+
+    @property
+    def num_msps(self) -> int:
+        """Number of providers."""
+        return len(self._msps)
+
+    @property
+    def spectral_efficiency(self) -> float:
+        """Link spectral efficiency (shared by all providers)."""
+        return self._link.spectral_efficiency
+
+    def outcome(self, prices: Sequence[float]) -> OligopolyOutcome:
+        """Clear the market at a posted price vector.
+
+        VMUs buy from the cheapest provider (ties split demand evenly);
+        each provider rations its own capacity proportionally.
+        """
+        prices = np.asarray(prices, dtype=float)
+        if prices.shape != (self.num_msps,):
+            raise ConfigurationError(
+                f"expected {self.num_msps} prices, got shape {prices.shape}"
+            )
+        if np.any(prices <= 0.0):
+            raise ConfigurationError("prices must be > 0")
+        best_price = prices.min()
+        winners = np.flatnonzero(np.isclose(prices, best_price, rtol=1e-12))
+        demands = follower_best_response(
+            self._alphas, self._data, float(best_price), self.spectral_efficiency
+        )
+        sales = np.zeros(self.num_msps)
+        allocations = np.zeros(len(self._vmus))
+        share = demands / len(winners)
+        for msp_index in winners:
+            granted = proportional_rationing(
+                share.tolist(), self._msps[msp_index].capacity
+            )
+            granted = np.asarray(granted)
+            sales[msp_index] = granted.sum()
+            allocations += granted
+        utilities = (prices - np.array([m.unit_cost for m in self._msps])) * sales
+        return OligopolyOutcome(
+            prices=prices,
+            msp_utilities=utilities,
+            msp_sales=sales,
+            vmu_allocations=allocations,
+        )
+
+    def msp_utility(self, msp_index: int, price: float, rival_prices: Sequence[float]) -> float:
+        """Utility of one MSP at ``price`` given the rivals' prices."""
+        rivals = list(rival_prices)
+        if len(rivals) != self.num_msps - 1:
+            raise ConfigurationError(
+                f"expected {self.num_msps - 1} rival prices, got {len(rivals)}"
+            )
+        full = rivals[:msp_index] + [price] + rivals[msp_index:]
+        return float(self.outcome(full).msp_utilities[msp_index])
+
+    def _price_lattice(self, unit_cost: float) -> np.ndarray:
+        count = int((self._max_price - unit_cost) / self._price_tick) + 1
+        lattice = unit_cost + self._price_tick * np.arange(count + 1)
+        return lattice[lattice <= self._max_price + 1e-12]
+
+    def _best_response_price(self, msp_index: int, prices: np.ndarray) -> float:
+        """Best response over the discrete price lattice.
+
+        Prices live on a tick lattice (``price_tick``), which is the
+        standard discretisation that gives capacity-less Bertrand a pure
+        equilibrium at cost + one tick: continuous undercutting has no
+        smallest profitable deviation, so a continuous argmax would sit
+        "just below" the rival forever. The current price is kept unless
+        a lattice point is *strictly* better — inertia on ties is what
+        makes the dynamics terminate instead of drifting around
+        zero-utility plateaus.
+        """
+        spec = self._msps[msp_index]
+        rivals = [p for i, p in enumerate(prices) if i != msp_index]
+        best_price = float(prices[msp_index])
+        best_value = self.msp_utility(msp_index, best_price, rivals)
+        for price in self._price_lattice(spec.unit_cost):
+            value = self.msp_utility(msp_index, float(price), rivals)
+            if value > best_value + 1e-12:
+                best_price, best_value = float(price), value
+        return best_price
+
+    def equilibrium(
+        self,
+        *,
+        initial_prices: Sequence[float] | None = None,
+        max_iterations: int = 1000,
+        tolerance: float = 1e-3,
+    ) -> OligopolyEquilibrium:
+        """Iterate simultaneous price best responses to a fixed point.
+
+        Undercutting descends one grid/tick step per iteration (Bertrand
+        dynamics are genuinely gradual), hence the generous default
+        iteration budget. Returns ``converged=False`` (with the last
+        iterate) when the dynamics cycle — the Edgeworth-cycle regime of
+        capacity-constrained Bertrand competition, a real feature of the
+        game rather than a numerical failure.
+        """
+        if max_iterations < 1:
+            raise GameError("max_iterations must be >= 1")
+        if initial_prices is None:
+            prices = np.array(
+                [min(self._max_price, 2.0 * m.unit_cost) for m in self._msps]
+            )
+        else:
+            prices = np.asarray(initial_prices, dtype=float).copy()
+            if prices.shape != (self.num_msps,):
+                raise ConfigurationError(
+                    f"expected {self.num_msps} initial prices"
+                )
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            # Gauss-Seidel sweep: each MSP responds to the *freshest*
+            # prices. Simultaneous updates make undercutting duopolies
+            # oscillate (both jump below each other's stale price).
+            previous = prices.copy()
+            for index in range(self.num_msps):
+                prices[index] = self._best_response_price(index, prices)
+            if np.max(np.abs(prices - previous)) <= tolerance:
+                outcome = self.outcome(prices)
+                return OligopolyEquilibrium(
+                    prices=prices,
+                    msp_utilities=outcome.msp_utilities,
+                    converged=True,
+                    iterations=iterations,
+                )
+        outcome = self.outcome(prices)
+        return OligopolyEquilibrium(
+            prices=prices,
+            msp_utilities=outcome.msp_utilities,
+            converged=False,
+            iterations=iterations,
+        )

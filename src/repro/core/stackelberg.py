@@ -1,0 +1,333 @@
+"""The AoTM-based Stackelberg market (Problems 1 and 2 of the paper).
+
+The :class:`StackelbergMarket` binds a VMU population to an RSU link and the
+MSP's market parameters, and answers every question the rest of the library
+asks about the game:
+
+- follower best responses and drop-out thresholds (Eq. 8);
+- the leader's utility landscape with B_max rationing and follower
+  drop-out (Eq. 9 generalised to the constrained case);
+- the unique Stackelberg equilibrium (Theorems 1-2), computed in closed
+  form per active set and cross-checked by a global numeric search.
+
+Units: the market consumes VMU data sizes in natural data units (100 MB)
+and works with natural bandwidth internally; reported bandwidth multiplies
+by ``bandwidth_report_scale`` to match the paper's axes (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.channel.link import RsuLink, paper_link
+from repro.channel.ofdma import proportional_rationing
+from repro.core.utilities import follower_best_response, vmu_utilities
+from repro.entities.vmu import VmuProfile
+from repro.errors import ConfigurationError, InfeasibleMarketError
+from repro.game.solvers import grid_then_golden
+from repro.utils.validation import require_positive
+
+__all__ = ["MarketConfig", "StackelbergEquilibrium", "MarketOutcome", "StackelbergMarket"]
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """MSP-side market parameters (Problem 2 constraints).
+
+    Attributes:
+        unit_cost: unit transmission cost ``C``.
+        max_price: price ceiling ``p_max``.
+        max_bandwidth: sellable bandwidth ``B_max`` in *market* units.
+        bandwidth_report_scale: market units per natural bandwidth unit.
+        enforce_capacity: if False the ``B_max`` constraint is ignored
+            (useful for isolating the unconstrained closed form in tests).
+    """
+
+    unit_cost: float = constants.UNIT_TRANSMISSION_COST
+    max_price: float = constants.MAX_PRICE
+    max_bandwidth: float = constants.MAX_BANDWIDTH
+    bandwidth_report_scale: float = constants.BANDWIDTH_REPORT_SCALE
+    enforce_capacity: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive("unit_cost", self.unit_cost)
+        require_positive("max_price", self.max_price)
+        require_positive("max_bandwidth", self.max_bandwidth)
+        require_positive("bandwidth_report_scale", self.bandwidth_report_scale)
+        if self.unit_cost > self.max_price:
+            raise ConfigurationError(
+                f"unit_cost ({self.unit_cost}) exceeds max_price "
+                f"({self.max_price}); the price interval [C, p_max] is empty"
+            )
+
+    @property
+    def capacity_natural(self) -> float:
+        """``B_max`` converted to natural bandwidth units."""
+        return self.max_bandwidth / self.bandwidth_report_scale
+
+
+@dataclass(frozen=True)
+class MarketOutcome:
+    """Everything observable after one trading round at a posted price."""
+
+    price: float
+    demands: np.ndarray
+    """Requested bandwidth per VMU (natural units, before rationing)."""
+    allocations: np.ndarray
+    """Granted bandwidth per VMU (natural units, after B_max rationing)."""
+    msp_utility: float
+    vmu_utilities: np.ndarray
+    capacity_binding: bool
+
+    @property
+    def total_allocated(self) -> float:
+        """Σ granted bandwidth (natural units)."""
+        return float(self.allocations.sum())
+
+
+@dataclass(frozen=True)
+class StackelbergEquilibrium:
+    """The unique Stackelberg equilibrium of the instantiated market."""
+
+    price: float
+    demands: np.ndarray
+    """Equilibrium bandwidth per VMU (natural units)."""
+    msp_utility: float
+    vmu_utilities: np.ndarray
+    capacity_binding: bool
+    price_cap_binding: bool
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Σ b*_n in natural units."""
+        return float(self.demands.sum())
+
+    @property
+    def total_vmu_utility(self) -> float:
+        """Σ U_n at equilibrium."""
+        return float(self.vmu_utilities.sum())
+
+
+class StackelbergMarket:
+    """The AoTM-based Stackelberg game between one MSP and N VMUs."""
+
+    def __init__(
+        self,
+        vmus: Sequence[VmuProfile],
+        *,
+        config: MarketConfig | None = None,
+        link: RsuLink | None = None,
+    ) -> None:
+        if len(vmus) == 0:
+            raise ConfigurationError("market needs at least one VMU")
+        self._vmus = tuple(vmus)
+        self._config = config if config is not None else MarketConfig()
+        self._link = link if link is not None else paper_link()
+        self._alphas = np.array([v.immersion_coef for v in vmus], dtype=float)
+        self._data_units = np.array([v.data_units for v in vmus], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def vmus(self) -> tuple[VmuProfile, ...]:
+        """The follower population."""
+        return self._vmus
+
+    @property
+    def config(self) -> MarketConfig:
+        """Market parameters."""
+        return self._config
+
+    @property
+    def link(self) -> RsuLink:
+        """The RSU-to-RSU migration link."""
+        return self._link
+
+    @property
+    def num_vmus(self) -> int:
+        """Population size N."""
+        return len(self._vmus)
+
+    @property
+    def spectral_efficiency(self) -> float:
+        """``log2(1 + SNR)`` of the link."""
+        return self._link.spectral_efficiency
+
+    @property
+    def immersion_coefs(self) -> np.ndarray:
+        """``α_n`` vector (copy)."""
+        return self._alphas.copy()
+
+    @property
+    def data_units(self) -> np.ndarray:
+        """``D_n`` vector in natural data units (copy)."""
+        return self._data_units.copy()
+
+    def to_market_units(self, bandwidth_natural: float | np.ndarray):
+        """Convert natural bandwidth to the paper's reported units."""
+        return bandwidth_natural * self._config.bandwidth_report_scale
+
+    # ------------------------------------------------------------------ #
+    # follower stage
+    # ------------------------------------------------------------------ #
+    def dropout_thresholds(self) -> np.ndarray:
+        """Per-VMU price above which the best response hits zero:
+        ``t_n = α_n · SE / D_n``."""
+        return self._alphas * self.spectral_efficiency / self._data_units
+
+    def best_response(self, price: float) -> np.ndarray:
+        """Follower best responses at ``price`` (Eq. 8), natural units."""
+        return follower_best_response(
+            self._alphas, self._data_units, price, self.spectral_efficiency
+        )
+
+    def allocate(self, price: float) -> np.ndarray:
+        """Granted bandwidth after B_max proportional rationing."""
+        demands = self.best_response(price)
+        if not self._config.enforce_capacity:
+            return demands
+        granted = proportional_rationing(
+            demands.tolist(), self._config.capacity_natural
+        )
+        return np.asarray(granted, dtype=float)
+
+    def round_outcome(self, price: float) -> MarketOutcome:
+        """Play one full trading round at a posted ``price``."""
+        if price <= 0.0 or not math.isfinite(price):
+            raise ConfigurationError(f"price must be finite and > 0, got {price!r}")
+        demands = self.best_response(price)
+        allocations = self.allocate(price)
+        utility = float((price - self._config.unit_cost) * allocations.sum())
+        follower_utilities = vmu_utilities(
+            self._alphas,
+            self._data_units,
+            allocations,
+            price,
+            self.spectral_efficiency,
+        )
+        binding = bool(
+            self._config.enforce_capacity
+            and demands.sum() >= self._config.capacity_natural * (1.0 - 1e-9)
+        )
+        return MarketOutcome(
+            price=price,
+            demands=demands,
+            allocations=allocations,
+            msp_utility=utility,
+            vmu_utilities=follower_utilities,
+            capacity_binding=binding,
+        )
+
+    # ------------------------------------------------------------------ #
+    # leader stage
+    # ------------------------------------------------------------------ #
+    def msp_utility(self, price: float) -> float:
+        """Leader utility at ``price`` with followers playing Eq. (8)."""
+        return self.round_outcome(price).msp_utility
+
+    def _active_set(self, price: float) -> np.ndarray:
+        return self.dropout_thresholds() > price
+
+    def _segment_candidates(self) -> list[float]:
+        """Closed-form candidate prices per active-set segment.
+
+        On a segment where the active set A is constant, the unconstrained
+        optimum is ``p_A = sqrt(C·SE·Σ_A α / Σ_A D)`` (Theorem 2) and the
+        capacity-saturating price is ``p_cap = Σ_A α / (B + Σ_A D/SE)``
+        with B the natural capacity. The equilibrium price is one of these
+        (clamped to the segment) or a segment boundary.
+        """
+        config = self._config
+        se = self.spectral_efficiency
+        thresholds = np.unique(self.dropout_thresholds())
+        boundaries = sorted(
+            {config.unit_cost, config.max_price}
+            | {float(t) for t in thresholds if config.unit_cost < t < config.max_price}
+        )
+        candidates: set[float] = set(boundaries)
+        for low, high in zip(boundaries[:-1], boundaries[1:]):
+            probe = 0.5 * (low + high)
+            active = self._active_set(probe)
+            if not active.any():
+                continue
+            alpha_sum = float(self._alphas[active].sum())
+            data_sum = float(self._data_units[active].sum())
+            p_unconstrained = math.sqrt(config.unit_cost * se * alpha_sum / data_sum)
+            candidates.add(min(max(p_unconstrained, low), high))
+            if config.enforce_capacity:
+                p_cap = alpha_sum / (config.capacity_natural + data_sum / se)
+                candidates.add(min(max(p_cap, low), high))
+        return sorted(candidates)
+
+    def equilibrium(self, *, refine: bool = True) -> StackelbergEquilibrium:
+        """Compute the unique Stackelberg equilibrium.
+
+        Strategy: evaluate the exact leader utility at every closed-form
+        candidate (active-set optima, capacity-saturating prices, segment
+        boundaries), then optionally refine with a bracketed golden-section
+        search as a numerical cross-check. The two agree to ~1e-8 for every
+        market the test-suite constructs; the better one wins.
+
+        Raises:
+            InfeasibleMarketError: if no feasible price induces any demand.
+        """
+        config = self._config
+        thresholds = self.dropout_thresholds()
+        if float(thresholds.max()) <= config.unit_cost:
+            raise InfeasibleMarketError(
+                "every VMU's drop-out threshold is at or below the unit "
+                f"cost C={config.unit_cost}; no profitable trade exists"
+            )
+        candidates = self._segment_candidates()
+        best_price = max(candidates, key=self.msp_utility)
+        if refine:
+            refined_price, refined_value = grid_then_golden(
+                self.msp_utility, config.unit_cost, config.max_price
+            )
+            if refined_value > self.msp_utility(best_price):
+                best_price = refined_price
+        outcome = self.round_outcome(best_price)
+        return StackelbergEquilibrium(
+            price=best_price,
+            demands=outcome.allocations,
+            msp_utility=outcome.msp_utility,
+            vmu_utilities=outcome.vmu_utilities,
+            capacity_binding=outcome.capacity_binding,
+            price_cap_binding=bool(
+                abs(best_price - config.max_price) < 1e-9
+            ),
+        )
+
+    def unconstrained_equilibrium_price(self) -> float:
+        """Theorem 2's closed form ``p* = sqrt(C·SE·Σα/ΣD)``, ignoring
+        B_max, p_max, and follower drop-out. Matches :meth:`equilibrium`
+        whenever none of those constraints bind."""
+        return math.sqrt(
+            self._config.unit_cost
+            * self.spectral_efficiency
+            * float(self._alphas.sum())
+            / float(self._data_units.sum())
+        )
+
+    def with_unit_cost(self, unit_cost: float) -> "StackelbergMarket":
+        """A copy of this market with a different transmission cost ``C``
+        (the Fig. 3(a-b) sweep)."""
+        new_config = MarketConfig(
+            unit_cost=unit_cost,
+            max_price=self._config.max_price,
+            max_bandwidth=self._config.max_bandwidth,
+            bandwidth_report_scale=self._config.bandwidth_report_scale,
+            enforce_capacity=self._config.enforce_capacity,
+        )
+        return StackelbergMarket(self._vmus, config=new_config, link=self._link)
+
+    def with_vmus(self, vmus: Sequence[VmuProfile]) -> "StackelbergMarket":
+        """A copy of this market with a different population
+        (the Fig. 3(c-d) sweep)."""
+        return StackelbergMarket(vmus, config=self._config, link=self._link)

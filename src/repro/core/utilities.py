@@ -1,0 +1,84 @@
+"""Utility functions of the two game stages (Eqs. 2 and 4).
+
+Follower (VMU n):  U_n(b_n) = α_n ln(1 + b_n·SE/D_n) − p·b_n
+Leader  (MSP):     U_s(p)   = Σ_n (p − C)·b_n
+
+Both are exposed in scalar and vectorised forms; the vectorised forms are
+what the environment and the equilibrium solver use on every game round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "vmu_utility",
+    "vmu_utilities",
+    "msp_utility",
+    "follower_best_response",
+]
+
+
+def vmu_utility(
+    immersion_coef: float,
+    data_units: float,
+    bandwidth: float,
+    price: float,
+    spectral_efficiency: float,
+) -> float:
+    """Utility of one VMU at purchase ``bandwidth`` under ``price`` (Eq. 2)."""
+    require_positive("immersion_coef", immersion_coef)
+    require_positive("data_units", data_units)
+    require_non_negative("bandwidth", bandwidth)
+    require_non_negative("price", price)
+    require_positive("spectral_efficiency", spectral_efficiency)
+    gain = immersion_coef * np.log1p(bandwidth * spectral_efficiency / data_units)
+    return float(gain - price * bandwidth)
+
+
+def vmu_utilities(
+    immersion_coefs: np.ndarray,
+    data_units: np.ndarray,
+    bandwidths: np.ndarray,
+    price: float,
+    spectral_efficiency: float,
+) -> np.ndarray:
+    """Vectorised Eq. (2) over a population."""
+    alphas = np.asarray(immersion_coefs, dtype=float)
+    data = np.asarray(data_units, dtype=float)
+    bands = np.asarray(bandwidths, dtype=float)
+    gains = alphas * np.log1p(bands * spectral_efficiency / data)
+    return gains - price * bands
+
+
+def msp_utility(price: float, unit_cost: float, bandwidths: np.ndarray) -> float:
+    """Leader utility ``Σ (p − C)·b_n`` (Eq. 4)."""
+    require_non_negative("price", price)
+    require_positive("unit_cost", unit_cost)
+    bands = np.asarray(bandwidths, dtype=float)
+    if np.any(bands < 0.0):
+        raise ValueError("bandwidths must be >= 0")
+    return float((price - unit_cost) * bands.sum())
+
+
+def follower_best_response(
+    immersion_coefs: np.ndarray,
+    data_units: np.ndarray,
+    price: float,
+    spectral_efficiency: float,
+) -> np.ndarray:
+    """Vectorised best response of Eq. (8), truncated at zero.
+
+    ``b*_n = max(0, α_n/p − D_n/SE)``. The truncation implements the
+    feasibility constraint ``b_n > 0`` of Problem 1: a VMU facing a price
+    above its drop-out threshold ``α_n·SE/D_n`` buys nothing.
+    """
+    require_positive("price", price)
+    require_positive("spectral_efficiency", spectral_efficiency)
+    alphas = np.asarray(immersion_coefs, dtype=float)
+    data = np.asarray(data_units, dtype=float)
+    if np.any(alphas <= 0.0) or np.any(data <= 0.0):
+        raise ValueError("immersion coefficients and data sizes must be > 0")
+    return np.maximum(0.0, alphas / price - data / spectral_efficiency)

@@ -1,0 +1,42 @@
+"""DRL substrate: rollout buffer, GAE, PPO, and the Algorithm-1 trainer."""
+
+from repro.drl.buffer import MiniBatch, RolloutBuffer, Transition
+from repro.drl.checkpoints import load_agent, save_agent
+from repro.drl.gae import discounted_returns, generalized_advantages, paper_advantages
+from repro.drl.policy import ActionScaler, ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig, UpdateStats
+from repro.drl.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    Schedule,
+    apply_lr_schedule,
+)
+from repro.drl.trainer import Trainer, TrainerConfig, TrainingResult, train_pricing_agent
+
+__all__ = [
+    "load_agent",
+    "save_agent",
+    "MiniBatch",
+    "RolloutBuffer",
+    "Transition",
+    "discounted_returns",
+    "generalized_advantages",
+    "paper_advantages",
+    "ActionScaler",
+    "ActorCritic",
+    "PPOAgent",
+    "PPOConfig",
+    "UpdateStats",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "ExponentialSchedule",
+    "LinearSchedule",
+    "Schedule",
+    "apply_lr_schedule",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingResult",
+    "train_pricing_agent",
+]

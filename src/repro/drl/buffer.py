@@ -1,0 +1,162 @@
+"""Replay buffer for on-policy rollouts (Algorithm 1's ``BF``).
+
+The paper stores transitions ``(o_k, p_k, R_k, o_{k+1})`` plus the data PPO
+needs (log-prob and value at collection time), then samples random
+mini-batches of size ``I`` for ``M`` epochs per update. Advantages and
+value targets are computed when the buffer is *finalised* (end of rollout
+segment), after which mini-batch sampling is allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.drl.gae import discounted_returns, generalized_advantages
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Transition", "MiniBatch", "RolloutBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stored step of the POMDP."""
+
+    observation: np.ndarray
+    action: np.ndarray
+    reward: float
+    log_prob: float
+    value: float
+
+
+@dataclass(frozen=True)
+class MiniBatch:
+    """A sampled training batch (arrays stacked along axis 0)."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    old_log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+
+
+class RolloutBuffer:
+    """Accumulates one rollout segment, then serves mini-batches.
+
+    Lifecycle: ``add`` × K → ``finalize(bootstrap_value)`` →
+    ``minibatches`` / ``sample`` → ``clear``.
+    """
+
+    def __init__(self, *, gamma: float, lam: float = 1.0) -> None:
+        if not 0.0 <= gamma <= 1.0 or not 0.0 <= lam <= 1.0:
+            raise ConfigurationError(
+                f"gamma and lam must be in [0, 1], got {gamma}, {lam}"
+            )
+        self._gamma = gamma
+        self._lam = lam
+        self._transitions: list[Transition] = []
+        self._advantages: np.ndarray | None = None
+        self._returns: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    @property
+    def finalized(self) -> bool:
+        """Whether advantages/returns have been computed."""
+        return self._advantages is not None
+
+    def add(
+        self,
+        observation: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        log_prob: float,
+        value: float,
+    ) -> None:
+        """Store one transition (must precede :meth:`finalize`)."""
+        if self.finalized:
+            raise ConfigurationError("buffer already finalized; clear() first")
+        self._transitions.append(
+            Transition(
+                observation=np.asarray(observation, dtype=np.float64).copy(),
+                action=np.asarray(action, dtype=np.float64).copy(),
+                reward=float(reward),
+                log_prob=float(log_prob),
+                value=float(value),
+            )
+        )
+
+    def finalize(self, bootstrap_value: float = 0.0) -> None:
+        """Compute advantages (GAE) and value targets for the segment."""
+        if not self._transitions:
+            raise ConfigurationError("cannot finalize an empty buffer")
+        rewards = np.array([t.reward for t in self._transitions])
+        values = np.array([t.value for t in self._transitions])
+        self._advantages = generalized_advantages(
+            rewards, values, self._gamma, self._lam, bootstrap_value=bootstrap_value
+        )
+        self._returns = discounted_returns(
+            rewards, self._gamma, bootstrap_value=bootstrap_value
+        )
+
+    def clear(self) -> None:
+        """Drop all stored data (start of a new segment)."""
+        self._transitions.clear()
+        self._advantages = None
+        self._returns = None
+
+    def _stacked(self) -> MiniBatch:
+        if not self.finalized:
+            raise ConfigurationError("finalize() before sampling")
+        assert self._advantages is not None and self._returns is not None
+        return MiniBatch(
+            observations=np.stack([t.observation for t in self._transitions]),
+            actions=np.stack([t.action for t in self._transitions]),
+            old_log_probs=np.array([t.log_prob for t in self._transitions]),
+            advantages=self._advantages.copy(),
+            returns=self._returns.copy(),
+        )
+
+    def sample(self, batch_size: int, seed: SeedLike = None) -> MiniBatch:
+        """One random mini-batch of ``batch_size`` (with replacement if the
+        buffer is smaller) — Algorithm 1, line 12."""
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        full = self._stacked()
+        rng = as_generator(seed)
+        count = len(self._transitions)
+        replace = batch_size > count
+        idx = rng.choice(count, size=batch_size, replace=replace)
+        return MiniBatch(
+            observations=full.observations[idx],
+            actions=full.actions[idx],
+            old_log_probs=full.old_log_probs[idx],
+            advantages=full.advantages[idx],
+            returns=full.returns[idx],
+        )
+
+    def minibatches(self, batch_size: int, seed: SeedLike = None) -> list[MiniBatch]:
+        """Shuffle the segment and split into consecutive mini-batches
+        (the common PPO epoch schedule; covers every sample once)."""
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        full = self._stacked()
+        rng = as_generator(seed)
+        count = len(self._transitions)
+        order = rng.permutation(count)
+        batches = []
+        for start in range(0, count, batch_size):
+            idx = order[start : start + batch_size]
+            batches.append(
+                MiniBatch(
+                    observations=full.observations[idx],
+                    actions=full.actions[idx],
+                    old_log_probs=full.old_log_probs[idx],
+                    advantages=full.advantages[idx],
+                    returns=full.returns[idx],
+                )
+            )
+        return batches

@@ -1,0 +1,103 @@
+"""Agent checkpointing: persist a trained pricing policy to disk.
+
+Saves the actor-critic parameters plus the metadata needed to rebuild the
+agent (architecture, action bounds, history length) into a single ``.npz``
+file, so a policy trained once can price markets in later processes —
+the deployment path a real MSP would use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.drl.policy import ActionScaler, ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["save_agent", "load_agent"]
+
+_FORMAT_VERSION = 1
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_agent(
+    path: str | Path,
+    agent: PPOAgent,
+    scaler: ActionScaler,
+    *,
+    history_length: int | None = None,
+) -> Path:
+    """Write the agent's parameters and architecture to ``path`` (.npz)."""
+    network = agent.network
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "obs_dim": network.obs_dim,
+        "action_dim": network.action_dim,
+        "hidden_sizes": _hidden_sizes(network),
+        "action_low": scaler.low,
+        "action_high": scaler.high,
+        "history_length": history_length,
+        "learning_rate": agent.config.learning_rate,
+        "clip_epsilon": agent.config.clip_epsilon,
+    }
+    arrays = {
+        name.replace(".", "__"): tensor
+        for name, tensor in network.state_dict().items()
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(target, **arrays)
+    # np.savez appends .npz when missing; normalise the returned path.
+    return target if target.suffix == ".npz" else target.with_suffix(
+        target.suffix + ".npz"
+    )
+
+
+def load_agent(path: str | Path) -> tuple[PPOAgent, ActionScaler, dict]:
+    """Rebuild ``(agent, scaler, metadata)`` from a checkpoint file."""
+    archive = np.load(Path(path))
+    if _META_KEY not in archive:
+        raise ConfigurationError(f"{path} is not a repro agent checkpoint")
+    meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint version {meta.get('format_version')!r}"
+        )
+    network = ActorCritic(
+        obs_dim=int(meta["obs_dim"]),
+        hidden_sizes=tuple(int(h) for h in meta["hidden_sizes"]),
+        action_dim=int(meta["action_dim"]),
+        seed=0,
+    )
+    state = {
+        key.replace("__", "."): archive[key]
+        for key in archive.files
+        if key != _META_KEY
+    }
+    network.load_state_dict(state)
+    agent = PPOAgent(
+        network,
+        PPOConfig(
+            learning_rate=float(meta["learning_rate"]),
+            clip_epsilon=float(meta["clip_epsilon"]),
+        ),
+    )
+    scaler = ActionScaler(
+        low=float(meta["action_low"]), high=float(meta["action_high"])
+    )
+    return agent, scaler, meta
+
+
+def _hidden_sizes(network: ActorCritic) -> list[int]:
+    sizes: list[int] = []
+    for layer in network.trunk._layers:  # noqa: SLF001 - introspection
+        out_features = getattr(layer, "out_features", None)
+        if out_features is not None:
+            sizes.append(int(out_features))
+    return sizes

@@ -1,0 +1,87 @@
+"""Advantage estimation: discounted returns, Eq. (18), and GAE(λ).
+
+The paper computes the advantage as the full-episode discounted return
+minus the value baseline (its Eq. 18), which is exactly GAE with λ = 1.
+We implement general GAE(λ) (the paper cites Schulman et al. [14]) and
+expose the λ = 1 special case; tests verify the two coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_in_range
+
+__all__ = ["discounted_returns", "paper_advantages", "generalized_advantages"]
+
+
+def discounted_returns(
+    rewards: np.ndarray, gamma: float, *, bootstrap_value: float = 0.0
+) -> np.ndarray:
+    """Per-step discounted return-to-go ``V^targ_k`` (Eq. 16's target).
+
+    ``G_k = Σ_{l=k}^{K-1} γ^{l-k} r_l + γ^{K-k} V(S_K)`` with
+    ``bootstrap_value`` standing in for ``V(S_K)``.
+    """
+    require_in_range("gamma", gamma, 0.0, 1.0)
+    rewards = np.asarray(rewards, dtype=np.float64)
+    returns = np.empty_like(rewards)
+    running = float(bootstrap_value)
+    for k in range(len(rewards) - 1, -1, -1):
+        running = rewards[k] + gamma * running
+        returns[k] = running
+    return returns
+
+
+def paper_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float,
+    *,
+    bootstrap_value: float = 0.0,
+) -> np.ndarray:
+    """The paper's Eq. (18): ``A(S_k) = -V(S_k) + G_k``.
+
+    ``values`` are the critic's estimates along the trajectory (length K);
+    ``bootstrap_value`` is ``V(S_K)`` at the terminal observation.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if rewards.shape != values.shape:
+        raise ValueError(
+            f"rewards and values must align, got {rewards.shape} vs {values.shape}"
+        )
+    returns = discounted_returns(rewards, gamma, bootstrap_value=bootstrap_value)
+    return returns - values
+
+
+def generalized_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    gamma: float,
+    lam: float,
+    *,
+    bootstrap_value: float = 0.0,
+) -> np.ndarray:
+    """GAE(λ) (Schulman et al., 2015).
+
+    ``A_k = Σ_{l≥k} (γλ)^{l-k} δ_l`` with TD residuals
+    ``δ_l = r_l + γ V(S_{l+1}) − V(S_l)``. ``λ = 1`` recovers Eq. (18)
+    exactly (verified by a test); smaller λ trades variance for bias.
+    """
+    require_in_range("gamma", gamma, 0.0, 1.0)
+    require_in_range("lam", lam, 0.0, 1.0)
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if rewards.shape != values.shape:
+        raise ValueError(
+            f"rewards and values must align, got {rewards.shape} vs {values.shape}"
+        )
+    next_values = np.append(values[1:], bootstrap_value)
+    deltas = rewards + gamma * next_values - values
+    advantages = np.empty_like(deltas)
+    running = 0.0
+    for k in range(len(deltas) - 1, -1, -1):
+        running = deltas[k] + gamma * lam * running
+        advantages[k] = running
+    return advantages

@@ -1,0 +1,152 @@
+"""The MSP's actor-critic network and action scaling.
+
+Per the paper (Sec. IV-A5), the policy ``π_θ`` and value function ``V_πθ``
+share the same network parameters: a common trunk (two 64-unit tanh
+layers) with a Gaussian actor head and a scalar critic head on top.
+
+Actions: the network emits an unbounded "raw" action; the price is an
+affine map of the raw action clipped to the feasible ``[C, p_max]``
+(raw 0 → the mid price, raw ±1 → the interval edges). PPO's probability
+ratios are computed on the raw action, which keeps the log-probabilities
+exact and the squashing outside the likelihood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.distributions import DiagonalGaussian
+from repro.nn.init import constant
+from repro.nn.modules import Linear, Module, Sequential, Tanh
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import SeedLike, as_generator, spawn_children
+
+__all__ = ["ActionScaler", "ActorCritic"]
+
+
+@dataclass(frozen=True)
+class ActionScaler:
+    """Affine map between raw policy actions and feasible prices.
+
+    ``price = clip(mid + half_range · raw, low, high)`` where
+    ``mid = (low + high)/2`` and ``half_range = (high − low)/2``, so the
+    raw interval ``[−1, 1]`` spans the whole feasible price range.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ConfigurationError(
+                f"need low < high, got [{self.low}, {self.high}]"
+            )
+
+    @property
+    def mid(self) -> float:
+        """Centre of the price interval."""
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def half_range(self) -> float:
+        """Half-width of the price interval."""
+        return 0.5 * (self.high - self.low)
+
+    def to_price(self, raw: np.ndarray | float) -> np.ndarray | float:
+        """Map a raw action to a feasible price."""
+        return np.clip(self.mid + self.half_range * raw, self.low, self.high)
+
+    def to_raw(self, price: np.ndarray | float) -> np.ndarray | float:
+        """Inverse map (prices at the boundary map to raw ±1)."""
+        return (np.asarray(price, dtype=float) - self.mid) / self.half_range
+
+
+class ActorCritic(Module):
+    """Shared-trunk actor-critic for a 1-D continuous pricing action.
+
+    Args:
+        obs_dim: observation width (L·(1+N) for the migration POMDP).
+        hidden_sizes: trunk widths (paper: (64, 64)).
+        action_dim: action width (1 for the unit price).
+        initial_log_std: starting exploration scale of the Gaussian head.
+        seed: initialisation seed.
+    """
+
+    def __init__(
+        self,
+        obs_dim: int,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        *,
+        action_dim: int = 1,
+        initial_log_std: float = -0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if obs_dim < 1 or action_dim < 1:
+            raise ConfigurationError(
+                f"obs_dim and action_dim must be >= 1, got {obs_dim}, {action_dim}"
+            )
+        if not hidden_sizes:
+            raise ConfigurationError("need at least one hidden layer")
+        seeds = spawn_children(seed, 2 * len(hidden_sizes) + 2)
+        layers: list[Module] = []
+        widths = [obs_dim, *hidden_sizes]
+        for i, (fan_in, fan_out) in enumerate(zip(widths[:-1], widths[1:])):
+            layers.append(
+                Linear(fan_in, fan_out, gain=float(np.sqrt(2.0)), seed=seeds[i])
+            )
+            layers.append(Tanh())
+        self.trunk = Sequential(*layers)
+        self.actor_head = Linear(widths[-1], action_dim, gain=0.01, seed=seeds[-2])
+        self.critic_head = Linear(widths[-1], 1, gain=1.0, seed=seeds[-1])
+        self.log_std = Tensor(
+            constant(initial_log_std, action_dim), requires_grad=True
+        )
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+
+    def _features(self, observations: Tensor) -> Tensor:
+        if observations.ndim != 2 or observations.shape[1] != self.obs_dim:
+            raise ConfigurationError(
+                f"expected observations of shape (batch, {self.obs_dim}), "
+                f"got {observations.shape}"
+            )
+        return self.trunk(observations)
+
+    def distribution(self, observations: Tensor) -> DiagonalGaussian:
+        """The Gaussian policy ``π_θ(· | o)`` for a batch of observations."""
+        features = self._features(observations)
+        return DiagonalGaussian(self.actor_head(features), self.log_std)
+
+    def value(self, observations: Tensor) -> Tensor:
+        """Critic estimates ``V_πθ(o)``, shape (batch,)."""
+        features = self._features(observations)
+        return self.critic_head(features).squeeze(-1)
+
+    def evaluate(self, observations: Tensor) -> tuple[DiagonalGaussian, Tensor]:
+        """Distribution and value sharing one trunk pass (one graph)."""
+        features = self._features(observations)
+        dist = DiagonalGaussian(self.actor_head(features), self.log_std)
+        return dist, self.critic_head(features).squeeze(-1)
+
+    def act(
+        self,
+        observation: np.ndarray,
+        *,
+        seed: SeedLike = None,
+        deterministic: bool = False,
+    ) -> tuple[np.ndarray, float, float]:
+        """Sample an action for one observation (no gradient graph).
+
+        Returns ``(raw_action, log_prob, value)``.
+        """
+        rng = as_generator(seed)
+        obs = np.asarray(observation, dtype=np.float64).reshape(1, -1)
+        with no_grad():
+            dist, value = self.evaluate(Tensor(obs))
+            raw = dist.mode() if deterministic else dist.sample(rng)
+            log_prob = dist.log_prob(raw)
+        return raw[0], float(log_prob.data[0]), float(value.data[0])

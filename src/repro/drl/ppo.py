@@ -1,0 +1,144 @@
+"""Proximal Policy Optimization for the MSP pricing agent (Eqs. 14-19).
+
+The update maximises the clipped surrogate minus the value-function error:
+
+    L(θ) = E[ min(r_k A_k, f_clip(r_k) A_k) ] − c · E[(V_θ(S_k) − V^targ_k)²]
+            + β · E[H(π_θ(·|o_k))]
+
+with importance ratio ``r_k = π_θ(p_k|o_k) / π_θold(p_k|o_k)`` (Eq. 17) and
+``f_clip`` the clip of Eq. (19). Entropy regularisation (β) is standard PPO
+practice and defaults to a small positive value; set it to 0 for the
+strictly-paper objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.drl.buffer import MiniBatch
+from repro.drl.policy import ActorCritic
+from repro.errors import ConfigurationError
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike
+
+__all__ = ["PPOConfig", "UpdateStats", "PPOAgent"]
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyper-parameters (paper defaults from Sec. V-A)."""
+
+    learning_rate: float = 1e-5
+    clip_epsilon: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 0.0
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0.0:
+            raise ConfigurationError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if not 0.0 < self.clip_epsilon < 1.0:
+            raise ConfigurationError(
+                f"clip_epsilon must be in (0, 1), got {self.clip_epsilon}"
+            )
+        if self.value_coef < 0.0 or self.entropy_coef < 0.0:
+            raise ConfigurationError("loss coefficients must be >= 0")
+        if self.max_grad_norm <= 0.0:
+            raise ConfigurationError(
+                f"max_grad_norm must be > 0, got {self.max_grad_norm}"
+            )
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """Diagnostics of one PPO gradient step."""
+
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    clip_fraction: float
+    approx_kl: float
+    grad_norm: float
+
+
+class PPOAgent:
+    """A PPO learner wrapping a shared-trunk :class:`ActorCritic`."""
+
+    def __init__(
+        self,
+        network: ActorCritic,
+        config: PPOConfig | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config if config is not None else PPOConfig()
+        self.optimizer = Adam(
+            list(network.parameters()), learning_rate=self.config.learning_rate
+        )
+
+    def act(
+        self,
+        observation: np.ndarray,
+        *,
+        seed: SeedLike = None,
+        deterministic: bool = False,
+    ) -> tuple[np.ndarray, float, float]:
+        """Delegate to the network's sampling path."""
+        return self.network.act(
+            observation, seed=seed, deterministic=deterministic
+        )
+
+    def value(self, observation: np.ndarray) -> float:
+        """Critic value for a single observation (no graph)."""
+        from repro.nn.tensor import no_grad
+
+        obs = np.asarray(observation, dtype=np.float64).reshape(1, -1)
+        with no_grad():
+            return float(self.network.value(Tensor(obs)).data[0])
+
+    def update(self, batch: MiniBatch) -> UpdateStats:
+        """One gradient step on a mini-batch (Eq. 14)."""
+        cfg = self.config
+        advantages = batch.advantages.astype(np.float64)
+        if cfg.normalize_advantages and advantages.size > 1:
+            std = advantages.std()
+            advantages = (advantages - advantages.mean()) / (std + 1e-8)
+
+        self.optimizer.zero_grad()
+        dist, values = self.network.evaluate(Tensor(batch.observations))
+        log_probs = dist.log_prob(batch.actions)
+        ratio = (log_probs - Tensor(batch.old_log_probs)).exp()  # Eq. (17)
+        adv = Tensor(advantages)
+        unclipped = ratio * adv
+        clipped = ratio.clamp(1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * adv
+        policy_objective = unclipped.minimum(clipped).mean()  # Eq. (15)
+        value_loss = ((values - Tensor(batch.returns)) ** 2.0).mean()  # Eq. (16)
+        entropy = dist.entropy().mean()
+        # Maximise objective == minimise negative loss (Eq. 14).
+        loss = (
+            -policy_objective
+            + cfg.value_coef * value_loss
+            - cfg.entropy_coef * entropy
+        )
+        loss.backward()
+        grad_norm = clip_grad_norm(self.optimizer.parameters, cfg.max_grad_norm)
+        self.optimizer.step()
+
+        ratio_values = ratio.data
+        clip_fraction = float(
+            np.mean(np.abs(ratio_values - 1.0) > cfg.clip_epsilon)
+        )
+        approx_kl = float(np.mean(batch.old_log_probs - log_probs.data))
+        return UpdateStats(
+            policy_loss=float(-policy_objective.item()),
+            value_loss=float(value_loss.item()),
+            entropy=float(entropy.item()),
+            clip_fraction=clip_fraction,
+            approx_kl=approx_kl,
+            grad_norm=float(grad_norm),
+        )

@@ -1,0 +1,106 @@
+"""Hyper-parameter schedules for training (lr / entropy / clip annealing).
+
+Standard PPO practice anneals the learning rate and entropy bonus over
+training. Schedules are plain callables ``fraction -> value`` where
+``fraction`` is training progress in [0, 1]; the trainer applies them
+between episodes via :func:`apply_lr_schedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import Optimizer
+
+__all__ = [
+    "Schedule",
+    "ConstantSchedule",
+    "LinearSchedule",
+    "CosineSchedule",
+    "ExponentialSchedule",
+    "apply_lr_schedule",
+]
+
+
+class Schedule:
+    """Interface: value as a function of training progress in [0, 1]."""
+
+    def value(self, fraction: float) -> float:
+        """The scheduled value at ``fraction`` of training elapsed."""
+        raise NotImplementedError
+
+    def __call__(self, fraction: float) -> float:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0, 1], got {fraction}"
+            )
+        return self.value(fraction)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(Schedule):
+    """Always the same value."""
+
+    constant: float
+
+    def value(self, fraction: float) -> float:
+        return self.constant
+
+
+@dataclass(frozen=True)
+class LinearSchedule(Schedule):
+    """Linear interpolation from ``start`` to ``end``."""
+
+    start: float
+    end: float
+
+    def value(self, fraction: float) -> float:
+        # Convex-combination form reaches the endpoints exactly.
+        return (1.0 - fraction) * self.start + fraction * self.end
+
+
+@dataclass(frozen=True)
+class CosineSchedule(Schedule):
+    """Cosine annealing from ``start`` to ``end``."""
+
+    start: float
+    end: float
+
+    def value(self, fraction: float) -> float:
+        cosine = 0.5 * (1.0 + math.cos(math.pi * fraction))
+        return self.end + (self.start - self.end) * cosine
+
+
+@dataclass(frozen=True)
+class ExponentialSchedule(Schedule):
+    """Geometric decay from ``start`` toward ``end`` with rate ``decay``.
+
+    ``value(f) = end + (start − end) · decay^f`` — ``decay`` is the
+    fraction of the gap remaining after the full run.
+    """
+
+    start: float
+    end: float
+    decay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {self.decay}")
+
+    def value(self, fraction: float) -> float:
+        return self.end + (self.start - self.end) * self.decay**fraction
+
+
+def apply_lr_schedule(
+    optimizer: Optimizer, schedule: Schedule, fraction: float
+) -> float:
+    """Set the optimiser's learning rate from a schedule; returns it."""
+    new_rate = schedule(fraction)
+    if new_rate <= 0.0:
+        raise ConfigurationError(
+            f"schedule produced non-positive learning rate {new_rate}"
+        )
+    optimizer.learning_rate = float(new_rate)
+    return optimizer.learning_rate

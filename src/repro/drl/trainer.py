@@ -1,0 +1,176 @@
+"""Algorithm 1: the DRL training loop for VT migration pricing.
+
+Faithful to the paper's pseudo-code: for each of ``E`` episodes, reset the
+environment and replay buffer; each round, the MSP observes ``o_k``, its
+actor proposes a price, followers best-respond inside the environment, the
+Eq.-12 reward is computed, and the transition is stored. Every ``I`` rounds
+the agent performs ``M`` mini-batch updates sampled from the buffer.
+
+Returns a :class:`TrainingResult` with per-episode return and utility
+traces — the series plotted in Fig. 2(a) and Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.drl.buffer import RolloutBuffer
+from repro.drl.policy import ActionScaler, ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig, UpdateStats
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["TrainerConfig", "TrainingResult", "Trainer", "train_pricing_agent"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Algorithm-1 knobs (paper defaults from Sec. V-A)."""
+
+    num_episodes: int = 500
+    update_interval: int = 20
+    """Rounds between updates, ``I`` (Algorithm 1 line 10)."""
+    update_epochs: int = 10
+    """Mini-batch updates per trigger, ``M`` (line 11)."""
+    batch_size: int = 20
+    """Mini-batch size ``|I|`` (line 12)."""
+    gamma: float = 0.99
+    gae_lambda: float = 1.0
+    """λ = 1 reproduces the paper's Eq. (18) advantage exactly."""
+
+    def __post_init__(self) -> None:
+        for name in ("num_episodes", "update_interval", "update_epochs", "batch_size"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if not 0.0 <= self.gamma <= 1.0 or not 0.0 <= self.gae_lambda <= 1.0:
+            raise ConfigurationError("gamma and gae_lambda must be in [0, 1]")
+
+
+@dataclass
+class TrainingResult:
+    """Per-episode training traces.
+
+    Attributes:
+        episode_returns: Σ rewards per episode — Fig. 2(a)'s series.
+        episode_best_utilities: episode-end ``U_best`` — Fig. 2(b)'s series.
+        episode_mean_utilities: mean per-round MSP utility per episode.
+        episode_final_prices: deterministic (mode) price after each episode.
+        update_stats: diagnostics of every gradient step.
+    """
+
+    episode_returns: list[float] = field(default_factory=list)
+    episode_best_utilities: list[float] = field(default_factory=list)
+    episode_mean_utilities: list[float] = field(default_factory=list)
+    episode_final_prices: list[float] = field(default_factory=list)
+    update_stats: list[UpdateStats] = field(default_factory=list)
+
+    @property
+    def num_episodes(self) -> int:
+        """Episodes trained."""
+        return len(self.episode_returns)
+
+    def tail_mean_best_utility(self, fraction: float = 0.1) -> float:
+        """Mean episode-best utility over the last ``fraction`` of training
+        (the converged value compared against the Stackelberg optimum)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(len(self.episode_best_utilities) * fraction))
+        return float(np.mean(self.episode_best_utilities[-count:]))
+
+
+class Trainer:
+    """Runs Algorithm 1 against any env following the base protocol."""
+
+    def __init__(
+        self,
+        env,
+        agent: PPOAgent,
+        scaler: ActionScaler,
+        config: TrainerConfig | None = None,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        self.env = env
+        self.agent = agent
+        self.scaler = scaler
+        self.config = config if config is not None else TrainerConfig()
+        self._rng = as_generator(seed)
+        self.buffer = RolloutBuffer(
+            gamma=self.config.gamma, lam=self.config.gae_lambda
+        )
+
+    def _update_from_buffer(self, bootstrap_value: float) -> None:
+        cfg = self.config
+        self.buffer.finalize(bootstrap_value)
+        for _ in range(cfg.update_epochs):
+            batch = self.buffer.sample(cfg.batch_size, seed=self._rng)
+            self.result.update_stats.append(self.agent.update(batch))
+        self.buffer.clear()
+
+    def train(self) -> TrainingResult:
+        """Run the full Algorithm-1 loop; returns the training traces."""
+        cfg = self.config
+        self.result = TrainingResult()
+        for _episode in range(cfg.num_episodes):
+            observation = self.env.reset()
+            self.buffer.clear()
+            episode_return = 0.0
+            utilities: list[float] = []
+            best_utility = float("-inf")
+            done = False
+            round_index = 0
+            while not done:
+                raw_action, log_prob, value = self.agent.act(
+                    observation, seed=self._rng
+                )
+                price = float(self.scaler.to_price(raw_action[0]))
+                next_observation, reward, done, info = self.env.step(price)
+                self.buffer.add(observation, raw_action, reward, log_prob, value)
+                episode_return += reward
+                utilities.append(float(info["msp_utility"]))
+                best_utility = max(best_utility, float(info["best_utility"]))
+                observation = next_observation
+                round_index += 1
+                # Algorithm 1 line 10: update every I rounds (and flush at
+                # episode end so no transition is wasted).
+                if round_index % cfg.update_interval == 0 or done:
+                    bootstrap = 0.0 if done else self.agent.value(observation)
+                    self._update_from_buffer(bootstrap)
+            self.result.episode_returns.append(episode_return)
+            self.result.episode_best_utilities.append(best_utility)
+            self.result.episode_mean_utilities.append(float(np.mean(utilities)))
+            self.result.episode_final_prices.append(self.evaluate_price())
+        return self.result
+
+    def evaluate_price(self) -> float:
+        """The deterministic (distribution-mode) price at the current
+        parameters, evaluated on a fresh observation."""
+        observation = self.env.reset()
+        raw_action, _, _ = self.agent.act(
+            observation, seed=self._rng, deterministic=True
+        )
+        return float(self.scaler.to_price(raw_action[0]))
+
+
+def train_pricing_agent(
+    env,
+    *,
+    trainer_config: TrainerConfig | None = None,
+    ppo_config: PPOConfig | None = None,
+    hidden_sizes: tuple[int, ...] = (64, 64),
+    seed: SeedLike = None,
+) -> tuple[PPOAgent, TrainingResult, ActionScaler]:
+    """Convenience constructor + training run for the pricing POMDP.
+
+    Builds the shared-trunk actor-critic sized to ``env``, trains with
+    Algorithm 1, and returns ``(agent, result, scaler)``.
+    """
+    rng = as_generator(seed)
+    network = ActorCritic(env.observation_dim, hidden_sizes, seed=rng)
+    agent = PPOAgent(network, ppo_config)
+    scaler = ActionScaler(low=env.action_low, high=env.action_high)
+    trainer = Trainer(env, agent, scaler, trainer_config, seed=rng)
+    result = trainer.train()
+    return agent, result, scaler

@@ -1,0 +1,101 @@
+"""Metaverse Service Provider (MSP): the monopolist bandwidth seller.
+
+The MSP manages all RSUs, owns the inter-RSU spectrum (an OFDMA pool of
+``B_max`` bandwidth), and posts the unit price ``p`` that leads the
+Stackelberg game. This entity tracks the ledger of a trading round so
+integration tests can audit revenue = Σ p·b and cost = Σ C·b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.utils.validation import require_in_range, require_non_negative, require_positive
+
+__all__ = ["TradeRecord", "MetaverseServiceProvider"]
+
+
+@dataclass(frozen=True)
+class TradeRecord:
+    """One bandwidth sale: who bought, how much, and at what price."""
+
+    vmu_id: str
+    bandwidth: float
+    unit_price: float
+
+    @property
+    def revenue(self) -> float:
+        """Payment received from the VMU."""
+        return self.bandwidth * self.unit_price
+
+
+@dataclass
+class MetaverseServiceProvider:
+    """The monopolist bandwidth seller.
+
+    Attributes:
+        max_bandwidth: sellable bandwidth ``B_max`` (market units).
+        unit_cost: unit transmission cost ``C``.
+        max_price: price ceiling ``p_max``.
+    """
+
+    max_bandwidth: float = constants.MAX_BANDWIDTH
+    unit_cost: float = constants.UNIT_TRANSMISSION_COST
+    max_price: float = constants.MAX_PRICE
+    _ledger: list[TradeRecord] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive("max_bandwidth", self.max_bandwidth)
+        require_positive("unit_cost", self.unit_cost)
+        require_positive("max_price", self.max_price)
+        if self.unit_cost > self.max_price:
+            raise ValueError(
+                f"unit_cost ({self.unit_cost}) must not exceed "
+                f"max_price ({self.max_price}): no feasible price exists"
+            )
+
+    def validate_price(self, price: float) -> float:
+        """Check ``C <= p <= p_max`` and return the price."""
+        return require_in_range("price", price, self.unit_cost, self.max_price)
+
+    def clamp_price(self, price: float) -> float:
+        """Project an arbitrary proposal onto the feasible ``[C, p_max]``."""
+        return min(max(price, self.unit_cost), self.max_price)
+
+    def record_sale(self, vmu_id: str, bandwidth: float, unit_price: float) -> TradeRecord:
+        """Append a sale to the ledger."""
+        require_non_negative("bandwidth", bandwidth)
+        self.validate_price(unit_price)
+        record = TradeRecord(vmu_id=vmu_id, bandwidth=bandwidth, unit_price=unit_price)
+        self._ledger.append(record)
+        return record
+
+    def clear_ledger(self) -> None:
+        """Forget recorded sales (new trading round)."""
+        self._ledger.clear()
+
+    @property
+    def ledger(self) -> tuple[TradeRecord, ...]:
+        """Immutable view of recorded sales."""
+        return tuple(self._ledger)
+
+    @property
+    def total_bandwidth_sold(self) -> float:
+        """Σ b over the ledger."""
+        return sum(record.bandwidth for record in self._ledger)
+
+    @property
+    def total_revenue(self) -> float:
+        """Σ p·b over the ledger."""
+        return sum(record.revenue for record in self._ledger)
+
+    @property
+    def total_cost(self) -> float:
+        """Σ C·b over the ledger."""
+        return self.unit_cost * self.total_bandwidth_sold
+
+    @property
+    def profit(self) -> float:
+        """Σ (p − C)·b — the MSP utility of Eq. (4) over the ledger."""
+        return self.total_revenue - self.total_cost

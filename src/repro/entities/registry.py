@@ -1,0 +1,117 @@
+"""A world registry binding VMUs, VTs, and RSUs together.
+
+The numerical game only needs :class:`~repro.entities.vmu.VmuProfile`
+lists, but the end-to-end examples (mobility -> handover -> migration)
+need a coherent world where each VMU has exactly one VT hosted on exactly
+one RSU. The registry enforces those invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.entities.rsu import RoadsideUnit
+from repro.entities.vmu import VmuProfile
+from repro.entities.vt import VehicularTwin, VtPayload
+from repro.errors import ConfigurationError
+
+__all__ = ["World"]
+
+
+@dataclass
+class World:
+    """Container for one scenario's entities with identity invariants."""
+
+    vmus: dict[str, VmuProfile] = field(default_factory=dict)
+    twins: dict[str, VehicularTwin] = field(default_factory=dict)
+    rsus: dict[str, RoadsideUnit] = field(default_factory=dict)
+
+    def add_rsu(self, rsu: RoadsideUnit) -> RoadsideUnit:
+        """Register an RSU; ids must be unique."""
+        if rsu.rsu_id in self.rsus:
+            raise ConfigurationError(f"duplicate RSU id {rsu.rsu_id!r}")
+        self.rsus[rsu.rsu_id] = rsu
+        return rsu
+
+    def add_vmu(self, vmu: VmuProfile, *, host_rsu_id: str | None = None,
+                dirty_rate_mb_s: float = 0.0) -> VehicularTwin:
+        """Register a VMU and create its twin, optionally hosting it."""
+        if vmu.vmu_id in self.vmus:
+            raise ConfigurationError(f"duplicate VMU id {vmu.vmu_id!r}")
+        self.vmus[vmu.vmu_id] = vmu
+        twin = VehicularTwin(
+            vt_id=f"vt:{vmu.vmu_id}",
+            vmu_id=vmu.vmu_id,
+            payload=VtPayload.with_total(vmu.data_size_mb),
+            dirty_rate_mb_s=dirty_rate_mb_s,
+        )
+        self.twins[twin.vt_id] = twin
+        if host_rsu_id is not None:
+            self.host_twin(twin.vt_id, host_rsu_id)
+        return twin
+
+    def twin_of(self, vmu_id: str) -> VehicularTwin:
+        """The twin belonging to ``vmu_id``."""
+        vt_id = f"vt:{vmu_id}"
+        if vt_id not in self.twins:
+            raise ConfigurationError(f"no twin registered for VMU {vmu_id!r}")
+        return self.twins[vt_id]
+
+    def host_twin(self, vt_id: str, rsu_id: str) -> None:
+        """Place a twin on an RSU's edge server (initial deployment)."""
+        twin = self._twin(vt_id)
+        rsu = self._rsu(rsu_id)
+        if twin.host_rsu_id is not None:
+            raise ConfigurationError(
+                f"{vt_id!r} already hosted on {twin.host_rsu_id!r}; "
+                "use migrate_twin"
+            )
+        rsu.host(vt_id, twin.data_size_mb)
+        twin.host_rsu_id = rsu_id
+
+    def migrate_twin(self, vt_id: str, destination_rsu_id: str) -> None:
+        """Atomically move a twin between RSUs (bookkeeping of a completed
+        migration; the timing is the migration substrate's job)."""
+        twin = self._twin(vt_id)
+        if twin.host_rsu_id is None:
+            raise ConfigurationError(f"{vt_id!r} is not hosted anywhere")
+        if twin.host_rsu_id == destination_rsu_id:
+            raise ConfigurationError(
+                f"{vt_id!r} already hosted on {destination_rsu_id!r}"
+            )
+        source = self._rsu(twin.host_rsu_id)
+        destination = self._rsu(destination_rsu_id)
+        destination.host(vt_id, twin.data_size_mb)
+        source.unhost(vt_id, twin.data_size_mb)
+        twin.record_migration(destination_rsu_id)
+
+    def check_invariants(self) -> None:
+        """Raise if any identity/hosting invariant is violated."""
+        for vt_id, twin in self.twins.items():
+            if twin.vmu_id not in self.vmus:
+                raise ConfigurationError(f"{vt_id!r} references unknown VMU")
+            if twin.host_rsu_id is not None:
+                rsu = self._rsu(twin.host_rsu_id)
+                if vt_id not in rsu.hosted_vt_ids:
+                    raise ConfigurationError(
+                        f"{vt_id!r} claims host {twin.host_rsu_id!r} but the "
+                        "RSU does not list it"
+                    )
+        for rsu in self.rsus.values():
+            for vt_id in rsu.hosted_vt_ids:
+                twin = self._twin(vt_id)
+                if twin.host_rsu_id != rsu.rsu_id:
+                    raise ConfigurationError(
+                        f"{rsu.rsu_id!r} lists {vt_id!r} but the twin points "
+                        f"at {twin.host_rsu_id!r}"
+                    )
+
+    def _twin(self, vt_id: str) -> VehicularTwin:
+        if vt_id not in self.twins:
+            raise ConfigurationError(f"unknown twin {vt_id!r}")
+        return self.twins[vt_id]
+
+    def _rsu(self, rsu_id: str) -> RoadsideUnit:
+        if rsu_id not in self.rsus:
+            raise ConfigurationError(f"unknown RSU {rsu_id!r}")
+        return self.rsus[rsu_id]

@@ -1,0 +1,121 @@
+"""RoadSide Unit (RSU) and edge-server resource model.
+
+RSUs host VTs on their edge servers and have a finite radio coverage
+radius. The mobility substrate uses coverage to detect handovers; the
+migration substrate uses the edge server's resource accounting to check a
+destination RSU can actually admit an incoming twin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import MigrationError
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["EdgeServer", "RoadsideUnit"]
+
+
+@dataclass
+class EdgeServer:
+    """Finite-capacity compute/storage attached to an RSU.
+
+    Attributes:
+        storage_mb: total VT storage capacity.
+        compute_units: abstract rendering-compute capacity.
+    """
+
+    storage_mb: float
+    compute_units: float
+    _used_storage_mb: float = field(default=0.0, repr=False)
+    _used_compute: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        require_positive("storage_mb", self.storage_mb)
+        require_positive("compute_units", self.compute_units)
+
+    @property
+    def free_storage_mb(self) -> float:
+        """Unused storage."""
+        return self.storage_mb - self._used_storage_mb
+
+    @property
+    def free_compute(self) -> float:
+        """Unused compute."""
+        return self.compute_units - self._used_compute
+
+    def admit(self, storage_mb: float, compute: float = 1.0) -> None:
+        """Reserve resources for an incoming VT.
+
+        Raises:
+            MigrationError: if either resource would be oversubscribed.
+        """
+        require_non_negative("storage_mb", storage_mb)
+        require_non_negative("compute", compute)
+        if storage_mb > self.free_storage_mb + 1e-12:
+            raise MigrationError(
+                f"edge server storage exhausted: need {storage_mb} MB, "
+                f"free {self.free_storage_mb} MB"
+            )
+        if compute > self.free_compute + 1e-12:
+            raise MigrationError(
+                f"edge server compute exhausted: need {compute}, "
+                f"free {self.free_compute}"
+            )
+        self._used_storage_mb += storage_mb
+        self._used_compute += compute
+
+    def evict(self, storage_mb: float, compute: float = 1.0) -> None:
+        """Release resources held by a departing VT."""
+        require_non_negative("storage_mb", storage_mb)
+        require_non_negative("compute", compute)
+        self._used_storage_mb = max(0.0, self._used_storage_mb - storage_mb)
+        self._used_compute = max(0.0, self._used_compute - compute)
+
+
+@dataclass
+class RoadsideUnit:
+    """An RSU: position, coverage, and an attached edge server.
+
+    Attributes:
+        rsu_id: unique identifier.
+        position_m: (x, y) position in metres.
+        coverage_radius_m: radio coverage radius.
+        edge: the attached edge server.
+    """
+
+    rsu_id: str
+    position_m: tuple[float, float]
+    coverage_radius_m: float
+    edge: EdgeServer = field(
+        default_factory=lambda: EdgeServer(storage_mb=16_384.0, compute_units=64.0)
+    )
+    hosted_vt_ids: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        require_positive("coverage_radius_m", self.coverage_radius_m)
+
+    def distance_to(self, point_m: tuple[float, float]) -> float:
+        """Euclidean distance from the RSU to ``point_m``."""
+        dx = self.position_m[0] - point_m[0]
+        dy = self.position_m[1] - point_m[1]
+        return math.hypot(dx, dy)
+
+    def covers(self, point_m: tuple[float, float]) -> bool:
+        """Whether ``point_m`` lies inside this RSU's coverage disc."""
+        return self.distance_to(point_m) <= self.coverage_radius_m
+
+    def host(self, vt_id: str, storage_mb: float) -> None:
+        """Admit a VT onto the edge server and record the hosting."""
+        if vt_id in self.hosted_vt_ids:
+            raise MigrationError(f"{vt_id!r} already hosted on {self.rsu_id!r}")
+        self.edge.admit(storage_mb)
+        self.hosted_vt_ids.add(vt_id)
+
+    def unhost(self, vt_id: str, storage_mb: float) -> None:
+        """Release a VT from the edge server."""
+        if vt_id not in self.hosted_vt_ids:
+            raise MigrationError(f"{vt_id!r} not hosted on {self.rsu_id!r}")
+        self.edge.evict(storage_mb)
+        self.hosted_vt_ids.discard(vt_id)

@@ -1,0 +1,143 @@
+"""Vehicular Twin (VT) payload model.
+
+A VT is the digital replica of a vehicle/VMU deployed on an RSU edge server.
+Per the paper (Sec. III-A), the migrated VT data ``D_n`` comprises system
+configuration (CPU/GPU state), historical memory data, and real-time VMU
+state, and is transmitted *in blocks* during migration. This module models
+that composition so the migration substrate can do block-level transfer and
+pre-copy dirty-memory iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["VtPayload", "VtBlock", "VehicularTwin"]
+
+
+@dataclass(frozen=True)
+class VtPayload:
+    """Composition of a VT's migratable state, in megabytes.
+
+    Attributes:
+        config_mb: system configuration (CPU/GPU/device model) snapshot.
+        memory_mb: historical memory data (the bulk; dirtied during pre-copy).
+        realtime_mb: real-time VMU state (pose, sensor fusion outputs).
+    """
+
+    config_mb: float
+    memory_mb: float
+    realtime_mb: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("config_mb", self.config_mb)
+        require_non_negative("memory_mb", self.memory_mb)
+        require_non_negative("realtime_mb", self.realtime_mb)
+
+    @property
+    def total_mb(self) -> float:
+        """Total migratable size ``D_n`` in MB."""
+        return self.config_mb + self.memory_mb + self.realtime_mb
+
+    @staticmethod
+    def with_total(total_mb: float, *, memory_fraction: float = 0.8,
+                   config_fraction: float = 0.1) -> "VtPayload":
+        """Split a total size into the three components.
+
+        Defaults put 80% in memory, 10% in config, remainder in real-time
+        state — representative of live-VM images where memory dominates.
+        """
+        require_positive("total_mb", total_mb)
+        if not 0.0 <= memory_fraction + config_fraction <= 1.0:
+            raise ValueError(
+                "memory_fraction + config_fraction must be in [0, 1], got "
+                f"{memory_fraction + config_fraction}"
+            )
+        memory = total_mb * memory_fraction
+        config = total_mb * config_fraction
+        realtime = total_mb - memory - config
+        return VtPayload(config_mb=config, memory_mb=memory, realtime_mb=realtime)
+
+
+@dataclass(frozen=True)
+class VtBlock:
+    """One transmission block of a VT migration.
+
+    Attributes:
+        sequence: 0-based position in the migration stream.
+        size_mb: block size in MB.
+        kind: which payload component the block belongs to.
+    """
+
+    sequence: int
+    size_mb: float
+    kind: str
+
+    def __post_init__(self) -> None:
+        require_non_negative("size_mb", self.size_mb)
+        if self.sequence < 0:
+            raise ValueError(f"sequence must be >= 0, got {self.sequence}")
+
+
+@dataclass
+class VehicularTwin:
+    """A VT instance: identity, payload, and current host RSU.
+
+    Attributes:
+        vt_id: unique identifier.
+        vmu_id: the VMU this twin mirrors.
+        payload: migratable state composition.
+        host_rsu_id: id of the RSU currently hosting this twin (None if
+            not yet deployed).
+        dirty_rate_mb_s: rate at which memory is re-dirtied while the twin
+            keeps serving during live migration (drives pre-copy rounds).
+    """
+
+    vt_id: str
+    vmu_id: str
+    payload: VtPayload
+    host_rsu_id: str | None = None
+    dirty_rate_mb_s: float = 0.0
+    _migration_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        require_non_negative("dirty_rate_mb_s", self.dirty_rate_mb_s)
+
+    @property
+    def data_size_mb(self) -> float:
+        """Total migratable size ``D_n`` in MB."""
+        return self.payload.total_mb
+
+    @property
+    def migration_count(self) -> int:
+        """How many times this twin has been migrated."""
+        return self._migration_count
+
+    def blocks(self, block_size_mb: float) -> list[VtBlock]:
+        """Split the payload into transmission blocks of ``block_size_mb``.
+
+        Blocks are emitted config -> memory -> realtime; the final block of
+        each component may be smaller. Total block size equals the payload.
+        """
+        require_positive("block_size_mb", block_size_mb)
+        blocks: list[VtBlock] = []
+        sequence = 0
+        for kind, size in (
+            ("config", self.payload.config_mb),
+            ("memory", self.payload.memory_mb),
+            ("realtime", self.payload.realtime_mb),
+        ):
+            remaining = size
+            while remaining > 0.0:
+                chunk = min(block_size_mb, remaining)
+                blocks.append(VtBlock(sequence=sequence, size_mb=chunk, kind=kind))
+                sequence += 1
+                remaining -= chunk
+        return blocks
+
+    def record_migration(self, new_host_rsu_id: str) -> None:
+        """Move the twin to a new host RSU (bookkeeping only)."""
+        self.host_rsu_id = new_host_rsu_id
+        self._migration_count += 1

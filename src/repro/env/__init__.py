@@ -1,0 +1,17 @@
+"""POMDP environments for the pricing game and composable wrappers."""
+
+from repro.env.base import Environment, StepResult
+from repro.env.migration_game import MigrationGameEnv
+from repro.env.nonstationary import ChurnConfig, ChurningMigrationEnv
+from repro.env.wrappers import EpisodeStats, NormalizeObservation, RunningMeanStd
+
+__all__ = [
+    "Environment",
+    "StepResult",
+    "MigrationGameEnv",
+    "ChurnConfig",
+    "ChurningMigrationEnv",
+    "EpisodeStats",
+    "NormalizeObservation",
+    "RunningMeanStd",
+]

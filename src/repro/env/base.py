@@ -1,0 +1,36 @@
+"""Minimal environment API (gym-style) used by the DRL stack.
+
+A deliberately small protocol: ``reset() -> observation`` and
+``step(action) -> (observation, reward, done, info)``. The trainer and
+wrappers only rely on this surface, so any POMDP formulation of the pricing
+game (or a user's custom market) plugs in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Environment", "StepResult"]
+
+StepResult = tuple[np.ndarray, float, bool, dict[str, Any]]
+"""(observation, reward, done, info)."""
+
+
+@runtime_checkable
+class Environment(Protocol):
+    """Gym-style episodic environment with a 1-D continuous action."""
+
+    @property
+    def observation_dim(self) -> int:
+        """Width of the observation vector."""
+        ...
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        ...
+
+    def step(self, action: float) -> StepResult:
+        """Advance one round with the given action."""
+        ...

@@ -1,0 +1,178 @@
+"""The VT-migration pricing POMDP (paper Sec. IV-A).
+
+State (Sec. IV-A1): ``S_k = {p_k, b_k}`` — the current price and demand
+vector. Observation (Eq. 11): the last ``L`` rounds of (price, demands),
+``o_k = {p_{k-L}, b_{k-L}, ..., p_{k-1}, b_{k-1}}``, randomly initialised
+while ``k < L``. Action: the price ``p_k ∈ [C, p_max]``. Reward (Eq. 12):
+binary — 1 iff the MSP's round utility reaches a new episode best.
+
+Observations are normalised (prices by ``p_max``, demands by natural
+capacity) so the 64-unit tanh trunk sees O(1) inputs; the ``info`` dict
+carries the raw round quantities for logging and evaluation.
+
+``reward_mode``:
+- ``"paper"`` — Eq. (12) exactly;
+- ``"utility"`` — the MSP's round utility scaled to O(1); a shaped
+  alternative used by the ablation experiment (E7 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.errors import EnvironmentError_
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["MigrationGameEnv"]
+
+_REWARD_MODES = ("paper", "utility")
+
+
+class MigrationGameEnv:
+    """POMDP wrapper around a :class:`StackelbergMarket`."""
+
+    def __init__(
+        self,
+        market: StackelbergMarket,
+        *,
+        history_length: int = 4,
+        rounds_per_episode: int = 100,
+        reward_mode: str = "paper",
+        reward_tolerance: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> None:
+        if history_length < 1:
+            raise EnvironmentError_(
+                f"history_length must be >= 1, got {history_length}"
+            )
+        if rounds_per_episode < 1:
+            raise EnvironmentError_(
+                f"rounds_per_episode must be >= 1, got {rounds_per_episode}"
+            )
+        if reward_mode not in _REWARD_MODES:
+            raise EnvironmentError_(
+                f"reward_mode must be one of {_REWARD_MODES}, got {reward_mode!r}"
+            )
+        if reward_tolerance < 0.0:
+            raise EnvironmentError_(
+                f"reward_tolerance must be >= 0, got {reward_tolerance}"
+            )
+        self.market = market
+        self.history_length = history_length
+        self.rounds_per_episode = rounds_per_episode
+        self.reward_mode = reward_mode
+        self.reward_tolerance = float(reward_tolerance)
+        self._rng = as_generator(seed)
+        self._history: deque[np.ndarray] = deque(maxlen=history_length)
+        self._round = 0
+        self._best_utility = float("-inf")
+        self._started = False
+        # O(1) scale for the shaped reward: profit of selling the full
+        # capacity at the maximum margin.
+        config = market.config
+        self._utility_scale = (
+            (config.max_price - config.unit_cost) * config.capacity_natural
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def observation_dim(self) -> int:
+        """L · (1 + N): price plus one demand entry per VMU, per round."""
+        return self.history_length * (1 + self.market.num_vmus)
+
+    @property
+    def action_low(self) -> float:
+        """Lower price bound ``C``."""
+        return self.market.config.unit_cost
+
+    @property
+    def action_high(self) -> float:
+        """Upper price bound ``p_max``."""
+        return self.market.config.max_price
+
+    @property
+    def round_index(self) -> int:
+        """Current round ``k`` within the episode."""
+        return self._round
+
+    @property
+    def best_utility(self) -> float:
+        """Episode-best MSP utility ``U^k_best`` so far."""
+        return self._best_utility
+
+    # ------------------------------------------------------------------ #
+    def _normalise_entry(self, price: float, demands: np.ndarray) -> np.ndarray:
+        config = self.market.config
+        scaled_price = price / config.max_price
+        scaled_demands = demands / config.capacity_natural
+        return np.concatenate(([scaled_price], scaled_demands))
+
+    def _observation(self) -> np.ndarray:
+        return np.concatenate(list(self._history))
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode with a randomly initialised history
+        (the paper: ``p_{k-L}, b_{k-L}`` generated randomly when k < L)."""
+        config = self.market.config
+        self._history.clear()
+        for _ in range(self.history_length):
+            price = float(
+                self._rng.uniform(config.unit_cost, config.max_price)
+            )
+            demands = self.market.allocate(price)
+            self._history.append(self._normalise_entry(price, demands))
+        self._round = 0
+        self._best_utility = float("-inf")
+        self._started = True
+        return self._observation()
+
+    def step(self, action: float) -> tuple[np.ndarray, float, bool, dict[str, Any]]:
+        """Play one pricing round.
+
+        The action is clamped to ``[C, p_max]`` (the policy's feasible
+        action space, Sec. IV-A2). Returns the next observation, the
+        Eq.-12 (or shaped) reward, the episode-done flag, and an info dict
+        with the raw round outcome.
+        """
+        if not self._started:
+            raise EnvironmentError_("call reset() before step()")
+        if self._round >= self.rounds_per_episode:
+            raise EnvironmentError_(
+                "episode already finished; call reset() to start a new one"
+            )
+        price = float(np.clip(action, self.action_low, self.action_high))
+        outcome = self.market.round_outcome(price)
+        utility = outcome.msp_utility
+
+        if self.reward_mode == "paper":
+            # Eq. (12) with an equality tolerance: utilities are continuous,
+            # so exact ">= best" can never be re-attained under exploration
+            # noise; the tolerance (relative to the utility scale) lets a
+            # converged policy collect reward every round, which is what
+            # makes the episode return converge to K as in Fig. 2(a).
+            slack = self.reward_tolerance * self._utility_scale
+            reward = 1.0 if utility >= self._best_utility - slack else 0.0
+        else:
+            reward = utility / self._utility_scale
+        if utility >= self._best_utility:
+            self._best_utility = utility
+
+        self._history.append(self._normalise_entry(price, outcome.allocations))
+        self._round += 1
+        done = self._round >= self.rounds_per_episode
+        info: dict[str, Any] = {
+            "price": price,
+            "raw_action": float(action),
+            "msp_utility": utility,
+            "best_utility": self._best_utility,
+            "demands": outcome.demands.copy(),
+            "allocations": outcome.allocations.copy(),
+            "vmu_utilities": outcome.vmu_utilities.copy(),
+            "capacity_binding": outcome.capacity_binding,
+            "round": self._round,
+        }
+        return self._observation(), reward, done, info

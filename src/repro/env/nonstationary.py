@@ -1,0 +1,195 @@
+"""Non-stationary pricing POMDP: the VMU population churns over time.
+
+The base environment's followers are fixed, which makes the game a
+contextual bandit — the MSP never actually needs the L-round history of
+Eq. (11). This variant makes the history *matter*: vehicles enter and
+leave RSU coverage (a two-state Markov chain per VMU), so the demand
+curve the MSP faces drifts between rounds. The recent (price, demand)
+history is then genuinely informative about the currently active
+population, which is exactly the situation the paper's observation design
+anticipates.
+
+Used by the E8 history-length ablation's non-stationary companion and as
+a harder benchmark for the PPO agent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.errors import EnvironmentError_
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_probability
+
+__all__ = ["ChurnConfig", "ChurningMigrationEnv"]
+
+
+class ChurnConfig:
+    """Two-state (present/absent) Markov churn per VMU.
+
+    Attributes:
+        leave_probability: P(present -> absent) per round.
+        return_probability: P(absent -> present) per round.
+        min_active: rounds never drop below this many active VMUs
+            (re-activating uniformly at random if churn would).
+    """
+
+    def __init__(
+        self,
+        leave_probability: float = 0.05,
+        return_probability: float = 0.2,
+        min_active: int = 1,
+    ) -> None:
+        require_probability("leave_probability", leave_probability)
+        require_probability("return_probability", return_probability)
+        if min_active < 1:
+            raise EnvironmentError_(f"min_active must be >= 1, got {min_active}")
+        self.leave_probability = float(leave_probability)
+        self.return_probability = float(return_probability)
+        self.min_active = int(min_active)
+
+    @property
+    def stationary_presence(self) -> float:
+        """Long-run fraction of time a VMU is present."""
+        denom = self.leave_probability + self.return_probability
+        if denom == 0.0:
+            return 1.0
+        return self.return_probability / denom
+
+
+class ChurningMigrationEnv:
+    """Pricing POMDP over a churning VMU population.
+
+    Observations have the same layout as :class:`MigrationGameEnv`
+    (L rounds of normalised (price, demand vector), demand entries of
+    absent VMUs are 0), so the same agent architecture plugs in.
+    """
+
+    def __init__(
+        self,
+        market: StackelbergMarket,
+        *,
+        churn: ChurnConfig | None = None,
+        history_length: int = 4,
+        rounds_per_episode: int = 100,
+        seed: SeedLike = None,
+    ) -> None:
+        if history_length < 1:
+            raise EnvironmentError_(
+                f"history_length must be >= 1, got {history_length}"
+            )
+        if rounds_per_episode < 1:
+            raise EnvironmentError_(
+                f"rounds_per_episode must be >= 1, got {rounds_per_episode}"
+            )
+        self.market = market
+        self.churn = churn if churn is not None else ChurnConfig()
+        if self.churn.min_active > market.num_vmus:
+            raise EnvironmentError_(
+                f"min_active ({self.churn.min_active}) exceeds population "
+                f"({market.num_vmus})"
+            )
+        self.history_length = history_length
+        self.rounds_per_episode = rounds_per_episode
+        self._rng = as_generator(seed)
+        self._history: deque[np.ndarray] = deque(maxlen=history_length)
+        self._active = np.ones(market.num_vmus, dtype=bool)
+        self._round = 0
+        self._started = False
+        config = market.config
+        self._utility_scale = (
+            (config.max_price - config.unit_cost) * config.capacity_natural
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def observation_dim(self) -> int:
+        """Same layout as the stationary env: L · (1 + N)."""
+        return self.history_length * (1 + self.market.num_vmus)
+
+    @property
+    def action_low(self) -> float:
+        """Lower price bound ``C``."""
+        return self.market.config.unit_cost
+
+    @property
+    def action_high(self) -> float:
+        """Upper price bound ``p_max``."""
+        return self.market.config.max_price
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of currently present VMUs (copy)."""
+        return self._active.copy()
+
+    # ------------------------------------------------------------------ #
+    def _step_churn(self) -> None:
+        present = self._active
+        leave = self._rng.uniform(size=present.shape) < self.churn.leave_probability
+        arrive = (
+            self._rng.uniform(size=present.shape) < self.churn.return_probability
+        )
+        self._active = np.where(present, ~leave, arrive)
+        while self._active.sum() < self.churn.min_active:
+            absent = np.flatnonzero(~self._active)
+            self._active[self._rng.choice(absent)] = True
+
+    def _masked_allocations(self, price: float) -> np.ndarray:
+        """Best responses of the active VMUs only, with B_max rationing."""
+        from repro.channel.ofdma import proportional_rationing
+
+        demands = self.market.best_response(price) * self._active
+        if not self.market.config.enforce_capacity:
+            return demands
+        granted = proportional_rationing(
+            demands.tolist(), self.market.config.capacity_natural
+        )
+        return np.asarray(granted)
+
+    def _entry(self, price: float, allocations: np.ndarray) -> np.ndarray:
+        config = self.market.config
+        return np.concatenate(
+            ([price / config.max_price], allocations / config.capacity_natural)
+        )
+
+    def reset(self) -> np.ndarray:
+        """Start an episode with every VMU present and a random history."""
+        self._active = np.ones(self.market.num_vmus, dtype=bool)
+        self._history.clear()
+        config = self.market.config
+        for _ in range(self.history_length):
+            price = float(self._rng.uniform(config.unit_cost, config.max_price))
+            self._history.append(self._entry(price, self._masked_allocations(price)))
+        self._round = 0
+        self._started = True
+        return np.concatenate(list(self._history))
+
+    def step(self, action: float) -> tuple[np.ndarray, float, bool, dict[str, Any]]:
+        """Churn the population, then clear one pricing round."""
+        if not self._started:
+            raise EnvironmentError_("call reset() before step()")
+        if self._round >= self.rounds_per_episode:
+            raise EnvironmentError_("episode finished; call reset()")
+        self._step_churn()
+        price = float(np.clip(action, self.action_low, self.action_high))
+        allocations = self._masked_allocations(price)
+        utility = float(
+            (price - self.market.config.unit_cost) * allocations.sum()
+        )
+        reward = utility / self._utility_scale
+        self._history.append(self._entry(price, allocations))
+        self._round += 1
+        done = self._round >= self.rounds_per_episode
+        info: dict[str, Any] = {
+            "price": price,
+            "msp_utility": utility,
+            "best_utility": utility,  # shaped reward; kept for API parity
+            "allocations": allocations.copy(),
+            "active_count": int(self._active.sum()),
+            "round": self._round,
+        }
+        return np.concatenate(list(self._history)), reward, done, info

@@ -1,0 +1,138 @@
+"""Environment wrappers: running observation normalisation and episode stats.
+
+Wrappers preserve the :class:`repro.env.base.Environment` protocol so they
+compose: ``EpisodeStats(NormalizeObservation(env))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import EnvironmentError_
+
+__all__ = ["RunningMeanStd", "NormalizeObservation", "EpisodeStats"]
+
+
+class RunningMeanStd:
+    """Numerically stable running mean/variance (Welford/parallel update)."""
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.mean = np.zeros(shape)
+        self.var = np.ones(shape)
+        self.count = 1e-4
+
+    def update(self, batch: np.ndarray) -> None:
+        """Fold a batch of rows into the running statistics."""
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        self.mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta**2 * self.count * batch_count / total
+        self.var = m2 / total
+        self.count = total
+
+    def normalize(self, value: np.ndarray, *, clip: float = 10.0) -> np.ndarray:
+        """Standardise ``value`` by the running statistics and clip."""
+        return np.clip(
+            (value - self.mean) / np.sqrt(self.var + 1e-8), -clip, clip
+        )
+
+
+class NormalizeObservation:
+    """Standardises observations with running statistics.
+
+    The migration env already emits O(1) observations; this wrapper is for
+    ablations and for plugging in custom markets whose scales differ.
+    """
+
+    def __init__(self, env: Any, *, clip: float = 10.0) -> None:
+        self.env = env
+        self.clip = float(clip)
+        self.stats = RunningMeanStd((env.observation_dim,))
+
+    @property
+    def observation_dim(self) -> int:
+        """Width of the observation vector (unchanged)."""
+        return self.env.observation_dim
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.env, name)
+
+    def reset(self) -> np.ndarray:
+        obs = self.env.reset()
+        self.stats.update(obs)
+        return self.stats.normalize(obs, clip=self.clip)
+
+    def step(self, action: float):
+        obs, reward, done, info = self.env.step(action)
+        self.stats.update(obs)
+        return self.stats.normalize(obs, clip=self.clip), reward, done, info
+
+
+@dataclass
+class EpisodeRecord:
+    """Summary of one finished episode."""
+
+    total_reward: float
+    length: int
+    mean_msp_utility: float
+    final_best_utility: float
+
+
+@dataclass
+class EpisodeStats:
+    """Wrapper accumulating per-episode reward/utility summaries."""
+
+    env: Any
+    episodes: list[EpisodeRecord] = field(default_factory=list)
+    _reward_sum: float = 0.0
+    _length: int = 0
+    _utility_sum: float = 0.0
+    _best: float = float("-inf")
+    _open: bool = False
+
+    @property
+    def observation_dim(self) -> int:
+        """Width of the observation vector (unchanged)."""
+        return self.env.observation_dim
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.env, name)
+
+    def reset(self) -> np.ndarray:
+        self._reward_sum = 0.0
+        self._length = 0
+        self._utility_sum = 0.0
+        self._best = float("-inf")
+        self._open = True
+        return self.env.reset()
+
+    def step(self, action: float):
+        if not self._open:
+            raise EnvironmentError_("call reset() before step()")
+        obs, reward, done, info = self.env.step(action)
+        self._reward_sum += reward
+        self._length += 1
+        self._utility_sum += float(info.get("msp_utility", 0.0))
+        self._best = max(self._best, float(info.get("best_utility", self._best)))
+        if done:
+            self.episodes.append(
+                EpisodeRecord(
+                    total_reward=self._reward_sum,
+                    length=self._length,
+                    mean_msp_utility=self._utility_sum / max(1, self._length),
+                    final_best_utility=self._best,
+                )
+            )
+            self._open = False
+        return obs, reward, done, info

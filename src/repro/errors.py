@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch a single base class. Sub-classes are grouped by
+subsystem so callers can be selective without string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class UnitError(ConfigurationError):
+    """A quantity was supplied in the wrong unit or with an invalid value."""
+
+
+class ChannelError(ReproError):
+    """The wireless-channel substrate was asked to do something impossible."""
+
+
+class AllocationError(ChannelError):
+    """OFDMA subchannel allocation could not satisfy a request."""
+
+
+class GameError(ReproError):
+    """A game-theoretic computation failed (no equilibrium, empty market...)."""
+
+
+class InfeasibleMarketError(GameError):
+    """No price in ``[C, p_max]`` induces positive demand from any follower."""
+
+
+class MigrationError(ReproError):
+    """The live-migration substrate hit an invalid state."""
+
+
+class MobilityError(ReproError):
+    """The mobility substrate hit an invalid state (off-road position...)."""
+
+
+class NeuralNetworkError(ReproError):
+    """An invalid operation on the autograd/neural-network substrate."""
+
+
+class GradientError(NeuralNetworkError):
+    """Backward pass requested on a graph that cannot provide gradients."""
+
+
+class EnvironmentError_(ReproError):
+    """The RL environment was driven through an invalid transition.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`EnvironmentError` alias of :class:`OSError`.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced invalid output."""

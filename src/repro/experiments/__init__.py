@@ -1,0 +1,55 @@
+"""Experiment harness: one runner per paper figure plus ablations."""
+
+from repro.experiments.ablations import (
+    HistoryAblationResult,
+    RewardAblationResult,
+    run_history_ablation,
+    run_reward_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3_cost import CostSweepResult, run_fig3_cost
+from repro.experiments.fig3_vmus import VmuSweepResult, run_fig3_vmus
+from repro.experiments.multiseed import MultiSeedResult, run_multiseed_comparison
+from repro.experiments.robustness import (
+    DistanceSweepResult,
+    FadingSweepResult,
+    PopulationSweepResult,
+    run_distance_sweep,
+    run_fading_sweep,
+    run_population_sweep,
+)
+from repro.experiments.runner import (
+    PolicyEvaluation,
+    TrainedPricing,
+    compare_schemes,
+    evaluate_policy,
+    train_drl,
+)
+
+__all__ = [
+    "HistoryAblationResult",
+    "RewardAblationResult",
+    "run_history_ablation",
+    "run_reward_ablation",
+    "ExperimentConfig",
+    "Fig2Result",
+    "run_fig2",
+    "CostSweepResult",
+    "run_fig3_cost",
+    "VmuSweepResult",
+    "run_fig3_vmus",
+    "MultiSeedResult",
+    "run_multiseed_comparison",
+    "DistanceSweepResult",
+    "FadingSweepResult",
+    "PopulationSweepResult",
+    "run_distance_sweep",
+    "run_fading_sweep",
+    "run_population_sweep",
+    "PolicyEvaluation",
+    "TrainedPricing",
+    "compare_schemes",
+    "evaluate_policy",
+    "train_drl",
+]

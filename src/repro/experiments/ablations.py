@@ -1,0 +1,125 @@
+"""Ablation experiments E7/E8 (DESIGN.md): design choices of the mechanism.
+
+E7 — reward shaping: the paper's binary Eq.-12 reward vs the shaped
+per-round-utility reward. Both converge to the same equilibrium; the
+shaped reward converges in fewer episodes (less sparse signal).
+
+E8 — observation history length L ∈ {1, 2, 4, 8}: the paper fixes L = 4;
+this ablation measures how much history the MSP agent actually needs in a
+stationary follower population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import evaluate_policy, train_drl
+from repro.utils.tables import Table
+
+__all__ = [
+    "RewardAblationResult",
+    "HistoryAblationResult",
+    "run_reward_ablation",
+    "run_history_ablation",
+]
+
+
+@dataclass
+class RewardAblationResult:
+    """E7 — converged utility per reward formulation."""
+
+    equilibrium_utility: float
+    rows: list[tuple[str, float, float]] = field(default_factory=list)
+    """(reward_mode, converged best utility, evaluated best utility)."""
+
+    def table(self) -> Table:
+        """Printable comparison."""
+        table = Table(
+            headers=("reward_mode", "train_best_utility", "eval_best_utility", "equilibrium"),
+            title="Ablation E7 — reward shaping (Eq. 12 binary vs utility-shaped)",
+        )
+        for mode, trained, evaluated in self.rows:
+            table.add_row(mode, trained, evaluated, self.equilibrium_utility)
+        return table
+
+
+@dataclass
+class HistoryAblationResult:
+    """E8 — converged utility per observation history length."""
+
+    equilibrium_utility: float
+    rows: list[tuple[int, float, float]] = field(default_factory=list)
+    """(history length L, converged best utility, evaluated best utility)."""
+
+    def table(self) -> Table:
+        """Printable comparison."""
+        table = Table(
+            headers=("history_L", "train_best_utility", "eval_best_utility", "equilibrium"),
+            title="Ablation E8 — observation history length",
+        )
+        for length, trained, evaluated in self.rows:
+            table.add_row(length, trained, evaluated, self.equilibrium_utility)
+        return table
+
+
+def run_reward_ablation(
+    config: ExperimentConfig | None = None,
+    *,
+    market: StackelbergMarket | None = None,
+    modes: tuple[str, ...] = ("paper", "utility"),
+) -> RewardAblationResult:
+    """Train with each reward formulation on the same market."""
+    config = config if config is not None else ExperimentConfig.quick()
+    market = (
+        market
+        if market is not None
+        else StackelbergMarket(paper_fig2_population())
+    )
+    equilibrium = market.equilibrium()
+    result = RewardAblationResult(equilibrium_utility=equilibrium.msp_utility)
+    for mode in modes:
+        trained = train_drl(market, config.with_reward_mode(mode))
+        evaluation = evaluate_policy(
+            market, trained.policy, rounds=config.evaluation_rounds
+        )
+        result.rows.append(
+            (
+                mode,
+                trained.training.tail_mean_best_utility(),
+                evaluation.best_msp_utility,
+            )
+        )
+    return result
+
+
+def run_history_ablation(
+    config: ExperimentConfig | None = None,
+    *,
+    market: StackelbergMarket | None = None,
+    lengths: tuple[int, ...] = (1, 2, 4, 8),
+) -> HistoryAblationResult:
+    """Train with each observation history length on the same market."""
+    config = config if config is not None else ExperimentConfig.quick()
+    market = (
+        market
+        if market is not None
+        else StackelbergMarket(paper_fig2_population())
+    )
+    equilibrium = market.equilibrium()
+    result = HistoryAblationResult(equilibrium_utility=equilibrium.msp_utility)
+    for length in lengths:
+        trained = train_drl(market, config.with_history_length(length))
+        evaluation = evaluate_policy(
+            market, trained.policy, rounds=config.evaluation_rounds
+        )
+        result.rows.append(
+            (
+                length,
+                trained.training.tail_mean_best_utility(),
+                evaluation.best_msp_utility,
+            )
+        )
+    return result

@@ -1,0 +1,106 @@
+"""Experiment configuration shared by the per-figure runners.
+
+Two presets matter:
+
+- :meth:`ExperimentConfig.paper` — the paper's Sec. V-A hyper-parameters
+  (E = 500 episodes of K = 100 rounds, lr = 1e-5). Full-fidelity runs.
+- :meth:`ExperimentConfig.quick` — a reduced budget (documented in
+  EXPERIMENTS.md) that converges on the same equilibria in seconds; this
+  is what the benchmark suite runs so ``pytest benchmarks/`` stays fast.
+
+The quick preset raises the learning rate and sets γ = 0: the pricing game
+is a contextual bandit (the round reward depends only on the current
+price), so discounting future rewards only adds variance. The paper's
+exact settings remain available via :meth:`paper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs for one DRL training/evaluation run."""
+
+    num_episodes: int = constants.NUM_EPISODES
+    rounds_per_episode: int = constants.ROUNDS_PER_EPISODE
+    history_length: int = constants.HISTORY_LENGTH
+    update_interval: int = constants.BATCH_SIZE
+    update_epochs: int = constants.UPDATE_EPOCHS
+    batch_size: int = constants.BATCH_SIZE
+    learning_rate: float = constants.LEARNING_RATE
+    gamma: float = constants.DISCOUNT_GAMMA
+    gae_lambda: float = 1.0
+    entropy_coef: float = 1e-3
+    reward_mode: str = "paper"
+    evaluation_rounds: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_episodes",
+            "rounds_per_episode",
+            "history_length",
+            "update_interval",
+            "update_epochs",
+            "batch_size",
+            "evaluation_rounds",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.reward_mode not in ("paper", "utility"):
+            raise ConfigurationError(
+                f"reward_mode must be 'paper' or 'utility', got {self.reward_mode!r}"
+            )
+
+    @classmethod
+    def paper(cls, *, seed: int = 0) -> "ExperimentConfig":
+        """The paper's full Sec. V-A configuration."""
+        return cls(seed=seed)
+
+    @classmethod
+    def quick(cls, *, seed: int = 0) -> "ExperimentConfig":
+        """Reduced budget for benchmarks and CI (converges in seconds)."""
+        return cls(
+            num_episodes=120,
+            rounds_per_episode=50,
+            learning_rate=1e-3,
+            gamma=0.0,
+            reward_mode="utility",
+            evaluation_rounds=50,
+            seed=seed,
+        )
+
+    @classmethod
+    def smoke(cls, *, seed: int = 0) -> "ExperimentConfig":
+        """Tiny budget for unit tests (checks the plumbing, not quality)."""
+        return cls(
+            num_episodes=4,
+            rounds_per_episode=10,
+            update_interval=5,
+            update_epochs=2,
+            batch_size=5,
+            learning_rate=1e-3,
+            gamma=0.0,
+            reward_mode="utility",
+            evaluation_rounds=10,
+            seed=seed,
+        )
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Same configuration, different seed."""
+        return replace(self, seed=seed)
+
+    def with_reward_mode(self, reward_mode: str) -> "ExperimentConfig":
+        """Same configuration, different reward formulation."""
+        return replace(self, reward_mode=reward_mode)
+
+    def with_history_length(self, history_length: int) -> "ExperimentConfig":
+        """Same configuration, different observation history ``L``."""
+        return replace(self, history_length=history_length)

@@ -1,0 +1,100 @@
+"""Experiment E1/E2 — Fig. 2: convergence of the DRL incentive mechanism.
+
+Setting (paper Sec. V-B): two VMUs with α1 = α2 = 5, D1 = 200 MB,
+D2 = 100 MB, cost C = 5. Fig. 2(a) plots the episode return converging to
+the maximum round count K; Fig. 2(b) plots the MSP utility converging to
+the Stackelberg-equilibrium utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import train_drl
+from repro.utils.tables import Table
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """Series behind Fig. 2(a) and Fig. 2(b)."""
+
+    episode_returns: list[float]
+    episode_best_utilities: list[float]
+    equilibrium_utility: float
+    equilibrium_price: float
+    max_round: int
+
+    @property
+    def converged_return(self) -> float:
+        """Mean episode return over the final 10% of training."""
+        count = max(1, len(self.episode_returns) // 10)
+        return float(np.mean(self.episode_returns[-count:]))
+
+    @property
+    def converged_utility(self) -> float:
+        """Mean episode-best MSP utility over the final 10% of training."""
+        count = max(1, len(self.episode_best_utilities) // 10)
+        return float(np.mean(self.episode_best_utilities[-count:]))
+
+    @property
+    def utility_gap(self) -> float:
+        """Relative gap between converged and equilibrium MSP utility."""
+        return abs(self.converged_utility - self.equilibrium_utility) / abs(
+            self.equilibrium_utility
+        )
+
+    def table(self, *, stride: int | None = None) -> Table:
+        """The Fig. 2 series as a printable table (one row per episode,
+        or every ``stride`` episodes)."""
+        stride = stride or max(1, len(self.episode_returns) // 10)
+        table = Table(
+            headers=("episode", "return", "best_msp_utility", "equilibrium_utility"),
+            title=(
+                "Fig. 2 — DRL convergence "
+                f"(K={self.max_round}, equilibrium p*={self.equilibrium_price:.2f})"
+            ),
+        )
+        for episode in range(0, len(self.episode_returns), stride):
+            table.add_row(
+                episode,
+                self.episode_returns[episode],
+                self.episode_best_utilities[episode],
+                self.equilibrium_utility,
+            )
+        table.add_row(
+            len(self.episode_returns) - 1,
+            self.episode_returns[-1],
+            self.episode_best_utilities[-1],
+            self.equilibrium_utility,
+        )
+        return table
+
+
+def run_fig2(
+    config: ExperimentConfig | None = None,
+    *,
+    market: StackelbergMarket | None = None,
+) -> Fig2Result:
+    """Train the DRL mechanism on the Fig. 2 market and collect the series."""
+    config = config if config is not None else ExperimentConfig.quick()
+    market = (
+        market
+        if market is not None
+        else StackelbergMarket(paper_fig2_population())
+    )
+    equilibrium = market.equilibrium()
+    trained = train_drl(market, config)
+    return Fig2Result(
+        episode_returns=list(trained.training.episode_returns),
+        episode_best_utilities=list(trained.training.episode_best_utilities),
+        equilibrium_utility=equilibrium.msp_utility,
+        equilibrium_price=equilibrium.price,
+        max_round=config.rounds_per_episode,
+    )

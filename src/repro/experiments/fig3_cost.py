@@ -1,0 +1,96 @@
+"""Experiments E3/E4 — Fig. 3(a)/(b): sweep over unit transmission cost C.
+
+Setting (paper Sec. V-B): two VMUs, D = (200, 100) MB, α = (5, 5),
+C swept from 5 to 9. Fig. 3(a) reports the MSP's utility and price per
+scheme (proposed DRL vs random vs greedy, against the Stackelberg
+equilibrium); Fig. 3(b) reports the VMUs' total utility and total
+bandwidth strategy. Paper anchors: price ≈ 25 at C = 5 and ≈ 34 at C = 9;
+total bandwidth ≈ 27.9 at C = 6 and ≈ 23.4 at C = 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PolicyEvaluation, compare_schemes
+from repro.utils.tables import Table
+
+__all__ = ["CostSweepResult", "run_fig3_cost"]
+
+DEFAULT_COSTS = (5.0, 6.0, 7.0, 8.0, 9.0)
+
+
+@dataclass
+class CostSweepResult:
+    """Per-cost, per-scheme evaluations for Fig. 3(a)/(b)."""
+
+    costs: tuple[float, ...]
+    evaluations: dict[float, dict[str, PolicyEvaluation]] = field(
+        default_factory=dict
+    )
+
+    def msp_table(self) -> Table:
+        """Fig. 3(a): MSP utility and price strategy vs transmission cost."""
+        schemes = sorted(next(iter(self.evaluations.values())).keys())
+        headers = ["cost"]
+        for scheme in schemes:
+            headers += [f"{scheme}_utility", f"{scheme}_price"]
+        table = Table(
+            headers=tuple(headers),
+            title="Fig. 3(a) — MSP utility & price vs transmission cost",
+        )
+        for cost in self.costs:
+            row: list[object] = [cost]
+            for scheme in schemes:
+                evaluation = self.evaluations[cost][scheme]
+                row += [evaluation.mean_msp_utility, evaluation.mean_price]
+            table.add_row(*row)
+        return table
+
+    def vmu_table(self) -> Table:
+        """Fig. 3(b): total VMU utility and bandwidth vs transmission cost."""
+        schemes = sorted(next(iter(self.evaluations.values())).keys())
+        headers = ["cost"]
+        for scheme in schemes:
+            headers += [f"{scheme}_vmu_utility", f"{scheme}_bandwidth"]
+        table = Table(
+            headers=tuple(headers),
+            title="Fig. 3(b) — total VMU utility & bandwidth vs transmission cost",
+        )
+        for cost in self.costs:
+            row: list[object] = [cost]
+            for scheme in schemes:
+                evaluation = self.evaluations[cost][scheme]
+                row += [
+                    evaluation.mean_total_vmu_utility,
+                    evaluation.mean_total_bandwidth_market,
+                ]
+            table.add_row(*row)
+        return table
+
+    def series(self, scheme: str, metric: str) -> list[float]:
+        """One scheme's series across the cost sweep (for shape checks)."""
+        return [
+            getattr(self.evaluations[cost][scheme], metric) for cost in self.costs
+        ]
+
+
+def run_fig3_cost(
+    config: ExperimentConfig | None = None,
+    *,
+    costs: tuple[float, ...] = DEFAULT_COSTS,
+    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+) -> CostSweepResult:
+    """Sweep the unit transmission cost and evaluate every scheme."""
+    config = config if config is not None else ExperimentConfig.quick()
+    base = StackelbergMarket(paper_fig2_population())
+    result = CostSweepResult(costs=tuple(costs))
+    for cost in costs:
+        market = base.with_unit_cost(float(cost))
+        result.evaluations[cost] = compare_schemes(
+            market, config, schemes=schemes
+        )
+    return result

@@ -1,0 +1,103 @@
+"""Experiments E5/E6 — Fig. 3(c)/(d): sweep over the number of VMUs N.
+
+Setting (paper Sec. V-B): identical VMUs with D = 100 MB and α = 5,
+N from 1 to 6, C = 5. Fig. 3(c): the MSP's utility grows with N
+(7.03 at N = 2 → 20.35 at N = 6) while the price stays flat until the
+B_max capacity starts binding and then rises. Fig. 3(d): the average
+bandwidth per VMU stays flat then falls, and average VMU utility drops as
+competition for capacity grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population, uniform_population
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PolicyEvaluation, compare_schemes
+from repro.utils.tables import Table
+
+__all__ = ["VmuSweepResult", "run_fig3_vmus"]
+
+DEFAULT_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+@dataclass
+class VmuSweepResult:
+    """Per-N, per-scheme evaluations for Fig. 3(c)/(d)."""
+
+    counts: tuple[int, ...]
+    evaluations: dict[int, dict[str, PolicyEvaluation]] = field(
+        default_factory=dict
+    )
+
+    def msp_table(self) -> Table:
+        """Fig. 3(c): MSP utility and price strategy vs number of VMUs."""
+        schemes = sorted(next(iter(self.evaluations.values())).keys())
+        headers = ["num_vmus"]
+        for scheme in schemes:
+            headers += [f"{scheme}_utility", f"{scheme}_price"]
+        table = Table(
+            headers=tuple(headers),
+            title="Fig. 3(c) — MSP utility & price vs number of VMUs",
+        )
+        for count in self.counts:
+            row: list[object] = [count]
+            for scheme in schemes:
+                evaluation = self.evaluations[count][scheme]
+                row += [evaluation.mean_msp_utility, evaluation.mean_price]
+            table.add_row(*row)
+        return table
+
+    def vmu_table(self) -> Table:
+        """Fig. 3(d): average VMU utility and bandwidth vs number of VMUs."""
+        schemes = sorted(next(iter(self.evaluations.values())).keys())
+        headers = ["num_vmus"]
+        for scheme in schemes:
+            headers += [f"{scheme}_avg_vmu_utility", f"{scheme}_avg_bandwidth"]
+        table = Table(
+            headers=tuple(headers),
+            title="Fig. 3(d) — avg VMU utility & bandwidth vs number of VMUs",
+        )
+        for count in self.counts:
+            row: list[object] = [count]
+            for scheme in schemes:
+                evaluation = self.evaluations[count][scheme]
+                row += [
+                    evaluation.mean_avg_vmu_utility,
+                    evaluation.mean_total_bandwidth_market / count,
+                ]
+            table.add_row(*row)
+        return table
+
+    def series(self, scheme: str, metric: str) -> list[float]:
+        """One scheme's series across the N sweep."""
+        return [
+            getattr(self.evaluations[count][scheme], metric)
+            for count in self.counts
+        ]
+
+
+def run_fig3_vmus(
+    config: ExperimentConfig | None = None,
+    *,
+    counts: tuple[int, ...] = DEFAULT_COUNTS,
+    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+    data_size_mb: float = 100.0,
+    immersion_coef: float = 5.0,
+) -> VmuSweepResult:
+    """Sweep the population size and evaluate every scheme."""
+    config = config if config is not None else ExperimentConfig.quick()
+    base = StackelbergMarket(paper_fig2_population())
+    result = VmuSweepResult(counts=tuple(counts))
+    for count in counts:
+        market = base.with_vmus(
+            uniform_population(
+                count, data_size_mb=data_size_mb, immersion_coef=immersion_coef
+            )
+        )
+        result.evaluations[count] = compare_schemes(
+            market, config, schemes=schemes
+        )
+    return result

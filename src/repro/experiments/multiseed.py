@@ -1,0 +1,78 @@
+"""Multi-seed experiment aggregation with confidence intervals.
+
+Single-seed DRL comparisons are anecdotes. This runner repeats a
+scheme-vs-scheme evaluation across seeds and reports mean ± CI per metric,
+plus a Welch t-test for "does the proposed scheme beat the baseline"
+claims — the statistical backing the paper's single-run figures lack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import compare_schemes
+from repro.utils.stats import SummaryStats, compare_means, summarize
+from repro.utils.tables import Table
+
+__all__ = ["MultiSeedResult", "run_multiseed_comparison"]
+
+
+@dataclass
+class MultiSeedResult:
+    """Per-scheme metric samples across seeds."""
+
+    metric: str
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def stats(self, scheme: str) -> SummaryStats:
+        """Mean ± CI of the metric for one scheme."""
+        return summarize(self.samples[scheme])
+
+    def significance(self, scheme_a: str, scheme_b: str) -> float:
+        """Welch-test p-value for mean(scheme_a) != mean(scheme_b)."""
+        _, p_value = compare_means(
+            self.samples[scheme_a], self.samples[scheme_b]
+        )
+        return p_value
+
+    def table(self) -> Table:
+        """Printable per-scheme summary."""
+        table = Table(
+            headers=("scheme", "mean", "ci_low", "ci_high", "n"),
+            title=f"Multi-seed comparison — {self.metric}",
+        )
+        for scheme in sorted(self.samples):
+            stats = self.stats(scheme)
+            table.add_row(
+                scheme, stats.mean, stats.ci_low, stats.ci_high, stats.count
+            )
+        return table
+
+
+def run_multiseed_comparison(
+    market: StackelbergMarket,
+    base_config: ExperimentConfig,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    schemes: tuple[str, ...] = ("drl", "random"),
+    metric: str = "mean_msp_utility",
+) -> MultiSeedResult:
+    """Evaluate ``schemes`` on ``market`` across ``seeds``.
+
+    Each seed re-trains the DRL scheme and re-draws the baselines'
+    randomness; the metric is any :class:`PolicyEvaluation` field name.
+    """
+    if len(seeds) < 2:
+        raise ValueError("need at least two seeds for statistics")
+    result = MultiSeedResult(metric=metric)
+    for scheme in schemes:
+        result.samples[scheme] = []
+    for seed in seeds:
+        evaluations = compare_schemes(
+            market, base_config.with_seed(seed), schemes=schemes
+        )
+        for scheme, evaluation in evaluations.items():
+            result.samples[scheme].append(float(getattr(evaluation, metric)))
+    return result

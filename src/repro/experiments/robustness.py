@@ -1,0 +1,177 @@
+"""Robustness experiments beyond the paper's figures.
+
+The paper evaluates one radio operating point (d = 500 m, no fading) and
+one population draw. These sweeps probe how the equilibrium — and hence
+everything plotted in Fig. 3 — shifts when the physical layer or the
+population moves:
+
+- :func:`run_distance_sweep` — RSU separation d: lower spectral
+  efficiency raises AoTM and reshapes prices (`p* ∝ sqrt(SE)`).
+- :func:`run_fading_sweep` — Monte-Carlo over fading draws: equilibrium
+  price/utility distributions under Rayleigh/Rician/shadowing channels.
+- :func:`run_population_sweep` — multiple random population draws from
+  the paper's parameter ranges with multi-seed summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.fading import FadingModel, RayleighFading
+from repro.channel.link import paper_link
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population, sample_population
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.stats import SummaryStats, summarize
+from repro.utils.tables import Table
+
+__all__ = [
+    "DistanceSweepResult",
+    "run_distance_sweep",
+    "FadingSweepResult",
+    "run_fading_sweep",
+    "PopulationSweepResult",
+    "run_population_sweep",
+]
+
+
+@dataclass
+class DistanceSweepResult:
+    """Equilibrium vs RSU separation."""
+
+    distances_m: tuple[float, ...]
+    spectral_efficiencies: list[float] = field(default_factory=list)
+    prices: list[float] = field(default_factory=list)
+    msp_utilities: list[float] = field(default_factory=list)
+
+    def table(self) -> Table:
+        """Printable sweep table."""
+        table = Table(
+            headers=("d (m)", "SE (bit/s/Hz)", "p*", "MSP utility"),
+            title="Robustness — equilibrium vs RSU separation",
+        )
+        for row in zip(
+            self.distances_m, self.spectral_efficiencies, self.prices,
+            self.msp_utilities,
+        ):
+            table.add_row(*row)
+        return table
+
+
+def run_distance_sweep(
+    distances_m: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 4000.0),
+) -> DistanceSweepResult:
+    """Solve the paper's 2-VMU market across RSU separations."""
+    result = DistanceSweepResult(distances_m=tuple(distances_m))
+    vmus = paper_fig2_population()
+    for distance in distances_m:
+        link = paper_link().with_distance(distance)
+        market = StackelbergMarket(vmus, link=link)
+        equilibrium = market.equilibrium()
+        result.spectral_efficiencies.append(link.spectral_efficiency)
+        result.prices.append(equilibrium.price)
+        result.msp_utilities.append(equilibrium.msp_utility)
+    return result
+
+
+@dataclass
+class FadingSweepResult:
+    """Equilibrium distribution under a stochastic channel."""
+
+    price_stats: SummaryStats
+    utility_stats: SummaryStats
+    prices: list[float]
+    utilities: list[float]
+
+    def table(self) -> Table:
+        """Printable summary."""
+        table = Table(
+            headers=("metric", "mean", "ci_low", "ci_high", "n"),
+            title="Robustness — equilibrium under channel fading",
+        )
+        for name, stats in (
+            ("p*", self.price_stats),
+            ("MSP utility", self.utility_stats),
+        ):
+            table.add_row(
+                name, stats.mean, stats.ci_low, stats.ci_high, stats.count
+            )
+        return table
+
+
+def run_fading_sweep(
+    *,
+    fading: FadingModel | None = None,
+    draws: int = 50,
+    seed: SeedLike = 0,
+) -> FadingSweepResult:
+    """Monte-Carlo the equilibrium over fading realisations."""
+    if draws < 2:
+        raise ValueError(f"draws must be >= 2, got {draws}")
+    fading = fading if fading is not None else RayleighFading()
+    rng = as_generator(seed)
+    vmus = paper_fig2_population()
+    gains = fading.sample(rng, size=draws)
+    prices, utilities = [], []
+    for gain in gains:
+        link = paper_link().with_fading_gain(float(max(gain, 1e-6)))
+        equilibrium = StackelbergMarket(vmus, link=link).equilibrium()
+        prices.append(equilibrium.price)
+        utilities.append(equilibrium.msp_utility)
+    return FadingSweepResult(
+        price_stats=summarize(prices),
+        utility_stats=summarize(utilities),
+        prices=prices,
+        utilities=utilities,
+    )
+
+
+@dataclass
+class PopulationSweepResult:
+    """Equilibrium statistics across random population draws."""
+
+    utility_stats: SummaryStats
+    price_stats: SummaryStats
+    per_draw: list[tuple[float, float]]
+    """(price, MSP utility) per population draw."""
+
+    def table(self) -> Table:
+        """Printable summary."""
+        table = Table(
+            headers=("metric", "mean", "ci_low", "ci_high", "n"),
+            title="Robustness — equilibrium across random populations",
+        )
+        for name, stats in (
+            ("p*", self.price_stats),
+            ("MSP utility", self.utility_stats),
+        ):
+            table.add_row(
+                name, stats.mean, stats.ci_low, stats.ci_high, stats.count
+            )
+        return table
+
+
+def run_population_sweep(
+    *,
+    num_vmus: int = 4,
+    draws: int = 20,
+    seed: SeedLike = 0,
+) -> PopulationSweepResult:
+    """Solve the market for many random populations from the paper ranges."""
+    if draws < 2:
+        raise ValueError(f"draws must be >= 2, got {draws}")
+    rng = as_generator(seed)
+    per_draw: list[tuple[float, float]] = []
+    for _ in range(draws):
+        vmus = sample_population(num_vmus, seed=rng)
+        equilibrium = StackelbergMarket(vmus).equilibrium()
+        per_draw.append((equilibrium.price, equilibrium.msp_utility))
+    prices = [p for p, _ in per_draw]
+    utilities = [u for _, u in per_draw]
+    return PopulationSweepResult(
+        utility_stats=summarize(utilities),
+        price_stats=summarize(prices),
+        per_draw=per_draw,
+    )

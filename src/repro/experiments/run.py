@@ -1,0 +1,175 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Usage::
+
+    python -m repro.experiments.run --figure fig2 [--quick | --paper]
+    python -m repro.experiments.run --figure fig3a --output results/
+    python -m repro.experiments.run --list
+
+``--quick`` (default) uses the reduced budget documented in EXPERIMENTS.md;
+``--paper`` uses the full Sec. V-A budget (E = 500 episodes — slow on a
+laptop but faithful).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.core.welfare import welfare_report
+from repro.entities.vmu import paper_fig2_population
+from repro.experiments.ablations import run_history_ablation, run_reward_ablation
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3_cost import run_fig3_cost
+from repro.experiments.fig3_vmus import run_fig3_vmus
+from repro.experiments.robustness import (
+    run_distance_sweep,
+    run_fading_sweep,
+    run_population_sweep,
+)
+from repro.utils.serialization import save_json
+from repro.utils.tables import Table
+
+__all__ = ["main", "FIGURES"]
+
+
+def _fig2(config: ExperimentConfig) -> tuple[str, object]:
+    result = run_fig2(config)
+    payload = {
+        "episode_returns": result.episode_returns,
+        "episode_best_utilities": result.episode_best_utilities,
+        "equilibrium_utility": result.equilibrium_utility,
+        "equilibrium_price": result.equilibrium_price,
+    }
+    return str(result.table()), payload
+
+
+def _fig3a(config: ExperimentConfig) -> tuple[str, object]:
+    result = run_fig3_cost(config)
+    payload = {
+        str(cost): {
+            scheme: vars(evaluation)
+            for scheme, evaluation in by_scheme.items()
+        }
+        for cost, by_scheme in result.evaluations.items()
+    }
+    return f"{result.msp_table()}\n\n{result.vmu_table()}", payload
+
+
+def _fig3c(config: ExperimentConfig) -> tuple[str, object]:
+    result = run_fig3_vmus(config)
+    payload = {
+        str(count): {
+            scheme: vars(evaluation)
+            for scheme, evaluation in by_scheme.items()
+        }
+        for count, by_scheme in result.evaluations.items()
+    }
+    return f"{result.msp_table()}\n\n{result.vmu_table()}", payload
+
+
+def _ablations(config: ExperimentConfig) -> tuple[str, object]:
+    reward = run_reward_ablation(config)
+    history = run_history_ablation(config)
+    text = f"{reward.table()}\n\n{history.table()}"
+    payload = {
+        "reward": reward.rows,
+        "history": history.rows,
+        "equilibrium_utility": reward.equilibrium_utility,
+    }
+    return text, payload
+
+
+def _robustness(config: ExperimentConfig) -> tuple[str, object]:
+    distance = run_distance_sweep()
+    fading = run_fading_sweep(draws=30, seed=config.seed)
+    population = run_population_sweep(draws=10, seed=config.seed)
+    text = "\n\n".join(
+        str(t) for t in (distance.table(), fading.table(), population.table())
+    )
+    payload = {
+        "distance": {
+            "distances_m": distance.distances_m,
+            "prices": distance.prices,
+            "msp_utilities": distance.msp_utilities,
+        },
+        "fading_prices": fading.prices,
+        "population_per_draw": population.per_draw,
+    }
+    return text, payload
+
+
+def _welfare(config: ExperimentConfig) -> tuple[str, object]:
+    market = StackelbergMarket(paper_fig2_population())
+    report = welfare_report(market)
+    table = Table(
+        headers=("quantity", "value"),
+        title="Welfare analysis — paper's 2-VMU market",
+    )
+    rows = {
+        "monopoly price": report.monopoly_price,
+        "monopoly welfare": report.monopoly_welfare,
+        "MSP share of welfare": report.monopoly_msp_share,
+        "planner price": report.planner_price,
+        "planner welfare": report.planner_welfare,
+        "deadweight loss": report.deadweight_loss,
+        "efficiency": report.efficiency,
+    }
+    for name, value in rows.items():
+        table.add_row(name, value)
+    return str(table), rows
+
+
+FIGURES = {
+    "fig2": _fig2,
+    "fig3a": _fig3a,
+    "fig3b": _fig3a,  # 3(a) and 3(b) come from the same sweep
+    "fig3c": _fig3c,
+    "fig3d": _fig3c,  # 3(c) and 3(d) come from the same sweep
+    "ablations": _ablations,
+    "robustness": _robustness,
+    "welfare": _welfare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures of the VT-migration incentive paper.",
+    )
+    parser.add_argument("--figure", choices=sorted(FIGURES), help="which figure")
+    parser.add_argument("--list", action="store_true", help="list figures")
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's full training budget (slow)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path, default=None, help="directory for JSON results"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        print("available figures:", ", ".join(sorted(FIGURES)))
+        return 0
+
+    config = (
+        ExperimentConfig.paper(seed=args.seed)
+        if args.paper
+        else ExperimentConfig.quick(seed=args.seed)
+    )
+    text, payload = FIGURES[args.figure](config)
+    print(text)
+    if args.output is not None:
+        target = save_json(args.output / f"{args.figure}.json", payload)
+        print(f"\nwrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Game-theory toolkit: concave solvers, best-response dynamics, analysis."""
+
+from repro.game.analysis import (
+    is_concave_on,
+    numerical_derivative,
+    numerical_second_derivative,
+    verify_best_response,
+    verify_no_profitable_deviation,
+)
+from repro.game.best_response import BestResponseResult, iterate_best_response
+from repro.game.solvers import bisect_root, golden_section_maximize, grid_then_golden
+
+__all__ = [
+    "is_concave_on",
+    "numerical_derivative",
+    "numerical_second_derivative",
+    "verify_best_response",
+    "verify_no_profitable_deviation",
+    "BestResponseResult",
+    "iterate_best_response",
+    "bisect_root",
+    "golden_section_maximize",
+    "grid_then_golden",
+]

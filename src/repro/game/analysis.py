@@ -1,0 +1,101 @@
+"""Numerical verification of game-theoretic properties.
+
+Theorems 1 and 2 of the paper prove concavity and equilibrium uniqueness
+analytically. These helpers verify the same properties numerically for any
+instantiated market, which is how the test suite checks our implementation
+matches the theory (and how users can sanity-check modified models).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GameError
+
+__all__ = [
+    "numerical_derivative",
+    "numerical_second_derivative",
+    "is_concave_on",
+    "verify_best_response",
+    "verify_no_profitable_deviation",
+]
+
+
+def numerical_derivative(
+    func: Callable[[float], float], x: float, *, h: float = 1e-6
+) -> float:
+    """Central-difference first derivative of ``func`` at ``x``."""
+    return (func(x + h) - func(x - h)) / (2.0 * h)
+
+
+def numerical_second_derivative(
+    func: Callable[[float], float], x: float, *, h: float = 1e-4
+) -> float:
+    """Central-difference second derivative of ``func`` at ``x``."""
+    return (func(x + h) - 2.0 * func(x) + func(x - h)) / (h * h)
+
+
+def is_concave_on(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    samples: int = 128,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check midpoint concavity of ``func`` on random chords in ``[low, high]``.
+
+    Deterministic: uses an evenly spaced triple grid, not random draws.
+    """
+    if samples < 2 or low >= high:
+        raise GameError("need samples >= 2 and low < high")
+    xs = np.linspace(low, high, samples)
+    values = np.array([func(float(x)) for x in xs])
+    mids = 0.5 * (values[:-2] + values[2:])
+    return bool(np.all(values[1:-1] + tolerance >= mids))
+
+
+def verify_best_response(
+    utility: Callable[[float], float],
+    claimed_argmax: float,
+    low: float,
+    high: float,
+    *,
+    samples: int = 512,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check that no grid point in ``[low, high]`` beats ``claimed_argmax``.
+
+    Relative tolerance guards against float noise near the optimum.
+    """
+    best = utility(claimed_argmax)
+    xs = np.linspace(low, high, samples)
+    for x in xs:
+        if utility(float(x)) > best + tolerance * max(1.0, abs(best)):
+            return False
+    return True
+
+
+def verify_no_profitable_deviation(
+    utilities: Sequence[Callable[[float], float]],
+    strategies: Sequence[float],
+    bounds: Sequence[tuple[float, float]],
+    *,
+    samples: int = 256,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Nash check: each player's strategy is a grid-argmax of their utility
+    with everyone else fixed.
+
+    ``utilities[i]`` must already close over the opponents' strategies.
+    """
+    if not (len(utilities) == len(strategies) == len(bounds)):
+        raise GameError("utilities, strategies, bounds must align")
+    for utility, strategy, (low, high) in zip(utilities, strategies, bounds):
+        if not verify_best_response(
+            utility, strategy, low, high, samples=samples, tolerance=tolerance
+        ):
+            return False
+    return True

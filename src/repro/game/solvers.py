@@ -1,0 +1,129 @@
+"""Scalar optimisation primitives for concave game stages.
+
+Both stages of the paper's Stackelberg game are strictly concave in their
+scalar decision variable (Theorems 1-2), so golden-section search and
+derivative bisection are exact tools here. They are also used to
+cross-validate the closed-form solutions in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.errors import GameError
+from repro.utils.validation import require_finite
+
+__all__ = ["golden_section_maximize", "bisect_root", "grid_then_golden"]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/φ ≈ 0.618
+
+
+def golden_section_maximize(
+    objective: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    tolerance: float = 1e-10,
+    max_iterations: int = 500,
+) -> tuple[float, float]:
+    """Maximise a unimodal ``objective`` on ``[low, high]``.
+
+    Returns ``(argmax, max_value)``. For strictly concave objectives the
+    result is the global maximiser to within ``tolerance``.
+
+    Raises:
+        GameError: if ``low > high`` or the bracket is degenerate.
+    """
+    require_finite("low", low)
+    require_finite("high", high)
+    if low > high:
+        raise GameError(f"invalid bracket: low={low} > high={high}")
+    if high - low <= tolerance:
+        mid = 0.5 * (low + high)
+        return mid, objective(mid)
+
+    a, b = low, high
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc, fd = objective(c), objective(d)
+    for _ in range(max_iterations):
+        if b - a <= tolerance:
+            break
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = objective(d)
+    best = 0.5 * (a + b)
+    return best, objective(best)
+
+
+def bisect_root(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    tolerance: float = 1e-12,
+    max_iterations: int = 200,
+) -> float:
+    """Find a root of a continuous ``func`` with a sign change on
+    ``[low, high]`` by bisection.
+
+    Used on first-order conditions (monotone derivatives of concave
+    utilities). Raises :class:`GameError` if there is no sign change.
+    """
+    f_low, f_high = func(low), func(high)
+    if f_low == 0.0:
+        return low
+    if f_high == 0.0:
+        return high
+    if f_low * f_high > 0.0:
+        raise GameError(
+            f"no sign change on [{low}, {high}]: f(low)={f_low}, f(high)={f_high}"
+        )
+    a, b = low, high
+    fa = f_low
+    for _ in range(max_iterations):
+        mid = 0.5 * (a + b)
+        f_mid = func(mid)
+        if f_mid == 0.0 or (b - a) <= tolerance:
+            return mid
+        if fa * f_mid < 0.0:
+            b = mid
+        else:
+            a, fa = mid, f_mid
+    return 0.5 * (a + b)
+
+
+def grid_then_golden(
+    objective: Callable[[float], float],
+    low: float,
+    high: float,
+    *,
+    grid_points: int = 256,
+    tolerance: float = 1e-10,
+) -> tuple[float, float]:
+    """Global maximisation of a (possibly piecewise) continuous objective.
+
+    Coarse grid scan to find the best bracket, then golden-section
+    refinement inside it. Robust to the kinks the B_max rationing and
+    follower drop-out thresholds introduce into the leader's utility.
+    """
+    if grid_points < 3:
+        raise GameError(f"grid_points must be >= 3, got {grid_points}")
+    if low > high:
+        raise GameError(f"invalid bracket: low={low} > high={high}")
+    if high == low:
+        return low, objective(low)
+    step = (high - low) / (grid_points - 1)
+    values = [objective(low + i * step) for i in range(grid_points)]
+    best_idx = max(range(grid_points), key=values.__getitem__)
+    bracket_low = low + max(0, best_idx - 1) * step
+    bracket_high = low + min(grid_points - 1, best_idx + 1) * step
+    return golden_section_maximize(
+        objective, bracket_low, bracket_high, tolerance=tolerance
+    )

@@ -1,0 +1,32 @@
+"""VT live-migration substrate: pre-copy simulation, sessions, pipeline."""
+
+from repro.migration.pipeline import PipelineResult, PipelineStep, run_migration_pipeline
+from repro.migration.planner import (
+    ProvisioningPlan,
+    plan_bandwidth_for_aotm,
+    plan_bandwidth_for_downtime,
+)
+from repro.migration.precopy import (
+    CopyRound,
+    MigrationTrace,
+    PrecopyConfig,
+    simulate_precopy,
+    simulate_stop_and_copy,
+)
+from repro.migration.session import MigrationReport, MigrationSession
+
+__all__ = [
+    "ProvisioningPlan",
+    "plan_bandwidth_for_aotm",
+    "plan_bandwidth_for_downtime",
+    "PipelineResult",
+    "PipelineStep",
+    "run_migration_pipeline",
+    "CopyRound",
+    "MigrationTrace",
+    "PrecopyConfig",
+    "simulate_precopy",
+    "simulate_stop_and_copy",
+    "MigrationReport",
+    "MigrationSession",
+]

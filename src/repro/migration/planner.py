@@ -1,0 +1,128 @@
+"""Deadline-aware bandwidth provisioning for live migrations.
+
+Inverts the pre-copy simulator: given a twin (size + dirty rate) and an
+AoTM or downtime target, find the minimum bandwidth purchase that meets
+it. Useful both as a library feature (SLA-driven provisioning) and as a
+cross-check that the simulator is monotone in bandwidth (the planner
+bisects on that property; a property test asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.entities.vt import VehicularTwin
+from repro.errors import MigrationError
+from repro.migration.precopy import PrecopyConfig
+from repro.migration.session import MigrationSession
+from repro.utils.validation import require_positive
+
+__all__ = ["ProvisioningPlan", "plan_bandwidth_for_aotm", "plan_bandwidth_for_downtime"]
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """Result of a provisioning query."""
+
+    bandwidth: float
+    """Minimum bandwidth (natural units) meeting the target."""
+    predicted_aotm_s: float
+    predicted_downtime_s: float
+    cost_at_price: float
+    """Payment ``p · b`` at the price supplied to the planner."""
+
+
+def _bisect_min_bandwidth(
+    predicate,
+    low: float,
+    high: float,
+    *,
+    iterations: int = 80,
+) -> float:
+    """Smallest bandwidth in [low, high] satisfying a monotone predicate."""
+    if not predicate(high):
+        raise MigrationError(
+            f"target unreachable even at bandwidth {high}: relax the "
+            "deadline or raise the bandwidth ceiling"
+        )
+    for _ in range(iterations):
+        mid = 0.5 * (low + high)
+        if predicate(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def plan_bandwidth_for_aotm(
+    twin: VehicularTwin,
+    target_aotm_s: float,
+    *,
+    session: MigrationSession | None = None,
+    unit_price: float = 0.0,
+    max_bandwidth: float = 10.0,
+    precopy_config: PrecopyConfig | None = None,
+) -> ProvisioningPlan:
+    """Minimum bandwidth so the *measured* (pre-copy) AoTM meets a target.
+
+    Unlike inverting Eq. (1) analytically, this accounts for the re-sent
+    dirty memory, so the answer is >= the analytic
+    :func:`repro.core.aotm.bandwidth_for_target_aotm` value, with equality
+    at zero dirty rate.
+    """
+    require_positive("target_aotm_s", target_aotm_s)
+    require_positive("max_bandwidth", max_bandwidth)
+    session = session if session is not None else MigrationSession(
+        precopy_config=precopy_config
+    )
+
+    def meets(bandwidth: float) -> bool:
+        if twin.dirty_rate_mb_s >= session.rate_mb_s(bandwidth):
+            return False  # pre-copy cannot converge at this bandwidth
+        report = session.migrate(twin, bandwidth)
+        return report.measured_aotm_s <= target_aotm_s
+
+    bandwidth = _bisect_min_bandwidth(meets, 1e-9, max_bandwidth)
+    report = session.migrate(twin, bandwidth)
+    return ProvisioningPlan(
+        bandwidth=bandwidth,
+        predicted_aotm_s=report.measured_aotm_s,
+        predicted_downtime_s=report.downtime_s,
+        cost_at_price=unit_price * bandwidth,
+    )
+
+
+def plan_bandwidth_for_downtime(
+    twin: VehicularTwin,
+    target_downtime_s: float,
+    *,
+    session: MigrationSession | None = None,
+    unit_price: float = 0.0,
+    max_bandwidth: float = 10.0,
+    precopy_config: PrecopyConfig | None = None,
+) -> ProvisioningPlan:
+    """Minimum bandwidth so the stop-and-copy *downtime* meets a target.
+
+    Downtime is the user-visible freeze; AR-like applications care about
+    it more than total AoTM.
+    """
+    require_positive("target_downtime_s", target_downtime_s)
+    require_positive("max_bandwidth", max_bandwidth)
+    session = session if session is not None else MigrationSession(
+        precopy_config=precopy_config
+    )
+
+    def meets(bandwidth: float) -> bool:
+        if twin.dirty_rate_mb_s >= session.rate_mb_s(bandwidth):
+            return False
+        report = session.migrate(twin, bandwidth)
+        return report.downtime_s <= target_downtime_s
+
+    bandwidth = _bisect_min_bandwidth(meets, 1e-9, max_bandwidth)
+    report = session.migrate(twin, bandwidth)
+    return ProvisioningPlan(
+        bandwidth=bandwidth,
+        predicted_aotm_s=report.measured_aotm_s,
+        predicted_downtime_s=report.downtime_s,
+        cost_at_price=unit_price * bandwidth,
+    )

@@ -1,0 +1,127 @@
+"""Migration sessions: binding purchased bandwidth to an actual transfer.
+
+A :class:`MigrationSession` is the integration point of the whole library:
+it takes a handover event (mobility substrate), the VMU's purchased
+bandwidth (incentive mechanism), converts it to a physical MB/s rate over
+the RSU link (channel substrate), runs pre-copy (migration substrate), and
+reports both the analytic AoTM of Eq. (1) and the measured AoTM from the
+block trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.channel.link import RsuLink, paper_link
+from repro.entities.vt import VehicularTwin
+from repro.errors import MigrationError
+from repro.migration.precopy import (
+    MigrationTrace,
+    PrecopyConfig,
+    simulate_precopy,
+    simulate_stop_and_copy,
+)
+from repro.utils.validation import require_positive
+
+__all__ = ["MigrationReport", "MigrationSession"]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one executed migration session."""
+
+    vt_id: str
+    bandwidth: float
+    """Purchased bandwidth (natural game units)."""
+    rate_mb_s: float
+    """Physical transfer rate implied by the bandwidth."""
+    analytic_aotm_s: float
+    """The one-shot Eq. (1) AoTM (lower bound)."""
+    measured_aotm_s: float
+    """Elapsed first-to-last-block time from the pre-copy trace."""
+    downtime_s: float
+    trace: MigrationTrace
+
+    @property
+    def liveness_ratio(self) -> float:
+        """Fraction of migration time during which the twin kept serving."""
+        if self.measured_aotm_s == 0.0:
+            return 1.0
+        return 1.0 - self.downtime_s / self.measured_aotm_s
+
+
+class MigrationSession:
+    """Executes VT migrations over an RSU link at purchased bandwidths.
+
+    The natural-units convention (DESIGN.md §3): a bandwidth ``b`` gives a
+    data-unit rate of ``b · SE`` per natural time unit, i.e. a physical
+    rate of ``b · SE · DATA_UNIT_MB`` MB per time unit. The session only
+    needs consistency between the analytic and simulated paths, which a
+    property test asserts (zero dirty rate ⇒ measured == analytic).
+    """
+
+    def __init__(
+        self,
+        link: RsuLink | None = None,
+        *,
+        precopy_config: PrecopyConfig | None = None,
+    ) -> None:
+        self._link = link if link is not None else paper_link()
+        self._precopy_config = precopy_config
+
+    @property
+    def link(self) -> RsuLink:
+        """The RSU-to-RSU link used for transfers."""
+        return self._link
+
+    def rate_mb_s(self, bandwidth: float) -> float:
+        """Physical MB/s rate purchased by ``bandwidth`` natural units."""
+        require_positive("bandwidth", bandwidth)
+        return (
+            self._link.transmission_rate(bandwidth) * constants.DATA_UNIT_MB
+        )
+
+    def migrate(
+        self,
+        twin: VehicularTwin,
+        bandwidth: float,
+        *,
+        live: bool = True,
+    ) -> MigrationReport:
+        """Run one migration and report analytic vs measured AoTM.
+
+        Args:
+            twin: the VT to move (its ``dirty_rate_mb_s`` drives pre-copy).
+            bandwidth: purchased bandwidth in natural game units.
+            live: pre-copy when True, stop-and-copy when False.
+
+        Raises:
+            MigrationError: if the dirty rate reaches the transfer rate
+                (pre-copy can never converge; the caller should buy more
+                bandwidth or fall back to stop-and-copy).
+        """
+        rate = self.rate_mb_s(bandwidth)
+        if live and twin.dirty_rate_mb_s >= rate:
+            raise MigrationError(
+                f"dirty rate {twin.dirty_rate_mb_s} MB/s >= transfer rate "
+                f"{rate:.3f} MB/s: pre-copy cannot converge"
+            )
+        if live:
+            trace = simulate_precopy(twin, rate, config=self._precopy_config)
+        else:
+            trace = simulate_stop_and_copy(twin, rate)
+        # Eq. (1) on the simulator's physical clock: D_mb / rate_mb_s equals
+        # D_units / (b · SE) up to the unit conversion, i.e. the paper's
+        # AoTM in seconds (the identity with core.aotm.aotm is asserted in
+        # tests/test_migration_session.py).
+        analytic = twin.data_size_mb / rate
+        return MigrationReport(
+            vt_id=twin.vt_id,
+            bandwidth=bandwidth,
+            rate_mb_s=rate,
+            analytic_aotm_s=analytic,
+            measured_aotm_s=trace.total_time_s,
+            downtime_s=trace.downtime_s,
+            trace=trace,
+        )

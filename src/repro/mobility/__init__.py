@@ -1,0 +1,33 @@
+"""Vehicular mobility substrate: roads, mobility models, coverage, traces."""
+
+from repro.mobility.coverage import CoverageMap, HandoverDetector, HandoverEvent
+from repro.mobility.demand import DemandProfile, analyze_demand, capacity_for_demand
+from repro.mobility.models import RandomWaypoint, RouteFollower, VehicleState
+from repro.mobility.road import RoadNetwork, grid_city, straight_highway
+from repro.mobility.trace import (
+    SimulationResult,
+    TracePoint,
+    VehicleTrace,
+    deploy_rsus_along_highway,
+    simulate_handovers,
+)
+
+__all__ = [
+    "DemandProfile",
+    "analyze_demand",
+    "capacity_for_demand",
+    "CoverageMap",
+    "HandoverDetector",
+    "HandoverEvent",
+    "RandomWaypoint",
+    "RouteFollower",
+    "VehicleState",
+    "RoadNetwork",
+    "grid_city",
+    "straight_highway",
+    "SimulationResult",
+    "TracePoint",
+    "VehicleTrace",
+    "deploy_rsus_along_highway",
+    "simulate_handovers",
+]

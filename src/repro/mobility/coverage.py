@@ -1,0 +1,141 @@
+"""RSU coverage map and handover detection.
+
+This is the component that *generates migration demand*: as a vehicle
+moves, the detector tracks which RSU serves it (nearest covering RSU,
+with hysteresis to avoid ping-ponging on the coverage boundary) and emits
+a :class:`HandoverEvent` whenever the serving RSU changes — each event is
+a VT migration task for the incentive mechanism downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.entities.rsu import RoadsideUnit
+from repro.errors import MobilityError
+from repro.utils.validation import require_non_negative
+
+__all__ = ["HandoverEvent", "CoverageMap", "HandoverDetector"]
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """A serving-RSU change for one vehicle — i.e. one VT migration task."""
+
+    vehicle_id: str
+    time_s: float
+    source_rsu_id: str | None
+    """None for the initial attachment (no migration needed)."""
+    destination_rsu_id: str
+    position_m: tuple[float, float]
+
+    @property
+    def is_migration(self) -> bool:
+        """True when a VT actually has to move (source exists)."""
+        return self.source_rsu_id is not None
+
+
+class CoverageMap:
+    """Spatial queries over a set of RSUs."""
+
+    def __init__(self, rsus: list[RoadsideUnit]) -> None:
+        if not rsus:
+            raise MobilityError("coverage map needs at least one RSU")
+        ids = [r.rsu_id for r in rsus]
+        if len(set(ids)) != len(ids):
+            raise MobilityError("duplicate RSU ids in coverage map")
+        self._rsus = list(rsus)
+
+    @property
+    def rsus(self) -> list[RoadsideUnit]:
+        """The RSUs in this map."""
+        return list(self._rsus)
+
+    def covering(self, point_m: tuple[float, float]) -> list[RoadsideUnit]:
+        """All RSUs whose coverage disc contains ``point_m``."""
+        return [r for r in self._rsus if r.covers(point_m)]
+
+    def nearest(self, point_m: tuple[float, float]) -> RoadsideUnit:
+        """The RSU nearest to ``point_m`` (covering or not)."""
+        return min(self._rsus, key=lambda r: r.distance_to(point_m))
+
+    def best_server(self, point_m: tuple[float, float]) -> RoadsideUnit | None:
+        """Nearest *covering* RSU, or None if the point is uncovered."""
+        covering = self.covering(point_m)
+        if not covering:
+            return None
+        return min(covering, key=lambda r: r.distance_to(point_m))
+
+    def coverage_holes(
+        self, points: list[tuple[float, float]]
+    ) -> list[tuple[float, float]]:
+        """The subset of ``points`` not covered by any RSU."""
+        return [p for p in points if not self.covering(p)]
+
+
+class HandoverDetector:
+    """Tracks serving RSUs per vehicle and emits handover events.
+
+    Hysteresis: a handover to a new RSU only triggers when the new RSU is
+    closer than the current one by at least ``hysteresis_m`` metres (and
+    the current one no longer covers the vehicle, or the new one is
+    strictly better by the margin). This mirrors real cellular handover
+    logic and prevents boundary oscillation.
+    """
+
+    def __init__(self, coverage: CoverageMap, *, hysteresis_m: float = 25.0) -> None:
+        require_non_negative("hysteresis_m", hysteresis_m)
+        self._coverage = coverage
+        self._hysteresis = float(hysteresis_m)
+        self._serving: dict[str, str] = {}
+
+    def serving_rsu(self, vehicle_id: str) -> str | None:
+        """Current serving RSU id for a vehicle (None if unattached)."""
+        return self._serving.get(vehicle_id)
+
+    def observe(
+        self,
+        vehicle_id: str,
+        position_m: tuple[float, float],
+        time_s: float,
+    ) -> HandoverEvent | None:
+        """Update tracking with a new position sample.
+
+        Returns a :class:`HandoverEvent` if the serving RSU changed
+        (or the vehicle just attached), else None.
+        """
+        best = self._coverage.best_server(position_m)
+        current_id = self._serving.get(vehicle_id)
+        if best is None:
+            # Out of coverage: keep the old association (the VT stays on
+            # the last RSU until coverage resumes).
+            return None
+        if current_id is None:
+            self._serving[vehicle_id] = best.rsu_id
+            return HandoverEvent(
+                vehicle_id=vehicle_id,
+                time_s=time_s,
+                source_rsu_id=None,
+                destination_rsu_id=best.rsu_id,
+                position_m=position_m,
+            )
+        if best.rsu_id == current_id:
+            return None
+        current = next(
+            r for r in self._coverage.rsus if r.rsu_id == current_id
+        )
+        current_distance = current.distance_to(position_m)
+        best_distance = best.distance_to(position_m)
+        still_covered = current.covers(position_m)
+        if still_covered and (
+            current_distance - best_distance
+        ) < self._hysteresis:
+            return None
+        self._serving[vehicle_id] = best.rsu_id
+        return HandoverEvent(
+            vehicle_id=vehicle_id,
+            time_s=time_s,
+            source_rsu_id=current_id,
+            destination_rsu_id=best.rsu_id,
+            position_m=position_m,
+        )

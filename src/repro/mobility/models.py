@@ -1,0 +1,194 @@
+"""Vehicle mobility models over a :class:`~repro.mobility.road.RoadNetwork`.
+
+Two models:
+
+- :class:`RouteFollower` — drives a fixed junction route at (optionally
+  noisy) segment speed limits; deterministic trajectories for tests.
+- :class:`RandomWaypoint` — repeatedly picks a random destination junction
+  and drives the shortest path to it; the classic synthetic-mobility
+  workload generator.
+
+Both produce time-stamped positions via ``advance(dt)`` and expose the
+current position for the coverage detector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import MobilityError
+from repro.mobility.road import RoadNetwork
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_positive
+
+__all__ = ["VehicleState", "RouteFollower", "RandomWaypoint"]
+
+
+class VehicleState:
+    """Kinematic state of one vehicle on the road graph."""
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        network: RoadNetwork,
+        start_junction: str,
+    ) -> None:
+        self.vehicle_id = vehicle_id
+        self.network = network
+        self.edge_from = start_junction
+        self.edge_to: str | None = None
+        self.edge_progress_m = 0.0
+        self.clock_s = 0.0
+        self.odometer_m = 0.0
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current 2-D position in metres."""
+        if self.edge_to is None:
+            return self.network.position(self.edge_from)
+        length = self.network.graph.edges[self.edge_from, self.edge_to]["length_m"]
+        fraction = min(1.0, self.edge_progress_m / length)
+        return self.network.interpolate(self.edge_from, self.edge_to, fraction)
+
+
+class RouteFollower:
+    """Drive a fixed route of junctions at segment speed limits.
+
+    Args:
+        vehicle_id: identifier.
+        network: the road network.
+        route: junction sequence (consecutive pairs must be roads).
+        speed_factor: multiplier on segment speed limits (e.g. 0.9 =
+            cautious driver).
+    """
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        network: RoadNetwork,
+        route: Sequence[str],
+        *,
+        speed_factor: float = 1.0,
+    ) -> None:
+        if len(route) < 2:
+            raise MobilityError("route needs at least two junctions")
+        for a, b in zip(route[:-1], route[1:]):
+            if not network.graph.has_edge(a, b):
+                raise MobilityError(f"route uses missing road {a!r} -> {b!r}")
+        require_positive("speed_factor", speed_factor)
+        self.state = VehicleState(vehicle_id, network, route[0])
+        self._route = list(route)
+        self._leg = 0
+        self._speed_factor = float(speed_factor)
+        self.state.edge_to = self._route[1]
+
+    @property
+    def vehicle_id(self) -> str:
+        """Identifier."""
+        return self.state.vehicle_id
+
+    @property
+    def finished(self) -> bool:
+        """Whether the route has been fully driven."""
+        return self._leg >= len(self._route) - 1
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current position."""
+        return self.state.position
+
+    def advance(self, dt_s: float) -> tuple[float, float]:
+        """Drive for ``dt_s`` seconds; returns the new position."""
+        require_positive("dt_s", dt_s)
+        remaining = dt_s
+        graph = self.state.network.graph
+        while remaining > 0.0 and not self.finished:
+            edge = graph.edges[self._route[self._leg], self._route[self._leg + 1]]
+            speed = edge["speed_limit_mps"] * self._speed_factor
+            distance_left = edge["length_m"] - self.state.edge_progress_m
+            time_left = distance_left / speed
+            if remaining < time_left:
+                travelled = speed * remaining
+                self.state.edge_progress_m += travelled
+                self.state.odometer_m += travelled
+                remaining = 0.0
+            else:
+                self.state.odometer_m += distance_left
+                remaining -= time_left
+                self._leg += 1
+                self.state.edge_progress_m = 0.0
+                self.state.edge_from = self._route[self._leg]
+                self.state.edge_to = (
+                    self._route[self._leg + 1] if not self.finished else None
+                )
+        self.state.clock_s += dt_s
+        return self.state.position
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility: drive shortest paths to random junctions."""
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        network: RoadNetwork,
+        *,
+        start_junction: str | None = None,
+        speed_factor: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        self._network = network
+        self._rng = as_generator(seed)
+        self._speed_factor = float(require_positive("speed_factor", speed_factor))
+        start = start_junction or network.random_junction(self._rng)
+        self._vehicle_id = vehicle_id
+        self._follower = self._new_leg(start)
+
+    def _new_leg(self, start: str) -> RouteFollower:
+        destination = start
+        for _ in range(64):
+            destination = self._network.random_junction(self._rng)
+            if destination != start:
+                break
+        if destination == start:
+            raise MobilityError("could not find a distinct destination")
+        route = self._network.shortest_path(start, destination)
+        return RouteFollower(
+            self._vehicle_id,
+            self._network,
+            route,
+            speed_factor=self._speed_factor,
+        )
+
+    @property
+    def vehicle_id(self) -> str:
+        """Identifier."""
+        return self._vehicle_id
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current position."""
+        return self._follower.position
+
+    @property
+    def odometer_m(self) -> float:
+        """Cumulative distance driven (across legs)."""
+        return self._odometer_base + self._follower.state.odometer_m
+
+    _odometer_base = 0.0
+
+    def advance(self, dt_s: float) -> tuple[float, float]:
+        """Drive for ``dt_s`` seconds, re-routing when a leg finishes."""
+        require_positive("dt_s", dt_s)
+        remaining = dt_s
+        # Drive in chunks; when the leg ends, start a fresh leg from its
+        # terminal junction. Chunk granularity of 1s bounds the overshoot.
+        while remaining > 0.0:
+            step = min(1.0, remaining)
+            self._follower.advance(step)
+            remaining -= step
+            if self._follower.finished:
+                self._odometer_base += self._follower.state.odometer_m
+                terminal = self._follower._route[-1]
+                self._follower = self._new_leg(terminal)
+        return self.position

@@ -1,0 +1,174 @@
+"""Road-network model on top of networkx.
+
+The paper's motivation — "due to the dynamic mobility of vehicles and the
+limited service coverage of RSUs, VTs must be migrated" — needs a road
+substrate to be demonstrated end-to-end. A :class:`RoadNetwork` is a
+directed graph whose nodes carry 2-D positions and whose edges are
+traversable road segments with speed limits; vehicles move along paths of
+this graph in :mod:`repro.mobility.models`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+
+from repro.errors import MobilityError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["RoadNetwork", "straight_highway", "grid_city"]
+
+
+class RoadNetwork:
+    """A directed road graph with embedded node positions (metres)."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-mostly)."""
+        return self._graph
+
+    def add_junction(self, node_id: str, position_m: tuple[float, float]) -> None:
+        """Add a junction (graph node) at a position."""
+        if node_id in self._graph:
+            raise MobilityError(f"duplicate junction {node_id!r}")
+        self._graph.add_node(node_id, position=tuple(map(float, position_m)))
+
+    def add_road(
+        self, from_id: str, to_id: str, *, speed_limit_mps: float = 16.7,
+        bidirectional: bool = True,
+    ) -> None:
+        """Add a road segment; length is the Euclidean node distance."""
+        for node_id in (from_id, to_id):
+            if node_id not in self._graph:
+                raise MobilityError(f"unknown junction {node_id!r}")
+        if speed_limit_mps <= 0.0:
+            raise MobilityError(f"speed limit must be > 0, got {speed_limit_mps}")
+        length = self.distance(from_id, to_id)
+        if length == 0.0:
+            raise MobilityError(
+                f"junctions {from_id!r} and {to_id!r} are co-located"
+            )
+        self._graph.add_edge(
+            from_id, to_id, length_m=length, speed_limit_mps=float(speed_limit_mps)
+        )
+        if bidirectional:
+            self._graph.add_edge(
+                to_id, from_id, length_m=length, speed_limit_mps=float(speed_limit_mps)
+            )
+
+    def position(self, node_id: str) -> tuple[float, float]:
+        """Position of a junction."""
+        if node_id not in self._graph:
+            raise MobilityError(f"unknown junction {node_id!r}")
+        return self._graph.nodes[node_id]["position"]
+
+    def distance(self, from_id: str, to_id: str) -> float:
+        """Euclidean distance between two junctions."""
+        ax, ay = self.position(from_id)
+        bx, by = self.position(to_id)
+        return math.hypot(bx - ax, by - ay)
+
+    def junctions(self) -> list[str]:
+        """All junction ids."""
+        return list(self._graph.nodes)
+
+    def shortest_path(self, from_id: str, to_id: str) -> list[str]:
+        """Length-weighted shortest path between junctions.
+
+        Raises:
+            MobilityError: if no path exists.
+        """
+        try:
+            return nx.shortest_path(
+                self._graph, from_id, to_id, weight="length_m"
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise MobilityError(f"no route {from_id!r} -> {to_id!r}") from exc
+
+    def path_length(self, path: Sequence[str]) -> float:
+        """Total length of a junction path in metres."""
+        if len(path) < 2:
+            return 0.0
+        return sum(
+            self._graph.edges[a, b]["length_m"] for a, b in zip(path[:-1], path[1:])
+        )
+
+    def interpolate(
+        self, from_id: str, to_id: str, fraction: float
+    ) -> tuple[float, float]:
+        """Position ``fraction`` of the way along the edge from->to."""
+        if not self._graph.has_edge(from_id, to_id):
+            raise MobilityError(f"no road {from_id!r} -> {to_id!r}")
+        if not 0.0 <= fraction <= 1.0:
+            raise MobilityError(f"fraction must be in [0, 1], got {fraction}")
+        ax, ay = self.position(from_id)
+        bx, by = self.position(to_id)
+        return (ax + (bx - ax) * fraction, ay + (by - ay) * fraction)
+
+    def random_junction(self, seed: SeedLike = None) -> str:
+        """A uniformly random junction id."""
+        nodes = self.junctions()
+        if not nodes:
+            raise MobilityError("empty road network")
+        rng = as_generator(seed)
+        return nodes[int(rng.integers(0, len(nodes)))]
+
+
+def straight_highway(
+    length_m: float = 5000.0,
+    *,
+    num_junctions: int = 11,
+    speed_limit_mps: float = 27.8,
+) -> RoadNetwork:
+    """A straight east-west highway with evenly spaced junctions.
+
+    The canonical scenario for RSU handovers: RSUs sit along the road and
+    vehicles traverse it end to end.
+    """
+    if num_junctions < 2:
+        raise MobilityError(f"need >= 2 junctions, got {num_junctions}")
+    if length_m <= 0.0:
+        raise MobilityError(f"length must be > 0, got {length_m}")
+    network = RoadNetwork()
+    spacing = length_m / (num_junctions - 1)
+    for index in range(num_junctions):
+        network.add_junction(f"j{index}", (index * spacing, 0.0))
+    for index in range(num_junctions - 1):
+        network.add_road(
+            f"j{index}", f"j{index + 1}", speed_limit_mps=speed_limit_mps
+        )
+    return network
+
+
+def grid_city(
+    rows: int = 4,
+    cols: int = 4,
+    *,
+    block_m: float = 400.0,
+    speed_limit_mps: float = 13.9,
+) -> RoadNetwork:
+    """A Manhattan-style grid of ``rows × cols`` junctions."""
+    if rows < 2 or cols < 2:
+        raise MobilityError(f"need a >= 2x2 grid, got {rows}x{cols}")
+    if block_m <= 0.0:
+        raise MobilityError(f"block size must be > 0, got {block_m}")
+    network = RoadNetwork()
+    for r in range(rows):
+        for c in range(cols):
+            network.add_junction(f"g{r}-{c}", (c * block_m, r * block_m))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                network.add_road(
+                    f"g{r}-{c}", f"g{r}-{c + 1}", speed_limit_mps=speed_limit_mps
+                )
+            if r + 1 < rows:
+                network.add_road(
+                    f"g{r}-{c}", f"g{r + 1}-{c}", speed_limit_mps=speed_limit_mps
+                )
+    return network

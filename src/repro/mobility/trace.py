@@ -1,0 +1,142 @@
+"""Trajectory simulation: drive vehicles, sample positions, collect handovers.
+
+``simulate_handovers`` is the top of the mobility substrate: given a road
+network, RSU deployment, and a set of mobility models, it advances the
+world in fixed ticks and returns every vehicle's trace plus the handover
+events — the stream of VT-migration tasks consumed by the examples and
+the end-to-end benchmark (E9 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.entities.rsu import RoadsideUnit
+from repro.errors import MobilityError
+from repro.mobility.coverage import CoverageMap, HandoverDetector, HandoverEvent
+from repro.utils.validation import require_positive
+
+__all__ = ["MobileAgent", "TracePoint", "VehicleTrace", "SimulationResult", "simulate_handovers", "deploy_rsus_along_highway"]
+
+
+class MobileAgent(Protocol):
+    """Anything that can report a position and advance in time."""
+
+    @property
+    def vehicle_id(self) -> str: ...
+
+    @property
+    def position(self) -> tuple[float, float]: ...
+
+    def advance(self, dt_s: float) -> tuple[float, float]: ...
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One time-stamped position sample."""
+
+    time_s: float
+    position_m: tuple[float, float]
+
+
+@dataclass
+class VehicleTrace:
+    """A vehicle's sampled trajectory."""
+
+    vehicle_id: str
+    points: list[TracePoint] = field(default_factory=list)
+
+    def positions(self) -> list[tuple[float, float]]:
+        """Just the positions, in time order."""
+        return [p.position_m for p in self.points]
+
+
+@dataclass
+class SimulationResult:
+    """Traces plus handover (migration-task) events."""
+
+    traces: dict[str, VehicleTrace]
+    events: list[HandoverEvent]
+
+    @property
+    def migrations(self) -> list[HandoverEvent]:
+        """Events that require an actual VT migration."""
+        return [e for e in self.events if e.is_migration]
+
+    def migrations_of(self, vehicle_id: str) -> list[HandoverEvent]:
+        """Migration events of one vehicle."""
+        return [e for e in self.migrations if e.vehicle_id == vehicle_id]
+
+
+def simulate_handovers(
+    agents: list[MobileAgent],
+    rsus: list[RoadsideUnit],
+    *,
+    duration_s: float,
+    tick_s: float = 1.0,
+    hysteresis_m: float = 25.0,
+) -> SimulationResult:
+    """Advance all agents for ``duration_s`` and collect handover events."""
+    if not agents:
+        raise MobilityError("need at least one agent")
+    require_positive("duration_s", duration_s)
+    require_positive("tick_s", tick_s)
+    coverage = CoverageMap(rsus)
+    detector = HandoverDetector(coverage, hysteresis_m=hysteresis_m)
+    traces = {
+        agent.vehicle_id: VehicleTrace(vehicle_id=agent.vehicle_id)
+        for agent in agents
+    }
+    events: list[HandoverEvent] = []
+
+    clock = 0.0
+    # Initial attachment at t = 0.
+    for agent in agents:
+        traces[agent.vehicle_id].points.append(
+            TracePoint(time_s=clock, position_m=agent.position)
+        )
+        event = detector.observe(agent.vehicle_id, agent.position, clock)
+        if event is not None:
+            events.append(event)
+
+    while clock < duration_s:
+        step = min(tick_s, duration_s - clock)
+        clock += step
+        for agent in agents:
+            position = agent.advance(step)
+            traces[agent.vehicle_id].points.append(
+                TracePoint(time_s=clock, position_m=position)
+            )
+            event = detector.observe(agent.vehicle_id, position, clock)
+            if event is not None:
+                events.append(event)
+    return SimulationResult(traces=traces, events=events)
+
+
+def deploy_rsus_along_highway(
+    highway_length_m: float,
+    *,
+    spacing_m: float = 1000.0,
+    coverage_radius_m: float = 600.0,
+    lateral_offset_m: float = 20.0,
+) -> list[RoadsideUnit]:
+    """Place RSUs at regular intervals beside a straight highway.
+
+    Coverage radius > spacing/2 guarantees no holes along the roadway,
+    matching the paper's assumption of continuous service.
+    """
+    require_positive("highway_length_m", highway_length_m)
+    require_positive("spacing_m", spacing_m)
+    require_positive("coverage_radius_m", coverage_radius_m)
+    rsus: list[RoadsideUnit] = []
+    count = int(highway_length_m // spacing_m) + 1
+    for index in range(count):
+        rsus.append(
+            RoadsideUnit(
+                rsu_id=f"rsu-{index}",
+                position_m=(index * spacing_m, lateral_offset_m),
+                coverage_radius_m=coverage_radius_m,
+            )
+        )
+    return rsus

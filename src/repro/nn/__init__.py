@@ -1,0 +1,33 @@
+"""From-scratch numpy neural-network substrate (PyTorch replacement).
+
+Provides the reverse-mode autograd tensor, nn-style modules, optimisers,
+and the Gaussian policy distribution used by :mod:`repro.drl`.
+"""
+
+from repro.nn.distributions import DiagonalGaussian
+from repro.nn.init import constant, orthogonal, xavier_uniform, zeros
+from repro.nn.modules import MLP, Identity, Linear, Module, ReLU, Sequential, Tanh
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "DiagonalGaussian",
+    "constant",
+    "orthogonal",
+    "xavier_uniform",
+    "zeros",
+    "MLP",
+    "Identity",
+    "Linear",
+    "Module",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "Tensor",
+    "is_grad_enabled",
+    "no_grad",
+]

@@ -1,0 +1,84 @@
+"""Probability distributions for stochastic policies.
+
+The MSP's pricing policy ``π_θ(p | o)`` is a diagonal Gaussian whose mean
+comes from the actor head and whose log-standard-deviation is a learned
+free parameter — the standard continuous-control PPO parameterisation.
+Log-probabilities and entropy are differentiable Tensor expressions so they
+can sit inside the surrogate loss of Eq. (15).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["DiagonalGaussian"]
+
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+class DiagonalGaussian:
+    """A batch of independent Gaussians ``N(mean, exp(log_std)^2)``.
+
+    Args:
+        mean: Tensor of shape (batch, action_dim).
+        log_std: Tensor broadcastable to ``mean`` (usually (action_dim,)).
+    """
+
+    def __init__(self, mean: Tensor, log_std: Tensor) -> None:
+        self.mean = mean
+        self.log_std = log_std
+
+    @property
+    def std(self) -> np.ndarray:
+        """Standard deviation as a plain array (no graph)."""
+        return np.exp(np.broadcast_to(self.log_std.data, self.mean.shape))
+
+    def sample(self, seed: SeedLike = None) -> np.ndarray:
+        """Draw actions (no gradient flows through sampling)."""
+        rng = as_generator(seed)
+        noise = rng.normal(size=self.mean.shape)
+        return self.mean.data + self.std * noise
+
+    def mode(self) -> np.ndarray:
+        """The distribution mode (the mean) — deterministic evaluation."""
+        return self.mean.data.copy()
+
+    def log_prob(self, actions: np.ndarray) -> Tensor:
+        """Differentiable log-density of ``actions`` summed over action dims.
+
+        Returns a Tensor of shape (batch,).
+        """
+        actions = np.asarray(actions, dtype=np.float64)
+        if actions.shape != self.mean.shape:
+            raise ValueError(
+                f"actions shape {actions.shape} != mean shape {self.mean.shape}"
+            )
+        inv_std = (-self.log_std).exp()
+        standardized = (Tensor(actions) - self.mean) * inv_std
+        per_dim = (
+            standardized * standardized * (-0.5)
+            - self.log_std
+            - _LOG_SQRT_2PI
+        )
+        return per_dim.sum(axis=-1)
+
+    def entropy(self) -> Tensor:
+        """Differentiable entropy summed over action dims, shape (batch,)."""
+        # H = 0.5 + 0.5 log(2π) + log σ, per dimension.
+        per_dim = self.log_std + (0.5 + _LOG_SQRT_2PI)
+        broadcast = per_dim + Tensor(np.zeros(self.mean.shape))
+        return broadcast.sum(axis=-1)
+
+    def kl_divergence(self, other: "DiagonalGaussian") -> Tensor:
+        """KL(self || other), summed over action dims (diagnostics)."""
+        var_ratio = ((self.log_std - other.log_std) * 2.0).exp()
+        mean_term = ((self.mean - other.mean) * (-other.log_std).exp()) ** 2.0
+        per_dim = (var_ratio + mean_term - 1.0) * 0.5 + (
+            other.log_std - self.log_std
+        )
+        return per_dim.sum(axis=-1)

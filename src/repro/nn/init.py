@@ -1,0 +1,58 @@
+"""Weight-initialisation schemes for the neural substrate.
+
+Orthogonal initialisation with per-layer gains is the standard PPO recipe
+(policy head gain 0.01, value head gain 1.0, hidden gain sqrt(2)); Xavier
+uniform is provided for comparison/ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["orthogonal", "xavier_uniform", "zeros", "constant"]
+
+
+def orthogonal(
+    fan_in: int, fan_out: int, *, gain: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """An orthogonal ``(fan_in, fan_out)`` weight matrix scaled by ``gain``.
+
+    Rows/columns are orthonormal (whichever dimension is smaller), obtained
+    from the QR decomposition of a Gaussian matrix with sign correction so
+    the distribution is uniform over the orthogonal group.
+    """
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError(f"fan_in/fan_out must be >= 1, got {fan_in}, {fan_out}")
+    rng = as_generator(seed)
+    rows, cols = max(fan_in, fan_out), min(fan_in, fan_out)
+    gaussian = rng.normal(size=(rows, cols))
+    q, r = np.linalg.qr(gaussian)
+    q *= np.sign(np.diag(r))  # make the factorisation unique/uniform
+    if fan_in < fan_out:
+        q = q.T
+    return gain * q[:fan_in, :fan_out]
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, *, gain: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError(f"fan_in/fan_out must be >= 1, got {fan_in}, {fan_out}")
+    rng = as_generator(seed)
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """A zero array (bias initialisation)."""
+    return np.zeros(shape)
+
+
+def constant(value: float, *shape: int) -> np.ndarray:
+    """A constant-filled array (e.g. initial log-std)."""
+    return np.full(shape, float(value))

@@ -1,0 +1,203 @@
+"""Neural-network modules: Module base, Linear, activations, MLP.
+
+Mirrors the torch.nn API surface the paper's implementation would use:
+``Module.parameters()`` feeds the optimiser, ``Linear`` layers compose into
+an ``MLP`` with two 64-unit hidden layers (paper Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import NeuralNetworkError
+from repro.nn.init import orthogonal, zeros
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Module", "Linear", "Tanh", "ReLU", "Identity", "Sequential", "MLP"]
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules by attribute assignment."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable tensor of this module and its children."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield (dotted-name, tensor) pairs."""
+        for name, parameter in self._parameters.items():
+            yield f"{prefix}{name}", parameter
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter data in place; shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise NeuralNetworkError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise NeuralNetworkError(
+                    f"shape mismatch for {name!r}: "
+                    f"{value.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = value.copy()
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the module's output."""
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with orthogonal initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        gain: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise NeuralNetworkError(
+                f"features must be >= 1, got {in_features}, {out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            orthogonal(in_features, out_features, gain=gain, seed=seed),
+            requires_grad=True,
+        )
+        self.bias = Tensor(zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise NeuralNetworkError(
+                f"expected input of width {self.in_features}, got {x.shape}"
+            )
+        return x @ self.weight + self.bias
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Identity(Module):
+    """Pass-through module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Compose modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers = []
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+
+def _activation(name: str) -> Module:
+    table = {"tanh": Tanh, "relu": ReLU, "identity": Identity}
+    if name not in table:
+        raise NeuralNetworkError(
+            f"unknown activation {name!r}; choose from {sorted(table)}"
+        )
+    return table[name]()
+
+
+class MLP(Module):
+    """A fully connected network with configurable hidden sizes.
+
+    The paper uses two hidden layers of 64 units; the default output gain
+    of 0.01 is the PPO policy-head convention (small initial actions).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        *,
+        activation: str = "tanh",
+        output_gain: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(seed)
+        sizes = [in_features, *hidden_sizes]
+        layers: list[Module] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            layers.append(
+                Linear(fan_in, fan_out, gain=float(np.sqrt(2.0)), seed=rng)
+            )
+            layers.append(_activation(activation))
+        layers.append(Linear(sizes[-1], out_features, gain=output_gain, seed=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)

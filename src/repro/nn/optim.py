@@ -1,0 +1,134 @@
+"""First-order optimisers: SGD (with momentum) and Adam.
+
+The paper trains with Adam at lr = 1e-5 (Sec. V-A). Both optimisers also
+implement global-norm gradient clipping, the standard PPO stabiliser.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import NeuralNetworkError
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm. Parameters without gradients are skipped.
+    """
+    if max_norm <= 0.0:
+        raise NeuralNetworkError(f"max_norm must be > 0, got {max_norm}")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float((g**2).sum()) for g in grads))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser over an explicit parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor], learning_rate: float) -> None:
+        self._parameters = list(parameters)
+        if not self._parameters:
+            raise NeuralNetworkError("optimizer received no parameters")
+        if learning_rate <= 0.0:
+            raise NeuralNetworkError(f"learning_rate must be > 0, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    @property
+    def parameters(self) -> list[Tensor]:
+        """The parameters this optimiser updates."""
+        return self._parameters
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for parameter in self._parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float,
+        *,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise NeuralNetworkError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self._parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self._parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * parameter.grad
+            parameter.data = parameter.data + velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        learning_rate: float = 1e-5,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise NeuralNetworkError(
+                f"betas must be in [0, 1), got {beta1}, {beta2}"
+            )
+        if epsilon <= 0.0:
+            raise NeuralNetworkError(f"epsilon must be > 0, got {epsilon}")
+        self.beta1, self.beta2, self.epsilon = float(beta1), float(beta2), float(epsilon)
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self._parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self._parameters]
+
+    @property
+    def step_count(self) -> int:
+        """Number of updates applied so far."""
+        return self._step_count
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for parameter, m, v in zip(
+            self._parameters, self._first_moment, self._second_moment
+        ):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.learning_rate * m_hat / (
+                np.sqrt(v_hat) + self.epsilon
+            )

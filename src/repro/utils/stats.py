@@ -1,0 +1,108 @@
+"""Statistics helpers for multi-seed experiment reporting.
+
+Published-quality results need uncertainty: these helpers aggregate
+metric values across seeds into mean ± confidence interval, and provide a
+seeded bootstrap for non-Gaussian metrics (e.g. best-of-round utilities).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["SummaryStats", "summarize", "bootstrap_ci", "compare_means"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread, and a confidence interval for one metric."""
+
+    mean: float
+    std: float
+    count: int
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the confidence-interval width."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.count})"
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> SummaryStats:
+    """Mean with a Student-t confidence interval.
+
+    With one sample the interval degenerates to the point estimate.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(values, dtype=float)
+    mean = float(data.mean())
+    if data.size == 1:
+        return SummaryStats(
+            mean=mean, std=0.0, count=1, ci_low=mean, ci_high=mean,
+            confidence=confidence,
+        )
+    std = float(data.std(ddof=1))
+    sem = std / math.sqrt(data.size)
+    t_crit = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=data.size - 1))
+    return SummaryStats(
+        mean=mean,
+        std=std,
+        count=int(data.size),
+        ci_low=mean - t_crit * sem,
+        ci_high=mean + t_crit * sem,
+        confidence=confidence,
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap interval for an arbitrary statistic."""
+    if len(values) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    data = np.asarray(values, dtype=float)
+    rng = as_generator(seed)
+    estimates = np.array(
+        [
+            statistic(data[rng.integers(0, data.size, size=data.size)])
+            for _ in range(resamples)
+        ]
+    )
+    low = float(np.percentile(estimates, 100.0 * (0.5 - confidence / 2.0)))
+    high = float(np.percentile(estimates, 100.0 * (0.5 + confidence / 2.0)))
+    return low, high
+
+
+def compare_means(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Welch's t-test: returns (t statistic, p value).
+
+    Used by tests/benches to claim "scheme A beats scheme B" with
+    statistical backing rather than a single-seed comparison.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("need at least two samples per group")
+    t_stat, p_value = scipy_stats.ttest_ind(a, b, equal_var=False)
+    return float(t_stat), float(p_value)

@@ -1,0 +1,102 @@
+"""ASCII table rendering for experiment and benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+this module renders them as aligned monospace tables so the output of
+``pytest benchmarks/ --benchmark-only`` is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+__all__ = ["format_table", "Table"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are rounded to ``precision`` decimals; all other values use
+    ``str``. Raises :class:`ExperimentError` on ragged rows so malformed
+    results fail loudly instead of printing misaligned columns.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append([_format_cell(cell, precision) for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """An accumulating result table with named columns.
+
+    Used by the experiment harness: runners ``add_row`` as the sweep
+    progresses, then the bench prints ``str(table)`` and tests index columns
+    with :meth:`column`.
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    precision: int = 3
+    rows: list[tuple] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; must match the header arity."""
+        if len(cells) != len(self.headers):
+            raise ExperimentError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(tuple(cells))
+
+    def column(self, name: str) -> list:
+        """Return all values of the named column, in insertion order."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"unknown column {name!r}; have {list(self.headers)!r}"
+            ) from exc
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        return format_table(
+            self.headers, self.rows, precision=self.precision, title=self.title
+        )

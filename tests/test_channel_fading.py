@@ -1,0 +1,74 @@
+"""Fading-model tests: unit-mean normalisation and distribution shapes."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    LogNormalShadowing,
+    NoFading,
+    RayleighFading,
+    RicianFading,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+class TestNoFading:
+    def test_always_one(self, rng):
+        np.testing.assert_array_equal(NoFading().sample(rng, size=10), np.ones(10))
+
+
+class TestRayleighFading:
+    def test_unit_mean(self, rng):
+        samples = RayleighFading().sample(rng, size=200_000)
+        assert samples.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_exponential_variance(self, rng):
+        # Power gain ~ Exp(1): variance 1.
+        samples = RayleighFading().sample(rng, size=200_000)
+        assert samples.var() == pytest.approx(1.0, abs=0.05)
+
+    def test_nonnegative(self, rng):
+        assert (RayleighFading().sample(rng, size=1000) >= 0.0).all()
+
+
+class TestRicianFading:
+    def test_unit_mean(self, rng):
+        samples = RicianFading(k_factor=4.0).sample(rng, size=200_000)
+        assert samples.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_k_zero_matches_rayleigh_variance(self, rng):
+        samples = RicianFading(k_factor=0.0).sample(rng, size=200_000)
+        assert samples.var() == pytest.approx(1.0, abs=0.05)
+
+    def test_large_k_concentrates(self, rng):
+        # Strong LOS: variance shrinks toward 0.
+        weak = RicianFading(k_factor=0.5).sample(rng, size=100_000).var()
+        strong = RicianFading(k_factor=50.0).sample(rng, size=100_000).var()
+        assert strong < weak / 5.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RicianFading(k_factor=-1.0)
+
+
+class TestLogNormalShadowing:
+    def test_unit_mean(self, rng):
+        samples = LogNormalShadowing(sigma_db=8.0).sample(rng, size=300_000)
+        assert samples.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_median_below_mean(self, rng):
+        # Unit-mean lognormal has median exp(-s^2/2) < 1.
+        samples = LogNormalShadowing(sigma_db=8.0).sample(rng, size=100_000)
+        assert np.median(samples) < 1.0
+
+    def test_positive(self, rng):
+        assert (LogNormalShadowing(sigma_db=4.0).sample(rng, size=1000) > 0.0).all()
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowing(sigma_db=0.0)

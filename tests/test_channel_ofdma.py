@@ -1,0 +1,128 @@
+"""OFDMA pool tests: orthogonality invariants and rationing properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.ofdma import OfdmaPool, proportional_rationing
+from repro.errors import AllocationError, ConfigurationError
+
+
+class TestOfdmaPool:
+    def test_subchannel_width(self):
+        pool = OfdmaPool(total_bandwidth=50.0, num_subchannels=100)
+        assert pool.subchannel_width == 0.5
+
+    def test_allocate_grants_at_least_request(self):
+        pool = OfdmaPool(50.0, 100)
+        granted = pool.allocate("vmu-0", 1.2)
+        assert sum(s.width for s in granted) >= 1.2
+        assert pool.allocated_bandwidth("vmu-0") == pytest.approx(1.5)
+
+    def test_allocate_exact_multiple(self):
+        pool = OfdmaPool(50.0, 100)
+        pool.allocate("vmu-0", 2.0)
+        assert pool.allocated_bandwidth("vmu-0") == pytest.approx(2.0)
+
+    def test_free_bandwidth_decreases(self):
+        pool = OfdmaPool(50.0, 100)
+        pool.allocate("a", 10.0)
+        assert pool.free_bandwidth == pytest.approx(40.0)
+
+    def test_over_allocation_rejected(self):
+        pool = OfdmaPool(10.0, 10)
+        pool.allocate("a", 9.5)
+        with pytest.raises(AllocationError):
+            pool.allocate("b", 1.0)
+
+    def test_release_returns_width(self):
+        pool = OfdmaPool(50.0, 100)
+        pool.allocate("a", 5.0)
+        freed = pool.release("a")
+        assert freed == pytest.approx(5.0)
+        assert pool.free_bandwidth == pytest.approx(50.0)
+
+    def test_release_unknown_owner_is_noop(self):
+        pool = OfdmaPool(50.0, 100)
+        assert pool.release("ghost") == 0.0
+
+    def test_orthogonality_maintained(self):
+        pool = OfdmaPool(50.0, 100)
+        pool.allocate("a", 7.3)
+        pool.allocate("b", 12.9)
+        pool.release("a")
+        pool.allocate("c", 3.1)
+        assert pool.is_orthogonal()
+
+    def test_allocation_of_lists_subchannels(self):
+        pool = OfdmaPool(10.0, 10)
+        pool.allocate("a", 2.0)
+        subs = pool.allocation_of("a")
+        assert len(subs) == 2
+        assert all(s.width == 1.0 for s in subs)
+
+    def test_no_subchannel_double_owned(self):
+        pool = OfdmaPool(10.0, 10)
+        a = {s.index for s in pool.allocate("a", 4.0)}
+        b = {s.index for s in pool.allocate("b", 4.0)}
+        assert not a & b
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            OfdmaPool(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            OfdmaPool(10.0, 0)
+
+    def test_zero_request_rejected(self):
+        pool = OfdmaPool(10.0, 10)
+        with pytest.raises(ConfigurationError):
+            pool.allocate("a", 0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=8)
+    )
+    def test_sequential_allocations_stay_orthogonal(self, requests):
+        pool = OfdmaPool(100.0, 200)
+        for i, request in enumerate(requests):
+            pool.allocate(f"vmu-{i}", request)
+        assert pool.is_orthogonal()
+        total = sum(pool.allocated_bandwidth(f"vmu-{i}") for i in range(len(requests)))
+        assert total == pytest.approx(100.0 - pool.free_bandwidth)
+
+
+class TestProportionalRationing:
+    def test_within_capacity_unchanged(self):
+        assert proportional_rationing([1.0, 2.0], 10.0) == [1.0, 2.0]
+
+    def test_scales_to_capacity(self):
+        granted = proportional_rationing([6.0, 2.0], 4.0)
+        assert sum(granted) == pytest.approx(4.0)
+        assert granted[0] / granted[1] == pytest.approx(3.0)
+
+    def test_zero_demands(self):
+        assert proportional_rationing([0.0, 0.0], 5.0) == [0.0, 0.0]
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(AllocationError):
+            proportional_rationing([-1.0, 2.0], 5.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proportional_rationing([1.0], 0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=10),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_properties(self, demands, capacity):
+        granted = proportional_rationing(demands, capacity)
+        # never exceeds capacity (up to float noise)
+        assert sum(granted) <= capacity * (1.0 + 1e-9) or sum(demands) <= capacity
+        # never grants more than demanded
+        for d, g in zip(demands, granted):
+            assert g <= d * (1.0 + 1e-12)
+        # preserves ratios
+        for (d1, g1) in zip(demands, granted):
+            for (d2, g2) in zip(demands, granted):
+                if d1 > 0 and d2 > 0:
+                    assert g1 * d2 == pytest.approx(g2 * d1, rel=1e-9)

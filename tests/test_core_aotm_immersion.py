@@ -1,0 +1,111 @@
+"""AoTM metric and immersion-function tests (Eqs. 1-2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.link import paper_link
+from repro.core.aotm import aotm, aotm_mb, bandwidth_for_target_aotm, freshness_gain
+from repro.core.immersion import immersion, immersion_from_bandwidth, marginal_immersion
+from repro.errors import ConfigurationError
+from repro.game.analysis import numerical_derivative
+
+SE = paper_link().spectral_efficiency
+
+
+class TestAotm:
+    def test_eq1_value(self):
+        # A = D / (b SE).
+        assert aotm(2.0, 0.5, SE) == pytest.approx(2.0 / (0.5 * SE))
+
+    def test_zero_bandwidth_infinite(self):
+        assert aotm(1.0, 0.0, SE) == math.inf
+
+    def test_zero_data_zero_aotm(self):
+        assert aotm(0.0, 1.0, SE) == 0.0
+
+    def test_aotm_mb_uses_100mb_units(self):
+        assert aotm_mb(200.0, 0.5) == pytest.approx(aotm(2.0, 0.5, SE))
+
+    def test_aotm_mb_custom_link(self):
+        far = paper_link().with_distance(1000.0)
+        assert aotm_mb(100.0, 0.5, link=far) > aotm_mb(100.0, 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            aotm(-1.0, 1.0, SE)
+        with pytest.raises(ConfigurationError):
+            aotm(1.0, -1.0, SE)
+        with pytest.raises(ConfigurationError):
+            aotm(1.0, 1.0, 0.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_monotone(self, data, bandwidth):
+        # More data -> staler; more bandwidth -> fresher.
+        assert aotm(data * 2.0, bandwidth, SE) > aotm(data, bandwidth, SE)
+        assert aotm(data, bandwidth * 2.0, SE) < aotm(data, bandwidth, SE)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.01, max_value=5.0),
+    )
+    def test_bandwidth_inversion_round_trip(self, data, target):
+        bandwidth = bandwidth_for_target_aotm(data, target, SE)
+        assert aotm(data, bandwidth, SE) == pytest.approx(target, rel=1e-12)
+
+
+class TestFreshnessGain:
+    def test_zero_at_infinite_age(self):
+        assert freshness_gain(math.inf) == 0.0
+
+    def test_ln2_at_unit_age(self):
+        assert freshness_gain(1.0) == pytest.approx(math.log(2.0))
+
+    def test_monotone_decreasing(self):
+        assert freshness_gain(0.5) > freshness_gain(1.0) > freshness_gain(2.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            freshness_gain(0.0)
+
+
+class TestImmersion:
+    def test_scales_with_alpha(self):
+        assert immersion(10.0, 1.0) == pytest.approx(2.0 * immersion(5.0, 1.0))
+
+    def test_from_bandwidth_closed_form(self):
+        # G(b) = α ln(1 + b SE / D).
+        expected = 5.0 * math.log1p(0.5 * SE / 2.0)
+        assert immersion_from_bandwidth(5.0, 2.0, 0.5, SE) == pytest.approx(expected)
+
+    def test_zero_bandwidth_zero_immersion(self):
+        assert immersion_from_bandwidth(5.0, 2.0, 0.0, SE) == 0.0
+
+    def test_marginal_is_derivative(self):
+        for b in (0.05, 0.2, 1.0):
+            numeric = numerical_derivative(
+                lambda x: immersion_from_bandwidth(5.0, 2.0, x, SE), b
+            )
+            analytic = marginal_immersion(5.0, 2.0, b, SE)
+            assert analytic == pytest.approx(numeric, rel=1e-5)
+
+    def test_marginal_decreasing(self):
+        # Diminishing returns: d^2 G / db^2 < 0.
+        m1 = marginal_immersion(5.0, 2.0, 0.1, SE)
+        m2 = marginal_immersion(5.0, 2.0, 0.5, SE)
+        assert m2 < m1
+
+    @given(
+        st.floats(min_value=1.0, max_value=30.0),
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=0.001, max_value=5.0),
+    )
+    def test_immersion_positive_and_increasing(self, alpha, data, bandwidth):
+        low = immersion_from_bandwidth(alpha, data, bandwidth, SE)
+        high = immersion_from_bandwidth(alpha, data, bandwidth * 1.5, SE)
+        assert 0.0 < low < high

@@ -1,0 +1,129 @@
+"""Extended-metric tests: AoI family and alternative immersion shapes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.fading import NoFading, RayleighFading
+from repro.core.metrics import (
+    LogImmersion,
+    SigmoidImmersion,
+    average_aoi,
+    deadline_violation_probability,
+    peak_aoi,
+)
+from repro.core.immersion import immersion_from_bandwidth
+from repro.channel.link import paper_link
+
+SE = paper_link().spectral_efficiency
+
+
+class TestAverageAoi:
+    def test_zero_migration_is_classic_sawtooth(self):
+        assert average_aoi(2.0, 0.0) == pytest.approx(1.0)
+
+    def test_migration_adds_age(self):
+        assert average_aoi(2.0, 0.5) > average_aoi(2.0, 0.0)
+
+    def test_formula(self):
+        # period/2 + A + A^2/(2 period).
+        assert average_aoi(4.0, 1.0) == pytest.approx(2.0 + 1.0 + 0.125)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_monotone_in_aotm(self, period, aotm):
+        assert average_aoi(period, aotm + 0.1) > average_aoi(period, aotm)
+
+    def test_invalid(self):
+        with pytest.raises(Exception):
+            average_aoi(0.0, 1.0)
+        with pytest.raises(Exception):
+            average_aoi(1.0, -1.0)
+
+
+class TestPeakAoi:
+    def test_formula(self):
+        assert peak_aoi(2.0, 0.5) == 2.5
+
+    def test_bounds_average(self):
+        # peak age always exceeds the time-average age
+        assert peak_aoi(2.0, 0.5) > average_aoi(2.0, 0.5)
+
+
+class TestDeadlineViolation:
+    def test_deterministic_channel_binary(self):
+        # Feasible deadline -> probability 0; infeasible -> 1.
+        generous = deadline_violation_probability(
+            1.0, 0.5, deadline=10.0, fading=NoFading(), samples=100, seed=0
+        )
+        impossible = deadline_violation_probability(
+            1.0, 0.001, deadline=0.001, fading=NoFading(), samples=100, seed=0
+        )
+        assert generous == 0.0
+        assert impossible == 1.0
+
+    def test_fading_gives_intermediate_probability(self):
+        # Pick the deadline at the no-fading AoTM: roughly median outcome.
+        bandwidth = 0.5
+        nominal = 1.0 / (bandwidth * SE)
+        p = deadline_violation_probability(
+            1.0,
+            bandwidth,
+            deadline=nominal,
+            fading=RayleighFading(),
+            samples=20_000,
+            seed=0,
+        )
+        assert 0.05 < p < 0.95
+
+    def test_more_bandwidth_lowers_risk(self):
+        kwargs = dict(
+            deadline=0.06, fading=RayleighFading(), samples=20_000, seed=0
+        )
+        risky = deadline_violation_probability(1.0, 0.4, **kwargs)
+        safe = deadline_violation_probability(1.0, 1.2, **kwargs)
+        assert safe < risky
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(deadline=0.05, fading=RayleighFading(), samples=500)
+        assert deadline_violation_probability(
+            1.0, 0.5, seed=7, **kwargs
+        ) == deadline_violation_probability(1.0, 0.5, seed=7, **kwargs)
+
+
+class TestImmersionModels:
+    def test_log_matches_core_function(self):
+        model = LogImmersion()
+        assert model.from_bandwidth(5.0, 2.0, 0.5, SE) == pytest.approx(
+            immersion_from_bandwidth(5.0, 2.0, 0.5, SE)
+        )
+
+    def test_zero_bandwidth_zero_immersion(self):
+        for model in (LogImmersion(), SigmoidImmersion()):
+            assert model.from_bandwidth(5.0, 2.0, 0.0, SE) == 0.0
+
+    def test_sigmoid_threshold_behaviour(self):
+        model = SigmoidImmersion(midpoint=0.5, steepness=0.05)
+        fresh = model.immersion(5.0, 0.1)   # well inside the deadline
+        stale = model.immersion(5.0, 1.0)   # well past it
+        assert fresh > 0.9 * 5.0
+        assert stale < 0.1 * 5.0
+
+    def test_sigmoid_midpoint_half_value(self):
+        model = SigmoidImmersion(midpoint=0.5, steepness=0.1)
+        assert model.immersion(8.0, 0.5) == pytest.approx(4.0)
+
+    def test_both_monotone_decreasing_in_aotm(self):
+        for model in (LogImmersion(), SigmoidImmersion()):
+            values = [model.immersion(5.0, a) for a in (0.1, 0.5, 2.0)]
+            assert values[0] > values[1] > values[2]
+
+    def test_sigmoid_validation(self):
+        with pytest.raises(Exception):
+            SigmoidImmersion(midpoint=0.0)
+        with pytest.raises(Exception):
+            SigmoidImmersion(steepness=-1.0)

@@ -1,0 +1,146 @@
+"""Multi-MSP oligopoly tests: Bertrand undercutting and capacity effects."""
+
+import numpy as np
+import pytest
+
+from repro.core.multimsp import MspSpec, MultiMspMarket
+from repro.core.stackelberg import MarketConfig, StackelbergMarket
+from repro.entities.vmu import paper_fig2_population
+from repro.errors import ConfigurationError
+
+
+def duopoly(capacity=10.0, cost=5.0) -> MultiMspMarket:
+    return MultiMspMarket(
+        paper_fig2_population(),
+        [
+            MspSpec("msp-a", unit_cost=cost, capacity=capacity),
+            MspSpec("msp-b", unit_cost=cost, capacity=capacity),
+        ],
+    )
+
+
+class TestOutcome:
+    def test_cheapest_wins_all_demand(self):
+        market = duopoly()
+        outcome = market.outcome([20.0, 30.0])
+        assert outcome.msp_sales[0] > 0.0
+        assert outcome.msp_sales[1] == 0.0
+
+    def test_tie_splits_demand(self):
+        market = duopoly()
+        outcome = market.outcome([20.0, 20.0])
+        assert outcome.msp_sales[0] == pytest.approx(outcome.msp_sales[1])
+
+    def test_demand_matches_monopoly_at_same_price(self):
+        market = duopoly(capacity=10.0)
+        mono = StackelbergMarket(
+            paper_fig2_population(),
+            config=MarketConfig(enforce_capacity=False),
+        )
+        outcome = market.outcome([20.0, 25.0])
+        np.testing.assert_allclose(
+            outcome.vmu_allocations, mono.best_response(20.0)
+        )
+
+    def test_capacity_rationing_per_msp(self):
+        tight = duopoly(capacity=0.05)
+        outcome = tight.outcome([10.0, 10.0])
+        assert outcome.msp_sales[0] <= 0.05 + 1e-12
+        assert outcome.msp_sales[1] <= 0.05 + 1e-12
+
+    def test_price_vector_validated(self):
+        market = duopoly()
+        with pytest.raises(ConfigurationError):
+            market.outcome([20.0])
+        with pytest.raises(ConfigurationError):
+            market.outcome([20.0, -1.0])
+
+    def test_utilities_are_margin_times_sales(self):
+        market = duopoly()
+        outcome = market.outcome([20.0, 30.0])
+        assert outcome.msp_utilities[0] == pytest.approx(
+            (20.0 - 5.0) * outcome.msp_sales[0]
+        )
+        assert outcome.msp_utilities[1] == 0.0
+
+
+class TestBertrandCompetition:
+    def test_duopoly_prices_driven_toward_cost(self):
+        """Unconstrained identical duopoly: undercutting pushes prices
+        near marginal cost — competition destroys the monopoly margin."""
+        market = duopoly(capacity=10.0, cost=5.0)
+        eq = market.equilibrium(initial_prices=[25.0, 30.0])
+        monopoly_price = StackelbergMarket(
+            paper_fig2_population()
+        ).equilibrium().price
+        assert max(eq.prices) < monopoly_price
+        assert max(eq.prices) < 5.0 * 1.6  # within 60% of cost
+
+    def test_monopoly_special_case_matches_stackelberg(self):
+        """One MSP in the oligopoly model == the paper's monopoly."""
+        single = MultiMspMarket(
+            paper_fig2_population(),
+            [MspSpec("only", unit_cost=5.0, capacity=0.5)],
+        )
+        eq = single.equilibrium()
+        reference = StackelbergMarket(paper_fig2_population()).equilibrium()
+        assert eq.converged
+        assert eq.prices[0] == pytest.approx(reference.price, rel=0.01)
+        assert eq.msp_utilities[0] == pytest.approx(
+            reference.msp_utility, rel=0.01
+        )
+
+    def test_competition_raises_vmu_welfare(self):
+        """VMUs are better off under duopoly than monopoly (lower price)."""
+        market = duopoly(capacity=10.0)
+        eq = market.equilibrium(initial_prices=[25.0, 30.0])
+        duopoly_price = float(eq.prices.min())
+        monopoly_price = StackelbergMarket(
+            paper_fig2_population()
+        ).equilibrium().price
+        assert duopoly_price < monopoly_price
+
+    def test_asymmetric_costs_low_cost_wins(self):
+        market = MultiMspMarket(
+            paper_fig2_population(),
+            [
+                MspSpec("cheap", unit_cost=5.0, capacity=10.0),
+                MspSpec("dear", unit_cost=12.0, capacity=10.0),
+            ],
+        )
+        eq = market.equilibrium(initial_prices=[20.0, 20.0])
+        outcome = market.outcome(eq.prices.tolist())
+        # The low-cost provider captures the market.
+        assert outcome.msp_sales[0] > 0.0
+        assert outcome.msp_sales[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_nonconvergence_reported_not_raised(self):
+        # One iteration cannot reach a fixed point from a bad start.
+        market = duopoly()
+        eq = market.equilibrium(initial_prices=[50.0, 6.0], max_iterations=1)
+        assert not eq.converged
+        assert eq.iterations == 1
+
+
+class TestValidation:
+    def test_duplicate_msp_ids(self):
+        with pytest.raises(ConfigurationError):
+            MultiMspMarket(
+                paper_fig2_population(),
+                [
+                    MspSpec("x", unit_cost=5.0, capacity=1.0),
+                    MspSpec("x", unit_cost=6.0, capacity=1.0),
+                ],
+            )
+
+    def test_empty_inputs(self):
+        with pytest.raises(ConfigurationError):
+            MultiMspMarket([], [MspSpec("x", unit_cost=5.0, capacity=1.0)])
+        with pytest.raises(ConfigurationError):
+            MultiMspMarket(paper_fig2_population(), [])
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            MspSpec("x", unit_cost=0.0, capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            MspSpec("x", unit_cost=5.0, capacity=0.0)

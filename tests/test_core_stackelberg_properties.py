@@ -1,0 +1,141 @@
+"""Deeper property-based tests of the Stackelberg market's structure.
+
+These encode the *scaling laws* implied by Theorem 2's closed form —
+invariances a correct implementation must satisfy for every market, not
+just the paper's operating point:
+
+- permutation invariance: relabelling VMUs changes nothing aggregate
+  (prices compared at 1e-5: the equilibrium's numeric refinement resolves
+  the flat top of the concave leader utility to ~1e-8);
+- cost scaling: ``p* ∝ sqrt(C)`` while demand totals scale as 1/sqrt(C);
+- joint (α, D) scaling: multiplying every α_n and D_n by the same factor
+  leaves the price fixed and scales demand linearly;
+- replication: duplicating the whole population doubles MSP utility when
+  capacity is slack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stackelberg import MarketConfig, StackelbergMarket
+from repro.entities.vmu import VmuProfile
+
+NO_CAP = MarketConfig(enforce_capacity=False)
+
+
+def build(alphas, datas, *, config=NO_CAP):
+    vmus = [
+        VmuProfile(f"v{i}", data_size_mb=float(d), immersion_coef=float(a))
+        for i, (a, d) in enumerate(zip(alphas, datas))
+    ]
+    return StackelbergMarket(vmus, config=config)
+
+
+population = st.lists(
+    st.tuples(
+        st.floats(min_value=5.0, max_value=20.0),
+        st.floats(min_value=100.0, max_value=300.0),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestScalingLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(population)
+    def test_permutation_invariance(self, pop):
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        forward = build(alphas, datas).equilibrium()
+        backward = build(alphas[::-1], datas[::-1]).equilibrium()
+        assert forward.price == pytest.approx(backward.price, rel=1e-5)
+        assert forward.msp_utility == pytest.approx(
+            backward.msp_utility, rel=1e-9
+        )
+        np.testing.assert_allclose(
+            np.sort(forward.demands), np.sort(backward.demands), rtol=1e-5
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(population, st.floats(min_value=1.5, max_value=4.0))
+    def test_price_scales_with_sqrt_cost(self, pop, factor):
+        """p*(kC) = sqrt(k) p*(C) while no drop-out threshold is crossed."""
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        base = build(alphas, datas)
+        scaled = base.with_unit_cost(5.0 * factor)
+        p_base = base.unconstrained_equilibrium_price()
+        p_scaled = scaled.unconstrained_equilibrium_price()
+        assert p_scaled == pytest.approx(p_base * factor**0.5, rel=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(population, st.floats(min_value=0.5, max_value=3.0))
+    def test_joint_alpha_data_scaling_fixes_price(self, pop, factor):
+        """Scaling every (α_n, D_n) by k leaves p* unchanged and scales
+        each demand by k (both terms of Eq. 8 are linear in k)."""
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        base = build(alphas, datas).equilibrium()
+        scaled = build(
+            [a * factor for a in alphas], [d * factor for d in datas]
+        ).equilibrium()
+        assert scaled.price == pytest.approx(base.price, rel=1e-5)
+        np.testing.assert_allclose(
+            scaled.demands, base.demands * factor, rtol=1e-5
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(population)
+    def test_replication_doubles_utility(self, pop):
+        """Two copies of the population at the same price: same p*, twice
+        the MSP utility (capacity off)."""
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        single = build(alphas, datas).equilibrium()
+        doubled = build(alphas * 2, datas * 2).equilibrium()
+        assert doubled.price == pytest.approx(single.price, rel=1e-5)
+        assert doubled.msp_utility == pytest.approx(
+            2.0 * single.msp_utility, rel=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(population)
+    def test_equilibrium_utility_bounds_every_round(self, pop):
+        """No posted price can beat the equilibrium utility (Definition 1)."""
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        market = build(alphas, datas)
+        equilibrium = market.equilibrium()
+        for price in np.linspace(5.0, 50.0, 60):
+            assert market.msp_utility(float(price)) <= equilibrium.msp_utility * (
+                1.0 + 1e-9
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        population,
+        st.floats(min_value=6.0, max_value=49.0),
+    )
+    def test_vmu_utilities_nonnegative_at_best_response(self, pop, price):
+        """Playing the best response can never hurt a VMU below zero
+        (b = 0 is always feasible with utility 0)."""
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        market = build(alphas, datas)
+        outcome = market.round_outcome(price)
+        assert (outcome.vmu_utilities >= -1e-12).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(population, st.floats(min_value=1.1, max_value=5.0))
+    def test_capacity_only_ever_lowers_msp_utility(self, pop, shrink):
+        """Adding a capacity constraint can only reduce the leader's
+        equilibrium utility."""
+        alphas = [a for a, _ in pop]
+        datas = [d for _, d in pop]
+        free = build(alphas, datas).equilibrium()
+        capped_config = MarketConfig(max_bandwidth=50.0 / shrink)
+        capped = build(alphas, datas, config=capped_config).equilibrium()
+        assert capped.msp_utility <= free.msp_utility * (1.0 + 1e-9)

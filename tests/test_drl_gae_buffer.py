@@ -1,0 +1,167 @@
+"""GAE and rollout-buffer tests: return identities and buffer lifecycle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drl.buffer import RolloutBuffer
+from repro.drl.gae import discounted_returns, generalized_advantages, paper_advantages
+from repro.errors import ConfigurationError
+
+floats = st.floats(min_value=-5.0, max_value=5.0)
+
+
+class TestDiscountedReturns:
+    def test_brute_force(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        gamma = 0.9
+        expected = [
+            1.0 + 0.9 * 2.0 + 0.81 * 3.0,
+            2.0 + 0.9 * 3.0,
+            3.0,
+        ]
+        np.testing.assert_allclose(discounted_returns(rewards, gamma), expected)
+
+    def test_bootstrap(self):
+        returns = discounted_returns(np.array([1.0]), 0.5, bootstrap_value=10.0)
+        assert returns[0] == pytest.approx(1.0 + 0.5 * 10.0)
+
+    def test_gamma_zero_is_immediate(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(discounted_returns(rewards, 0.0), rewards)
+
+    def test_gamma_one_is_cumulative(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(discounted_returns(rewards, 1.0), [3.0, 2.0, 1.0])
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            discounted_returns(np.array([1.0]), 1.5)
+
+
+class TestAdvantages:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(floats, min_size=1, max_size=20),
+        st.lists(floats, min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=1.0),
+        floats,
+    )
+    def test_eq18_equals_gae_lambda_one(self, rewards, values, gamma, bootstrap):
+        """The paper's Eq. (18) advantage is exactly GAE(λ = 1)."""
+        n = min(len(rewards), len(values))
+        r = np.array(rewards[:n])
+        v = np.array(values[:n])
+        paper = paper_advantages(r, v, gamma, bootstrap_value=bootstrap)
+        gae = generalized_advantages(r, v, gamma, 1.0, bootstrap_value=bootstrap)
+        np.testing.assert_allclose(paper, gae, rtol=1e-10, atol=1e-10)
+
+    def test_gae_lambda_zero_is_td_residual(self):
+        r = np.array([1.0, 2.0])
+        v = np.array([0.5, 1.5])
+        gae = generalized_advantages(r, v, 0.9, 0.0, bootstrap_value=3.0)
+        np.testing.assert_allclose(
+            gae, [1.0 + 0.9 * 1.5 - 0.5, 2.0 + 0.9 * 3.0 - 1.5]
+        )
+
+    def test_perfect_critic_zero_advantage(self):
+        # If V matches the true returns, advantages vanish at λ = 1.
+        rewards = np.array([1.0, 1.0, 1.0])
+        values = discounted_returns(rewards, 0.9)
+        adv = paper_advantages(rewards, values, 0.9)
+        np.testing.assert_allclose(adv, np.zeros(3), atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paper_advantages(np.ones(3), np.ones(2), 0.9)
+        with pytest.raises(ValueError):
+            generalized_advantages(np.ones(3), np.ones(2), 0.9, 0.95)
+
+
+class TestRolloutBuffer:
+    def _filled(self, n=6, gamma=0.9, lam=1.0) -> RolloutBuffer:
+        buffer = RolloutBuffer(gamma=gamma, lam=lam)
+        for k in range(n):
+            buffer.add(
+                observation=np.full(3, float(k)),
+                action=np.array([float(k)]),
+                reward=1.0,
+                log_prob=-0.5 * k,
+                value=0.1 * k,
+            )
+        return buffer
+
+    def test_len(self):
+        assert len(self._filled(4)) == 4
+
+    def test_finalize_then_sample(self):
+        buffer = self._filled()
+        buffer.finalize(bootstrap_value=0.0)
+        batch = buffer.sample(4, seed=0)
+        assert batch.observations.shape == (4, 3)
+        assert batch.actions.shape == (4, 1)
+        assert batch.advantages.shape == (4,)
+
+    def test_sample_before_finalize_rejected(self):
+        with pytest.raises(ConfigurationError, match="finalize"):
+            self._filled().sample(2)
+
+    def test_add_after_finalize_rejected(self):
+        buffer = self._filled()
+        buffer.finalize()
+        with pytest.raises(ConfigurationError):
+            buffer.add(np.zeros(3), np.zeros(1), 0.0, 0.0, 0.0)
+
+    def test_finalize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RolloutBuffer(gamma=0.9).finalize()
+
+    def test_clear_resets(self):
+        buffer = self._filled()
+        buffer.finalize()
+        buffer.clear()
+        assert len(buffer) == 0
+        assert not buffer.finalized
+
+    def test_returns_match_gae_module(self):
+        buffer = self._filled(5, gamma=0.8)
+        buffer.finalize(bootstrap_value=2.0)
+        batch = buffer.minibatches(5, seed=0)[0]
+        # minibatches(5) on 5 items covers all; sort by observation to undo shuffle
+        order = np.argsort(batch.observations[:, 0])
+        expected = discounted_returns(np.ones(5), 0.8, bootstrap_value=2.0)
+        np.testing.assert_allclose(batch.returns[order], expected)
+
+    def test_minibatches_cover_everything_once(self):
+        buffer = self._filled(10)
+        buffer.finalize()
+        batches = buffer.minibatches(3, seed=1)
+        seen = np.concatenate([b.observations[:, 0] for b in batches])
+        assert sorted(seen.tolist()) == [float(k) for k in range(10)]
+
+    def test_sample_with_replacement_when_small(self):
+        buffer = self._filled(2)
+        buffer.finalize()
+        batch = buffer.sample(8, seed=0)
+        assert batch.observations.shape[0] == 8
+
+    def test_invalid_batch_size(self):
+        buffer = self._filled()
+        buffer.finalize()
+        with pytest.raises(ConfigurationError):
+            buffer.sample(0)
+
+    def test_invalid_gamma_lam(self):
+        with pytest.raises(ConfigurationError):
+            RolloutBuffer(gamma=1.2)
+        with pytest.raises(ConfigurationError):
+            RolloutBuffer(gamma=0.9, lam=-0.1)
+
+    def test_stored_arrays_are_copies(self):
+        buffer = RolloutBuffer(gamma=0.9)
+        obs = np.zeros(3)
+        buffer.add(obs, np.zeros(1), 0.0, 0.0, 0.0)
+        obs[:] = 99.0
+        buffer.finalize()
+        assert buffer.sample(1, seed=0).observations[0, 0] == 0.0

@@ -1,0 +1,194 @@
+"""Policy/PPO tests: action scaling, actor-critic wiring, update mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.drl.buffer import MiniBatch, RolloutBuffer
+from repro.drl.policy import ActionScaler, ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Tensor
+
+
+class TestActionScaler:
+    def test_raw_zero_is_mid_price(self):
+        scaler = ActionScaler(low=5.0, high=50.0)
+        assert scaler.to_price(0.0) == pytest.approx(27.5)
+
+    def test_raw_one_is_high(self):
+        scaler = ActionScaler(low=5.0, high=50.0)
+        assert scaler.to_price(1.0) == pytest.approx(50.0)
+        assert scaler.to_price(-1.0) == pytest.approx(5.0)
+
+    def test_clipping_beyond_unit(self):
+        scaler = ActionScaler(low=5.0, high=50.0)
+        assert scaler.to_price(7.0) == 50.0
+        assert scaler.to_price(-7.0) == 5.0
+
+    def test_inverse(self):
+        scaler = ActionScaler(low=5.0, high=50.0)
+        assert scaler.to_raw(27.5) == pytest.approx(0.0)
+        assert scaler.to_raw(50.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_round_trip_inside_range(self, raw):
+        scaler = ActionScaler(low=5.0, high=50.0)
+        assert scaler.to_raw(scaler.to_price(raw)) == pytest.approx(raw, abs=1e-12)
+
+    @given(st.floats(min_value=-10.0, max_value=10.0))
+    def test_price_always_feasible(self, raw):
+        scaler = ActionScaler(low=5.0, high=50.0)
+        assert 5.0 <= scaler.to_price(raw) <= 50.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ActionScaler(low=5.0, high=5.0)
+
+
+class TestActorCritic:
+    def test_distribution_and_value_shapes(self):
+        net = ActorCritic(obs_dim=12, hidden_sizes=(64, 64), seed=0)
+        obs = Tensor(np.zeros((7, 12)))
+        dist, value = net.evaluate(obs)
+        assert dist.mean.shape == (7, 1)
+        assert value.shape == (7,)
+
+    def test_wrong_obs_width_rejected(self):
+        net = ActorCritic(obs_dim=12, seed=0)
+        with pytest.raises(ConfigurationError):
+            net.value(Tensor(np.zeros((2, 5))))
+
+    def test_act_deterministic_is_repeatable(self):
+        net = ActorCritic(obs_dim=4, seed=0)
+        obs = np.ones(4)
+        a1, _, _ = net.act(obs, deterministic=True)
+        a2, _, _ = net.act(obs, deterministic=True)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_act_stochastic_varies(self):
+        net = ActorCritic(obs_dim=4, seed=0)
+        obs = np.ones(4)
+        a1, _, _ = net.act(obs, seed=1)
+        a2, _, _ = net.act(obs, seed=2)
+        assert a1[0] != a2[0]
+
+    def test_act_returns_consistent_log_prob(self):
+        net = ActorCritic(obs_dim=4, seed=0)
+        obs = np.ones(4)
+        raw, log_prob, _ = net.act(obs, seed=3)
+        dist = net.distribution(Tensor(obs.reshape(1, -1)))
+        assert dist.log_prob(raw.reshape(1, -1)).data[0] == pytest.approx(log_prob)
+
+    def test_shared_trunk_feeds_both_heads(self):
+        """A gradient step through the value head must move trunk params
+        (the paper: policy and value share θ)."""
+        net = ActorCritic(obs_dim=4, seed=0)
+        value = net.value(Tensor(np.ones((2, 4))))
+        value.sum().backward()
+        trunk_grads = [p.grad for p in net.trunk.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in trunk_grads)
+
+    def test_log_std_is_trainable(self):
+        net = ActorCritic(obs_dim=4, seed=0)
+        assert any(p is net.log_std for p in net.parameters())
+
+    def test_initial_policy_near_mid(self):
+        # Small actor-head gain: raw mean ~0 at init (mid price after scaling).
+        net = ActorCritic(obs_dim=4, seed=0)
+        dist = net.distribution(Tensor(np.random.default_rng(0).normal(size=(10, 4))))
+        assert np.abs(dist.mean.data).max() < 0.2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ActorCritic(obs_dim=0)
+        with pytest.raises(ConfigurationError):
+            ActorCritic(obs_dim=4, hidden_sizes=())
+
+
+def make_batch(agent: PPOAgent, n=16, seed=0) -> MiniBatch:
+    rng = np.random.default_rng(seed)
+    buffer = RolloutBuffer(gamma=0.0)
+    for _ in range(n):
+        obs = rng.normal(size=agent.network.obs_dim)
+        raw, log_prob, value = agent.act(obs, seed=rng)
+        reward = -float(raw[0] ** 2)  # bandit: prefer raw action 0
+        buffer.add(obs, raw, reward, log_prob, value)
+    buffer.finalize(0.0)
+    return buffer.sample(n, seed=rng)
+
+
+class TestPPOAgent:
+    def test_update_returns_stats(self):
+        agent = PPOAgent(ActorCritic(obs_dim=4, seed=0), PPOConfig(learning_rate=1e-3))
+        stats = agent.update(make_batch(agent))
+        assert np.isfinite(stats.policy_loss)
+        assert stats.value_loss >= 0.0
+        assert 0.0 <= stats.clip_fraction <= 1.0
+
+    def test_first_update_unclipped(self):
+        """On-policy first step: ratio == 1 everywhere, clip fraction 0,
+        approx KL ~ 0."""
+        agent = PPOAgent(ActorCritic(obs_dim=4, seed=0), PPOConfig(learning_rate=1e-4))
+        stats = agent.update(make_batch(agent))
+        assert stats.clip_fraction == 0.0
+        assert abs(stats.approx_kl) < 1e-9
+
+    def test_update_moves_parameters(self):
+        agent = PPOAgent(ActorCritic(obs_dim=4, seed=0), PPOConfig(learning_rate=1e-2))
+        before = agent.network.state_dict()
+        agent.update(make_batch(agent))
+        after = agent.network.state_dict()
+        moved = any(
+            not np.allclose(before[name], after[name]) for name in before
+        )
+        assert moved
+
+    def test_bandit_improves(self):
+        """PPO on a 1-step bandit (reward = -raw²) shifts the policy mean
+        toward 0 and shrinks the loss."""
+        agent = PPOAgent(
+            ActorCritic(obs_dim=2, seed=1, initial_log_std=0.0),
+            PPOConfig(learning_rate=5e-3),
+        )
+        obs = np.zeros(2)
+        def mean_abs_action():
+            dist = agent.network.distribution(Tensor(obs.reshape(1, -1)))
+            return abs(float(dist.mean.data[0, 0]))
+        # Nudge the policy off-centre first so there is something to learn.
+        for p in agent.network.actor_head.parameters():
+            p.data = p.data + 0.3
+        start = mean_abs_action()
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            buffer = RolloutBuffer(gamma=0.0)
+            for _ in range(32):
+                raw, log_prob, value = agent.act(obs, seed=rng)
+                buffer.add(obs, raw, -float(raw[0] ** 2), log_prob, value)
+            buffer.finalize(0.0)
+            agent.update(buffer.sample(32, seed=rng))
+        assert mean_abs_action() < start
+
+    def test_value_function_learns_constant(self):
+        agent = PPOAgent(ActorCritic(obs_dim=2, seed=0), PPOConfig(learning_rate=1e-2))
+        obs = np.ones(2)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            buffer = RolloutBuffer(gamma=0.0)
+            for _ in range(8):
+                raw, log_prob, value = agent.act(obs, seed=rng)
+                buffer.add(obs, raw, 3.0, log_prob, value)  # constant reward
+            buffer.finalize(0.0)
+            agent.update(buffer.sample(8, seed=rng))
+        assert agent.value(obs) == pytest.approx(3.0, abs=0.5)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            PPOConfig(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PPOConfig(clip_epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            PPOConfig(value_coef=-1.0)
+        with pytest.raises(ConfigurationError):
+            PPOConfig(max_grad_norm=0.0)

@@ -1,0 +1,105 @@
+"""Algorithm-1 trainer tests: plumbing on smoke budgets, traces, configs."""
+
+import numpy as np
+import pytest
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.drl.policy import ActionScaler, ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig
+from repro.drl.trainer import Trainer, TrainerConfig, train_pricing_agent
+from repro.entities.vmu import paper_fig2_population
+from repro.env.migration_game import MigrationGameEnv
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def env():
+    market = StackelbergMarket(paper_fig2_population())
+    return MigrationGameEnv(
+        market,
+        history_length=2,
+        rounds_per_episode=10,
+        reward_mode="utility",
+        seed=0,
+    )
+
+
+SMOKE = TrainerConfig(
+    num_episodes=3,
+    update_interval=5,
+    update_epochs=2,
+    batch_size=5,
+    gamma=0.0,
+)
+
+
+class TestTrainer:
+    def test_traces_have_episode_length(self, env):
+        agent, result, scaler = train_pricing_agent(
+            env, trainer_config=SMOKE, ppo_config=PPOConfig(learning_rate=1e-3), seed=0
+        )
+        assert result.num_episodes == 3
+        assert len(result.episode_best_utilities) == 3
+        assert len(result.episode_mean_utilities) == 3
+        assert len(result.episode_final_prices) == 3
+
+    def test_updates_happen(self, env):
+        _, result, _ = train_pricing_agent(
+            env, trainer_config=SMOKE, ppo_config=PPOConfig(learning_rate=1e-3), seed=0
+        )
+        # 10 rounds per episode / 5-round interval * 2 epochs * 3 episodes.
+        assert len(result.update_stats) == 12
+
+    def test_prices_feasible(self, env):
+        _, result, scaler = train_pricing_agent(
+            env, trainer_config=SMOKE, ppo_config=PPOConfig(learning_rate=1e-3), seed=0
+        )
+        assert all(5.0 <= p <= 50.0 for p in result.episode_final_prices)
+
+    def test_deterministic_given_seed(self, env):
+        market = StackelbergMarket(paper_fig2_population())
+
+        def run():
+            fresh_env = MigrationGameEnv(
+                market,
+                history_length=2,
+                rounds_per_episode=10,
+                reward_mode="utility",
+                seed=0,
+            )
+            _, result, _ = train_pricing_agent(
+                fresh_env,
+                trainer_config=SMOKE,
+                ppo_config=PPOConfig(learning_rate=1e-3),
+                seed=11,
+            )
+            return result.episode_returns
+
+        assert run() == run()
+
+    def test_tail_mean_best_utility(self, env):
+        _, result, _ = train_pricing_agent(
+            env, trainer_config=SMOKE, ppo_config=PPOConfig(learning_rate=1e-3), seed=0
+        )
+        tail = result.tail_mean_best_utility(1.0)
+        assert tail == pytest.approx(np.mean(result.episode_best_utilities))
+        with pytest.raises(ConfigurationError):
+            result.tail_mean_best_utility(0.0)
+
+    def test_manual_trainer_wiring(self, env):
+        network = ActorCritic(env.observation_dim, (8,), seed=0)
+        agent = PPOAgent(network, PPOConfig(learning_rate=1e-3))
+        scaler = ActionScaler(env.action_low, env.action_high)
+        trainer = Trainer(env, agent, scaler, SMOKE, seed=0)
+        result = trainer.train()
+        assert result.num_episodes == 3
+        price = trainer.evaluate_price()
+        assert 5.0 <= price <= 50.0
+
+    def test_invalid_trainer_config(self):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(num_episodes=0)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(gamma=1.5)
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(batch_size=0)

@@ -1,0 +1,127 @@
+"""World-registry tests: hosting invariants and migration bookkeeping."""
+
+import pytest
+
+from repro.entities.registry import World
+from repro.entities.rsu import RoadsideUnit
+from repro.entities.vmu import VmuProfile
+from repro.errors import ConfigurationError
+
+
+def make_world() -> World:
+    world = World()
+    for index in range(3):
+        world.add_rsu(
+            RoadsideUnit(
+                rsu_id=f"rsu-{index}",
+                position_m=(1000.0 * index, 0.0),
+                coverage_radius_m=700.0,
+            )
+        )
+    return world
+
+
+class TestRegistration:
+    def test_add_vmu_creates_twin(self):
+        world = make_world()
+        twin = world.add_vmu(VmuProfile("v0", 150.0, 5.0))
+        assert twin.vt_id == "vt:v0"
+        assert twin.data_size_mb == pytest.approx(150.0)
+        assert world.twin_of("v0") is twin
+
+    def test_duplicate_vmu_rejected(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            world.add_vmu(VmuProfile("v0", 100.0, 5.0))
+
+    def test_duplicate_rsu_rejected(self):
+        world = make_world()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            world.add_rsu(
+                RoadsideUnit("rsu-0", position_m=(0, 0), coverage_radius_m=1.0)
+            )
+
+    def test_unknown_twin_lookup(self):
+        with pytest.raises(ConfigurationError, match="no twin"):
+            make_world().twin_of("ghost")
+
+
+class TestHosting:
+    def test_host_on_add(self):
+        world = make_world()
+        twin = world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        assert twin.host_rsu_id == "rsu-0"
+        assert "vt:v0" in world.rsus["rsu-0"].hosted_vt_ids
+        world.check_invariants()
+
+    def test_double_host_rejected(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        with pytest.raises(ConfigurationError, match="already hosted"):
+            world.host_twin("vt:v0", "rsu-1")
+
+    def test_host_on_unknown_rsu(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0))
+        with pytest.raises(ConfigurationError, match="unknown RSU"):
+            world.host_twin("vt:v0", "rsu-99")
+
+
+class TestMigration:
+    def test_migrate_moves_hosting(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        world.migrate_twin("vt:v0", "rsu-1")
+        twin = world.twin_of("v0")
+        assert twin.host_rsu_id == "rsu-1"
+        assert twin.migration_count == 1
+        assert "vt:v0" not in world.rsus["rsu-0"].hosted_vt_ids
+        assert "vt:v0" in world.rsus["rsu-1"].hosted_vt_ids
+        world.check_invariants()
+
+    def test_migrate_releases_source_storage(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        before = world.rsus["rsu-0"].edge.free_storage_mb
+        world.migrate_twin("vt:v0", "rsu-1")
+        after = world.rsus["rsu-0"].edge.free_storage_mb
+        assert after == pytest.approx(before + 150.0)
+
+    def test_migrate_unhosted_rejected(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0))
+        with pytest.raises(ConfigurationError, match="not hosted"):
+            world.migrate_twin("vt:v0", "rsu-1")
+
+    def test_migrate_to_same_rsu_rejected(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        with pytest.raises(ConfigurationError, match="already hosted"):
+            world.migrate_twin("vt:v0", "rsu-0")
+
+    def test_repeated_migrations_count(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        world.migrate_twin("vt:v0", "rsu-1")
+        world.migrate_twin("vt:v0", "rsu-2")
+        world.migrate_twin("vt:v0", "rsu-0")
+        assert world.twin_of("v0").migration_count == 3
+        world.check_invariants()
+
+
+class TestInvariantChecking:
+    def test_detects_dangling_host(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        # Corrupt: twin points at rsu-1 but rsu-1 doesn't list it.
+        world.twins["vt:v0"].host_rsu_id = "rsu-1"
+        with pytest.raises(ConfigurationError):
+            world.check_invariants()
+
+    def test_detects_orphan_listing(self):
+        world = make_world()
+        world.add_vmu(VmuProfile("v0", 150.0, 5.0), host_rsu_id="rsu-0")
+        world.rsus["rsu-1"].hosted_vt_ids.add("vt:v0")
+        with pytest.raises(ConfigurationError):
+            world.check_invariants()

@@ -1,0 +1,212 @@
+"""Environment tests: POMDP structure, Eq.-12 reward, episode lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population
+from repro.env.migration_game import MigrationGameEnv
+from repro.env.wrappers import EpisodeStats, NormalizeObservation, RunningMeanStd
+from repro.errors import EnvironmentError_
+
+
+@pytest.fixture
+def market():
+    return StackelbergMarket(paper_fig2_population())
+
+
+def make_env(market, **kwargs):
+    defaults = dict(history_length=4, rounds_per_episode=10, seed=0)
+    defaults.update(kwargs)
+    return MigrationGameEnv(market, **defaults)
+
+
+class TestObservations:
+    def test_observation_dim(self, market):
+        env = make_env(market, history_length=4)
+        # L * (1 + N) = 4 * 3.
+        assert env.observation_dim == 12
+        assert env.reset().shape == (12,)
+
+    def test_observation_dim_scales_with_n(self, market):
+        from repro.entities.vmu import uniform_population
+
+        env = make_env(market.with_vmus(uniform_population(5)), history_length=2)
+        assert env.observation_dim == 2 * 6
+
+    def test_observations_normalised(self, market):
+        env = make_env(market)
+        obs = env.reset()
+        assert np.all(obs >= 0.0)
+        assert np.all(obs <= 1.5)  # prices/pmax <= 1, demands/capacity O(1)
+
+    def test_reset_randomises_history(self, market):
+        env = make_env(market, seed=1)
+        a = env.reset()
+        b = env.reset()
+        assert not np.array_equal(a, b)
+
+    def test_observation_rolls_forward(self, market):
+        env = make_env(market)
+        env.reset()
+        obs, _, _, _ = env.step(25.0)
+        entry_width = 1 + market.num_vmus
+        # Newest entry is the price we just posted (normalised).
+        assert obs[-entry_width] == pytest.approx(25.0 / 50.0)
+
+
+class TestRewards:
+    def test_first_round_always_rewarded(self, market):
+        env = make_env(market, reward_mode="paper")
+        env.reset()
+        _, reward, _, _ = env.step(20.0)
+        assert reward == 1.0  # best starts at -inf
+
+    def test_improvement_rewarded_regression_not(self, market):
+        env = make_env(market, reward_mode="paper", reward_tolerance=0.0)
+        env.reset()
+        eq_price = market.equilibrium().price
+        env.step(40.0)  # mediocre
+        _, r_improve, _, _ = env.step(eq_price)  # optimal beats it
+        _, r_worse, _, _ = env.step(49.0)  # clearly worse than best
+        assert r_improve == 1.0
+        assert r_worse == 0.0
+
+    def test_tolerance_allows_matching_best(self, market):
+        env = make_env(market, reward_mode="paper", reward_tolerance=1e-3)
+        env.reset()
+        eq_price = market.equilibrium().price
+        env.step(eq_price)
+        _, reward, _, _ = env.step(eq_price + 1e-4)  # re-attains within tol
+        assert reward == 1.0
+
+    def test_utility_mode_scales(self, market):
+        env = make_env(market, reward_mode="utility")
+        env.reset()
+        _, reward, _, info = env.step(25.0)
+        scale = (50.0 - 5.0) * market.config.capacity_natural
+        assert reward == pytest.approx(info["msp_utility"] / scale)
+
+    def test_best_utility_ratchets(self, market):
+        env = make_env(market, reward_mode="paper")
+        env.reset()
+        env.step(45.0)
+        first_best = env.best_utility
+        env.step(market.equilibrium().price)
+        assert env.best_utility > first_best
+
+    def test_invalid_reward_mode(self, market):
+        with pytest.raises(EnvironmentError_):
+            make_env(market, reward_mode="bogus")
+
+    def test_negative_tolerance_rejected(self, market):
+        with pytest.raises(EnvironmentError_):
+            make_env(market, reward_tolerance=-0.1)
+
+
+class TestEpisodeLifecycle:
+    def test_done_at_round_limit(self, market):
+        env = make_env(market, rounds_per_episode=3)
+        env.reset()
+        dones = [env.step(25.0)[2] for _ in range(3)]
+        assert dones == [False, False, True]
+
+    def test_step_after_done_rejected(self, market):
+        env = make_env(market, rounds_per_episode=1)
+        env.reset()
+        env.step(25.0)
+        with pytest.raises(EnvironmentError_, match="finished"):
+            env.step(25.0)
+
+    def test_step_before_reset_rejected(self, market):
+        env = make_env(market)
+        with pytest.raises(EnvironmentError_, match="reset"):
+            env.step(25.0)
+
+    def test_reset_restores(self, market):
+        env = make_env(market, rounds_per_episode=1)
+        env.reset()
+        env.step(25.0)
+        env.reset()
+        assert env.round_index == 0
+        env.step(25.0)  # works again
+
+    def test_action_clamped(self, market):
+        env = make_env(market)
+        env.reset()
+        _, _, _, info = env.step(1000.0)
+        assert info["price"] == 50.0
+        _, _, _, info = env.step(-3.0)
+        assert info["price"] == 5.0
+
+    def test_info_contents(self, market):
+        env = make_env(market)
+        env.reset()
+        _, _, _, info = env.step(25.0)
+        assert set(info) >= {
+            "price",
+            "msp_utility",
+            "best_utility",
+            "demands",
+            "allocations",
+            "vmu_utilities",
+            "capacity_binding",
+            "round",
+        }
+        outcome = market.round_outcome(25.0)
+        assert info["msp_utility"] == pytest.approx(outcome.msp_utility)
+
+    def test_invalid_construction(self, market):
+        with pytest.raises(EnvironmentError_):
+            make_env(market, history_length=0)
+        with pytest.raises(EnvironmentError_):
+            make_env(market, rounds_per_episode=0)
+
+
+class TestRunningMeanStd:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=3.0, scale=2.0, size=(500, 4))
+        stats = RunningMeanStd((4,))
+        for chunk in np.split(data, 10):
+            stats.update(chunk)
+        np.testing.assert_allclose(stats.mean, data.mean(axis=0), atol=1e-6)
+        np.testing.assert_allclose(stats.var, data.var(axis=0), atol=1e-4)
+
+    def test_single_rows(self):
+        stats = RunningMeanStd((2,))
+        for value in ([1.0, 2.0], [3.0, 4.0]):
+            stats.update(np.array(value))
+        np.testing.assert_allclose(stats.mean, [2.0, 3.0], atol=1e-3)
+
+    def test_normalize_clips(self):
+        stats = RunningMeanStd((1,))
+        stats.update(np.zeros((10, 1)))
+        assert abs(stats.normalize(np.array([1e9]), clip=5.0)[0]) <= 5.0
+
+
+class TestWrappers:
+    def test_normalize_observation_passthrough_api(self, market):
+        env = NormalizeObservation(make_env(market))
+        obs = env.reset()
+        assert obs.shape == (env.observation_dim,)
+        _, reward, done, info = env.step(25.0)
+        assert "msp_utility" in info
+
+    def test_episode_stats_records(self, market):
+        env = EpisodeStats(make_env(market, rounds_per_episode=3))
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, _ = env.step(25.0)
+        assert len(env.episodes) == 1
+        record = env.episodes[0]
+        assert record.length == 3
+        assert record.final_best_utility == pytest.approx(
+            market.round_outcome(25.0).msp_utility
+        )
+
+    def test_episode_stats_requires_reset(self, market):
+        env = EpisodeStats(make_env(market))
+        with pytest.raises(EnvironmentError_):
+            env.step(25.0)

@@ -1,0 +1,144 @@
+"""Churning-environment tests: population dynamics and demand coupling."""
+
+import numpy as np
+import pytest
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import uniform_population
+from repro.env.nonstationary import ChurnConfig, ChurningMigrationEnv
+from repro.errors import EnvironmentError_
+
+
+@pytest.fixture
+def market():
+    return StackelbergMarket(uniform_population(4))
+
+
+def make_env(market, **kwargs):
+    defaults = dict(history_length=3, rounds_per_episode=20, seed=0)
+    defaults.update(kwargs)
+    return ChurningMigrationEnv(market, **defaults)
+
+
+class TestChurnConfig:
+    def test_stationary_presence(self):
+        churn = ChurnConfig(leave_probability=0.1, return_probability=0.3)
+        assert churn.stationary_presence == pytest.approx(0.75)
+
+    def test_no_churn_always_present(self):
+        churn = ChurnConfig(leave_probability=0.0, return_probability=0.0)
+        assert churn.stationary_presence == 1.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ChurnConfig(leave_probability=1.5)
+        with pytest.raises(EnvironmentError_):
+            ChurnConfig(min_active=0)
+
+
+class TestChurningEnv:
+    def test_observation_layout_matches_stationary(self, market):
+        env = make_env(market)
+        assert env.observation_dim == 3 * 5
+        assert env.reset().shape == (15,)
+
+    def test_population_churns(self, market):
+        env = make_env(
+            market,
+            churn=ChurnConfig(leave_probability=0.3, return_probability=0.3),
+        )
+        env.reset()
+        counts = set()
+        for _ in range(20):
+            _, _, done, info = env.step(25.0)
+            counts.add(info["active_count"])
+        assert len(counts) > 1  # the active population actually moved
+
+    def test_min_active_enforced(self, market):
+        env = make_env(
+            market,
+            churn=ChurnConfig(
+                leave_probability=1.0, return_probability=0.0, min_active=2
+            ),
+        )
+        env.reset()
+        for _ in range(10):
+            _, _, _, info = env.step(25.0)
+            assert info["active_count"] >= 2
+
+    def test_min_active_cannot_exceed_population(self, market):
+        with pytest.raises(EnvironmentError_, match="min_active"):
+            make_env(market, churn=ChurnConfig(min_active=10))
+
+    def test_absent_vmus_demand_nothing(self, market):
+        env = make_env(
+            market,
+            churn=ChurnConfig(leave_probability=0.5, return_probability=0.1),
+        )
+        env.reset()
+        for _ in range(15):
+            _, _, _, info = env.step(25.0)
+            absent = ~env.active_mask
+            assert np.all(info["allocations"][absent] == 0.0)
+
+    def test_utility_scales_with_active_count(self, market):
+        """Fewer active VMUs -> less demand -> lower MSP utility."""
+        env = make_env(
+            market,
+            churn=ChurnConfig(leave_probability=0.4, return_probability=0.2),
+        )
+        env.reset()
+        by_count: dict[int, list[float]] = {}
+        for _ in range(20):
+            _, _, _, info = env.step(25.0)
+            by_count.setdefault(info["active_count"], []).append(
+                info["msp_utility"]
+            )
+        counts = sorted(by_count)
+        if len(counts) >= 2:
+            assert np.mean(by_count[counts[0]]) < np.mean(by_count[counts[-1]])
+
+    def test_no_churn_matches_stationary_market(self, market):
+        env = make_env(
+            market,
+            churn=ChurnConfig(leave_probability=0.0, return_probability=0.0),
+        )
+        env.reset()
+        _, _, _, info = env.step(25.0)
+        outcome = market.round_outcome(25.0)
+        assert info["msp_utility"] == pytest.approx(outcome.msp_utility)
+
+    def test_lifecycle_errors(self, market):
+        env = make_env(market, rounds_per_episode=1)
+        with pytest.raises(EnvironmentError_):
+            env.step(25.0)
+        env.reset()
+        env.step(25.0)
+        with pytest.raises(EnvironmentError_):
+            env.step(25.0)
+
+    def test_deterministic_given_seed(self, market):
+        def run(seed):
+            env = make_env(market, seed=seed)
+            env.reset()
+            return [env.step(25.0)[3]["active_count"] for _ in range(10)]
+
+        assert run(5) == run(5)
+        # different seeds -> (almost surely) different churn paths
+        assert run(5) != run(6) or True  # tolerate rare collision
+
+    def test_trains_with_ppo(self, market):
+        """The PPO stack runs end-to-end on the churning env."""
+        from repro.drl import PPOConfig, TrainerConfig, train_pricing_agent
+
+        env = make_env(market, rounds_per_episode=10)
+        _, result, _ = train_pricing_agent(
+            env,
+            trainer_config=TrainerConfig(
+                num_episodes=2, update_interval=5, update_epochs=1,
+                batch_size=5, gamma=0.0,
+            ),
+            ppo_config=PPOConfig(learning_rate=1e-3),
+            seed=0,
+        )
+        assert result.num_episodes == 2

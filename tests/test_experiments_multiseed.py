@@ -1,0 +1,53 @@
+"""Multi-seed runner tests."""
+
+import pytest
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.vmu import paper_fig2_population
+from repro.experiments import ExperimentConfig, run_multiseed_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    market = StackelbergMarket(paper_fig2_population())
+    return run_multiseed_comparison(
+        market,
+        ExperimentConfig.smoke(),
+        seeds=(0, 1, 2),
+        schemes=("random", "equilibrium"),
+    )
+
+
+class TestMultiSeed:
+    def test_sample_counts(self, result):
+        assert len(result.samples["random"]) == 3
+        assert len(result.samples["equilibrium"]) == 3
+
+    def test_equilibrium_is_seed_invariant(self, result):
+        values = result.samples["equilibrium"]
+        assert max(values) - min(values) < 1e-9
+
+    def test_stats_and_table(self, result):
+        stats = result.stats("random")
+        assert stats.count == 3
+        assert "Multi-seed" in str(result.table())
+
+    def test_equilibrium_beats_random_significantly(self):
+        market = StackelbergMarket(paper_fig2_population())
+        comparison = run_multiseed_comparison(
+            market,
+            ExperimentConfig.smoke(),
+            seeds=(0, 1, 2, 3, 4),
+            schemes=("random", "equilibrium"),
+        )
+        eq_mean = comparison.stats("equilibrium").mean
+        rnd_mean = comparison.stats("random").mean
+        assert eq_mean > rnd_mean
+        assert comparison.significance("equilibrium", "random") < 0.05
+
+    def test_needs_two_seeds(self):
+        market = StackelbergMarket(paper_fig2_population())
+        with pytest.raises(ValueError):
+            run_multiseed_comparison(
+                market, ExperimentConfig.smoke(), seeds=(0,)
+            )

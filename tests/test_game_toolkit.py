@@ -1,0 +1,170 @@
+"""Game-toolkit tests: solvers, analysis helpers, best-response dynamics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GameError
+from repro.game.analysis import (
+    is_concave_on,
+    numerical_derivative,
+    numerical_second_derivative,
+    verify_best_response,
+    verify_no_profitable_deviation,
+)
+from repro.game.best_response import iterate_best_response
+from repro.game.solvers import bisect_root, golden_section_maximize, grid_then_golden
+
+
+class TestGoldenSection:
+    def test_quadratic(self):
+        argmax, value = golden_section_maximize(lambda x: -(x - 3.0) ** 2, 0.0, 10.0)
+        assert argmax == pytest.approx(3.0, abs=1e-6)
+        assert value == pytest.approx(0.0, abs=1e-10)
+
+    def test_boundary_maximum(self):
+        argmax, _ = golden_section_maximize(lambda x: x, 0.0, 1.0)
+        assert argmax == pytest.approx(1.0, abs=1e-6)
+
+    def test_log_utility(self):
+        # max of ln(1+x) - 0.5x at x = 1.
+        argmax, _ = golden_section_maximize(
+            lambda x: math.log1p(x) - 0.5 * x, 0.0, 10.0
+        )
+        assert argmax == pytest.approx(1.0, abs=1e-6)
+
+    def test_degenerate_bracket(self):
+        argmax, value = golden_section_maximize(lambda x: -x * x, 2.0, 2.0)
+        assert argmax == 2.0
+
+    def test_inverted_bracket_rejected(self):
+        with pytest.raises(GameError):
+            golden_section_maximize(lambda x: x, 1.0, 0.0)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    def test_quadratic_family(self, center):
+        argmax, _ = golden_section_maximize(
+            lambda x: -((x - center) ** 2), -10.0, 10.0
+        )
+        assert argmax == pytest.approx(center, abs=1e-5)
+
+
+class TestBisectRoot:
+    def test_linear(self):
+        assert bisect_root(lambda x: x - 2.5, 0.0, 10.0) == pytest.approx(2.5)
+
+    def test_derivative_of_concave(self):
+        # root of d/dx [ln(1+x) - 0.2x] -> 1/(1+x) = 0.2 -> x = 4.
+        root = bisect_root(lambda x: 1.0 / (1.0 + x) - 0.2, 0.0, 100.0)
+        assert root == pytest.approx(4.0, abs=1e-8)
+
+    def test_endpoint_root(self):
+        assert bisect_root(lambda x: x, 0.0, 1.0) == 0.0
+
+    def test_no_sign_change_rejected(self):
+        with pytest.raises(GameError, match="no sign change"):
+            bisect_root(lambda x: x + 10.0, 0.0, 1.0)
+
+
+class TestGridThenGolden:
+    def test_smooth(self):
+        argmax, _ = grid_then_golden(lambda x: -(x - 7.0) ** 2, 0.0, 10.0)
+        assert argmax == pytest.approx(7.0, abs=1e-6)
+
+    def test_kinked_objective(self):
+        # max(-|x-3|, -2|x-8|+1): global max at x=8 (value 1) with a kink.
+        def objective(x):
+            return max(-abs(x - 3.0), -2.0 * abs(x - 8.0) + 1.0)
+
+        argmax, value = grid_then_golden(objective, 0.0, 10.0, grid_points=512)
+        assert argmax == pytest.approx(8.0, abs=1e-3)
+        assert value == pytest.approx(1.0, abs=1e-3)
+
+    def test_flat_interval(self):
+        argmax, value = grid_then_golden(lambda x: 1.0, 0.0, 1.0)
+        assert value == 1.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(GameError):
+            grid_then_golden(lambda x: x, 0.0, 1.0, grid_points=2)
+
+
+class TestAnalysis:
+    def test_numerical_derivative(self):
+        assert numerical_derivative(lambda x: x**2, 3.0) == pytest.approx(6.0, abs=1e-4)
+
+    def test_numerical_second_derivative(self):
+        assert numerical_second_derivative(lambda x: x**2, 1.0) == pytest.approx(
+            2.0, abs=1e-3
+        )
+
+    def test_concave_detected(self):
+        assert is_concave_on(lambda x: -(x**2), -5.0, 5.0)
+        assert is_concave_on(math.log1p, 0.0, 10.0)
+
+    def test_convex_rejected(self):
+        assert not is_concave_on(lambda x: x**2, -5.0, 5.0)
+
+    def test_verify_best_response_true(self):
+        assert verify_best_response(lambda x: -(x - 2.0) ** 2, 2.0, 0.0, 5.0)
+
+    def test_verify_best_response_false(self):
+        assert not verify_best_response(lambda x: -(x - 2.0) ** 2, 0.5, 0.0, 5.0)
+
+    def test_verify_no_profitable_deviation(self):
+        # 2-player game with decoupled quadratic utilities.
+        utilities = [lambda x: -(x - 1.0) ** 2, lambda x: -(x - 3.0) ** 2]
+        assert verify_no_profitable_deviation(
+            utilities, [1.0, 3.0], [(0.0, 5.0), (0.0, 5.0)]
+        )
+        assert not verify_no_profitable_deviation(
+            utilities, [1.0, 0.0], [(0.0, 5.0), (0.0, 5.0)]
+        )
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(GameError):
+            verify_no_profitable_deviation([lambda x: x], [1.0, 2.0], [(0, 1)])
+
+
+class TestBestResponseDynamics:
+    def test_decoupled_converges_in_one_step(self):
+        # BR independent of opponents: fixed point after one iteration.
+        target = np.array([2.0, 5.0])
+        result = iterate_best_response(lambda x: target, [0.0, 0.0])
+        assert result.converged
+        assert result.iterations <= 2
+        np.testing.assert_allclose(result.strategies, target)
+
+    def test_contraction_converges(self):
+        # BR(x) = 0.5 x + 1 -> fixed point 2.
+        result = iterate_best_response(
+            lambda x: 0.5 * x + 1.0, [10.0], tolerance=1e-12
+        )
+        assert result.converged
+        assert result.strategies[0] == pytest.approx(2.0, abs=1e-9)
+
+    def test_damping_stabilises_oscillation(self):
+        # BR(x) = -x oscillates undamped; damping 0.5 converges to 0.
+        undamped = iterate_best_response(
+            lambda x: -x, [1.0], damping=1.0, max_iterations=50
+        )
+        assert not undamped.converged
+        damped = iterate_best_response(lambda x: -x, [1.0], damping=0.5)
+        assert damped.converged
+        assert damped.strategies[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_zero_damping_rejected(self):
+        with pytest.raises(GameError):
+            iterate_best_response(lambda x: x, [1.0], damping=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GameError, match="shape"):
+            iterate_best_response(lambda x: np.zeros(3), [1.0, 2.0])
+
+    def test_residual_reported(self):
+        result = iterate_best_response(lambda x: x * 0.9, [1.0], max_iterations=3)
+        assert not result.converged
+        assert result.residual > 0.0

@@ -1,0 +1,169 @@
+"""Cross-module integration tests.
+
+These exercise the library the way the paper's evaluation does: train the
+DRL mechanism under incomplete information and check it reaches the
+complete-information equilibrium; verify no player can deviate profitably;
+run the full mobility -> pricing -> migration pipeline.
+
+The DRL test uses a reduced-but-real budget (~10 s), so it asserts actual
+learning quality, not just plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OraclePricing, RandomPricing
+from repro.core.mechanism import run_rounds
+from repro.core.stackelberg import StackelbergMarket
+from repro.core.utilities import vmu_utility
+from repro.entities.registry import World
+from repro.entities.vmu import VmuProfile, paper_fig2_population
+from repro.experiments import ExperimentConfig, evaluate_policy, train_drl
+from repro.game.analysis import verify_best_response
+from repro.migration.pipeline import run_migration_pipeline
+from repro.mobility.models import RouteFollower
+from repro.mobility.road import straight_highway
+from repro.mobility.trace import deploy_rsus_along_highway, simulate_handovers
+
+
+@pytest.fixture(scope="module")
+def market():
+    return StackelbergMarket(paper_fig2_population())
+
+
+@pytest.fixture(scope="module")
+def trained(market):
+    config = ExperimentConfig(
+        num_episodes=80,
+        rounds_per_episode=40,
+        learning_rate=1e-3,
+        gamma=0.0,
+        reward_mode="utility",
+        evaluation_rounds=40,
+        seed=0,
+    )
+    return train_drl(market, config), config
+
+
+class TestDrlReachesEquilibrium:
+    def test_converged_utility_near_equilibrium(self, market, trained):
+        """Fig. 2(b)'s claim: incomplete-information DRL ~= complete-
+        information Stackelberg."""
+        (result, config) = trained
+        equilibrium = market.equilibrium()
+        evaluation = evaluate_policy(
+            market, result.policy, rounds=config.evaluation_rounds
+        )
+        gap = abs(evaluation.mean_msp_utility - equilibrium.msp_utility)
+        assert gap / equilibrium.msp_utility < 0.05
+
+    def test_learned_price_near_equilibrium_price(self, market, trained):
+        (result, config) = trained
+        equilibrium = market.equilibrium()
+        evaluation = evaluate_policy(market, result.policy, rounds=20)
+        assert evaluation.mean_price == pytest.approx(
+            equilibrium.price, abs=3.0
+        )
+
+    def test_drl_beats_random_mean_utility(self, market, trained):
+        """Fig. 3(a)'s ordering: proposed > random baseline."""
+        (result, config) = trained
+        drl = evaluate_policy(market, result.policy, rounds=50)
+        random_ = evaluate_policy(
+            market, RandomPricing(5.0, 50.0, seed=123), rounds=50
+        )
+        assert drl.mean_msp_utility > random_.mean_msp_utility
+
+    def test_training_improves_over_time(self, market, trained):
+        (result, config) = trained
+        utilities = result.training.episode_mean_utilities
+        first = np.mean(utilities[:10])
+        last = np.mean(utilities[-10:])
+        assert last > first
+
+
+class TestEquilibriumIsNash:
+    def test_no_follower_deviation(self, market):
+        """At the computed equilibrium, every VMU's bandwidth is its grid
+        argmax — Definition 1's second condition."""
+        eq = market.equilibrium()
+        se = market.spectral_efficiency
+        for vmu, bandwidth in zip(market.vmus, eq.demands):
+            def utility(b, vmu=vmu):
+                return vmu_utility(
+                    vmu.immersion_coef, vmu.data_units, b, eq.price, se
+                )
+
+            assert verify_best_response(
+                utility, float(bandwidth), 0.0, 1.0, tolerance=1e-7
+            )
+
+    def test_no_leader_deviation(self, market):
+        """First condition: no price beats p* given follower best response."""
+        eq = market.equilibrium()
+        for price in np.linspace(5.0, 50.0, 200):
+            assert market.msp_utility(float(price)) <= eq.msp_utility * (
+                1.0 + 1e-9
+            )
+
+    def test_oracle_policy_realises_equilibrium(self, market):
+        _, outcomes = run_rounds(market, OraclePricing(market), 3)
+        eq = market.equilibrium()
+        np.testing.assert_allclose(outcomes[0].allocations, eq.demands)
+
+
+class TestEndToEndPipeline:
+    def test_highway_scenario(self):
+        network = straight_highway(4000.0, num_junctions=9, speed_limit_mps=25.0)
+        rsus = deploy_rsus_along_highway(
+            4000.0, spacing_m=1000.0, coverage_radius_m=700.0
+        )
+        vmus = [
+            VmuProfile("car-0", 200.0, 5.0),
+            VmuProfile("car-1", 100.0, 5.0),
+        ]
+        world = World()
+        for rsu in rsus:
+            world.add_rsu(rsu)
+        for vmu in vmus:
+            world.add_vmu(vmu, host_rsu_id="rsu-0", dirty_rate_mb_s=1.0)
+        route = [f"j{k}" for k in range(9)]
+        agents = [
+            RouteFollower(vmu.vmu_id, network, route, speed_factor=1.0 - 0.2 * i)
+            for i, vmu in enumerate(vmus)
+        ]
+        simulation = simulate_handovers(agents, rsus, duration_s=250.0)
+        assert len(simulation.migrations) >= 4
+
+        market = StackelbergMarket(vmus)
+        result = run_migration_pipeline(
+            world, market, OraclePricing(market), simulation.events
+        )
+        assert len(result.completed) == len(simulation.migrations)
+        assert result.total_msp_profit > 0.0
+        # every measured AoTM respects the analytic Eq. (1) lower bound
+        for step in result.completed:
+            assert (
+                step.report.measured_aotm_s
+                >= step.report.analytic_aotm_s - 1e-12
+            )
+        world.check_invariants()
+
+    def test_twins_end_on_final_rsu(self):
+        network = straight_highway(3000.0, num_junctions=7, speed_limit_mps=30.0)
+        rsus = deploy_rsus_along_highway(
+            3000.0, spacing_m=1000.0, coverage_radius_m=700.0
+        )
+        vmus = [VmuProfile("car-0", 100.0, 5.0)]
+        world = World()
+        for rsu in rsus:
+            world.add_rsu(rsu)
+        world.add_vmu(vmus[0], host_rsu_id="rsu-0")
+        agents = [RouteFollower("car-0", network, [f"j{k}" for k in range(7)])]
+        simulation = simulate_handovers(agents, rsus, duration_s=150.0)
+        market = StackelbergMarket(vmus)
+        run_migration_pipeline(
+            world, market, OraclePricing(market), simulation.events
+        )
+        # the vehicle drove the full road: its twin should sit on the last RSU
+        assert world.twin_of("car-0").host_rsu_id == "rsu-3"

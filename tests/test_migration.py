@@ -1,0 +1,243 @@
+"""Migration-substrate tests: pre-copy dynamics, sessions, and AoTM bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import OraclePricing
+from repro.channel.link import paper_link
+from repro.core.aotm import aotm
+from repro.core.stackelberg import StackelbergMarket
+from repro.entities.registry import World
+from repro.entities.rsu import RoadsideUnit
+from repro.entities.vmu import VmuProfile
+from repro.entities.vt import VehicularTwin, VtPayload
+from repro.errors import MigrationError
+from repro.migration.pipeline import run_migration_pipeline
+from repro.migration.precopy import PrecopyConfig, simulate_precopy, simulate_stop_and_copy
+from repro.migration.session import MigrationSession
+from repro.mobility.coverage import HandoverEvent
+from repro.utils.units import megabytes_to_data_units
+
+
+def make_twin(total_mb=200.0, dirty_rate=0.0) -> VehicularTwin:
+    return VehicularTwin(
+        vt_id="vt:x",
+        vmu_id="x",
+        payload=VtPayload.with_total(total_mb),
+        dirty_rate_mb_s=dirty_rate,
+    )
+
+
+class TestPrecopy:
+    def test_zero_dirty_rate_single_round(self):
+        twin = make_twin(200.0, dirty_rate=0.0)
+        trace = simulate_precopy(twin, rate_mb_s=100.0)
+        assert len(trace.rounds) == 1
+        assert trace.total_transferred_mb == pytest.approx(200.0)
+        assert trace.total_time_s == pytest.approx(2.0)
+        assert trace.converged
+
+    def test_zero_dirty_measured_equals_analytic(self):
+        twin = make_twin(150.0)
+        rate = 80.0
+        trace = simulate_precopy(twin, rate)
+        assert trace.total_time_s == pytest.approx(150.0 / rate)
+
+    def test_dirty_rate_adds_rounds_and_time(self):
+        clean = simulate_precopy(make_twin(200.0, 0.0), 100.0)
+        dirty = simulate_precopy(make_twin(200.0, 30.0), 100.0)
+        assert len(dirty.rounds) > 1
+        assert dirty.total_time_s > clean.total_time_s
+        assert dirty.total_transferred_mb > clean.total_transferred_mb
+
+    def test_dirty_rounds_geometric_decay(self):
+        trace = simulate_precopy(make_twin(400.0, 20.0), 100.0)
+        sizes = [r.sent_mb for r in trace.rounds]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        # ratio should be dirty/rate = 0.2 each round
+        for a, b in zip(sizes, sizes[1:]):
+            assert b / a == pytest.approx(0.2, rel=1e-9)
+
+    def test_downtime_smaller_with_precopy(self):
+        twin = make_twin(300.0, 10.0)
+        live = simulate_precopy(twin, 100.0)
+        cold = simulate_stop_and_copy(twin, 100.0)
+        assert live.downtime_s < cold.downtime_s
+
+    def test_non_convergent_hits_round_cap(self):
+        # dirty rate == 90% of the rate with a high threshold never drops
+        # below stop_threshold quickly; use a tiny cap to force the flag.
+        config = PrecopyConfig(max_rounds=3, stop_threshold_mb=0.001)
+        trace = simulate_precopy(make_twin(1000.0, 90.0), 100.0, config=config)
+        assert not trace.converged
+        assert len(trace.rounds) == 3
+
+    def test_stop_and_copy_is_all_downtime(self):
+        twin = make_twin(200.0)
+        trace = simulate_stop_and_copy(twin, 50.0)
+        assert trace.downtime_s == pytest.approx(4.0)
+        assert trace.total_time_s == pytest.approx(trace.downtime_s)
+        assert trace.rounds == []
+
+    def test_invalid_rate(self):
+        with pytest.raises(Exception):
+            simulate_precopy(make_twin(), 0.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(MigrationError):
+            PrecopyConfig(max_rounds=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=50.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=50.0, max_value=200.0),
+    )
+    def test_measured_aotm_lower_bounded_by_analytic(self, total, dirty, rate):
+        """Pre-copy can never beat the one-shot Eq. (1) time (it re-sends
+        dirtied memory), with equality iff nothing is dirtied."""
+        twin = make_twin(total, dirty)
+        trace = simulate_precopy(twin, rate)
+        analytic = total / rate
+        assert trace.total_time_s >= analytic * (1.0 - 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=50.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=40.0),
+    )
+    def test_bytes_conserved(self, total, dirty):
+        """Everything sent = payload + re-sent dirty bytes; the final
+        image at the destination is exactly the payload."""
+        twin = make_twin(total, dirty)
+        trace = simulate_precopy(twin, 100.0)
+        # Every dirtied byte is re-sent exactly once (round r's dirt is
+        # round r+1's payload; the final round's dirt ships in
+        # stop-and-copy), so total sent == payload + Σ dirtied.
+        dirtied = sum(r.dirtied_mb for r in trace.rounds)
+        assert trace.total_transferred_mb == pytest.approx(
+            total + dirtied, rel=1e-9
+        )
+
+
+class TestMigrationSession:
+    def test_rate_conversion(self):
+        session = MigrationSession(paper_link())
+        # rate = b * SE * 100 MB per time unit.
+        expected = 0.5 * paper_link().spectral_efficiency * 100.0
+        assert session.rate_mb_s(0.5) == pytest.approx(expected)
+
+    def test_analytic_identity_with_core_aotm(self):
+        """Session's analytic AoTM equals core.aotm.aotm in natural units."""
+        session = MigrationSession(paper_link())
+        twin = make_twin(200.0)
+        report = session.migrate(twin, bandwidth=0.3)
+        units = megabytes_to_data_units(200.0)
+        natural = aotm(units, 0.3, paper_link().spectral_efficiency)
+        # session clock is natural-time * 100MB/100MB == natural time
+        assert report.analytic_aotm_s == pytest.approx(natural / 100.0 * 100.0)
+
+    def test_measured_ge_analytic(self):
+        session = MigrationSession()
+        report = session.migrate(make_twin(200.0, dirty_rate=5.0), 0.2)
+        assert report.measured_aotm_s >= report.analytic_aotm_s
+
+    def test_zero_dirty_equality(self):
+        session = MigrationSession()
+        report = session.migrate(make_twin(200.0, dirty_rate=0.0), 0.2)
+        assert report.measured_aotm_s == pytest.approx(report.analytic_aotm_s)
+
+    def test_liveness_ratio(self):
+        session = MigrationSession()
+        live = session.migrate(make_twin(200.0, dirty_rate=5.0), 0.2, live=True)
+        cold = session.migrate(make_twin(200.0, dirty_rate=5.0), 0.2, live=False)
+        assert live.liveness_ratio > cold.liveness_ratio
+        assert cold.liveness_ratio == pytest.approx(0.0)
+
+    def test_nonconvergent_dirty_rate_rejected(self):
+        session = MigrationSession()
+        rate = session.rate_mb_s(0.01)
+        twin = make_twin(100.0, dirty_rate=rate * 1.5)
+        with pytest.raises(MigrationError, match="cannot converge"):
+            session.migrate(twin, 0.01)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(Exception):
+            MigrationSession().migrate(make_twin(), 0.0)
+
+
+class TestPipeline:
+    def _setup(self):
+        world = World()
+        for i in range(3):
+            world.add_rsu(
+                RoadsideUnit(
+                    rsu_id=f"rsu-{i}",
+                    position_m=(1000.0 * i, 0.0),
+                    coverage_radius_m=700.0,
+                )
+            )
+        vmus = [
+            VmuProfile("v0", 200.0, 5.0),
+            VmuProfile("v1", 100.0, 5.0),
+        ]
+        for vmu in vmus:
+            world.add_vmu(vmu, host_rsu_id="rsu-0", dirty_rate_mb_s=1.0)
+        market = StackelbergMarket(vmus)
+        return world, market
+
+    def _event(self, vehicle, time, src, dst):
+        return HandoverEvent(
+            vehicle_id=vehicle,
+            time_s=time,
+            source_rsu_id=src,
+            destination_rsu_id=dst,
+            position_m=(0.0, 0.0),
+        )
+
+    def test_services_migrations(self):
+        world, market = self._setup()
+        events = [
+            self._event("v0", 1.0, "rsu-0", "rsu-1"),
+            self._event("v1", 2.0, "rsu-0", "rsu-1"),
+        ]
+        result = run_migration_pipeline(
+            world, market, OraclePricing(market), events
+        )
+        assert len(result.completed) == 2
+        assert result.total_msp_profit > 0.0
+        world.check_invariants()
+        assert world.twin_of("v0").host_rsu_id == "rsu-1"
+
+    def test_skips_attach_events(self):
+        world, market = self._setup()
+        events = [self._event("v0", 0.0, None, "rsu-0")]
+        result = run_migration_pipeline(
+            world, market, OraclePricing(market), events
+        )
+        assert result.steps == []
+
+    def test_unknown_vmu_rejected(self):
+        world, market = self._setup()
+        events = [self._event("ghost", 1.0, "rsu-0", "rsu-1")]
+        with pytest.raises(MigrationError, match="unknown VMU"):
+            run_migration_pipeline(world, market, OraclePricing(market), events)
+
+    def test_history_records_profit(self):
+        world, market = self._setup()
+        events = [self._event("v0", 1.0, "rsu-0", "rsu-1")]
+        result = run_migration_pipeline(
+            world, market, OraclePricing(market), events
+        )
+        record = result.history.records[0]
+        eq = market.equilibrium()
+        assert record.price == pytest.approx(eq.price)
+        expected = (eq.price - market.config.unit_cost) * eq.demands[0]
+        assert record.msp_utility == pytest.approx(expected)
+
+    def test_mean_aotm_nan_when_empty(self):
+        world, market = self._setup()
+        result = run_migration_pipeline(world, market, OraclePricing(market), [])
+        assert np.isnan(result.mean_measured_aotm)

@@ -1,0 +1,96 @@
+"""Bandwidth-planner tests: inversion correctness and monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aotm import bandwidth_for_target_aotm
+from repro.channel.link import paper_link
+from repro.entities.vt import VehicularTwin, VtPayload
+from repro.errors import MigrationError
+from repro.migration.planner import (
+    plan_bandwidth_for_aotm,
+    plan_bandwidth_for_downtime,
+)
+from repro.migration.session import MigrationSession
+from repro.utils.units import megabytes_to_data_units
+
+
+def make_twin(total_mb=200.0, dirty=0.0) -> VehicularTwin:
+    return VehicularTwin(
+        vt_id="vt:p",
+        vmu_id="p",
+        payload=VtPayload.with_total(total_mb),
+        dirty_rate_mb_s=dirty,
+    )
+
+
+class TestAotmPlanner:
+    def test_meets_target(self):
+        plan = plan_bandwidth_for_aotm(make_twin(200.0, dirty=5.0), 0.5)
+        assert plan.predicted_aotm_s <= 0.5
+
+    def test_minimal_within_tolerance(self):
+        """Slightly less bandwidth must miss the target."""
+        session = MigrationSession()
+        twin = make_twin(200.0, dirty=5.0)
+        plan = plan_bandwidth_for_aotm(twin, 0.5, session=session)
+        undershoot = session.migrate(twin, plan.bandwidth * 0.99)
+        assert undershoot.measured_aotm_s > 0.5
+
+    def test_zero_dirty_matches_analytic_inverse(self):
+        """With no dirty memory the planner inverts Eq. (1) exactly."""
+        twin = make_twin(200.0, dirty=0.0)
+        target = 0.4
+        plan = plan_bandwidth_for_aotm(twin, target)
+        analytic = bandwidth_for_target_aotm(
+            megabytes_to_data_units(200.0),
+            target,
+            paper_link().spectral_efficiency,
+        )
+        assert plan.bandwidth == pytest.approx(analytic, rel=1e-6)
+
+    def test_dirty_memory_needs_more_bandwidth(self):
+        clean = plan_bandwidth_for_aotm(make_twin(200.0, 0.0), 0.5)
+        dirty = plan_bandwidth_for_aotm(make_twin(200.0, 20.0), 0.5)
+        assert dirty.bandwidth > clean.bandwidth
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(MigrationError, match="unreachable"):
+            plan_bandwidth_for_aotm(
+                make_twin(200.0), 1e-9, max_bandwidth=0.01
+            )
+
+    def test_cost_reported(self):
+        plan = plan_bandwidth_for_aotm(make_twin(100.0), 0.5, unit_price=25.0)
+        assert plan.cost_at_price == pytest.approx(25.0 * plan.bandwidth)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_planned_bandwidth_monotone_in_target(self, target, dirty):
+        """Tighter deadlines require (weakly) more bandwidth."""
+        twin = make_twin(200.0, dirty)
+        tight = plan_bandwidth_for_aotm(twin, target)
+        loose = plan_bandwidth_for_aotm(twin, target * 2.0)
+        assert tight.bandwidth >= loose.bandwidth * (1.0 - 1e-9)
+
+
+class TestDowntimePlanner:
+    def test_meets_target(self):
+        plan = plan_bandwidth_for_downtime(make_twin(200.0, dirty=10.0), 0.05)
+        assert plan.predicted_downtime_s <= 0.05
+
+    def test_downtime_cheaper_than_aotm_target(self):
+        """Meeting a downtime target needs less bandwidth than meeting the
+        same total-AoTM target (only the stop-and-copy phase counts)."""
+        twin = make_twin(200.0, dirty=10.0)
+        by_downtime = plan_bandwidth_for_downtime(twin, 0.2)
+        by_aotm = plan_bandwidth_for_aotm(twin, 0.2)
+        assert by_downtime.bandwidth < by_aotm.bandwidth
+
+    def test_invalid_target(self):
+        with pytest.raises(Exception):
+            plan_bandwidth_for_downtime(make_twin(), 0.0)

@@ -1,0 +1,241 @@
+"""Mobility-substrate tests: roads, kinematics, coverage, handovers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.entities.rsu import RoadsideUnit
+from repro.errors import MobilityError
+from repro.mobility.coverage import CoverageMap, HandoverDetector
+from repro.mobility.models import RandomWaypoint, RouteFollower
+from repro.mobility.road import RoadNetwork, grid_city, straight_highway
+from repro.mobility.trace import deploy_rsus_along_highway, simulate_handovers
+
+
+class TestRoadNetwork:
+    def test_highway_layout(self):
+        net = straight_highway(5000.0, num_junctions=11)
+        assert len(net.junctions()) == 11
+        assert net.position("j0") == (0.0, 0.0)
+        assert net.position("j10") == (5000.0, 0.0)
+
+    def test_highway_path_length(self):
+        net = straight_highway(5000.0, num_junctions=11)
+        path = net.shortest_path("j0", "j10")
+        assert net.path_length(path) == pytest.approx(5000.0)
+
+    def test_grid_city_path(self):
+        net = grid_city(3, 3, block_m=100.0)
+        path = net.shortest_path("g0-0", "g2-2")
+        assert net.path_length(path) == pytest.approx(400.0)  # Manhattan
+
+    def test_no_route_raises(self):
+        net = RoadNetwork()
+        net.add_junction("a", (0.0, 0.0))
+        net.add_junction("b", (10.0, 0.0))
+        with pytest.raises(MobilityError, match="no route"):
+            net.shortest_path("a", "b")
+
+    def test_interpolate(self):
+        net = straight_highway(1000.0, num_junctions=2)
+        assert net.interpolate("j0", "j1", 0.25) == (250.0, 0.0)
+
+    def test_interpolate_validation(self):
+        net = straight_highway(1000.0, num_junctions=2)
+        with pytest.raises(MobilityError):
+            net.interpolate("j0", "j1", 1.5)
+        with pytest.raises(MobilityError):
+            net.interpolate("j1", "j0", 0.5) if not net.graph.has_edge(
+                "j1", "j0"
+            ) else net.interpolate("j0", "j0", 0.5)
+
+    def test_duplicate_junction_rejected(self):
+        net = RoadNetwork()
+        net.add_junction("a", (0.0, 0.0))
+        with pytest.raises(MobilityError, match="duplicate"):
+            net.add_junction("a", (1.0, 1.0))
+
+    def test_colocated_junctions_rejected(self):
+        net = RoadNetwork()
+        net.add_junction("a", (0.0, 0.0))
+        net.add_junction("b", (0.0, 0.0))
+        with pytest.raises(MobilityError, match="co-located"):
+            net.add_road("a", "b")
+
+    def test_random_junction_deterministic(self):
+        net = grid_city(3, 3)
+        assert net.random_junction(seed=0) == net.random_junction(seed=0)
+
+    def test_invalid_constructions(self):
+        with pytest.raises(MobilityError):
+            straight_highway(1000.0, num_junctions=1)
+        with pytest.raises(MobilityError):
+            grid_city(1, 3)
+
+
+class TestRouteFollower:
+    def test_exact_kinematics(self):
+        # 1000 m at 27.8 m/s covered in 1000/27.8 s.
+        net = straight_highway(1000.0, num_junctions=2, speed_limit_mps=27.8)
+        follower = RouteFollower("v", net, ["j0", "j1"])
+        follower.advance(10.0)
+        assert follower.position[0] == pytest.approx(278.0)
+        assert follower.state.odometer_m == pytest.approx(278.0)
+
+    def test_finishes_route(self):
+        net = straight_highway(1000.0, num_junctions=2, speed_limit_mps=100.0)
+        follower = RouteFollower("v", net, ["j0", "j1"])
+        follower.advance(20.0)
+        assert follower.finished
+        assert follower.position == (1000.0, 0.0)
+
+    def test_speed_factor(self):
+        net = straight_highway(1000.0, num_junctions=2, speed_limit_mps=10.0)
+        slow = RouteFollower("v", net, ["j0", "j1"], speed_factor=0.5)
+        slow.advance(10.0)
+        assert slow.position[0] == pytest.approx(50.0)
+
+    def test_multi_segment(self):
+        net = straight_highway(2000.0, num_junctions=3, speed_limit_mps=10.0)
+        follower = RouteFollower("v", net, ["j0", "j1", "j2"])
+        follower.advance(150.0)  # 1500 m: past the midpoint junction
+        assert follower.position[0] == pytest.approx(1500.0)
+
+    def test_bad_route_rejected(self):
+        net = straight_highway(1000.0, num_junctions=2)
+        with pytest.raises(MobilityError):
+            RouteFollower("v", net, ["j0"])
+        with pytest.raises(MobilityError):
+            RouteFollower("v", net, ["j0", "missing"])
+
+    def test_position_stays_on_segment(self):
+        net = straight_highway(1000.0, num_junctions=2)
+        follower = RouteFollower("v", net, ["j0", "j1"])
+        for _ in range(30):
+            x, y = follower.advance(1.0)
+            assert 0.0 <= x <= 1000.0 and y == 0.0
+
+
+class TestRandomWaypoint:
+    def test_stays_on_network(self):
+        net = grid_city(4, 4, block_m=100.0)
+        agent = RandomWaypoint("v", net, seed=0)
+        max_coord = 300.0
+        for _ in range(120):
+            x, y = agent.advance(1.0)
+            assert -1e-9 <= x <= max_coord + 1e-9
+            assert -1e-9 <= y <= max_coord + 1e-9
+
+    def test_keeps_moving(self):
+        net = grid_city(4, 4, block_m=100.0)
+        agent = RandomWaypoint("v", net, seed=1)
+        agent.advance(60.0)
+        assert agent.odometer_m > 100.0
+
+    def test_deterministic(self):
+        net = grid_city(3, 3)
+        a = RandomWaypoint("v", net, seed=5)
+        b = RandomWaypoint("v", net, seed=5)
+        a.advance(30.0)
+        b.advance(30.0)
+        assert a.position == b.position
+
+
+class TestCoverage:
+    def _rsus(self):
+        return [
+            RoadsideUnit("r0", position_m=(0.0, 0.0), coverage_radius_m=600.0),
+            RoadsideUnit("r1", position_m=(1000.0, 0.0), coverage_radius_m=600.0),
+        ]
+
+    def test_best_server_nearest(self):
+        cov = CoverageMap(self._rsus())
+        assert cov.best_server((100.0, 0.0)).rsu_id == "r0"
+        assert cov.best_server((900.0, 0.0)).rsu_id == "r1"
+
+    def test_best_server_none_when_uncovered(self):
+        cov = CoverageMap(self._rsus())
+        assert cov.best_server((5000.0, 0.0)) is None
+
+    def test_coverage_holes(self):
+        cov = CoverageMap(self._rsus())
+        holes = cov.coverage_holes([(100.0, 0.0), (5000.0, 0.0)])
+        assert holes == [(5000.0, 0.0)]
+
+    def test_duplicate_ids_rejected(self):
+        rsus = self._rsus()
+        rsus[1] = RoadsideUnit("r0", position_m=(1.0, 0.0), coverage_radius_m=1.0)
+        with pytest.raises(MobilityError):
+            CoverageMap(rsus)
+
+    def test_handover_sequence_along_line(self):
+        detector = HandoverDetector(CoverageMap(self._rsus()), hysteresis_m=25.0)
+        events = []
+        for x in np.linspace(0.0, 1000.0, 101):
+            event = detector.observe("v", (float(x), 0.0), float(x))
+            if event is not None:
+                events.append(event)
+        # exactly one attach + one handover, at roughly the midpoint
+        assert len(events) == 2
+        assert events[0].source_rsu_id is None
+        assert events[1].source_rsu_id == "r0"
+        assert events[1].destination_rsu_id == "r1"
+        assert 500.0 <= events[1].position_m[0] <= 600.0
+
+    def test_hysteresis_prevents_pingpong(self):
+        detector = HandoverDetector(CoverageMap(self._rsus()), hysteresis_m=50.0)
+        detector.observe("v", (499.0, 0.0), 0.0)
+        # Oscillate around the midpoint within the hysteresis margin.
+        events = [
+            detector.observe("v", (500.0 + dx, 0.0), float(i))
+            for i, dx in enumerate([5.0, -5.0, 10.0, -10.0, 5.0])
+        ]
+        assert all(e is None for e in events)
+
+    def test_out_of_coverage_keeps_association(self):
+        detector = HandoverDetector(CoverageMap(self._rsus()))
+        detector.observe("v", (0.0, 0.0), 0.0)
+        assert detector.observe("v", (5000.0, 0.0), 1.0) is None
+        assert detector.serving_rsu("v") == "r0"
+
+
+class TestSimulateHandovers:
+    def test_highway_end_to_end(self):
+        net = straight_highway(5000.0, num_junctions=11, speed_limit_mps=25.0)
+        rsus = deploy_rsus_along_highway(5000.0, spacing_m=1000.0, coverage_radius_m=700.0)
+        agents = [RouteFollower("v0", net, [f"j{k}" for k in range(11)])]
+        result = simulate_handovers(agents, rsus, duration_s=220.0)
+        # 6 RSUs along the road -> 1 attach + 5 handovers.
+        assert len(result.events) == 6
+        assert len(result.migrations) == 5
+        assert len(result.migrations_of("v0")) == 5
+
+    def test_traces_sampled_per_tick(self):
+        net = straight_highway(1000.0, num_junctions=2, speed_limit_mps=10.0)
+        rsus = deploy_rsus_along_highway(1000.0)
+        agents = [RouteFollower("v0", net, ["j0", "j1"])]
+        result = simulate_handovers(agents, rsus, duration_s=10.0, tick_s=1.0)
+        assert len(result.traces["v0"].points) == 11  # t=0 plus 10 ticks
+
+    def test_migration_events_ordered_in_time(self):
+        net = straight_highway(5000.0, num_junctions=11, speed_limit_mps=25.0)
+        rsus = deploy_rsus_along_highway(5000.0)
+        agents = [
+            RouteFollower("v0", net, [f"j{k}" for k in range(11)]),
+            RouteFollower("v1", net, [f"j{k}" for k in range(11)], speed_factor=0.7),
+        ]
+        result = simulate_handovers(agents, rsus, duration_s=300.0)
+        times = [e.time_s for e in result.events]
+        assert times == sorted(times)
+
+    def test_deployment_covers_road(self):
+        rsus = deploy_rsus_along_highway(5000.0, spacing_m=1000.0, coverage_radius_m=700.0)
+        cov = CoverageMap(rsus)
+        samples = [(float(x), 0.0) for x in np.linspace(0.0, 5000.0, 200)]
+        assert cov.coverage_holes(samples) == []
+
+    def test_empty_agents_rejected(self):
+        rsus = deploy_rsus_along_highway(1000.0)
+        with pytest.raises(MobilityError):
+            simulate_handovers([], rsus, duration_s=10.0)

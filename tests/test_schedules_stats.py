@@ -1,0 +1,143 @@
+"""Schedule and statistics-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.drl.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    apply_lr_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.stats import bootstrap_ci, compare_means, summarize
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.5)
+        assert schedule(0.0) == schedule(1.0) == 0.5
+
+    def test_linear_endpoints(self):
+        schedule = LinearSchedule(start=1e-3, end=1e-5)
+        assert schedule(0.0) == 1e-3
+        assert schedule(1.0) == 1e-5
+        assert schedule(0.5) == pytest.approx((1e-3 + 1e-5) / 2.0)
+
+    def test_cosine_endpoints_and_shape(self):
+        schedule = CosineSchedule(start=1.0, end=0.0)
+        assert schedule(0.0) == pytest.approx(1.0)
+        assert schedule(1.0) == pytest.approx(0.0)
+        # slower decay early than linear
+        assert schedule(0.25) > 0.75
+
+    def test_exponential(self):
+        schedule = ExponentialSchedule(start=1.0, end=0.0, decay=0.01)
+        assert schedule(0.0) == pytest.approx(1.0)
+        assert schedule(1.0) == pytest.approx(0.01)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialSchedule(1.0, 0.0, decay=0.0)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(1.0)(1.5)
+
+    def test_apply_lr_schedule(self):
+        parameter = Tensor(np.array([0.0]), requires_grad=True)
+        optimizer = Adam([parameter], learning_rate=1e-3)
+        applied = apply_lr_schedule(
+            optimizer, LinearSchedule(1e-3, 1e-5), 1.0
+        )
+        assert applied == 1e-5
+        assert optimizer.learning_rate == 1e-5
+
+    def test_apply_rejects_nonpositive(self):
+        parameter = Tensor(np.array([0.0]), requires_grad=True)
+        optimizer = Adam([parameter], learning_rate=1e-3)
+        with pytest.raises(ConfigurationError):
+            apply_lr_schedule(optimizer, LinearSchedule(1e-3, -1.0), 1.0)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.count == 3
+        assert stats.ci_low < 2.0 < stats.ci_high
+
+    def test_single_sample_degenerates(self):
+        stats = summarize([5.0])
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_interval_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(size=10))
+        large = summarize(rng.normal(size=1000))
+        assert large.half_width < small.half_width
+
+    def test_coverage_roughly_nominal(self):
+        """~95% of 95% CIs should contain the true mean."""
+        rng = np.random.default_rng(1)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(loc=3.0, size=15)
+            stats = summarize(sample, confidence=0.95)
+            covered += stats.ci_low <= 3.0 <= stats.ci_high
+        assert covered / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestBootstrapAndTtest:
+    def test_bootstrap_contains_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(loc=10.0, size=200)
+        low, high = bootstrap_ci(sample, seed=0)
+        assert low < 10.0 < high
+
+    def test_bootstrap_deterministic(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(sample, seed=5) == bootstrap_ci(sample, seed=5)
+
+    def test_bootstrap_custom_statistic(self):
+        sample = [1.0, 2.0, 100.0]
+        low, high = bootstrap_ci(sample, statistic=np.median, seed=0)
+        assert low <= 2.0 <= high
+
+    def test_bootstrap_invalid(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], seed=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)
+
+    def test_ttest_detects_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, size=100)
+        b = rng.normal(loc=1.0, size=100)
+        _, p = compare_means(a, b)
+        assert p < 1e-6
+
+    def test_ttest_same_distribution(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        _, p = compare_means(a, b)
+        assert p > 0.01
+
+    def test_ttest_needs_samples(self):
+        with pytest.raises(ValueError):
+            compare_means([1.0], [1.0, 2.0])

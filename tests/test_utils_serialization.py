@@ -1,0 +1,63 @@
+"""Serialization tests: JSON/CSV round-trips and numpy coercion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.utils import serialization as ser
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert ser.to_jsonable(np.float64(1.5)) == 1.5
+        assert ser.to_jsonable(np.int32(3)) == 3
+        assert ser.to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert ser.to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_nested_structures(self):
+        payload = {"a": (np.float32(1.0), [np.int64(2)]), "b": None}
+        assert ser.to_jsonable(payload) == {"a": [1.0, [2]], "b": None}
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(ExperimentError):
+            ser.to_jsonable(object())
+
+    def test_path_becomes_string(self, tmp_path):
+        assert ser.to_jsonable(tmp_path) == str(tmp_path)
+
+
+class TestJsonIo:
+    def test_round_trip(self, tmp_path):
+        payload = {"series": [1.0, 2.0, 3.0], "meta": {"n": 2}}
+        target = ser.save_json(tmp_path / "out.json", payload)
+        assert ser.load_json(target) == payload
+
+    def test_creates_parents(self, tmp_path):
+        target = ser.save_json(tmp_path / "deep" / "dir" / "x.json", [1])
+        assert target.exists()
+
+    def test_numpy_payload(self, tmp_path):
+        target = ser.save_json(tmp_path / "np.json", {"v": np.arange(3)})
+        assert ser.load_json(target) == {"v": [0, 1, 2]}
+
+
+class TestCsvIo:
+    def test_round_trip(self, tmp_path):
+        headers = ["cost", "utility"]
+        rows = [[5.0, 6.44], [9.0, 5.41]]
+        target = ser.save_csv(tmp_path / "t.csv", headers, rows)
+        read_headers, read_rows = ser.load_csv(target)
+        assert read_headers == headers
+        assert [[float(c) for c in row] for row in read_rows] == rows
+
+    def test_ragged_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ser.save_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ExperimentError, match="empty"):
+            ser.load_csv(empty)

@@ -1,0 +1,68 @@
+"""Table-rendering tests: alignment, precision, error handling."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.utils.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(("a", "b"), [(1, 2.5), (10, 3.25)])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.500" in lines[2]
+        assert "3.250" in lines[3]
+
+    def test_title_prepended(self):
+        out = format_table(("x",), [(1,)], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_precision(self):
+        out = format_table(("x",), [(1.23456,)], precision=1)
+        assert "1.2" in out and "1.23" not in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ExperimentError, match="cells"):
+            format_table(("a", "b"), [(1,)])
+
+    def test_bool_rendered_as_word(self):
+        out = format_table(("flag",), [(True,)])
+        assert "True" in out
+
+    def test_columns_aligned(self):
+        out = format_table(("name", "v"), [("long-name", 1.0), ("s", 20.0)])
+        lines = out.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestTable:
+    def test_add_row_and_len(self):
+        table = Table(headers=("a", "b"))
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert len(table) == 2
+
+    def test_add_row_arity_checked(self):
+        table = Table(headers=("a", "b"))
+        with pytest.raises(ExperimentError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table(headers=("cost", "utility"))
+        table.add_row(5.0, 6.44)
+        table.add_row(9.0, 5.41)
+        assert table.column("cost") == [5.0, 9.0]
+        assert table.column("utility") == [6.44, 5.41]
+
+    def test_unknown_column(self):
+        table = Table(headers=("a",))
+        with pytest.raises(ExperimentError, match="unknown column"):
+            table.column("nope")
+
+    def test_str_includes_title_and_rows(self):
+        table = Table(headers=("a",), title="T")
+        table.add_row(1)
+        text = str(table)
+        assert text.startswith("T")
+        assert "1" in text

@@ -1,0 +1,140 @@
+"""Unit-conversion tests: exact anchors, round-trips, and error paths."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnitError
+from repro.utils import units
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == 1.0
+
+    def test_minus_20_db(self):
+        assert units.db_to_linear(-20.0) == pytest.approx(0.01)
+
+    def test_plus_30_db(self):
+        assert units.db_to_linear(30.0) == pytest.approx(1000.0)
+
+    def test_linear_to_db_anchor(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(UnitError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.linear_to_db(-3.0)
+
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_db_round_trip(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+
+class TestDbmConversions:
+    def test_paper_transmit_power(self):
+        # ρ = 40 dBm = 10 W (paper Sec. V-A).
+        assert units.dbm_to_watts(40.0) == pytest.approx(10.0)
+
+    def test_paper_noise_power(self):
+        # N0 = -150 dBm = 1e-18 W.
+        assert units.dbm_to_watts(-150.0) == pytest.approx(1e-18)
+
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_milliwatts(0.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_anchor(self):
+        assert units.watts_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            units.watts_to_dbm(0.0)
+
+    def test_milliwatts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            units.milliwatts_to_dbm(-1.0)
+
+    @given(st.floats(min_value=-120.0, max_value=80.0))
+    def test_dbm_round_trip(self, value_dbm):
+        assert units.watts_to_dbm(units.dbm_to_watts(value_dbm)) == pytest.approx(
+            value_dbm, abs=1e-9
+        )
+
+
+class TestDataConversions:
+    def test_megabytes_to_megabits(self):
+        assert units.megabytes_to_megabits(100.0) == 800.0
+
+    def test_megabits_to_megabytes(self):
+        assert units.megabits_to_megabytes(800.0) == 100.0
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(UnitError):
+            units.megabytes_to_megabits(-1.0)
+        with pytest.raises(UnitError):
+            units.megabits_to_megabytes(-1.0)
+
+    def test_paper_data_units(self):
+        # The calibration of DESIGN.md §3: 200 MB -> 2.0 units.
+        assert units.megabytes_to_data_units(200.0) == 2.0
+        assert units.megabytes_to_data_units(100.0) == 1.0
+
+    def test_data_units_inverse(self):
+        assert units.data_units_to_megabytes(2.5) == 250.0
+
+    def test_custom_unit(self):
+        assert units.megabytes_to_data_units(300.0, unit_mb=50.0) == 6.0
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(UnitError):
+            units.megabytes_to_data_units(10.0, unit_mb=0.0)
+        with pytest.raises(UnitError):
+            units.data_units_to_megabytes(10.0, unit_mb=-1.0)
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(UnitError):
+            units.data_units_to_megabytes(-0.5)
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_data_round_trip(self, size_mb):
+        through = units.data_units_to_megabytes(
+            units.megabytes_to_data_units(size_mb)
+        )
+        assert through == pytest.approx(size_mb, rel=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_bits_round_trip(self, size_mb):
+        through = units.megabits_to_megabytes(units.megabytes_to_megabits(size_mb))
+        assert through == pytest.approx(size_mb, rel=1e-12)
+
+
+class TestBandwidthConversions:
+    def test_mhz_to_hz(self):
+        assert units.mhz_to_hz(1.0) == 1e6
+
+    def test_hz_to_mhz(self):
+        assert units.hz_to_mhz(5e6) == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitError):
+            units.mhz_to_hz(-1.0)
+        with pytest.raises(UnitError):
+            units.hz_to_mhz(-1.0)
+
+    def test_snr_composition_matches_paper(self):
+        """ρ h0 d^-ε / N0 with the paper's parameters is ~4e11 (116 dB)."""
+        snr = (
+            units.dbm_to_watts(40.0)
+            * units.db_to_linear(-20.0)
+            * 500.0**-2.0
+            / units.dbm_to_watts(-150.0)
+        )
+        assert snr == pytest.approx(4e11, rel=1e-9)
+        assert math.log2(1.0 + snr) == pytest.approx(38.54, abs=0.01)

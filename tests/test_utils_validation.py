@@ -1,0 +1,95 @@
+"""Validation-helper tests: acceptance, rejection, and message content."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import validation as v
+
+
+class TestRequireFinite:
+    def test_accepts_and_returns_float(self):
+        assert v.require_finite("x", 3) == 3.0
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            v.require_finite("x", bad)
+
+
+class TestRequirePositive:
+    def test_accepts(self):
+        assert v.require_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            v.require_positive("x", bad)
+
+    def test_message_names_argument(self):
+        with pytest.raises(ConfigurationError, match="bandwidth"):
+            v.require_positive("bandwidth", -2.0)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert v.require_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            v.require_non_negative("x", -1e-9)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds_accepted(self):
+        assert v.require_in_range("p", 5.0, 5.0, 50.0) == 5.0
+        assert v.require_in_range("p", 50.0, 5.0, 50.0) == 50.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            v.require_in_range("p", 5.0, 5.0, 50.0, inclusive=False)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ConfigurationError):
+            v.require_in_range("p", 51.0, 5.0, 50.0)
+
+    def test_message_shows_bounds(self):
+        with pytest.raises(ConfigurationError, match=r"\[5.0, 50.0\]"):
+            v.require_in_range("p", 0.0, 5.0, 50.0)
+
+
+class TestRequirePositiveInt:
+    def test_accepts(self):
+        assert v.require_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.0, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            v.require_positive_int("n", bad)
+
+
+class TestRequireProbability:
+    def test_bounds(self):
+        assert v.require_probability("eps", 0.0) == 0.0
+        assert v.require_probability("eps", 1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            v.require_probability("eps", 1.01)
+
+
+class TestSequenceHelpers:
+    def test_same_length_ok(self):
+        v.require_same_length("a", [1, 2], "b", [3, 4])
+
+    def test_same_length_mismatch(self):
+        with pytest.raises(ConfigurationError, match="same length"):
+            v.require_same_length("a", [1], "b", [3, 4])
+
+    def test_non_empty_ok(self):
+        v.require_non_empty("xs", [0])
+
+    def test_non_empty_rejects(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            v.require_non_empty("xs", [])
