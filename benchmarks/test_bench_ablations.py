@@ -17,6 +17,8 @@ from repro.experiments import (
     run_reward_ablation,
 )
 
+pytestmark = pytest.mark.slow
+
 ABLATION_CONFIG = ExperimentConfig(
     num_episodes=100,
     rounds_per_episode=50,

@@ -14,6 +14,8 @@ from repro.entities.vmu import paper_fig2_population
 from repro.experiments import ExperimentConfig, run_multiseed_comparison
 from repro.utils.tables import Table
 
+pytestmark = pytest.mark.slow
+
 
 def test_multi_msp_competition(benchmark, record_table):
     """Monopoly -> duopoly: Bertrand collapse of the equilibrium price."""

@@ -12,10 +12,13 @@ in ~20 s. Run ``python -m repro.experiments.run --figure fig2 --paper`` for
 the full-budget version.
 """
 
+import pytest
 import numpy as np
 
 from repro.experiments import ExperimentConfig, run_fig2
 from repro.utils.tables import Table
+
+pytestmark = pytest.mark.slow
 
 FIG2A_CONFIG = ExperimentConfig(
     num_episodes=150,

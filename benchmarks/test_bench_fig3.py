@@ -17,6 +17,8 @@ import pytest
 
 from repro.experiments import ExperimentConfig, run_fig3_cost, run_fig3_vmus
 
+pytestmark = pytest.mark.slow
+
 QUICK = ExperimentConfig.quick()
 
 # The two panels of each figure share one sweep (same training runs); the

@@ -10,6 +10,7 @@ substrates the reproduction is built on:
   (the live-migration claim the paper's AoTM metric abstracts).
 """
 
+import pytest
 import numpy as np
 
 from repro.core.stackelberg import StackelbergMarket
@@ -23,6 +24,8 @@ from repro.mobility.models import RandomWaypoint
 from repro.mobility.road import grid_city
 from repro.mobility.trace import deploy_rsus_along_highway, simulate_handovers
 from repro.utils.tables import Table
+
+pytestmark = pytest.mark.slow
 
 
 def test_equilibrium_solver_speed(benchmark):

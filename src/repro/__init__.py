@@ -10,6 +10,8 @@ Public API map:
 - :mod:`repro.nn` / :mod:`repro.drl` / :mod:`repro.env` — the from-scratch
   DRL stack (PPO over the pricing POMDP);
 - :mod:`repro.baselines` — random/greedy/fixed/oracle pricing;
+- :mod:`repro.sim` — the batched simulation engine (price-batch market
+  evaluation, vector envs, batched policy evaluation);
 - :mod:`repro.experiments` — per-figure reproduction runners.
 
 Quickstart::

@@ -38,6 +38,15 @@ class RandomPricing:
         """A fresh uniform draw, independent of history."""
         return float(self._rng.uniform(self.low, self.high))
 
+    def propose_prices(self, history: GameHistory, count: int) -> np.ndarray:
+        """The next ``count`` prices as one vectorised draw.
+
+        ``Generator.uniform(size=count)`` consumes the stream exactly like
+        ``count`` scalar draws, so the batched evaluation path sees the
+        same prices a sequential round loop would have.
+        """
+        return self._rng.uniform(self.low, self.high, size=count)
+
     def reset(self) -> None:
         """Stateless (the RNG stream continues)."""
 
@@ -49,6 +58,11 @@ class GreedyPricing:
     past game rounds". With no exploration it could only ever replay its
     first draw, so we keep a small ε-exploration (ε = 0.1 by default) and
     always explore on an empty history.
+
+    Greedy deliberately has no ``propose_prices`` batch hook: each round's
+    proposal depends on the outcomes of the rounds before it. The engine's
+    sequential path still avoids re-solving the market on the (dominant)
+    rounds where the best past price is replayed.
     """
 
     def __init__(
@@ -88,6 +102,10 @@ class FixedPricing:
         """The configured constant."""
         return self.price
 
+    def propose_prices(self, history: GameHistory, count: int) -> np.ndarray:
+        """The constant, replicated — evaluation becomes one batched solve."""
+        return np.full(count, self.price)
+
     def reset(self) -> None:
         """Stateless."""
 
@@ -110,6 +128,10 @@ class OraclePricing:
     def propose_price(self, history: GameHistory) -> float:
         """The equilibrium price, always."""
         return self._price
+
+    def propose_prices(self, history: GameHistory, count: int) -> np.ndarray:
+        """The equilibrium price, replicated for one batched evaluation."""
+        return np.full(count, self._price)
 
     def reset(self) -> None:
         """Stateless."""

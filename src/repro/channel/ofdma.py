@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import AllocationError
 from repro.utils.validation import require_positive, require_positive_int
 
@@ -117,19 +119,38 @@ class OfdmaPool:
         return not (owned & free) and len(self._free) == len(free)
 
 
-def proportional_rationing(demands: list[float], capacity: float) -> list[float]:
+def proportional_rationing(
+    demands: list[float] | np.ndarray, capacity: float
+) -> list[float] | np.ndarray:
     """Scale ``demands`` down proportionally so their sum fits ``capacity``.
 
     This is the rule the environment applies when total VMU demand exceeds
     ``B_max``: every VMU receives the same fraction of its request, which
     keeps the allocation envy-free for identical per-unit prices. Demands
     within capacity are returned unchanged.
+
+    Accepts either a plain list (returns a list — the historical API), a
+    1-D array of per-VMU demands (returns an array), or a batched array of
+    shape ``(P, N)`` — one demand row per posted price — where each row is
+    rationed independently against the same ``capacity`` in a single numpy
+    pass. The batched form is what the vectorised leader landscape and the
+    vector environment drive on every grid scan.
     """
     require_positive("capacity", capacity)
-    if any(d < 0 for d in demands):
+    array_in = isinstance(demands, np.ndarray)
+    rows = np.asarray(demands, dtype=float)
+    if rows.ndim not in (1, 2):
+        raise AllocationError(
+            f"demands must be 1-D (N,) or batched (P, N), got shape {rows.shape}"
+        )
+    if np.any(rows < 0.0):
         raise AllocationError(f"demands must be >= 0, got {demands!r}")
-    total = sum(demands)
-    if total <= capacity or total == 0.0:
-        return list(demands)
-    scale = capacity / total
-    return [d * scale for d in demands]
+    totals = rows.sum(axis=-1)
+    # np.where evaluates both branches, so guard the division against the
+    # rows it will discard (zero or subnormal totals divide to inf/nan).
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        scales = np.where(totals > capacity, capacity / totals, 1.0)
+    granted = rows * (scales if rows.ndim == 1 else scales[:, np.newaxis])
+    if array_in:
+        return granted
+    return [float(g) for g in granted]

@@ -16,6 +16,7 @@ from repro.core.welfare import WelfareReport, social_welfare, welfare_report
 from repro.core.stackelberg import (
     MarketConfig,
     MarketOutcome,
+    PriceBatchOutcome,
     StackelbergEquilibrium,
     StackelbergMarket,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "run_rounds",
     "MarketConfig",
     "MarketOutcome",
+    "PriceBatchOutcome",
     "StackelbergEquilibrium",
     "StackelbergMarket",
     "follower_best_response",

@@ -45,25 +45,39 @@ class GameHistory:
         self.records.append(record)
 
     def last(self, count: int) -> list[RoundRecord]:
-        """The most recent ``count`` records (fewer if history is short)."""
+        """The most recent ``count`` records (fewer if history is short).
+
+        Always returns a plain (possibly empty) list: an empty history or
+        ``count = 0`` yields ``[]``, never an error — callers must not need
+        to guard. ``count`` larger than the history returns everything.
+        """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         return self.records[-count:] if count else []
 
     @property
-    def best_utility(self) -> float:
-        """Highest MSP utility observed so far (-inf when empty)."""
+    def best_record(self) -> RoundRecord | None:
+        """The round with the highest MSP utility (None when empty).
+
+        Single source of truth for :attr:`best_utility` / :attr:`best_price`,
+        so the two can never disagree about which round "best" means.
+        """
         if not self.records:
-            return float("-inf")
-        return max(r.msp_utility for r in self.records)
+            return None
+        return max(self.records, key=lambda r: r.msp_utility)
+
+    @property
+    def best_utility(self) -> float:
+        """Highest MSP utility observed so far (-inf when empty, so it can
+        seed a running maximum without a guard)."""
+        best = self.best_record
+        return float("-inf") if best is None else best.msp_utility
 
     @property
     def best_price(self) -> float | None:
         """Price that achieved :attr:`best_utility` (None when empty)."""
-        if not self.records:
-            return None
-        best = max(self.records, key=lambda r: r.msp_utility)
-        return best.price
+        best = self.best_record
+        return None if best is None else best.price
 
     def __len__(self) -> int:
         return len(self.records)
@@ -94,14 +108,16 @@ def run_rounds(
     Each round: the policy proposes a price from public history (clamped to
     the feasible ``[C, p_max]``), followers best-respond, and the outcome is
     appended to the history. Returns the final history and per-round
-    outcomes.
+    outcomes. Record indices continue from the supplied history, so a
+    multi-segment history numbers its rounds uniquely (and matches
+    :func:`repro.sim.play_policy`).
     """
     if num_rounds < 1:
         raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
     history = history if history is not None else GameHistory()
     outcomes: list[MarketOutcome] = []
     config = market.config
-    for round_index in range(num_rounds):
+    for round_index in range(len(history), len(history) + num_rounds):
         raw_price = float(policy.propose_price(history))
         price = float(np.clip(raw_price, config.unit_cost, config.max_price))
         outcome = market.round_outcome(price)

@@ -143,9 +143,8 @@ class MultiMspMarket:
         share = demands / len(winners)
         for msp_index in winners:
             granted = proportional_rationing(
-                share.tolist(), self._msps[msp_index].capacity
+                share, self._msps[msp_index].capacity
             )
-            granted = np.asarray(granted)
             sales[msp_index] = granted.sum()
             allocations += granted
         utilities = (prices - np.array([m.unit_cost for m in self._msps])) * sales

@@ -29,10 +29,17 @@ from repro.channel.ofdma import proportional_rationing
 from repro.core.utilities import follower_best_response, vmu_utilities
 from repro.entities.vmu import VmuProfile
 from repro.errors import ConfigurationError, InfeasibleMarketError
-from repro.game.solvers import grid_then_golden
+from repro.game.solvers import grid_then_golden, uniform_price_grid
 from repro.utils.validation import require_positive
 
-__all__ = ["MarketConfig", "StackelbergEquilibrium", "MarketOutcome", "StackelbergMarket"]
+__all__ = [
+    "MarketConfig",
+    "StackelbergEquilibrium",
+    "MarketOutcome",
+    "PriceBatchOutcome",
+    "StackelbergMarket",
+    "uniform_price_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +95,78 @@ class MarketOutcome:
     def total_allocated(self) -> float:
         """Σ granted bandwidth (natural units)."""
         return float(self.allocations.sum())
+
+
+@dataclass(frozen=True)
+class PriceBatchOutcome:
+    """Per-price outcomes of one vectorised market evaluation.
+
+    Every array is batched along axis 0 (one row per posted price): the
+    result of playing ``P`` independent trading rounds in a single numpy
+    pass. ``row(i)`` extracts a scalar :class:`MarketOutcome` view, which is
+    bit-identical to ``round_outcome(prices[i])`` because the scalar path
+    delegates here with ``P = 1``.
+    """
+
+    prices: np.ndarray
+    """Posted prices, shape ``(P,)``."""
+    demands: np.ndarray
+    """Requested bandwidth per price and VMU, shape ``(P, N)``."""
+    allocations: np.ndarray
+    """Granted bandwidth after B_max rationing, shape ``(P, N)``."""
+    msp_utilities: np.ndarray
+    """Leader utility per price, shape ``(P,)``."""
+    vmu_utilities: np.ndarray
+    """Follower utilities per price, shape ``(P, N)``."""
+    capacity_binding: np.ndarray
+    """Whether Σ demand hit ``B_max``, boolean shape ``(P,)``."""
+
+    def __len__(self) -> int:
+        return int(self.prices.shape[0])
+
+    @property
+    def total_allocated(self) -> np.ndarray:
+        """Σ granted bandwidth per price (natural units), shape ``(P,)``."""
+        return self.allocations.sum(axis=-1)
+
+    def row(self, index: int) -> MarketOutcome:
+        """The ``index``-th price's outcome as a scalar :class:`MarketOutcome`."""
+        return MarketOutcome(
+            price=float(self.prices[index]),
+            demands=self.demands[index].copy(),
+            allocations=self.allocations[index].copy(),
+            msp_utility=float(self.msp_utilities[index]),
+            vmu_utilities=self.vmu_utilities[index].copy(),
+            capacity_binding=bool(self.capacity_binding[index]),
+        )
+
+    @property
+    def best_index(self) -> int:
+        """Index of the price with the highest leader utility (first on ties)."""
+        return int(np.argmax(self.msp_utilities))
+
+    def best(self) -> MarketOutcome:
+        """The outcome of the price with the highest leader utility."""
+        return self.row(self.best_index)
+
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Sequence[MarketOutcome]
+    ) -> "PriceBatchOutcome":
+        """Stack scalar outcomes into one batch.
+
+        The bridge the sequential paths (reference landscape loop, the
+        memoised policy-evaluation loop) use to hand results back in the
+        engine's batched shape.
+        """
+        return cls(
+            prices=np.array([o.price for o in outcomes]),
+            demands=np.stack([o.demands for o in outcomes]),
+            allocations=np.stack([o.allocations for o in outcomes]),
+            msp_utilities=np.array([o.msp_utility for o in outcomes]),
+            vmu_utilities=np.stack([o.vmu_utilities for o in outcomes]),
+            capacity_binding=np.array([o.capacity_binding for o in outcomes]),
+        )
 
 
 @dataclass(frozen=True)
@@ -187,42 +266,89 @@ class StackelbergMarket:
             self._alphas, self._data_units, price, self.spectral_efficiency
         )
 
+    def best_response_batch(self, prices: np.ndarray) -> np.ndarray:
+        """Best-response matrix for a price vector ``(P,)``: shape ``(P, N)``."""
+        return follower_best_response(
+            self._alphas,
+            self._data_units,
+            self._as_price_batch(prices),
+            self.spectral_efficiency,
+        )
+
     def allocate(self, price: float) -> np.ndarray:
         """Granted bandwidth after B_max proportional rationing."""
         demands = self.best_response(price)
         if not self._config.enforce_capacity:
             return demands
-        granted = proportional_rationing(
-            demands.tolist(), self._config.capacity_natural
-        )
-        return np.asarray(granted, dtype=float)
+        return proportional_rationing(demands, self._config.capacity_natural)
 
-    def round_outcome(self, price: float) -> MarketOutcome:
-        """Play one full trading round at a posted ``price``."""
-        if price <= 0.0 or not math.isfinite(price):
-            raise ConfigurationError(f"price must be finite and > 0, got {price!r}")
-        demands = self.best_response(price)
-        allocations = self.allocate(price)
-        utility = float((price - self._config.unit_cost) * allocations.sum())
+    def allocate_batch(self, prices: np.ndarray) -> np.ndarray:
+        """Granted bandwidth per price after rationing, shape ``(P, N)``."""
+        demands = self.best_response_batch(prices)
+        if not self._config.enforce_capacity:
+            return demands
+        return proportional_rationing(demands, self._config.capacity_natural)
+
+    def _as_price_batch(self, prices: np.ndarray) -> np.ndarray:
+        batch = np.asarray(prices, dtype=float)
+        if batch.ndim != 1:
+            raise ConfigurationError(
+                f"expected a price vector of shape (P,), got shape {batch.shape}"
+            )
+        if batch.size == 0:
+            raise ConfigurationError("price vector must not be empty")
+        if np.any(~np.isfinite(batch)) or np.any(batch <= 0.0):
+            raise ConfigurationError(
+                f"prices must be finite and > 0, got {batch!r}"
+            )
+        return batch
+
+    def outcomes_batch(self, prices: np.ndarray) -> PriceBatchOutcome:
+        """Play one trading round per entry of a price vector, vectorised.
+
+        Equivalent to ``[round_outcome(p) for p in prices]`` but evaluated
+        in a single numpy pass over the ``(P, N)`` best-response matrix:
+        the demands, B_max rationing, leader utility, and follower
+        utilities of all ``P`` candidate prices come out of one call. This
+        is the engine behind the leader's landscape scan, the vector
+        environment, and the batched baseline evaluation.
+        """
+        batch = self._as_price_batch(prices)
+        config = self._config
+        demands = self.best_response_batch(batch)
+        if config.enforce_capacity:
+            allocations = proportional_rationing(demands, config.capacity_natural)
+            binding = demands.sum(axis=-1) >= config.capacity_natural * (1.0 - 1e-9)
+        else:
+            allocations = demands
+            binding = np.zeros(batch.shape, dtype=bool)
+        utilities = (batch - config.unit_cost) * allocations.sum(axis=-1)
         follower_utilities = vmu_utilities(
             self._alphas,
             self._data_units,
             allocations,
-            price,
+            batch,
             self.spectral_efficiency,
         )
-        binding = bool(
-            self._config.enforce_capacity
-            and demands.sum() >= self._config.capacity_natural * (1.0 - 1e-9)
-        )
-        return MarketOutcome(
-            price=price,
+        return PriceBatchOutcome(
+            prices=batch,
             demands=demands,
             allocations=allocations,
-            msp_utility=utility,
+            msp_utilities=utilities,
             vmu_utilities=follower_utilities,
             capacity_binding=binding,
         )
+
+    def round_outcome(self, price: float) -> MarketOutcome:
+        """Play one full trading round at a posted ``price``.
+
+        Thin scalar wrapper over :meth:`outcomes_batch` with ``P = 1``, so
+        scalar and batched evaluation share one code path (and therefore
+        agree bitwise, row for row).
+        """
+        if price <= 0.0 or not math.isfinite(price):
+            raise ConfigurationError(f"price must be finite and > 0, got {price!r}")
+        return self.outcomes_batch(np.array([float(price)])).row(0)
 
     # ------------------------------------------------------------------ #
     # leader stage
@@ -230,6 +356,27 @@ class StackelbergMarket:
     def msp_utility(self, price: float) -> float:
         """Leader utility at ``price`` with followers playing Eq. (8)."""
         return self.round_outcome(price).msp_utility
+
+    def msp_utilities(self, prices: np.ndarray) -> np.ndarray:
+        """Leader utility per entry of a price vector, shape ``(P,)``."""
+        return self.outcomes_batch(prices).msp_utilities
+
+    def leader_landscape(
+        self, *, grid_points: int = 256, low: float | None = None, high: float | None = None
+    ) -> PriceBatchOutcome:
+        """The leader's full utility landscape on a uniform price grid.
+
+        Evaluates ``grid_points`` prices spanning ``[C, p_max]`` (or the
+        supplied bounds) in one vectorised pass — the scan that used to be
+        ``grid_points`` scalar solves.
+        """
+        config = self._config
+        grid = uniform_price_grid(
+            config.unit_cost if low is None else float(low),
+            config.max_price if high is None else float(high),
+            grid_points,
+        )
+        return self.outcomes_batch(grid)
 
     def _active_set(self, price: float) -> np.ndarray:
         return self.dropout_thresholds() > price
@@ -285,12 +432,17 @@ class StackelbergMarket:
                 f"cost C={config.unit_cost}; no profitable trade exists"
             )
         candidates = self._segment_candidates()
-        best_price = max(candidates, key=self.msp_utility)
+        candidate_values = self.msp_utilities(np.asarray(candidates, dtype=float))
+        best_index = int(np.argmax(candidate_values))
+        best_price = candidates[best_index]
         if refine:
             refined_price, refined_value = grid_then_golden(
-                self.msp_utility, config.unit_cost, config.max_price
+                self.msp_utility,
+                config.unit_cost,
+                config.max_price,
+                vector_objective=self.msp_utilities,
             )
-            if refined_value > self.msp_utility(best_price):
+            if refined_value > float(candidate_values[best_index]):
                 best_price = refined_price
         outcome = self.round_outcome(best_price)
         return StackelbergEquilibrium(

@@ -3,8 +3,15 @@
 Follower (VMU n):  U_n(b_n) = α_n ln(1 + b_n·SE/D_n) − p·b_n
 Leader  (MSP):     U_s(p)   = Σ_n (p − C)·b_n
 
-Both are exposed in scalar and vectorised forms; the vectorised forms are
-what the environment and the equilibrium solver use on every game round.
+Both are exposed in scalar and vectorised forms. On top of the population
+axis (``N`` VMUs), every vectorised form also accepts a *price batch*: pass
+a price vector of shape ``(P,)`` and the population functions broadcast to
+``(P, N)`` (one row per price) while :func:`msp_utility` reduces to
+``(P,)``. This is the numpy hot path the batched simulation engine
+(:mod:`repro.sim`) drives — a full leader price grid evaluates in a single
+pass instead of ``P`` Python-level solves. Scalar prices keep their exact
+historical semantics (and return types), so the two entry points stay
+bit-compatible row for row.
 """
 
 from __future__ import annotations
@@ -42,31 +49,61 @@ def vmu_utilities(
     immersion_coefs: np.ndarray,
     data_units: np.ndarray,
     bandwidths: np.ndarray,
-    price: float,
+    price: float | np.ndarray,
     spectral_efficiency: float,
 ) -> np.ndarray:
-    """Vectorised Eq. (2) over a population."""
+    """Vectorised Eq. (2) over a population, optionally batched over prices.
+
+    With a scalar ``price`` and ``bandwidths`` of shape ``(N,)`` this is the
+    historical per-population form. With ``price`` of shape ``(P,)`` and
+    ``bandwidths`` of shape ``(P, N)`` it returns per-price utilities
+    ``(P, N)`` in one pass.
+    """
     alphas = np.asarray(immersion_coefs, dtype=float)
     data = np.asarray(data_units, dtype=float)
     bands = np.asarray(bandwidths, dtype=float)
+    prices = np.asarray(price, dtype=float)
+    if prices.ndim == 1:
+        if bands.ndim != 2 or bands.shape[0] != prices.shape[0]:
+            raise ValueError(
+                f"price batch of shape {prices.shape} needs bandwidths of "
+                f"shape (P, N), got {bands.shape}"
+            )
+        prices = prices[:, np.newaxis]
     gains = alphas * np.log1p(bands * spectral_efficiency / data)
-    return gains - price * bands
+    return gains - prices * bands
 
 
-def msp_utility(price: float, unit_cost: float, bandwidths: np.ndarray) -> float:
-    """Leader utility ``Σ (p − C)·b_n`` (Eq. 4)."""
-    require_non_negative("price", price)
+def msp_utility(
+    price: float | np.ndarray, unit_cost: float, bandwidths: np.ndarray
+) -> float | np.ndarray:
+    """Leader utility ``Σ (p − C)·b_n`` (Eq. 4).
+
+    Scalar ``price`` + ``(N,)`` bandwidths returns a float; a price batch
+    ``(P,)`` + ``(P, N)`` bandwidths returns the per-price utilities ``(P,)``.
+    """
     require_positive("unit_cost", unit_cost)
     bands = np.asarray(bandwidths, dtype=float)
     if np.any(bands < 0.0):
         raise ValueError("bandwidths must be >= 0")
-    return float((price - unit_cost) * bands.sum())
+    prices = np.asarray(price, dtype=float)
+    if prices.ndim == 0:
+        require_non_negative("price", float(prices))
+        return float((float(prices) - unit_cost) * bands.sum())
+    if np.any(~np.isfinite(prices)) or np.any(prices < 0.0):
+        raise ValueError(f"prices must be finite and >= 0, got {prices!r}")
+    if bands.ndim != 2 or bands.shape[0] != prices.shape[0]:
+        raise ValueError(
+            f"price batch of shape {prices.shape} needs bandwidths of shape "
+            f"(P, N), got {bands.shape}"
+        )
+    return (prices - unit_cost) * bands.sum(axis=-1)
 
 
 def follower_best_response(
     immersion_coefs: np.ndarray,
     data_units: np.ndarray,
-    price: float,
+    price: float | np.ndarray,
     spectral_efficiency: float,
 ) -> np.ndarray:
     """Vectorised best response of Eq. (8), truncated at zero.
@@ -74,11 +111,24 @@ def follower_best_response(
     ``b*_n = max(0, α_n/p − D_n/SE)``. The truncation implements the
     feasibility constraint ``b_n > 0`` of Problem 1: a VMU facing a price
     above its drop-out threshold ``α_n·SE/D_n`` buys nothing.
+
+    ``price`` may be a scalar (returns ``(N,)``) or a vector of shape
+    ``(P,)`` (returns the best-response matrix ``(P, N)``, one row per
+    posted price).
     """
-    require_positive("price", price)
     require_positive("spectral_efficiency", spectral_efficiency)
     alphas = np.asarray(immersion_coefs, dtype=float)
     data = np.asarray(data_units, dtype=float)
     if np.any(alphas <= 0.0) or np.any(data <= 0.0):
         raise ValueError("immersion coefficients and data sizes must be > 0")
-    return np.maximum(0.0, alphas / price - data / spectral_efficiency)
+    prices = np.asarray(price, dtype=float)
+    if prices.ndim == 0:
+        require_positive("price", float(prices))
+        return np.maximum(0.0, alphas / float(prices) - data / spectral_efficiency)
+    if np.any(~np.isfinite(prices)) or np.any(prices <= 0.0):
+        raise ValueError(f"prices must be finite and > 0, got {prices!r}")
+    return np.maximum(
+        0.0,
+        alphas[np.newaxis, :] / prices[:, np.newaxis]
+        - data[np.newaxis, :] / spectral_efficiency,
+    )

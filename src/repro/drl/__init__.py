@@ -1,6 +1,12 @@
 """DRL substrate: rollout buffer, GAE, PPO, and the Algorithm-1 trainer."""
 
-from repro.drl.buffer import MiniBatch, RolloutBuffer, Transition
+from repro.drl.buffer import (
+    MiniBatch,
+    RolloutBuffer,
+    Transition,
+    concatenate_minibatches,
+    sample_minibatch,
+)
 from repro.drl.checkpoints import load_agent, save_agent
 from repro.drl.gae import discounted_returns, generalized_advantages, paper_advantages
 from repro.drl.policy import ActionScaler, ActorCritic
@@ -13,7 +19,13 @@ from repro.drl.schedules import (
     Schedule,
     apply_lr_schedule,
 )
-from repro.drl.trainer import Trainer, TrainerConfig, TrainingResult, train_pricing_agent
+from repro.drl.trainer import (
+    Trainer,
+    TrainerConfig,
+    TrainingResult,
+    VectorTrainer,
+    train_pricing_agent,
+)
 
 __all__ = [
     "load_agent",
@@ -21,6 +33,8 @@ __all__ = [
     "MiniBatch",
     "RolloutBuffer",
     "Transition",
+    "concatenate_minibatches",
+    "sample_minibatch",
     "discounted_returns",
     "generalized_advantages",
     "paper_advantages",
@@ -38,5 +52,6 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "TrainingResult",
+    "VectorTrainer",
     "train_pricing_agent",
 ]

@@ -17,7 +17,13 @@ from repro.drl.gae import discounted_returns, generalized_advantages
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["Transition", "MiniBatch", "RolloutBuffer"]
+__all__ = [
+    "Transition",
+    "MiniBatch",
+    "RolloutBuffer",
+    "concatenate_minibatches",
+    "sample_minibatch",
+]
 
 
 @dataclass(frozen=True)
@@ -120,23 +126,20 @@ class RolloutBuffer:
             returns=self._returns.copy(),
         )
 
+    def stacked(self) -> MiniBatch:
+        """The whole finalized segment as one stacked :class:`MiniBatch`.
+
+        The vector trainer pools the per-env segments with
+        :func:`concatenate_minibatches` before sampling, so the batch axis
+        of every stored array is the shared contract between the scalar and
+        batched update paths.
+        """
+        return self._stacked()
+
     def sample(self, batch_size: int, seed: SeedLike = None) -> MiniBatch:
         """One random mini-batch of ``batch_size`` (with replacement if the
         buffer is smaller) — Algorithm 1, line 12."""
-        if batch_size < 1:
-            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
-        full = self._stacked()
-        rng = as_generator(seed)
-        count = len(self._transitions)
-        replace = batch_size > count
-        idx = rng.choice(count, size=batch_size, replace=replace)
-        return MiniBatch(
-            observations=full.observations[idx],
-            actions=full.actions[idx],
-            old_log_probs=full.old_log_probs[idx],
-            advantages=full.advantages[idx],
-            returns=full.returns[idx],
-        )
+        return sample_minibatch(self._stacked(), batch_size, seed=seed)
 
     def minibatches(self, batch_size: int, seed: SeedLike = None) -> list[MiniBatch]:
         """Shuffle the segment and split into consecutive mini-batches
@@ -160,3 +163,48 @@ class RolloutBuffer:
                 )
             )
         return batches
+
+
+def concatenate_minibatches(batches: list[MiniBatch]) -> MiniBatch:
+    """Concatenate stacked segments along the batch axis.
+
+    Used by the vector trainer to pool the ``E`` per-env rollout segments
+    into one sampling population before the PPO epochs — the batched
+    analogue of sampling from a single env's buffer.
+    """
+    if not batches:
+        raise ConfigurationError("need at least one mini-batch to concatenate")
+    if len(batches) == 1:
+        return batches[0]
+    return MiniBatch(
+        observations=np.concatenate([b.observations for b in batches]),
+        actions=np.concatenate([b.actions for b in batches]),
+        old_log_probs=np.concatenate([b.old_log_probs for b in batches]),
+        advantages=np.concatenate([b.advantages for b in batches]),
+        returns=np.concatenate([b.returns for b in batches]),
+    )
+
+
+def sample_minibatch(
+    full: MiniBatch, batch_size: int, seed: SeedLike = None
+) -> MiniBatch:
+    """Draw one random mini-batch from a stacked segment (Algorithm 1, line 12).
+
+    Sampling is uniform over the population, with replacement only when the
+    population is smaller than ``batch_size`` — the same rule (and the same
+    RNG consumption) as :meth:`RolloutBuffer.sample`, so a one-env pool
+    reproduces the scalar trainer's draws exactly.
+    """
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    rng = as_generator(seed)
+    count = len(full.observations)
+    replace = batch_size > count
+    idx = rng.choice(count, size=batch_size, replace=replace)
+    return MiniBatch(
+        observations=full.observations[idx],
+        actions=full.actions[idx],
+        old_log_probs=full.old_log_probs[idx],
+        advantages=full.advantages[idx],
+        returns=full.returns[idx],
+    )

@@ -143,10 +143,39 @@ class ActorCritic(Module):
 
         Returns ``(raw_action, log_prob, value)``.
         """
+        raws, log_probs, values = self.act_batch(
+            np.asarray(observation, dtype=np.float64).reshape(1, -1),
+            seed=seed,
+            deterministic=deterministic,
+        )
+        return raws[0], float(log_probs[0]), float(values[0])
+
+    def act_batch(
+        self,
+        observations: np.ndarray,
+        *,
+        seed: SeedLike = None,
+        deterministic: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample actions for a whole observation batch in one forward pass.
+
+        This is the vector-env hot path: one trunk evaluation serves all
+        ``E`` envs, and the Gaussian head draws the ``(E, action_dim)``
+        noise block from ``seed`` in a single call — for ``E = 1`` the
+        stream consumption (and hence every downstream number) is identical
+        to :meth:`act`.
+
+        Returns ``(raw_actions (E, action_dim), log_probs (E,), values (E,))``.
+        """
         rng = as_generator(seed)
-        obs = np.asarray(observation, dtype=np.float64).reshape(1, -1)
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2:
+            raise ConfigurationError(
+                f"expected observations of shape (batch, {self.obs_dim}), "
+                f"got {obs.shape}"
+            )
         with no_grad():
-            dist, value = self.evaluate(Tensor(obs))
-            raw = dist.mode() if deterministic else dist.sample(rng)
-            log_prob = dist.log_prob(raw)
-        return raw[0], float(log_prob.data[0]), float(value.data[0])
+            dist, values = self.evaluate(Tensor(obs))
+            raws = dist.mode() if deterministic else dist.sample(rng)
+            log_probs = dist.log_prob(raws)
+        return raws, log_probs.data.copy(), values.data.copy()

@@ -93,13 +93,30 @@ class PPOAgent:
             observation, seed=seed, deterministic=deterministic
         )
 
+    def act_batch(
+        self,
+        observations: np.ndarray,
+        *,
+        seed: SeedLike = None,
+        deterministic: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched sampling path: one forward pass for ``(E, obs_dim)``."""
+        return self.network.act_batch(
+            observations, seed=seed, deterministic=deterministic
+        )
+
     def value(self, observation: np.ndarray) -> float:
         """Critic value for a single observation (no graph)."""
+        obs = np.asarray(observation, dtype=np.float64).reshape(1, -1)
+        return float(self.value_batch(obs)[0])
+
+    def value_batch(self, observations: np.ndarray) -> np.ndarray:
+        """Critic values for an observation batch, shape ``(E,)`` (no graph)."""
         from repro.nn.tensor import no_grad
 
-        obs = np.asarray(observation, dtype=np.float64).reshape(1, -1)
+        obs = np.asarray(observations, dtype=np.float64)
         with no_grad():
-            return float(self.network.value(Tensor(obs)).data[0])
+            return self.network.value(Tensor(obs)).data.copy()
 
     def update(self, batch: MiniBatch) -> UpdateStats:
         """One gradient step on a mini-batch (Eq. 14)."""

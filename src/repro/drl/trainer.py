@@ -16,13 +16,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.drl.buffer import RolloutBuffer
+from repro.drl.buffer import (
+    RolloutBuffer,
+    concatenate_minibatches,
+    sample_minibatch,
+)
 from repro.drl.policy import ActionScaler, ActorCritic
 from repro.drl.ppo import PPOAgent, PPOConfig, UpdateStats
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["TrainerConfig", "TrainingResult", "Trainer", "train_pricing_agent"]
+__all__ = [
+    "TrainerConfig",
+    "TrainingResult",
+    "Trainer",
+    "VectorTrainer",
+    "train_pricing_agent",
+]
 
 
 @dataclass(frozen=True)
@@ -154,6 +164,121 @@ class Trainer:
         return float(self.scaler.to_price(raw_action[0]))
 
 
+class VectorTrainer:
+    """Algorithm 1 over a batch of envs stepped in lockstep.
+
+    One iteration of the outer loop collects ``E`` episodes concurrently
+    from a :class:`repro.env.VectorMigrationEnv` (or anything exposing
+    ``num_envs`` plus batched ``reset``/``step``): the actor-critic forward
+    pass, the reward bookkeeping, and the bootstrap values all run on the
+    ``(E, ·)`` batch axis, while each env keeps its private RNG stream and
+    :class:`RolloutBuffer` so GAE sees per-episode trajectories. At update
+    time the ``E`` finalized segments are pooled into one sampling
+    population.
+
+    RNG contract: the trainer's own stream is consumed in the same order as
+    the scalar :class:`Trainer` (one Gaussian noise block per round, one
+    ``choice`` per PPO epoch), so an ``E = 1`` vector run is bit-compatible
+    with the scalar trainer on the same seeds — verified by a regression
+    test.
+
+    The result traces carry ``E`` entries per outer iteration, appended in
+    env order, so ``TrainingResult.num_episodes`` counts *episodes*, not
+    iterations.
+    """
+
+    def __init__(
+        self,
+        venv,
+        agent: PPOAgent,
+        scaler: ActionScaler,
+        config: TrainerConfig | None = None,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        if getattr(venv, "num_envs", 0) < 1:
+            raise ConfigurationError(
+                "VectorTrainer needs a vector env exposing num_envs >= 1"
+            )
+        self.venv = venv
+        self.agent = agent
+        self.scaler = scaler
+        self.config = config if config is not None else TrainerConfig()
+        self._rng = as_generator(seed)
+        self.buffers = [
+            RolloutBuffer(gamma=self.config.gamma, lam=self.config.gae_lambda)
+            for _ in range(venv.num_envs)
+        ]
+
+    def _update_from_buffers(self, bootstrap_values: np.ndarray) -> None:
+        cfg = self.config
+        for buffer, bootstrap in zip(self.buffers, bootstrap_values):
+            buffer.finalize(float(bootstrap))
+        pool = concatenate_minibatches([b.stacked() for b in self.buffers])
+        for _ in range(cfg.update_epochs):
+            batch = sample_minibatch(pool, cfg.batch_size, seed=self._rng)
+            self.result.update_stats.append(self.agent.update(batch))
+        for buffer in self.buffers:
+            buffer.clear()
+
+    def train(self) -> TrainingResult:
+        """Run the batched Algorithm-1 loop; returns the training traces."""
+        cfg = self.config
+        num_envs = self.venv.num_envs
+        self.result = TrainingResult()
+        for _iteration in range(cfg.num_episodes):
+            observations = self.venv.reset()
+            for buffer in self.buffers:
+                buffer.clear()
+            episode_returns = np.zeros(num_envs)
+            utilities: list[list[float]] = [[] for _ in range(num_envs)]
+            best_utilities = np.full(num_envs, float("-inf"))
+            done = False
+            round_index = 0
+            while not done:
+                raws, log_probs, values = self.agent.act_batch(
+                    observations, seed=self._rng
+                )
+                prices = self.scaler.to_price(raws[:, 0])
+                next_observations, rewards, dones, infos = self.venv.step(prices)
+                for e in range(num_envs):
+                    self.buffers[e].add(
+                        observations[e], raws[e], rewards[e], log_probs[e], values[e]
+                    )
+                    utilities[e].append(float(infos[e]["msp_utility"]))
+                episode_returns += rewards
+                best_utilities = np.maximum(
+                    best_utilities, [float(i["best_utility"]) for i in infos]
+                )
+                observations = next_observations
+                round_index += 1
+                done = bool(dones.all())
+                if round_index % cfg.update_interval == 0 or done:
+                    bootstraps = (
+                        np.zeros(num_envs)
+                        if done
+                        else self.agent.value_batch(observations)
+                    )
+                    self._update_from_buffers(bootstraps)
+            for e in range(num_envs):
+                self.result.episode_returns.append(float(episode_returns[e]))
+                self.result.episode_best_utilities.append(float(best_utilities[e]))
+                self.result.episode_mean_utilities.append(
+                    float(np.mean(utilities[e]))
+                )
+            self.result.episode_final_prices.extend(self.evaluate_prices())
+        return self.result
+
+    def evaluate_prices(self) -> list[float]:
+        """Deterministic (distribution-mode) prices at the current
+        parameters, one per env, evaluated on fresh observations."""
+        observations = self.venv.reset()
+        raws, _, _ = self.agent.act_batch(
+            observations, seed=self._rng, deterministic=True
+        )
+        return [float(p) for p in self.scaler.to_price(raws[:, 0])]
+
+
 def train_pricing_agent(
     env,
     *,
@@ -165,12 +290,18 @@ def train_pricing_agent(
     """Convenience constructor + training run for the pricing POMDP.
 
     Builds the shared-trunk actor-critic sized to ``env``, trains with
-    Algorithm 1, and returns ``(agent, result, scaler)``.
+    Algorithm 1, and returns ``(agent, result, scaler)``. Vector envs
+    (anything exposing ``num_envs``) are routed through
+    :class:`VectorTrainer`, which collects all their episodes concurrently;
+    plain envs keep the scalar :class:`Trainer`.
     """
     rng = as_generator(seed)
     network = ActorCritic(env.observation_dim, hidden_sizes, seed=rng)
     agent = PPOAgent(network, ppo_config)
     scaler = ActionScaler(low=env.action_low, high=env.action_high)
-    trainer = Trainer(env, agent, scaler, trainer_config, seed=rng)
+    if hasattr(env, "num_envs"):
+        trainer = VectorTrainer(env, agent, scaler, trainer_config, seed=rng)
+    else:
+        trainer = Trainer(env, agent, scaler, trainer_config, seed=rng)
     result = trainer.train()
     return agent, result, scaler

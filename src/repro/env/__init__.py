@@ -3,12 +3,14 @@
 from repro.env.base import Environment, StepResult
 from repro.env.migration_game import MigrationGameEnv
 from repro.env.nonstationary import ChurnConfig, ChurningMigrationEnv
+from repro.env.vector import VectorMigrationEnv
 from repro.env.wrappers import EpisodeStats, NormalizeObservation, RunningMeanStd
 
 __all__ = [
     "Environment",
     "StepResult",
     "MigrationGameEnv",
+    "VectorMigrationEnv",
     "ChurnConfig",
     "ChurningMigrationEnv",
     "EpisodeStats",

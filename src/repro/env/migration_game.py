@@ -138,14 +138,29 @@ class MigrationGameEnv:
         Eq.-12 (or shaped) reward, the episode-done flag, and an info dict
         with the raw round outcome.
         """
+        self._require_steppable()
+        price = float(np.clip(action, self.action_low, self.action_high))
+        outcome = self.market.round_outcome(price)
+        return self._advance(float(action), price, outcome)
+
+    def _require_steppable(self) -> None:
         if not self._started:
             raise EnvironmentError_("call reset() before step()")
         if self._round >= self.rounds_per_episode:
             raise EnvironmentError_(
                 "episode already finished; call reset() to start a new one"
             )
-        price = float(np.clip(action, self.action_low, self.action_high))
-        outcome = self.market.round_outcome(price)
+
+    def _advance(
+        self, raw_action: float, price: float, outcome
+    ) -> tuple[np.ndarray, float, bool, dict[str, Any]]:
+        """Apply one already-solved market round to the POMDP state.
+
+        Split out of :meth:`step` so :class:`repro.env.vector.VectorMigrationEnv`
+        can solve a whole env batch's markets in one vectorised pass and
+        feed each env its own row — the reward logic, history update, and
+        info dict stay in exactly one place.
+        """
         utility = outcome.msp_utility
 
         if self.reward_mode == "paper":
@@ -166,7 +181,7 @@ class MigrationGameEnv:
         done = self._round >= self.rounds_per_episode
         info: dict[str, Any] = {
             "price": price,
-            "raw_action": float(action),
+            "raw_action": raw_action,
             "msp_utility": utility,
             "best_utility": self._best_utility,
             "demands": outcome.demands.copy(),

@@ -145,10 +145,9 @@ class ChurningMigrationEnv:
         demands = self.market.best_response(price) * self._active
         if not self.market.config.enforce_capacity:
             return demands
-        granted = proportional_rationing(
-            demands.tolist(), self.market.config.capacity_natural
+        return proportional_rationing(
+            demands, self.market.config.capacity_natural
         )
-        return np.asarray(granted)
 
     def _entry(self, price: float, allocations: np.ndarray) -> np.ndarray:
         config = self.market.config

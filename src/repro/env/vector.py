@@ -1,0 +1,186 @@
+"""Vectorised POMDP: step ``E`` independent pricing games as one batch.
+
+:class:`VectorMigrationEnv` holds ``E`` :class:`MigrationGameEnv` instances
+(different seeds and/or different markets) and exposes batched
+``reset() -> (E, obs_dim)`` / ``step(actions (E,)) -> (obs, rewards, dones,
+infos)``. Each member env keeps its *own* RNG stream and episode state, so
+the vectorised run reproduces the exact per-episode trace of ``E``
+sequential single-env runs with the same seeds — bit for bit.
+
+The speed comes from two places:
+
+- when every member shares the same :class:`StackelbergMarket` object, one
+  :meth:`StackelbergMarket.outcomes_batch` call solves the whole round for
+  all ``E`` posted prices (a single ``(E, N)`` numpy pass instead of ``E``
+  scalar Stackelberg solves);
+- the DRL trainer feeds the whole ``(E, obs_dim)`` observation batch
+  through the actor-critic in one forward pass.
+
+Exactness holds because the scalar market path itself delegates to the
+batched evaluator with ``P = 1`` — both routes run the identical numpy
+operations row for row.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.env.migration_game import MigrationGameEnv
+from repro.errors import EnvironmentError_
+from repro.utils.rng import SeedLike, spawn_children
+
+__all__ = ["VectorMigrationEnv"]
+
+
+class VectorMigrationEnv:
+    """A batch of :class:`MigrationGameEnv` stepped in lockstep."""
+
+    def __init__(self, envs: Sequence[MigrationGameEnv]) -> None:
+        if len(envs) == 0:
+            raise EnvironmentError_("need at least one environment")
+        first = envs[0]
+        for env in envs[1:]:
+            if env.observation_dim != first.observation_dim:
+                raise EnvironmentError_(
+                    "all environments must share one observation layout; "
+                    f"got dims {first.observation_dim} and {env.observation_dim}"
+                )
+            if env.rounds_per_episode != first.rounds_per_episode:
+                raise EnvironmentError_(
+                    "all environments must share rounds_per_episode; got "
+                    f"{first.rounds_per_episode} and {env.rounds_per_episode}"
+                )
+            if (
+                env.action_low != first.action_low
+                or env.action_high != first.action_high
+            ):
+                raise EnvironmentError_(
+                    "all environments must share the feasible price interval"
+                )
+        self._envs = tuple(envs)
+        # One outcomes_batch call can serve the whole batch only when every
+        # member prices the same market instance.
+        self._shared_market = all(env.market is first.market for env in envs)
+
+    @classmethod
+    def from_market(
+        cls,
+        market: StackelbergMarket,
+        num_envs: int,
+        *,
+        seeds: Sequence[SeedLike] | None = None,
+        seed: SeedLike = None,
+        **env_kwargs: Any,
+    ) -> "VectorMigrationEnv":
+        """Build ``num_envs`` envs over one shared market.
+
+        RNG-stream contract: with explicit ``seeds`` each env gets its own
+        entry. Otherwise an integer ``seed`` gives env 0 the seed itself —
+        so env 0 matches a scalar ``MigrationGameEnv(market, seed=seed)``
+        exactly, which is what makes ``num_envs=1`` runs bit-compatible
+        with the historical single-env path — while envs ``e >= 1`` draw
+        independent ``SeedSequence`` children of the root seed. (Children,
+        not ``seed + e``: offset seeds would make adjacent root seeds share
+        most of their env streams, correlating the "independent" samples a
+        multi-seed comparison feeds its significance test.) A generator
+        ``seed`` spawns independent child streams; ``None`` leaves every
+        env nondeterministic.
+        """
+        if num_envs < 1:
+            raise EnvironmentError_(f"num_envs must be >= 1, got {num_envs}")
+        if seeds is not None:
+            if len(seeds) != num_envs:
+                raise EnvironmentError_(
+                    f"got {len(seeds)} seeds for {num_envs} envs"
+                )
+            env_seeds = list(seeds)
+        elif seed is None:
+            env_seeds = [None] * num_envs
+        elif isinstance(seed, (int, np.integer)):
+            children = np.random.SeedSequence(int(seed)).spawn(num_envs - 1)
+            env_seeds = [int(seed), *children]
+        else:
+            env_seeds = spawn_children(seed, num_envs)
+        return cls(
+            [
+                MigrationGameEnv(market, seed=env_seed, **env_kwargs)
+                for env_seed in env_seeds
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def envs(self) -> tuple[MigrationGameEnv, ...]:
+        """The member environments (shared state — do not step directly)."""
+        return self._envs
+
+    @property
+    def num_envs(self) -> int:
+        """Batch size ``E``."""
+        return len(self._envs)
+
+    @property
+    def observation_dim(self) -> int:
+        """Per-env observation width (shared across the batch)."""
+        return self._envs[0].observation_dim
+
+    @property
+    def rounds_per_episode(self) -> int:
+        """Episode length ``K`` (shared across the batch)."""
+        return self._envs[0].rounds_per_episode
+
+    @property
+    def action_low(self) -> float:
+        """Lower price bound ``C``."""
+        return self._envs[0].action_low
+
+    @property
+    def action_high(self) -> float:
+        """Upper price bound ``p_max``."""
+        return self._envs[0].action_high
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> np.ndarray:
+        """Reset every env (each on its own RNG stream); returns ``(E, obs_dim)``."""
+        return np.stack([env.reset() for env in self._envs])
+
+    def step(
+        self, actions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[dict[str, Any]]]:
+        """Advance every env one round with its own action.
+
+        Args:
+            actions: raw prices, shape ``(E,)`` (scalars are broadcast).
+
+        Returns:
+            ``(observations (E, obs_dim), rewards (E,), dones (E,), infos)``
+            where ``infos`` is one dict per env, identical to the scalar
+            env's info contract.
+        """
+        acts = np.broadcast_to(
+            np.asarray(actions, dtype=float), (self.num_envs,)
+        )
+        if self._shared_market and self.num_envs > 1:
+            results = self._step_shared(acts)
+        else:
+            results = [env.step(float(a)) for env, a in zip(self._envs, acts)]
+        observations = np.stack([r[0] for r in results])
+        rewards = np.array([r[1] for r in results], dtype=float)
+        dones = np.array([r[2] for r in results], dtype=bool)
+        infos = [r[3] for r in results]
+        return observations, rewards, dones, infos
+
+    def _step_shared(self, actions: np.ndarray):
+        """One vectorised market solve for the whole batch."""
+        for env in self._envs:
+            env._require_steppable()
+        prices = np.clip(actions, self.action_low, self.action_high)
+        batch = self._envs[0].market.outcomes_batch(prices)
+        return [
+            env._advance(float(actions[e]), float(prices[e]), batch.row(e))
+            for e, env in enumerate(self._envs)
+        ]

@@ -41,6 +41,12 @@ class ExperimentConfig:
     reward_mode: str = "paper"
     evaluation_rounds: int = 100
     seed: int = 0
+    num_envs: int = 1
+    """Envs collected concurrently per training iteration (the batched
+    engine's env-batch axis ``E``). 1 is bit-compatible with a scalar
+    single-env run on the same seed; larger values collect ``num_envs``
+    episodes per iteration (env 0 on ``seed``, the rest on independent
+    child streams — see :meth:`repro.env.VectorMigrationEnv.from_market`)."""
 
     def __post_init__(self) -> None:
         for name in (
@@ -51,6 +57,7 @@ class ExperimentConfig:
             "update_epochs",
             "batch_size",
             "evaluation_rounds",
+            "num_envs",
         ):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be >= 1")
@@ -104,3 +111,7 @@ class ExperimentConfig:
     def with_history_length(self, history_length: int) -> "ExperimentConfig":
         """Same configuration, different observation history ``L``."""
         return replace(self, history_length=history_length)
+
+    def with_num_envs(self, num_envs: int) -> "ExperimentConfig":
+        """Same configuration, different env-batch width ``E``."""
+        return replace(self, num_envs=num_envs)

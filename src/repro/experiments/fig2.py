@@ -4,6 +4,10 @@ Setting (paper Sec. V-B): two VMUs with α1 = α2 = 5, D1 = 200 MB,
 D2 = 100 MB, cost C = 5. Fig. 2(a) plots the episode return converging to
 the maximum round count K; Fig. 2(b) plots the MSP utility converging to
 the Stackelberg-equilibrium utility.
+
+Training runs through the batched simulation engine (:mod:`repro.sim`):
+``config.num_envs`` widens the env-batch axis, in which case the series
+carry ``num_envs`` episode entries per training iteration (env order).
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ scheme (proposed DRL vs random vs greedy, against the Stackelberg
 equilibrium); Fig. 3(b) reports the VMUs' total utility and total
 bandwidth strategy. Paper anchors: price ≈ 25 at C = 5 and ≈ 34 at C = 9;
 total bandwidth ≈ 27.9 at C = 6 and ≈ 23.4 at C = 8.
+
+Every per-cost evaluation goes through the batched simulation engine
+(:mod:`repro.sim`): equilibrium solves scan the price grid in one
+vectorised pass and the random/oracle baselines evaluate their whole
+price vector as a single batched market solve.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ N from 1 to 6, C = 5. Fig. 3(c): the MSP's utility grows with N
 B_max capacity starts binding and then rises. Fig. 3(d): the average
 bandwidth per VMU stays flat then falls, and average VMU utility drops as
 competition for capacity grows.
+
+Every per-N evaluation goes through the batched simulation engine
+(:mod:`repro.sim`); the population axis ``N`` is the trailing axis of the
+engine's ``(P, N)`` best-response matrix, so wider populations batch for
+free.
 """
 
 from __future__ import annotations

@@ -58,14 +58,21 @@ def run_multiseed_comparison(
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
     schemes: tuple[str, ...] = ("drl", "random"),
     metric: str = "mean_msp_utility",
+    num_envs: int | None = None,
 ) -> MultiSeedResult:
     """Evaluate ``schemes`` on ``market`` across ``seeds``.
 
     Each seed re-trains the DRL scheme and re-draws the baselines'
     randomness; the metric is any :class:`PolicyEvaluation` field name.
+    Every per-seed run goes through the batched simulation engine;
+    ``num_envs`` (default: whatever ``base_config`` carries) widens the
+    engine's env-batch axis so each seed's training collects that many
+    episodes per iteration concurrently.
     """
     if len(seeds) < 2:
         raise ValueError("need at least two seeds for statistics")
+    if num_envs is not None:
+        base_config = base_config.with_num_envs(num_envs)
     result = MultiSeedResult(metric=metric)
     for scheme in schemes:
         result.samples[scheme] = []

@@ -5,6 +5,13 @@ Algorithm 1; ``evaluate_policy`` plays any pricing policy for a fixed
 number of rounds and summarises the market outcome; ``compare_schemes``
 produces the DRL / random / greedy / equilibrium comparison the paper's
 Fig. 3 panels report.
+
+Everything routes through the batched simulation engine
+(:mod:`repro.sim`): training collects ``config.num_envs`` episodes
+concurrently through a :class:`VectorMigrationEnv` (``num_envs = 1`` is
+bit-compatible with a scalar single-env run on the same seed), and policy
+evaluation plays price vectors through one batched market solve whenever
+the policy can commit to them.
 """
 
 from __future__ import annotations
@@ -14,12 +21,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines import GreedyPricing, LearnedPricing, OraclePricing, RandomPricing
-from repro.core.mechanism import GameHistory, PricingPolicy, run_rounds
+from repro.core.mechanism import PricingPolicy
 from repro.core.stackelberg import StackelbergMarket
 from repro.drl.ppo import PPOConfig
 from repro.drl.trainer import TrainerConfig, TrainingResult, train_pricing_agent
-from repro.env.migration_game import MigrationGameEnv
+from repro.env.vector import VectorMigrationEnv
 from repro.experiments.config import ExperimentConfig
+from repro.sim.engine import play_policy
 
 __all__ = ["PolicyEvaluation", "TrainedPricing", "train_drl", "evaluate_policy", "compare_schemes"]
 
@@ -64,13 +72,20 @@ class TrainedPricing:
 def train_drl(
     market: StackelbergMarket, config: ExperimentConfig
 ) -> TrainedPricing:
-    """Train the PPO pricing agent on ``market`` per ``config``."""
-    env = MigrationGameEnv(
+    """Train the PPO pricing agent on ``market`` per ``config``.
+
+    Training runs through the batched engine: ``config.num_envs`` member
+    envs (env 0 on ``config.seed``, the rest on independent child streams)
+    are stepped in lockstep and their episodes collected concurrently by
+    the vector trainer.
+    """
+    env = VectorMigrationEnv.from_market(
         market,
+        config.num_envs,
+        seed=config.seed,
         history_length=config.history_length,
         rounds_per_episode=config.rounds_per_episode,
         reward_mode=config.reward_mode,
-        seed=config.seed,
     )
     agent, result, scaler = train_pricing_agent(
         env,
@@ -104,26 +119,29 @@ def evaluate_policy(
     *,
     rounds: int = 100,
 ) -> PolicyEvaluation:
-    """Play ``policy`` for ``rounds`` and summarise the market outcome."""
+    """Play ``policy`` for ``rounds`` and summarise the market outcome.
+
+    Runs through :func:`repro.sim.play_policy`: policies that can commit to
+    their price vector (random, fixed, oracle) are evaluated in one batched
+    market solve; history-dependent policies fall back to the sequential
+    loop with outcome memoisation.
+    """
     policy.reset()
-    history, outcomes = run_rounds(market, policy, rounds, history=GameHistory())
-    utilities = np.array([o.msp_utility for o in outcomes])
-    prices = np.array([o.price for o in outcomes])
-    total_bandwidths = np.array([o.allocations.sum() for o in outcomes])
-    total_vmu = np.array([o.vmu_utilities.sum() for o in outcomes])
-    avg_vmu = np.array([o.vmu_utilities.mean() for o in outcomes])
-    best_index = int(np.argmax(utilities))
-    best = outcomes[best_index]
+    _, played = play_policy(market, policy, rounds)
+    total_bandwidths = played.allocations.sum(axis=-1)
+    total_vmu = played.vmu_utilities.sum(axis=-1)
+    avg_vmu = played.vmu_utilities.mean(axis=-1)
+    best = played.best_index
     return PolicyEvaluation(
-        mean_price=float(prices.mean()),
-        best_price=float(best.price),
-        mean_msp_utility=float(utilities.mean()),
-        best_msp_utility=float(best.msp_utility),
+        mean_price=float(played.prices.mean()),
+        best_price=float(played.prices[best]),
+        mean_msp_utility=float(played.msp_utilities.mean()),
+        best_msp_utility=float(played.msp_utilities[best]),
         total_bandwidth_market=float(
-            market.to_market_units(best.allocations.sum())
+            market.to_market_units(total_bandwidths[best])
         ),
-        total_vmu_utility=float(best.vmu_utilities.sum()),
-        mean_vmu_utility=float(best.vmu_utilities.mean()),
+        total_vmu_utility=float(total_vmu[best]),
+        mean_vmu_utility=float(avg_vmu[best]),
         mean_total_bandwidth_market=float(
             market.to_market_units(total_bandwidths.mean())
         ),

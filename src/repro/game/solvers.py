@@ -11,10 +11,33 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 
-from repro.errors import GameError
+import numpy as np
+
+from repro.errors import ConfigurationError, GameError
 from repro.utils.validation import require_finite
 
-__all__ = ["golden_section_maximize", "bisect_root", "grid_then_golden"]
+__all__ = [
+    "golden_section_maximize",
+    "bisect_root",
+    "grid_then_golden",
+    "uniform_price_grid",
+]
+
+
+def uniform_price_grid(low: float, high: float, grid_points: int) -> np.ndarray:
+    """A uniform ``(grid_points,)`` grid on ``[low, high]``.
+
+    The one grid construction every landscape scan shares: the leader's
+    scan (:meth:`StackelbergMarket.leader_landscape`), the engine-level
+    :func:`repro.sim.price_grid`, and :func:`grid_then_golden`'s coarse
+    pass all build their grids here.
+    """
+    if grid_points < 2:
+        raise ConfigurationError(f"grid_points must be >= 2, got {grid_points}")
+    if not low < high:
+        raise ConfigurationError(f"need low < high, got [{low}, {high}]")
+    step = (high - low) / (grid_points - 1)
+    return low + step * np.arange(grid_points)
 
 _INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/φ ≈ 0.618
 
@@ -106,12 +129,21 @@ def grid_then_golden(
     *,
     grid_points: int = 256,
     tolerance: float = 1e-10,
+    vector_objective: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> tuple[float, float]:
     """Global maximisation of a (possibly piecewise) continuous objective.
 
     Coarse grid scan to find the best bracket, then golden-section
     refinement inside it. Robust to the kinks the B_max rationing and
     follower drop-out thresholds introduce into the leader's utility.
+
+    When ``vector_objective`` is supplied (a batched form evaluating a whole
+    price vector ``(P,)`` to values ``(P,)`` in one call), the grid scan runs
+    as a single vectorised evaluation instead of ``grid_points`` Python-level
+    calls — the hot path of every equilibrium solve and fig-3 sweep. The
+    golden refinement stays scalar (it brackets three points at a time), so
+    the two entry points return identical results whenever the batched form
+    agrees with ``objective`` pointwise.
     """
     if grid_points < 3:
         raise GameError(f"grid_points must be >= 3, got {grid_points}")
@@ -120,8 +152,18 @@ def grid_then_golden(
     if high == low:
         return low, objective(low)
     step = (high - low) / (grid_points - 1)
-    values = [objective(low + i * step) for i in range(grid_points)]
-    best_idx = max(range(grid_points), key=values.__getitem__)
+    grid = uniform_price_grid(low, high, grid_points)
+    if vector_objective is not None:
+        values = np.asarray(vector_objective(grid), dtype=float)
+        if values.shape != grid.shape:
+            raise GameError(
+                f"vector_objective returned shape {values.shape}, "
+                f"expected {grid.shape}"
+            )
+        best_idx = int(np.argmax(values))
+    else:
+        scalar_values = [objective(float(p)) for p in grid]
+        best_idx = max(range(grid_points), key=scalar_values.__getitem__)
     bracket_low = low + max(0, best_idx - 1) * step
     bracket_high = low + min(grid_points - 1, best_idx + 1) * step
     return golden_section_maximize(

@@ -1,0 +1,30 @@
+"""The batched simulation engine (see README.md in this package).
+
+One import point for everything that runs the Stackelberg pricing game on a
+batch axis instead of a Python loop:
+
+- price-batch market evaluation (:class:`PriceBatchOutcome`,
+  :func:`batched_landscape`, :func:`scalar_landscape`, :func:`price_grid`);
+- batched policy evaluation (:func:`play_policy`, :func:`plan_prices`);
+- the vector environment (:class:`VectorMigrationEnv`) and the batched
+  Algorithm-1 trainer (:class:`VectorTrainer`) re-exported from their home
+  layers.
+"""
+
+from repro.core.stackelberg import PriceBatchOutcome, uniform_price_grid
+from repro.drl.trainer import VectorTrainer
+from repro.env.vector import VectorMigrationEnv
+from repro.sim.engine import plan_prices, play_policy
+from repro.sim.landscape import batched_landscape, price_grid, scalar_landscape
+
+__all__ = [
+    "PriceBatchOutcome",
+    "VectorTrainer",
+    "VectorMigrationEnv",
+    "plan_prices",
+    "play_policy",
+    "batched_landscape",
+    "price_grid",
+    "scalar_landscape",
+    "uniform_price_grid",
+]

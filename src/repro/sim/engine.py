@@ -1,0 +1,123 @@
+"""Batched repeated-game evaluation: play pricing policies without the
+round-by-round Python loop whenever the policy allows it.
+
+Two speed levers, both exact:
+
+- **Price-vector fast path.** Policies whose future prices do not depend on
+  intermediate outcomes (random, fixed, oracle) implement
+  ``propose_prices(history, count)`` and commit to all ``count`` prices up
+  front; the whole evaluation then collapses to a single
+  :meth:`StackelbergMarket.outcomes_batch` call over the ``(R,)`` price
+  vector.
+- **Outcome memoisation.** History-dependent policies (greedy replay, the
+  learned DRL policy) stay sequential, but the market is deterministic
+  given a price, so repeated prices — greedy replays its best past price on
+  almost every round — reuse the cached outcome instead of re-solving the
+  Stackelberg stage.
+
+Both paths produce the identical :class:`GameHistory` and per-round
+:class:`PriceBatchOutcome` (axis 0 = round) as the classic
+:func:`repro.core.mechanism.run_rounds` loop; they are the engine behind
+:func:`repro.experiments.runner.evaluate_policy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mechanism import GameHistory, PricingPolicy, RoundRecord
+from repro.core.stackelberg import MarketOutcome, PriceBatchOutcome, StackelbergMarket
+
+__all__ = ["plan_prices", "play_policy"]
+
+
+def plan_prices(
+    policy: PricingPolicy, history: GameHistory, count: int
+) -> np.ndarray | None:
+    """The policy's next ``count`` prices, if it can commit to them now.
+
+    Returns ``None`` for history-dependent policies (no ``propose_prices``
+    hook, or the hook declines) — the caller must then fall back to the
+    sequential round loop.
+    """
+    planner = getattr(policy, "propose_prices", None)
+    if planner is None:
+        return None
+    planned = planner(history, count)
+    if planned is None:
+        return None
+    prices = np.asarray(planned, dtype=float)
+    if prices.shape != (count,):
+        raise ValueError(
+            f"propose_prices returned shape {prices.shape}, expected ({count},)"
+        )
+    return prices
+
+
+def play_policy(
+    market: StackelbergMarket,
+    policy: PricingPolicy,
+    num_rounds: int,
+    *,
+    history: GameHistory | None = None,
+) -> tuple[GameHistory, PriceBatchOutcome]:
+    """Play ``num_rounds`` of the repeated pricing game, batched when possible.
+
+    Same contract as :func:`repro.core.mechanism.run_rounds` (prices clamped
+    to ``[C, p_max]``, one :class:`RoundRecord` appended per round, record
+    indices continuing from the supplied history), but the per-round
+    outcomes come back as one stacked :class:`PriceBatchOutcome` and the
+    market stage is evaluated through the batched engine.
+    """
+    if num_rounds < 1:
+        raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+    history = history if history is not None else GameHistory()
+    config = market.config
+    start_index = len(history)
+
+    planned = plan_prices(policy, history, num_rounds)
+    if planned is not None:
+        prices = np.clip(planned, config.unit_cost, config.max_price)
+        played = market.outcomes_batch(prices)
+    else:
+        return history, _play_sequential(market, policy, num_rounds, history)
+
+    for offset in range(num_rounds):
+        history.append(
+            RoundRecord(
+                round_index=start_index + offset,
+                price=float(played.prices[offset]),
+                demands=tuple(float(b) for b in played.allocations[offset]),
+                msp_utility=float(played.msp_utilities[offset]),
+            )
+        )
+    return history, played
+
+
+def _play_sequential(
+    market: StackelbergMarket,
+    policy: PricingPolicy,
+    num_rounds: int,
+    history: GameHistory,
+) -> PriceBatchOutcome:
+    """Round loop with an exact price → outcome memo (market is deterministic)."""
+    config = market.config
+    cache: dict[float, MarketOutcome] = {}
+    outcomes: list[MarketOutcome] = []
+    for _ in range(num_rounds):
+        raw_price = float(policy.propose_price(history))
+        price = float(np.clip(raw_price, config.unit_cost, config.max_price))
+        outcome = cache.get(price)
+        if outcome is None:
+            outcome = market.round_outcome(price)
+            cache[price] = outcome
+        outcomes.append(outcome)
+        history.append(
+            RoundRecord(
+                round_index=len(history),
+                price=price,
+                demands=tuple(float(b) for b in outcome.allocations),
+                msp_utility=outcome.msp_utility,
+            )
+        )
+    return PriceBatchOutcome.from_outcomes(outcomes)

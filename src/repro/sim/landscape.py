@@ -1,0 +1,61 @@
+"""Leader-landscape helpers: price grids evaluated as one batch.
+
+The leader's utility landscape over ``[C, p_max]`` is the object every
+solver, sweep, and figure in this repro keeps re-evaluating. These helpers
+expose it in two forms:
+
+- :func:`batched_landscape` — one :meth:`StackelbergMarket.outcomes_batch`
+  pass over the whole grid (the production path);
+- :func:`scalar_landscape` — the historical per-price Python loop, kept as
+  the independent reference implementation that benchmarks time against and
+  property tests compare with (the two must agree to machine precision).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stackelberg import (
+    PriceBatchOutcome,
+    StackelbergMarket,
+    uniform_price_grid,
+)
+
+__all__ = ["price_grid", "batched_landscape", "scalar_landscape"]
+
+
+def price_grid(
+    market: StackelbergMarket,
+    grid_points: int = 256,
+    *,
+    low: float | None = None,
+    high: float | None = None,
+) -> np.ndarray:
+    """A uniform price grid spanning the market's feasible interval."""
+    config = market.config
+    return uniform_price_grid(
+        config.unit_cost if low is None else float(low),
+        config.max_price if high is None else float(high),
+        grid_points,
+    )
+
+
+def batched_landscape(
+    market: StackelbergMarket, prices: np.ndarray
+) -> PriceBatchOutcome:
+    """The full landscape in one vectorised pass."""
+    return market.outcomes_batch(prices)
+
+
+def scalar_landscape(
+    market: StackelbergMarket, prices: np.ndarray
+) -> PriceBatchOutcome:
+    """Reference implementation: one scalar Stackelberg solve per price.
+
+    Kept deliberately loop-shaped — do not "optimise" it; its entire point
+    is to be the independent baseline the batched path is validated and
+    benchmarked against.
+    """
+    return PriceBatchOutcome.from_outcomes(
+        [market.round_outcome(float(p)) for p in np.asarray(prices, dtype=float)]
+    )

@@ -49,6 +49,47 @@ class TestGameHistory:
         with pytest.raises(ValueError):
             GameHistory().last(-1)
 
+    def test_empty_history_last_is_empty_list(self):
+        """Regression: last() on an empty history must be [] for any count,
+        never an error or a non-list, so callers need no guard."""
+        history = GameHistory()
+        assert history.last(0) == []
+        assert history.last(1) == []
+        assert history.last(10) == []
+
+    def test_last_larger_than_history_returns_all(self):
+        history = GameHistory()
+        history.append(self._record(0, 10.0, 1.0))
+        assert [r.round_index for r in history.last(10)] == [0]
+
+    def test_empty_history_best_record(self):
+        assert GameHistory().best_record is None
+
+    def test_best_record_consistent_with_best_price_and_utility(self):
+        history = GameHistory()
+        history.append(self._record(0, 10.0, 3.0))
+        history.append(self._record(1, 25.0, 6.4))
+        best = history.best_record
+        assert best is not None
+        assert best.price == history.best_price
+        assert best.msp_utility == history.best_utility
+
+    def test_best_tie_breaks_to_first(self):
+        history = GameHistory()
+        history.append(self._record(0, 10.0, 6.4))
+        history.append(self._record(1, 25.0, 6.4))
+        assert history.best_price == 10.0
+
+    def test_greedy_explores_on_empty_history(self):
+        """Regression for the empty-history contract at its main call site:
+        GreedyPricing must fall back to exploration (not crash) when
+        best_price is None."""
+        from repro.baselines import GreedyPricing
+
+        policy = GreedyPricing(5.0, 50.0, epsilon=0.0, seed=0)
+        price = policy.propose_price(GameHistory())
+        assert 5.0 <= price <= 50.0
+
     def test_total_demand(self):
         record = self._record(0, 10.0, 1.0)
         assert record.total_demand == pytest.approx(0.3)
@@ -69,6 +110,8 @@ class TestRunRounds:
         history, _ = run_rounds(market, FixedPricing(20.0), 3)
         history, _ = run_rounds(market, FixedPricing(25.0), 2, history=history)
         assert len(history) == 5
+        # Indices continue across segments (and agree with sim.play_policy).
+        assert [r.round_index for r in history.records] == [0, 1, 2, 3, 4]
 
     def test_oracle_achieves_equilibrium_utility(self, market):
         eq = market.equilibrium()

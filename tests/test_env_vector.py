@@ -1,0 +1,195 @@
+"""VectorMigrationEnv tests: exact-trace parity with sequential envs.
+
+The acceptance criterion of the batched engine: a vector env over ``E``
+single-seed envs must reproduce the *exact* per-episode utility trace of
+``E`` sequential ``MigrationGameEnv`` runs with the same seeds — bitwise,
+not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stackelberg import MarketConfig, StackelbergMarket
+from repro.entities.vmu import paper_fig2_population, uniform_population
+from repro.env import MigrationGameEnv, VectorMigrationEnv
+from repro.errors import EnvironmentError_
+
+
+@pytest.fixture
+def market():
+    return StackelbergMarket(paper_fig2_population())
+
+
+def sequential_traces(market, seeds, actions, **env_kwargs):
+    """Reference: run each env alone and record the full step traces."""
+    traces = []
+    for e, seed in enumerate(seeds):
+        env = MigrationGameEnv(market, seed=seed, **env_kwargs)
+        observation = env.reset()
+        rows = []
+        for action in actions[:, e]:
+            observation, reward, done, info = env.step(float(action))
+            rows.append(
+                (observation.copy(), reward, done, info["msp_utility"], info["best_utility"])
+            )
+        traces.append(rows)
+    return traces
+
+
+class TestExactTraceParity:
+    def test_vector_env_matches_sequential_runs(self, market):
+        """Acceptance: E single-seed envs in the vector env reproduce the
+        exact utility/reward/observation traces of E sequential runs."""
+        E, K = 5, 20
+        seeds = [3, 14, 15, 92, 65]
+        kwargs = dict(history_length=3, rounds_per_episode=K)
+        rng = np.random.default_rng(0)
+        actions = rng.uniform(5.0, 50.0, size=(K, E))
+
+        expected = sequential_traces(market, seeds, actions, **kwargs)
+        venv = VectorMigrationEnv.from_market(market, E, seeds=seeds, **kwargs)
+        venv.reset()
+        for k in range(K):
+            observations, rewards, dones, infos = venv.step(actions[k])
+            for e in range(E):
+                obs, reward, done, utility, best = expected[e][k]
+                assert (observations[e] == obs).all()
+                assert rewards[e] == reward
+                assert dones[e] == done
+                assert infos[e]["msp_utility"] == utility
+                assert infos[e]["best_utility"] == best
+
+    def test_parity_across_full_episodes_and_reset(self, market):
+        """Two full episodes (reset between them) stay in lockstep too —
+        the per-env RNG streams must advance identically."""
+        E, K = 3, 8
+        seeds = [0, 1, 2]
+        kwargs = dict(history_length=2, rounds_per_episode=K, reward_mode="utility")
+        rng = np.random.default_rng(42)
+        actions = rng.uniform(5.0, 50.0, size=(2 * K, E))
+
+        envs = [MigrationGameEnv(market, seed=s, **kwargs) for s in seeds]
+        venv = VectorMigrationEnv.from_market(market, E, seeds=seeds, **kwargs)
+        for episode in range(2):
+            expected_obs = np.stack([env.reset() for env in envs])
+            assert (venv.reset() == expected_obs).all()
+            for k in range(K):
+                step = episode * K + k
+                observations, rewards, _, _ = venv.step(actions[step])
+                for e, env in enumerate(envs):
+                    obs, reward, _, _ = env.step(float(actions[step][e]))
+                    assert (observations[e] == obs).all()
+                    assert rewards[e] == reward
+
+    def test_mixed_markets_fall_back_to_per_env_stepping(self):
+        """Different member markets can't share one batched solve; the
+        loop path must still produce each env's own outcome."""
+        market_a = StackelbergMarket(paper_fig2_population())
+        market_b = StackelbergMarket(
+            uniform_population(2, data_size_mb=120.0, immersion_coef=4.0)
+        )
+        kwargs = dict(history_length=2, rounds_per_episode=5)
+        venv = VectorMigrationEnv(
+            [
+                MigrationGameEnv(market_a, seed=0, **kwargs),
+                MigrationGameEnv(market_b, seed=1, **kwargs),
+            ]
+        )
+        ref_a = MigrationGameEnv(market_a, seed=0, **kwargs)
+        ref_b = MigrationGameEnv(market_b, seed=1, **kwargs)
+        ref_a.reset()
+        ref_b.reset()
+        venv.reset()
+        _, rewards, _, infos = venv.step(np.array([20.0, 20.0]))
+        _, r_a, _, info_a = ref_a.step(20.0)
+        _, r_b, _, info_b = ref_b.step(20.0)
+        assert rewards[0] == r_a and rewards[1] == r_b
+        assert infos[0]["msp_utility"] == info_a["msp_utility"]
+        assert infos[1]["msp_utility"] == info_b["msp_utility"]
+        assert infos[0]["msp_utility"] != infos[1]["msp_utility"]
+
+
+class TestVectorEnvApi:
+    def test_from_market_env0_matches_scalar_seed(self, market):
+        """seed=s seeds env 0 with s itself, so env 0 matches the scalar
+        env's stream (the num_envs=1 bit-compat contract)."""
+        venv = VectorMigrationEnv.from_market(
+            market, 2, seed=7, history_length=2, rounds_per_episode=5
+        )
+        scalar = MigrationGameEnv(
+            market, seed=7, history_length=2, rounds_per_episode=5
+        )
+        assert (venv.reset()[0] == scalar.reset()).all()
+
+    def test_from_market_adjacent_root_seeds_do_not_share_streams(self, market):
+        """Regression: envs e>=1 derive from SeedSequence children, so the
+        env batches of adjacent root seeds (a multiseed sweep) must not
+        reuse each other's streams the way seed+e offsets would."""
+        kwargs = dict(history_length=2, rounds_per_episode=5)
+        batch_a = VectorMigrationEnv.from_market(market, 3, seed=0, **kwargs).reset()
+        batch_b = VectorMigrationEnv.from_market(market, 3, seed=1, **kwargs).reset()
+        for row_a in batch_a:
+            for row_b in batch_b:
+                assert not (row_a == row_b).all()
+
+    def test_scalar_action_broadcasts(self, market):
+        venv = VectorMigrationEnv.from_market(
+            market, 3, seed=0, history_length=2, rounds_per_episode=5
+        )
+        venv.reset()
+        observations, rewards, dones, infos = venv.step(20.0)
+        assert observations.shape == (3, venv.observation_dim)
+        assert rewards.shape == (3,)
+        assert len(infos) == 3
+        assert all(i["price"] == 20.0 for i in infos)
+
+    def test_properties_mirror_members(self, market):
+        venv = VectorMigrationEnv.from_market(
+            market, 2, seed=0, history_length=2, rounds_per_episode=5
+        )
+        assert venv.num_envs == 2
+        assert venv.observation_dim == venv.envs[0].observation_dim
+        assert venv.rounds_per_episode == 5
+        assert venv.action_low == market.config.unit_cost
+        assert venv.action_high == market.config.max_price
+
+    def test_done_after_episode_and_step_past_end_rejected(self, market):
+        venv = VectorMigrationEnv.from_market(
+            market, 2, seed=0, history_length=2, rounds_per_episode=2
+        )
+        venv.reset()
+        _, _, dones, _ = venv.step(20.0)
+        assert not dones.any()
+        _, _, dones, _ = venv.step(20.0)
+        assert dones.all()
+        with pytest.raises(EnvironmentError_):
+            venv.step(20.0)
+
+    def test_step_before_reset_rejected(self, market):
+        venv = VectorMigrationEnv.from_market(
+            market, 2, seed=0, history_length=2, rounds_per_episode=2
+        )
+        with pytest.raises(EnvironmentError_):
+            venv.step(20.0)
+
+    def test_validation(self, market):
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv([])
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv.from_market(market, 0)
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv.from_market(market, 2, seeds=[1])
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv(
+                [
+                    MigrationGameEnv(market, history_length=2, seed=0),
+                    MigrationGameEnv(market, history_length=3, seed=1),
+                ]
+            )
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv(
+                [
+                    MigrationGameEnv(market, rounds_per_episode=5, seed=0),
+                    MigrationGameEnv(market, rounds_per_episode=6, seed=1),
+                ]
+            )
