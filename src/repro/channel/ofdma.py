@@ -21,7 +21,12 @@ import numpy as np
 from repro.errors import AllocationError
 from repro.utils.validation import require_positive, require_positive_int
 
-__all__ = ["Subchannel", "OfdmaPool", "proportional_rationing"]
+__all__ = [
+    "Subchannel",
+    "OfdmaPool",
+    "proportional_rationing",
+    "proportional_rationing_stacked",
+]
 
 
 @dataclass(frozen=True)
@@ -154,3 +159,58 @@ def proportional_rationing(
     if array_in:
         return granted
     return [float(g) for g in granted]
+
+
+def proportional_rationing_stacked(
+    demands: np.ndarray,
+    capacities: np.ndarray,
+    *,
+    totals: np.ndarray | None = None,
+) -> np.ndarray:
+    """Proportional rationing across a stack of markets with *different*
+    capacities.
+
+    Args:
+        demands: per-market demand rows, shape ``(M, N)`` or ``(M, R, N)``
+            (one ``B_max`` per leading market index, each row rationed
+            independently).
+        capacities: per-market capacity ``B_max``, shape ``(M,)``.
+        totals: optional precomputed row totals (``demands`` summed over the
+            trailing ``N`` axis). Ragged stacks pass these in so each
+            market's total is reduced over its *own* population — summing a
+            zero-padded row can associate differently and drift a ulp from
+            the per-market path.
+
+    Returns:
+        Granted bandwidth with ``demands``' shape. Rows within capacity come
+        back scaled by exactly 1.0 (bitwise identical to the input), so a
+        stacked call agrees bitwise with ``M`` separate
+        :func:`proportional_rationing` calls.
+    """
+    rows = np.asarray(demands, dtype=float)
+    caps = np.asarray(capacities, dtype=float)
+    if rows.ndim not in (2, 3):
+        raise AllocationError(
+            f"stacked demands must be (M, N) or (M, R, N), got {rows.shape}"
+        )
+    if caps.shape != (rows.shape[0],):
+        raise AllocationError(
+            f"capacities must have shape (M,), got {caps.shape}"
+        )
+    if np.any(caps <= 0.0):
+        raise AllocationError(f"capacities must be > 0, got {capacities!r}")
+    if np.any(rows < 0.0):
+        raise AllocationError("demands must be >= 0")
+    if totals is None:
+        totals = rows.sum(axis=-1)
+    totals = np.asarray(totals, dtype=float)
+    if totals.shape != rows.shape[:-1]:
+        raise AllocationError(
+            f"totals must have shape {rows.shape[:-1]}, got {totals.shape}"
+        )
+    caps_rows = caps if totals.ndim == 1 else caps[:, np.newaxis]
+    # np.where evaluates both branches; guard the division like the
+    # single-market path does.
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        scales = np.where(totals > caps_rows, caps_rows / totals, 1.0)
+    return rows * scales[..., np.newaxis]

@@ -11,6 +11,7 @@ from repro.core.metrics import (
     deadline_violation_probability,
     peak_aoi,
 )
+from repro.core.marketstack import MarketStack, StackedOutcome
 from repro.core.multimsp import MspSpec, MultiMspMarket, OligopolyOutcome
 from repro.core.welfare import WelfareReport, social_welfare, welfare_report
 from repro.core.stackelberg import (
@@ -22,8 +23,11 @@ from repro.core.stackelberg import (
 )
 from repro.core.utilities import (
     follower_best_response,
+    follower_best_response_stacked,
+    msp_utilities_stacked,
     msp_utility,
     vmu_utilities,
+    vmu_utilities_stacked,
     vmu_utility,
 )
 
@@ -41,6 +45,8 @@ __all__ = [
     "average_aoi",
     "deadline_violation_probability",
     "peak_aoi",
+    "MarketStack",
+    "StackedOutcome",
     "MspSpec",
     "MultiMspMarket",
     "OligopolyOutcome",
@@ -57,7 +63,10 @@ __all__ = [
     "StackelbergEquilibrium",
     "StackelbergMarket",
     "follower_best_response",
+    "follower_best_response_stacked",
+    "msp_utilities_stacked",
     "msp_utility",
     "vmu_utilities",
+    "vmu_utilities_stacked",
     "vmu_utility",
 ]

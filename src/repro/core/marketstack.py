@@ -1,0 +1,362 @@
+"""Heterogeneous market stacking: M *different* Stackelberg markets, one pass.
+
+:class:`StackelbergMarket.outcomes_batch` vectorises many prices against one
+market. This module adds the orthogonal axis the paper's figures actually
+sweep — many *markets*: a :class:`MarketStack` stacks the per-market
+parameter arrays (``α`` and ``D`` as ``(M, N)`` matrices, capacities, unit
+costs, and spectral efficiencies as ``(M,)`` vectors, ragged populations
+padded and masked) and solves all ``M`` follower stages plus leader
+utilities in a single numpy pass via :meth:`MarketStack.outcomes_stacked`.
+
+Exactness contract
+------------------
+A stacked solve agrees **bitwise** with ``M`` separate per-market solves:
+
+- every follower/leader quantity is the identical elementwise expression
+  the per-market path evaluates (`core/utilities` grew the matching
+  ``*_stacked`` forms);
+- padded population slots carry zero demand, and zeros are exact under
+  both multiplication and addition;
+- ragged stacks reduce each market's totals over its *own* population
+  (summing a zero-padded row can associate differently inside numpy's
+  pairwise reduction and drift a ulp), so the summation order matches the
+  per-market solve exactly.
+
+``StackelbergMarket.outcomes_batch`` is the ``M = 1`` broadcast case of
+this path — the single-market price batch delegates here, so the two
+entry points cannot diverge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.ofdma import proportional_rationing_stacked
+from repro.core.stackelberg import (
+    MarketOutcome,
+    PriceBatchOutcome,
+    StackelbergMarket,
+    uniform_price_grid,
+)
+from repro.core.utilities import (
+    follower_best_response_stacked,
+    msp_utilities_stacked,
+    vmu_utilities_stacked,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["MarketStack", "StackedOutcome"]
+
+
+@dataclass(frozen=True)
+class StackedOutcome:
+    """Outcomes of one stacked trading round across ``M`` different markets.
+
+    Arrays are batched along axis 0 (one entry per market). With per-market
+    price *grids* the arrays carry an extra round axis ``R`` after the
+    market axis. Padded population slots (``mask == False``) hold zeros.
+    """
+
+    prices: np.ndarray
+    """Posted prices, shape ``(M,)`` or ``(M, R)``."""
+    demands: np.ndarray
+    """Requested bandwidth, shape ``(M, N_max)`` or ``(M, R, N_max)``."""
+    allocations: np.ndarray
+    """Granted bandwidth after per-market rationing (same shape)."""
+    msp_utilities: np.ndarray
+    """Leader utility per market (and round), shape ``(M,)`` or ``(M, R)``."""
+    vmu_utilities: np.ndarray
+    """Follower utilities (same shape as ``demands``)."""
+    capacity_binding: np.ndarray
+    """Whether Σ demand hit the market's ``B_max`` (prices' shape, bool)."""
+    mask: np.ndarray
+    """Valid-population mask, boolean shape ``(M, N_max)``."""
+    counts: np.ndarray
+    """True population size per market, shape ``(M,)``."""
+
+    def __len__(self) -> int:
+        return self.num_markets
+
+    @property
+    def num_markets(self) -> int:
+        """Stack width ``M``."""
+        return int(self.prices.shape[0])
+
+    @property
+    def has_price_grid(self) -> bool:
+        """True when the stack was solved on per-market price grids."""
+        return self.prices.ndim == 2
+
+    @property
+    def total_allocated(self) -> np.ndarray:
+        """Σ granted bandwidth per market (and round), prices' shape."""
+        return self.allocations.sum(axis=-1)
+
+    def row(self, market_index: int) -> MarketOutcome:
+        """Market ``market_index``'s outcome as a scalar
+        :class:`MarketOutcome` (padding stripped).
+
+        Only defined for vector-priced solves; grid solves expose
+        :meth:`market_rows` instead.
+        """
+        if self.has_price_grid:
+            raise ConfigurationError(
+                "row() is for (M,)-priced solves; use market_rows() on a "
+                "price-grid solve"
+            )
+        n = int(self.counts[market_index])
+        return MarketOutcome(
+            price=float(self.prices[market_index]),
+            demands=self.demands[market_index, :n].copy(),
+            allocations=self.allocations[market_index, :n].copy(),
+            msp_utility=float(self.msp_utilities[market_index]),
+            vmu_utilities=self.vmu_utilities[market_index, :n].copy(),
+            capacity_binding=bool(self.capacity_binding[market_index]),
+        )
+
+    def market_rows(self, market_index: int) -> PriceBatchOutcome:
+        """Market ``market_index``'s full price batch as a
+        :class:`PriceBatchOutcome` (padding stripped).
+
+        Only defined for grid solves — the per-market view that slots into
+        everything already consuming single-market price batches.
+        """
+        if not self.has_price_grid:
+            raise ConfigurationError(
+                "market_rows() is for (M, R)-priced solves; use row() on a "
+                "vector-priced solve"
+            )
+        n = int(self.counts[market_index])
+        return PriceBatchOutcome(
+            prices=self.prices[market_index],
+            demands=self.demands[market_index, :, :n],
+            allocations=self.allocations[market_index, :, :n],
+            msp_utilities=self.msp_utilities[market_index],
+            vmu_utilities=self.vmu_utilities[market_index, :, :n],
+            capacity_binding=self.capacity_binding[market_index],
+        )
+
+
+class MarketStack:
+    """A stack of ``M`` (possibly heterogeneous) Stackelberg markets.
+
+    Stacks per-market parameters into padded ``(M, N_max)`` matrices once
+    at construction; :meth:`outcomes_stacked` then solves all ``M`` markets
+    at ``M`` different prices (or ``M`` whole price grids) in one numpy
+    pass. See the module docstring for the bitwise exactness contract.
+    """
+
+    def __init__(self, markets: Sequence[StackelbergMarket]) -> None:
+        if len(markets) == 0:
+            raise ConfigurationError("market stack needs at least one market")
+        self._markets = tuple(markets)
+        counts = np.array([m.num_vmus for m in self._markets], dtype=int)
+        num_markets, n_max = len(self._markets), int(counts.max())
+        # Padding value 1.0 keeps the padded slots' elementwise math finite;
+        # the mask zeroes their demand before anything downstream sees it.
+        alphas = np.ones((num_markets, n_max))
+        data = np.ones((num_markets, n_max))
+        mask = np.zeros((num_markets, n_max), dtype=bool)
+        for i, market in enumerate(self._markets):
+            n = market.num_vmus
+            alphas[i, :n] = market.immersion_coefs
+            data[i, :n] = market.data_units
+            mask[i, :n] = True
+        self._counts = counts
+        self._mask = mask
+        self._alphas = alphas
+        self._data = data
+        self._ragged = bool((counts != n_max).any())
+        self._se = np.array([m.spectral_efficiency for m in self._markets])
+        self._unit_costs = np.array(
+            [m.config.unit_cost for m in self._markets]
+        )
+        self._max_prices = np.array(
+            [m.config.max_price for m in self._markets]
+        )
+        self._caps = np.array(
+            [m.config.capacity_natural for m in self._markets]
+        )
+        self._enforce = np.array(
+            [m.config.enforce_capacity for m in self._markets], dtype=bool
+        )
+
+    @classmethod
+    def from_markets(
+        cls, markets: Sequence[StackelbergMarket]
+    ) -> "MarketStack":
+        """Build a stack over ``markets`` (alias of the constructor, named
+        for symmetry with ``VectorMigrationEnv.from_market``)."""
+        return cls(markets)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.num_markets
+
+    @property
+    def markets(self) -> tuple[StackelbergMarket, ...]:
+        """The stacked member markets."""
+        return self._markets
+
+    def market(self, market_index: int) -> StackelbergMarket:
+        """The ``market_index``-th member market."""
+        return self._markets[market_index]
+
+    @property
+    def num_markets(self) -> int:
+        """Stack width ``M``."""
+        return len(self._markets)
+
+    @property
+    def max_vmus(self) -> int:
+        """Widest population ``N_max`` (the padded trailing axis)."""
+        return int(self._mask.shape[1])
+
+    @property
+    def counts(self) -> np.ndarray:
+        """True population size per market, shape ``(M,)`` (copy)."""
+        return self._counts.copy()
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Valid-population mask ``(M, N_max)`` (copy)."""
+        return self._mask.copy()
+
+    @property
+    def immersion_coefs(self) -> np.ndarray:
+        """Padded ``α`` matrix ``(M, N_max)`` (copy)."""
+        return self._alphas.copy()
+
+    @property
+    def data_units(self) -> np.ndarray:
+        """Padded ``D`` matrix ``(M, N_max)`` in natural units (copy)."""
+        return self._data.copy()
+
+    @property
+    def spectral_efficiencies(self) -> np.ndarray:
+        """Per-market link SE ``(M,)`` (copy)."""
+        return self._se.copy()
+
+    @property
+    def unit_costs(self) -> np.ndarray:
+        """Per-market transmission cost ``C`` ``(M,)`` (copy)."""
+        return self._unit_costs.copy()
+
+    @property
+    def max_prices(self) -> np.ndarray:
+        """Per-market price ceiling ``p_max`` ``(M,)`` (copy)."""
+        return self._max_prices.copy()
+
+    @property
+    def capacities_natural(self) -> np.ndarray:
+        """Per-market ``B_max`` in natural units ``(M,)`` (copy)."""
+        return self._caps.copy()
+
+    # ------------------------------------------------------------------ #
+    # the stacked solve
+    # ------------------------------------------------------------------ #
+    def _validate_prices(self, prices: np.ndarray) -> np.ndarray:
+        p = np.asarray(prices, dtype=float)
+        if p.ndim not in (1, 2) or p.shape[0] != self.num_markets:
+            raise ConfigurationError(
+                f"expected prices of shape (M,) or (M, R) with M = "
+                f"{self.num_markets}, got shape {p.shape}"
+            )
+        if p.size == 0:
+            raise ConfigurationError("price array must not be empty")
+        if np.any(~np.isfinite(p)) or np.any(p <= 0.0):
+            raise ConfigurationError(
+                f"prices must be finite and > 0, got {p!r}"
+            )
+        return p
+
+    def _row_totals(self, values: np.ndarray) -> np.ndarray:
+        """Per-market row sums over the trailing population axis.
+
+        Ragged stacks reduce each market over its own ``N`` so the
+        summation order is identical to the per-market solve; zero-padded
+        rows could associate differently inside numpy's pairwise reduction
+        and drift a ulp.
+        """
+        if not self._ragged:
+            return values.sum(axis=-1)
+        totals = np.empty(values.shape[:-1])
+        for m, n in enumerate(self._counts):
+            totals[m] = values[m, ..., :n].sum(axis=-1)
+        return totals
+
+    def outcomes_stacked(self, prices: np.ndarray) -> StackedOutcome:
+        """Play one trading round in every market of the stack, vectorised.
+
+        Args:
+            prices: one posted price per market, shape ``(M,)``, or one
+                price grid per market, shape ``(M, R)`` (market ``m``
+                evaluated at each of its ``R`` prices).
+
+        Returns:
+            A :class:`StackedOutcome` equal — bitwise, padding stripped —
+            to solving each market separately via
+            ``markets[m].round_outcome(prices[m])`` (vector form) or
+            ``markets[m].outcomes_batch(prices[m])`` (grid form).
+        """
+        p = self._validate_prices(prices)
+        grid = p.ndim == 2
+        mask = self._mask[:, np.newaxis, :] if grid else self._mask
+        raw = follower_best_response_stacked(
+            self._alphas, self._data, p, self._se
+        )
+        demands = np.where(mask, raw, 0.0)
+        demand_totals = self._row_totals(demands)
+        # Non-enforcing markets ration against an infinite capacity, which
+        # leaves their rows scaled by exactly 1.0 (bitwise unchanged).
+        effective_caps = np.where(self._enforce, self._caps, np.inf)
+        allocations = proportional_rationing_stacked(
+            demands, effective_caps, totals=demand_totals
+        )
+        caps_rows = self._caps[:, np.newaxis] if grid else self._caps
+        enforce_rows = self._enforce[:, np.newaxis] if grid else self._enforce
+        binding = enforce_rows & (demand_totals >= caps_rows * (1.0 - 1e-9))
+        utilities = msp_utilities_stacked(
+            p, self._unit_costs, self._row_totals(allocations)
+        )
+        follower_utilities = np.where(
+            mask,
+            vmu_utilities_stacked(
+                self._alphas, self._data, allocations, p, self._se
+            ),
+            0.0,
+        )
+        return StackedOutcome(
+            prices=p,
+            demands=demands,
+            allocations=allocations,
+            msp_utilities=utilities,
+            vmu_utilities=follower_utilities,
+            capacity_binding=binding,
+            mask=self._mask.copy(),
+            counts=self._counts.copy(),
+        )
+
+    def leader_landscapes(self, grid_points: int = 256) -> StackedOutcome:
+        """Every market's full leader landscape as one stacked solve.
+
+        Each market gets its own uniform ``grid_points``-point grid over
+        its feasible interval ``[C_m, p_max_m]`` — the whole Fig.-3-style
+        market grid evaluated in a single ``(M, R, N)`` pass.
+        """
+        grids = np.stack(
+            [
+                uniform_price_grid(
+                    float(self._unit_costs[m]),
+                    float(self._max_prices[m]),
+                    grid_points,
+                )
+                for m in range(self.num_markets)
+            ]
+        )
+        return self.outcomes_stacked(grids)

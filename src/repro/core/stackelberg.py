@@ -26,7 +26,7 @@ import numpy as np
 from repro import constants
 from repro.channel.link import RsuLink, paper_link
 from repro.channel.ofdma import proportional_rationing
-from repro.core.utilities import follower_best_response, vmu_utilities
+from repro.core.utilities import follower_best_response
 from repro.entities.vmu import VmuProfile
 from repro.errors import ConfigurationError, InfeasibleMarketError
 from repro.game.solvers import grid_then_golden, uniform_price_grid
@@ -209,6 +209,7 @@ class StackelbergMarket:
         self._link = link if link is not None else paper_link()
         self._alphas = np.array([v.immersion_coef for v in vmus], dtype=float)
         self._data_units = np.array([v.data_units for v in vmus], dtype=float)
+        self._stack = None  # lazy M = 1 MarketStack behind outcomes_batch
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -303,6 +304,15 @@ class StackelbergMarket:
             )
         return batch
 
+    def as_stack(self):
+        """This market as a (cached) ``M = 1``
+        :class:`repro.core.marketstack.MarketStack`."""
+        if self._stack is None:
+            from repro.core.marketstack import MarketStack
+
+            self._stack = MarketStack([self])
+        return self._stack
+
     def outcomes_batch(self, prices: np.ndarray) -> PriceBatchOutcome:
         """Play one trading round per entry of a price vector, vectorised.
 
@@ -312,32 +322,16 @@ class StackelbergMarket:
         utilities of all ``P`` candidate prices come out of one call. This
         is the engine behind the leader's landscape scan, the vector
         environment, and the batched baseline evaluation.
+
+        Since the market-stack refactor this is the ``M = 1`` broadcast
+        case of :meth:`repro.core.marketstack.MarketStack.outcomes_stacked`
+        — the single-market price batch is one row of the stacked grid
+        solve, so the two paths run the identical numpy operations and
+        cannot diverge.
         """
         batch = self._as_price_batch(prices)
-        config = self._config
-        demands = self.best_response_batch(batch)
-        if config.enforce_capacity:
-            allocations = proportional_rationing(demands, config.capacity_natural)
-            binding = demands.sum(axis=-1) >= config.capacity_natural * (1.0 - 1e-9)
-        else:
-            allocations = demands
-            binding = np.zeros(batch.shape, dtype=bool)
-        utilities = (batch - config.unit_cost) * allocations.sum(axis=-1)
-        follower_utilities = vmu_utilities(
-            self._alphas,
-            self._data_units,
-            allocations,
-            batch,
-            self.spectral_efficiency,
-        )
-        return PriceBatchOutcome(
-            prices=batch,
-            demands=demands,
-            allocations=allocations,
-            msp_utilities=utilities,
-            vmu_utilities=follower_utilities,
-            capacity_binding=binding,
-        )
+        stacked = self.as_stack().outcomes_stacked(batch[np.newaxis, :])
+        return stacked.market_rows(0)
 
     def round_outcome(self, price: float) -> MarketOutcome:
         """Play one full trading round at a posted ``price``.

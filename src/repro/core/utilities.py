@@ -12,6 +12,14 @@ a price vector of shape ``(P,)`` and the population functions broadcast to
 pass instead of ``P`` Python-level solves. Scalar prices keep their exact
 historical semantics (and return types), so the two entry points stay
 bit-compatible row for row.
+
+The ``*_stacked`` variants add a *market* axis ``M`` in front of everything:
+per-market parameter matrices of shape ``(M, N)`` (ragged populations padded
+— see :class:`repro.core.marketstack.MarketStack`) with per-market prices
+``(M,)`` or price grids ``(M, R)``, and per-market spectral efficiencies /
+unit costs ``(M,)``. Every stacked operation is elementwise-identical to the
+per-market form, so a stacked solve of ``M`` different markets agrees
+bitwise with ``M`` separate solves.
 """
 
 from __future__ import annotations
@@ -23,8 +31,11 @@ from repro.utils.validation import require_non_negative, require_positive
 __all__ = [
     "vmu_utility",
     "vmu_utilities",
+    "vmu_utilities_stacked",
     "msp_utility",
+    "msp_utilities_stacked",
     "follower_best_response",
+    "follower_best_response_stacked",
 ]
 
 
@@ -132,3 +143,132 @@ def follower_best_response(
         alphas[np.newaxis, :] / prices[:, np.newaxis]
         - data[np.newaxis, :] / spectral_efficiency,
     )
+
+
+def _stacked_price_axes(prices: np.ndarray, num_markets: int) -> np.ndarray:
+    """Validate a stacked price array ``(M,)`` or ``(M, R)``."""
+    if prices.ndim not in (1, 2) or prices.shape[0] != num_markets:
+        raise ValueError(
+            f"stacked prices must have shape (M,) or (M, R) with M = "
+            f"{num_markets}, got {prices.shape}"
+        )
+    return prices
+
+
+def follower_best_response_stacked(
+    immersion_coefs: np.ndarray,
+    data_units: np.ndarray,
+    prices: np.ndarray,
+    spectral_efficiencies: np.ndarray,
+) -> np.ndarray:
+    """Eq. (8) best responses across a stack of *different* markets.
+
+    Args:
+        immersion_coefs: per-market ``α`` matrix, shape ``(M, N)``.
+        data_units: per-market ``D`` matrix, shape ``(M, N)``.
+        prices: one price per market ``(M,)`` or a per-market price grid
+            ``(M, R)``.
+        spectral_efficiencies: per-market link SE, shape ``(M,)``.
+
+    Returns:
+        Best responses of shape ``(M, N)`` (vector prices) or ``(M, R, N)``
+        (grid prices). Every entry is the identical elementwise expression
+        the per-market :func:`follower_best_response` evaluates, so a
+        stacked solve agrees bitwise with ``M`` separate solves.
+    """
+    alphas = np.asarray(immersion_coefs, dtype=float)
+    data = np.asarray(data_units, dtype=float)
+    se = np.asarray(spectral_efficiencies, dtype=float)
+    if alphas.ndim != 2 or data.shape != alphas.shape:
+        raise ValueError(
+            "immersion coefficients and data sizes must share one (M, N) "
+            f"shape, got {alphas.shape} and {data.shape}"
+        )
+    if se.shape != (alphas.shape[0],):
+        raise ValueError(
+            f"spectral efficiencies must have shape (M,), got {se.shape}"
+        )
+    if np.any(alphas <= 0.0) or np.any(data <= 0.0) or np.any(se <= 0.0):
+        raise ValueError(
+            "immersion coefficients, data sizes, and spectral efficiencies "
+            "must be > 0"
+        )
+    p = _stacked_price_axes(np.asarray(prices, dtype=float), alphas.shape[0])
+    if np.any(~np.isfinite(p)) or np.any(p <= 0.0):
+        raise ValueError(f"prices must be finite and > 0, got {p!r}")
+    if p.ndim == 1:
+        return np.maximum(
+            0.0, alphas / p[:, np.newaxis] - data / se[:, np.newaxis]
+        )
+    return np.maximum(
+        0.0,
+        alphas[:, np.newaxis, :] / p[:, :, np.newaxis]
+        - data[:, np.newaxis, :] / se[:, np.newaxis, np.newaxis],
+    )
+
+
+def vmu_utilities_stacked(
+    immersion_coefs: np.ndarray,
+    data_units: np.ndarray,
+    bandwidths: np.ndarray,
+    prices: np.ndarray,
+    spectral_efficiencies: np.ndarray,
+) -> np.ndarray:
+    """Eq. (2) follower utilities across a stack of different markets.
+
+    Shapes mirror :func:`follower_best_response_stacked`: ``bandwidths`` is
+    ``(M, N)`` with prices ``(M,)``, or ``(M, R, N)`` with prices
+    ``(M, R)``; the result has the bandwidths' shape.
+    """
+    alphas = np.asarray(immersion_coefs, dtype=float)
+    data = np.asarray(data_units, dtype=float)
+    bands = np.asarray(bandwidths, dtype=float)
+    se = np.asarray(spectral_efficiencies, dtype=float)
+    p = _stacked_price_axes(np.asarray(prices, dtype=float), alphas.shape[0])
+    if p.ndim == 1:
+        if bands.shape != alphas.shape:
+            raise ValueError(
+                f"per-market prices (M,) need bandwidths of shape (M, N), "
+                f"got {bands.shape}"
+            )
+        gains = alphas * np.log1p(bands * se[:, np.newaxis] / data)
+        return gains - p[:, np.newaxis] * bands
+    if bands.shape != (p.shape[0], p.shape[1], alphas.shape[1]):
+        raise ValueError(
+            f"price grids (M, R) need bandwidths of shape (M, R, N), "
+            f"got {bands.shape}"
+        )
+    gains = alphas[:, np.newaxis, :] * np.log1p(
+        bands * se[:, np.newaxis, np.newaxis] / data[:, np.newaxis, :]
+    )
+    return gains - p[:, :, np.newaxis] * bands
+
+
+def msp_utilities_stacked(
+    prices: np.ndarray,
+    unit_costs: np.ndarray,
+    total_bandwidths: np.ndarray,
+) -> np.ndarray:
+    """Eq. (4) leader utilities across a stack of different markets.
+
+    Takes the already-reduced per-market demand totals (``Σ_n b_n``, shape
+    matching ``prices``) rather than the bandwidth matrix: ragged stacks
+    must sum each market over its *own* population to stay bitwise equal to
+    the per-market path, so the reduction lives with the caller that knows
+    the population boundaries (:class:`repro.core.marketstack.MarketStack`).
+    """
+    p = np.asarray(prices, dtype=float)
+    costs = np.asarray(unit_costs, dtype=float)
+    totals = np.asarray(total_bandwidths, dtype=float)
+    if costs.shape != (p.shape[0],):
+        raise ValueError(f"unit costs must have shape (M,), got {costs.shape}")
+    if totals.shape != p.shape:
+        raise ValueError(
+            f"total bandwidths must match prices' shape {p.shape}, "
+            f"got {totals.shape}"
+        )
+    if np.any(costs <= 0.0):
+        raise ValueError("unit costs must be > 0")
+    if p.ndim == 1:
+        return (p - costs) * totals
+    return (p - costs[:, np.newaxis]) * totals

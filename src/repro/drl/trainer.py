@@ -176,6 +176,14 @@ class VectorTrainer:
     time the ``E`` finalized segments are pooled into one sampling
     population.
 
+    The member envs need not share a market: a *heterogeneous* fleet (one
+    env per market, built with ``VectorMigrationEnv.from_markets``) trains
+    **one** policy across all member markets — each iteration's pooled
+    update mixes every market's transitions, and the env batch still
+    solves its whole market stack in one vectorised pass per round. The
+    action scaler spans the fleet's price envelope; each member env clamps
+    to its own ``[C, p_max]``.
+
     RNG contract: the trainer's own stream is consumed in the same order as
     the scalar :class:`Trainer` (one Gaussian noise block per round, one
     ``choice`` per PPO epoch), so an ``E = 1`` vector run is bit-compatible

@@ -9,16 +9,26 @@ sequential single-env runs with the same seeds — bit for bit.
 
 The speed comes from two places:
 
-- when every member shares the same :class:`StackelbergMarket` object, one
-  :meth:`StackelbergMarket.outcomes_batch` call solves the whole round for
-  all ``E`` posted prices (a single ``(E, N)`` numpy pass instead of ``E``
-  scalar Stackelberg solves);
+- every round's market stage is one vectorised solve for the whole batch:
+  members sharing one :class:`StackelbergMarket` object go through a single
+  :meth:`StackelbergMarket.outcomes_batch` call, and *heterogeneous* fleets
+  (a different market per member env) go through one
+  :meth:`repro.core.marketstack.MarketStack.outcomes_stacked` pass — either
+  way a single numpy pass instead of ``E`` scalar Stackelberg solves;
 - the DRL trainer feeds the whole ``(E, obs_dim)`` observation batch
   through the actor-critic in one forward pass.
 
 Exactness holds because the scalar market path itself delegates to the
-batched evaluator with ``P = 1`` — both routes run the identical numpy
-operations row for row.
+stacked evaluator (``outcomes_batch`` is the ``M = 1`` broadcast case of
+``outcomes_stacked``) — every route runs the identical numpy operations
+row for row.
+
+Heterogeneous fleets must still share one observation layout (same
+population size ``N`` and ``history_length``) and one episode length;
+costs, price caps, capacities, populations' parameters, and links may all
+differ per member. Members may then also differ in their feasible price
+interval ``[C, p_max]`` — each env clamps its own action to its own
+bounds, and :attr:`action_low` / :attr:`action_high` report the envelope.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.marketstack import MarketStack
 from repro.core.stackelberg import StackelbergMarket
 from repro.env.migration_game import MigrationGameEnv
 from repro.errors import EnvironmentError_
@@ -54,17 +65,13 @@ class VectorMigrationEnv:
                     "all environments must share rounds_per_episode; got "
                     f"{first.rounds_per_episode} and {env.rounds_per_episode}"
                 )
-            if (
-                env.action_low != first.action_low
-                or env.action_high != first.action_high
-            ):
-                raise EnvironmentError_(
-                    "all environments must share the feasible price interval"
-                )
         self._envs = tuple(envs)
-        # One outcomes_batch call can serve the whole batch only when every
-        # member prices the same market instance.
+        self._action_lows = np.array([env.action_low for env in envs])
+        self._action_highs = np.array([env.action_high for env in envs])
+        # Members sharing one market instance skip the stack's padding and
+        # solve as a plain single-market price batch.
         self._shared_market = all(env.market is first.market for env in envs)
+        self._stack: MarketStack | None = None
 
     @classmethod
     def from_market(
@@ -90,8 +97,31 @@ class VectorMigrationEnv:
         ``seed`` spawns independent child streams; ``None`` leaves every
         env nondeterministic.
         """
+        return cls.from_markets(
+            [market] * num_envs, seeds=seeds, seed=seed, **env_kwargs
+        )
+
+    @classmethod
+    def from_markets(
+        cls,
+        markets: Sequence[StackelbergMarket],
+        *,
+        seeds: Sequence[SeedLike] | None = None,
+        seed: SeedLike = None,
+        **env_kwargs: Any,
+    ) -> "VectorMigrationEnv":
+        """Build one env per market — a (possibly heterogeneous) fleet.
+
+        Same RNG-stream contract as :meth:`from_market`, with
+        ``num_envs = len(markets)``. The markets may differ in costs,
+        capacities, links, and population parameters; they must share the
+        population size ``N`` (one observation layout — enforced by the
+        constructor). Stepping such a fleet batch-solves all member markets
+        in one :meth:`MarketStack.outcomes_stacked` pass.
+        """
+        num_envs = len(markets)
         if num_envs < 1:
-            raise EnvironmentError_(f"num_envs must be >= 1, got {num_envs}")
+            raise EnvironmentError_(f"need at least one market, got {num_envs}")
         if seeds is not None:
             if len(seeds) != num_envs:
                 raise EnvironmentError_(
@@ -108,7 +138,7 @@ class VectorMigrationEnv:
         return cls(
             [
                 MigrationGameEnv(market, seed=env_seed, **env_kwargs)
-                for env_seed in env_seeds
+                for market, env_seed in zip(markets, env_seeds)
             ]
         )
 
@@ -135,13 +165,14 @@ class VectorMigrationEnv:
 
     @property
     def action_low(self) -> float:
-        """Lower price bound ``C``."""
-        return self._envs[0].action_low
+        """Lower price bound: the fleet envelope ``min_e C_e`` (every
+        member's own ``C`` for a homogeneous fleet)."""
+        return float(self._action_lows.min())
 
     @property
     def action_high(self) -> float:
-        """Upper price bound ``p_max``."""
-        return self._envs[0].action_high
+        """Upper price bound: the fleet envelope ``max_e p_max,e``."""
+        return float(self._action_highs.max())
 
     # ------------------------------------------------------------------ #
     def reset(self) -> np.ndarray:
@@ -164,8 +195,12 @@ class VectorMigrationEnv:
         acts = np.broadcast_to(
             np.asarray(actions, dtype=float), (self.num_envs,)
         )
-        if self._shared_market and self.num_envs > 1:
-            results = self._step_shared(acts)
+        if self.num_envs > 1:
+            results = (
+                self._step_shared(acts)
+                if self._shared_market
+                else self._step_stacked(acts)
+            )
         else:
             results = [env.step(float(a)) for env, a in zip(self._envs, acts)]
         observations = np.stack([r[0] for r in results])
@@ -174,13 +209,30 @@ class VectorMigrationEnv:
         infos = [r[3] for r in results]
         return observations, rewards, dones, infos
 
+    def _clip_actions(self, actions: np.ndarray) -> np.ndarray:
+        """Each member env's own ``[C, p_max]`` clamp, vectorised."""
+        return np.clip(actions, self._action_lows, self._action_highs)
+
     def _step_shared(self, actions: np.ndarray):
-        """One vectorised market solve for the whole batch."""
+        """One vectorised market solve for a shared-market batch."""
         for env in self._envs:
             env._require_steppable()
-        prices = np.clip(actions, self.action_low, self.action_high)
+        prices = self._clip_actions(actions)
         batch = self._envs[0].market.outcomes_batch(prices)
         return [
             env._advance(float(actions[e]), float(prices[e]), batch.row(e))
+            for e, env in enumerate(self._envs)
+        ]
+
+    def _step_stacked(self, actions: np.ndarray):
+        """One stacked solve for a heterogeneous-market fleet."""
+        for env in self._envs:
+            env._require_steppable()
+        if self._stack is None:
+            self._stack = MarketStack([env.market for env in self._envs])
+        prices = self._clip_actions(actions)
+        stacked = self._stack.outcomes_stacked(prices)
+        return [
+            env._advance(float(actions[e]), float(prices[e]), stacked.row(e))
             for e, env in enumerate(self._envs)
         ]

@@ -20,11 +20,15 @@ from repro.experiments.robustness import (
     run_population_sweep,
 )
 from repro.experiments.runner import (
+    FleetTrainedPricing,
     PolicyEvaluation,
     TrainedPricing,
     compare_schemes,
+    compare_schemes_stacked,
+    evaluate_policies_stacked,
     evaluate_policy,
     train_drl,
+    train_drl_fleet,
 )
 
 __all__ = [
@@ -47,9 +51,13 @@ __all__ = [
     "run_distance_sweep",
     "run_fading_sweep",
     "run_population_sweep",
+    "FleetTrainedPricing",
     "PolicyEvaluation",
     "TrainedPricing",
     "compare_schemes",
+    "compare_schemes_stacked",
+    "evaluate_policies_stacked",
     "evaluate_policy",
     "train_drl",
+    "train_drl_fleet",
 ]

@@ -7,10 +7,13 @@ equilibrium); Fig. 3(b) reports the VMUs' total utility and total
 bandwidth strategy. Paper anchors: price ≈ 25 at C = 5 and ≈ 34 at C = 9;
 total bandwidth ≈ 27.9 at C = 6 and ≈ 23.4 at C = 8.
 
-Every per-cost evaluation goes through the batched simulation engine
-(:mod:`repro.sim`): equilibrium solves scan the price grid in one
-vectorised pass and the random/oracle baselines evaluate their whole
-price vector as a single batched market solve.
+The whole cost sweep rides the market-stack axis: the swept markets form
+one :class:`repro.core.marketstack.MarketStack`, and every scheme that
+commits to its price vector (random, equilibrium) evaluates the *entire*
+grid of cost-varied markets as a single stacked solve —
+``(M costs, R rounds, N VMUs)`` in one numpy pass — via
+:func:`repro.experiments.runner.compare_schemes_stacked`. Per cost, the
+results equal the historical per-market loop exactly.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import PolicyEvaluation, compare_schemes
+from repro.experiments.runner import PolicyEvaluation, compare_schemes_stacked
 from repro.utils.tables import Table
 
 __all__ = ["CostSweepResult", "run_fig3_cost"]
@@ -89,13 +92,17 @@ def run_fig3_cost(
     costs: tuple[float, ...] = DEFAULT_COSTS,
     schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
 ) -> CostSweepResult:
-    """Sweep the unit transmission cost and evaluate every scheme."""
+    """Sweep the unit transmission cost and evaluate every scheme.
+
+    The swept markets are evaluated as one stacked market grid (see the
+    module docstring); only the history-dependent schemes fall back to
+    per-market loops.
+    """
     config = config if config is not None else ExperimentConfig.quick()
     base = StackelbergMarket(paper_fig2_population())
     result = CostSweepResult(costs=tuple(costs))
-    for cost in costs:
-        market = base.with_unit_cost(float(cost))
-        result.evaluations[cost] = compare_schemes(
-            market, config, schemes=schemes
-        )
+    markets = [base.with_unit_cost(float(cost)) for cost in costs]
+    evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
+    for cost, by_scheme in zip(result.costs, evaluations):
+        result.evaluations[cost] = by_scheme
     return result

@@ -7,10 +7,14 @@ B_max capacity starts binding and then rises. Fig. 3(d): the average
 bandwidth per VMU stays flat then falls, and average VMU utility drops as
 competition for capacity grows.
 
-Every per-N evaluation goes through the batched simulation engine
-(:mod:`repro.sim`); the population axis ``N`` is the trailing axis of the
-engine's ``(P, N)`` best-response matrix, so wider populations batch for
-free.
+The population sweep is the *ragged* case of the market-stack axis: markets
+with N = 1..6 VMUs stack into one padded-and-masked
+:class:`repro.core.marketstack.MarketStack`, and every scheme that commits
+to its price vector (random, equilibrium) evaluates the entire grid of
+populations as a single stacked solve via
+:func:`repro.experiments.runner.compare_schemes_stacked`. Per N, the
+results equal the historical per-market loop exactly — the stack reduces
+each market over its own population, so padding never leaks into totals.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population, uniform_population
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import PolicyEvaluation, compare_schemes
+from repro.experiments.runner import PolicyEvaluation, compare_schemes_stacked
 from repro.utils.tables import Table
 
 __all__ = ["VmuSweepResult", "run_fig3_vmus"]
@@ -92,17 +96,24 @@ def run_fig3_vmus(
     data_size_mb: float = 100.0,
     immersion_coef: float = 5.0,
 ) -> VmuSweepResult:
-    """Sweep the population size and evaluate every scheme."""
+    """Sweep the population size and evaluate every scheme.
+
+    The (ragged) population-swept markets are evaluated as one stacked
+    market grid; only the history-dependent schemes fall back to
+    per-market loops.
+    """
     config = config if config is not None else ExperimentConfig.quick()
     base = StackelbergMarket(paper_fig2_population())
     result = VmuSweepResult(counts=tuple(counts))
-    for count in counts:
-        market = base.with_vmus(
+    markets = [
+        base.with_vmus(
             uniform_population(
                 count, data_size_mb=data_size_mb, immersion_coef=immersion_coef
             )
         )
-        result.evaluations[count] = compare_schemes(
-            market, config, schemes=schemes
-        )
+        for count in counts
+    ]
+    evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
+    for count, by_scheme in zip(result.counts, evaluations):
+        result.evaluations[count] = by_scheme
     return result

@@ -4,13 +4,32 @@ Single-seed DRL comparisons are anecdotes. This runner repeats a
 scheme-vs-scheme evaluation across seeds and reports mean ± CI per metric,
 plus a Welch t-test for "does the proposed scheme beat the baseline"
 claims — the statistical backing the paper's single-run figures lack.
+
+Sharding
+--------
+Per-seed runs are fully independent, so :func:`run_multiseed_comparison`
+can fan them out across worker processes (``shards=k``). The contract is
+**determinism, not approximation**:
+
+- seeds are partitioned round-robin (shard ``i`` takes ``seeds[i::k]``) —
+  a pure function of ``(seeds, shards)``;
+- each shard runs the identical sequential code on its slice and ships its
+  samples home as a :meth:`MultiSeedResult.to_payload` dict (the same
+  JSON-able payload :func:`repro.utils.serialization.save_json` writes);
+- the merge reassembles every sample at its seed's original position.
+
+A sharded run therefore returns a result *exactly equal* to the sequential
+path — same samples, same order — regardless of ``k`` or worker scheduling.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.stackelberg import StackelbergMarket
+from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import compare_schemes
 from repro.utils.stats import SummaryStats, compare_means, summarize
@@ -21,10 +40,16 @@ __all__ = ["MultiSeedResult", "run_multiseed_comparison"]
 
 @dataclass
 class MultiSeedResult:
-    """Per-scheme metric samples across seeds."""
+    """Per-scheme metric samples across seeds.
+
+    ``samples[scheme][i]`` is the metric of ``scheme`` under ``seeds[i]``
+    (when the result came from :func:`run_multiseed_comparison`, which
+    always records the seed axis).
+    """
 
     metric: str
     samples: dict[str, list[float]] = field(default_factory=dict)
+    seeds: tuple[int, ...] = ()
 
     def stats(self, scheme: str) -> SummaryStats:
         """Mean ± CI of the metric for one scheme."""
@@ -50,30 +75,76 @@ class MultiSeedResult:
             )
         return table
 
+    def to_payload(self) -> dict:
+        """This result as a plain JSON-able dict.
 
-def run_multiseed_comparison(
-    market: StackelbergMarket,
-    base_config: ExperimentConfig,
-    *,
-    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
-    schemes: tuple[str, ...] = ("drl", "random"),
-    metric: str = "mean_msp_utility",
-    num_envs: int | None = None,
-) -> MultiSeedResult:
-    """Evaluate ``schemes`` on ``market`` across ``seeds``.
+        Round-trips through :func:`repro.utils.serialization.save_json` /
+        ``load_json`` and :meth:`from_payload`; it is also the wire format
+        shard workers return to the merging parent.
+        """
+        return {
+            "metric": self.metric,
+            "seeds": list(self.seeds),
+            "samples": {
+                scheme: [float(v) for v in values]
+                for scheme, values in self.samples.items()
+            },
+        }
 
-    Each seed re-trains the DRL scheme and re-draws the baselines'
-    randomness; the metric is any :class:`PolicyEvaluation` field name.
-    Every per-seed run goes through the batched simulation engine;
-    ``num_envs`` (default: whatever ``base_config`` carries) widens the
-    engine's env-batch axis so each seed's training collects that many
-    episodes per iteration concurrently.
-    """
+    @classmethod
+    def from_payload(cls, payload: object) -> "MultiSeedResult":
+        """Rebuild a result from :meth:`to_payload`'s dict (e.g. freshly
+        ``load_json``-ed from disk)."""
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(
+                f"multiseed payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            metric = payload["metric"]
+            seeds = payload["seeds"]
+            samples = payload["samples"]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"multiseed payload is missing key {exc.args[0]!r}"
+            ) from exc
+        if not isinstance(samples, Mapping):
+            raise ExperimentError("multiseed payload 'samples' must be a mapping")
+        if isinstance(seeds, (str, bytes)) or not isinstance(seeds, Sequence):
+            raise ExperimentError("multiseed payload 'seeds' must be a sequence")
+        return cls(
+            metric=str(metric),
+            samples={
+                str(scheme): [float(v) for v in values]
+                for scheme, values in samples.items()
+            },
+            seeds=tuple(int(s) for s in seeds),
+        )
+
+
+def _validate_seeds(seeds: tuple[int, ...]) -> tuple[int, ...]:
+    """Reject degenerate seed sets; duplicates would silently double-count
+    samples and shrink every confidence interval."""
     if len(seeds) < 2:
         raise ValueError("need at least two seeds for statistics")
-    if num_envs is not None:
-        base_config = base_config.with_num_envs(num_envs)
-    result = MultiSeedResult(metric=metric)
+    duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate seeds {duplicates} would double-count samples; "
+            "every seed must appear once"
+        )
+    return tuple(seeds)
+
+
+def _run_sequential(
+    market: StackelbergMarket,
+    base_config: ExperimentConfig,
+    seeds: tuple[int, ...],
+    schemes: tuple[str, ...],
+    metric: str,
+) -> MultiSeedResult:
+    """The reference per-seed loop (also the body every shard executes)."""
+    result = MultiSeedResult(metric=metric, seeds=tuple(seeds))
     for scheme in schemes:
         result.samples[scheme] = []
     for seed in seeds:
@@ -83,3 +154,104 @@ def run_multiseed_comparison(
         for scheme, evaluation in evaluations.items():
             result.samples[scheme].append(float(getattr(evaluation, metric)))
     return result
+
+
+def _run_shard(
+    market: StackelbergMarket,
+    base_config: ExperimentConfig,
+    shard_seeds: tuple[int, ...],
+    schemes: tuple[str, ...],
+    metric: str,
+) -> dict:
+    """Worker entry point: run one shard's seed slice, return its payload.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
+    it; the payload dict keeps the wire format numpy-free.
+    """
+    return _run_sequential(
+        market, base_config, shard_seeds, schemes, metric
+    ).to_payload()
+
+
+def _partition_seeds(
+    seeds: tuple[int, ...], shards: int
+) -> list[tuple[int, ...]]:
+    """Round-robin partition — deterministic in ``(seeds, shards)``."""
+    count = min(shards, len(seeds))
+    return [tuple(seeds[i::count]) for i in range(count)]
+
+
+def _merge_shards(
+    metric: str,
+    seeds: tuple[int, ...],
+    schemes: tuple[str, ...],
+    payloads: list[dict],
+) -> MultiSeedResult:
+    """Reassemble shard payloads into the sequential result, exactly.
+
+    Each shard's payload carries its own seed slice, so every sample lands
+    back at its seed's position in the original ``seeds`` order — the
+    merged result is indistinguishable from a sequential run.
+    """
+    position = {seed: i for i, seed in enumerate(seeds)}
+    merged = MultiSeedResult(
+        metric=metric,
+        samples={scheme: [0.0] * len(seeds) for scheme in schemes},
+        seeds=tuple(seeds),
+    )
+    for payload in payloads:
+        part = MultiSeedResult.from_payload(payload)
+        for scheme in schemes:
+            for shard_pos, seed in enumerate(part.seeds):
+                merged.samples[scheme][position[seed]] = part.samples[
+                    scheme
+                ][shard_pos]
+    return merged
+
+
+def run_multiseed_comparison(
+    market: StackelbergMarket,
+    base_config: ExperimentConfig,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    schemes: tuple[str, ...] = ("drl", "random"),
+    metric: str = "mean_msp_utility",
+    num_envs: int | None = None,
+    shards: int | None = None,
+) -> MultiSeedResult:
+    """Evaluate ``schemes`` on ``market`` across ``seeds``.
+
+    Each seed re-trains the DRL scheme and re-draws the baselines'
+    randomness; the metric is any :class:`PolicyEvaluation` field name.
+    Every per-seed run goes through the batched simulation engine;
+    ``num_envs`` (default: whatever ``base_config`` carries) widens the
+    engine's env-batch axis so each seed's training collects that many
+    episodes per iteration concurrently.
+
+    ``shards=k`` fans the (independent) per-seed runs out over ``k``
+    worker processes and merges their payloads back in seed order — the
+    result is *exactly* the sequential result, only faster on multi-core
+    machines (see the module docstring for the determinism contract).
+    ``shards=None`` or ``1`` keeps everything in-process.
+
+    Raises:
+        ValueError: on fewer than two seeds, duplicate seeds (they would
+            silently double-count samples), or ``shards < 1``.
+    """
+    seeds = _validate_seeds(tuple(seeds))
+    if num_envs is not None:
+        base_config = base_config.with_num_envs(num_envs)
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards is None or shards == 1:
+        return _run_sequential(market, base_config, seeds, schemes, metric)
+    partitions = _partition_seeds(seeds, shards)
+    with ProcessPoolExecutor(max_workers=len(partitions)) as pool:
+        futures = [
+            pool.submit(
+                _run_shard, market, base_config, shard_seeds, schemes, metric
+            )
+            for shard_seeds in partitions
+        ]
+        payloads = [future.result() for future in futures]
+    return _merge_shards(metric, seeds, schemes, payloads)

@@ -5,15 +5,23 @@ Usage::
     python -m repro.experiments.run --figure fig2 [--quick | --paper]
     python -m repro.experiments.run --figure fig3a --output results/
     python -m repro.experiments.run --list
+    python -m repro.experiments.run multiseed --seeds 0,1,2,3 --shards 2
 
 ``--quick`` (default) uses the reduced budget documented in EXPERIMENTS.md;
 ``--paper`` uses the full Sec. V-A budget (E = 500 episodes — slow on a
 laptop but faithful).
+
+The ``multiseed`` subcommand runs the seeds-axis robustness comparison
+(:func:`repro.experiments.run_multiseed_comparison`): ``--seeds`` picks the
+seed set, ``--shards`` fans the per-seed runs out across worker processes
+(exact — sharded results equal the sequential run), and ``--num-envs``
+widens the engine's env-batch axis inside each seed's training.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -25,6 +33,8 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3_cost import run_fig3_cost
 from repro.experiments.fig3_vmus import run_fig3_vmus
+from repro.experiments.multiseed import run_multiseed_comparison
+from repro.experiments.runner import PolicyEvaluation
 from repro.experiments.robustness import (
     run_distance_sweep,
     run_fading_sweep,
@@ -33,7 +43,7 @@ from repro.experiments.robustness import (
 from repro.utils.serialization import save_json
 from repro.utils.tables import Table
 
-__all__ = ["main", "FIGURES"]
+__all__ = ["main", "multiseed_main", "FIGURES"]
 
 
 def _fig2(config: ExperimentConfig) -> tuple[str, object]:
@@ -135,11 +145,110 @@ FIGURES = {
 }
 
 
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--seeds wants comma-separated integers, got {text!r}"
+        ) from exc
+
+
+def multiseed_main(argv: list[str] | None = None) -> int:
+    """The ``multiseed`` subcommand: seeds-axis comparison, optionally
+    sharded across processes."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments multiseed",
+        description=(
+            "Multi-seed scheme comparison with confidence intervals "
+            "(process-sharded when --shards > 1; sharded results are "
+            "exactly equal to the sequential run)."
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=(0, 1, 2, 3, 4),
+        help="comma-separated seed list, e.g. 0,1,2,3 (default 0,1,2,3,4)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes to fan the per-seed runs across (default 1)",
+    )
+    parser.add_argument(
+        "--num-envs",
+        type=int,
+        default=None,
+        help="env-batch width E inside each seed's DRL training",
+    )
+    parser.add_argument(
+        "--schemes",
+        default="drl,random",
+        help="comma-separated scheme names (default drl,random)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="mean_msp_utility",
+        help="PolicyEvaluation field to aggregate (default mean_msp_utility)",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's full training budget (slow)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="directory for JSON results"
+    )
+    args = parser.parse_args(argv)
+    # Fail fast on bad knobs: the first seed can take minutes of DRL
+    # training at the paper budget, and under --shards a late ValueError
+    # or AttributeError would surface as a worker traceback.
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    metric_names = {field.name for field in dataclasses.fields(PolicyEvaluation)}
+    if args.metric not in metric_names:
+        parser.error(
+            f"--metric must be a PolicyEvaluation field "
+            f"({', '.join(sorted(metric_names))}), got {args.metric!r}"
+        )
+    if len(args.seeds) < 2:
+        parser.error(f"--seeds needs at least two seeds, got {args.seeds}")
+    duplicates = sorted({s for s in args.seeds if args.seeds.count(s) > 1})
+    if duplicates:
+        parser.error(f"--seeds contains duplicates {duplicates}")
+
+    config = ExperimentConfig.paper() if args.paper else ExperimentConfig.quick()
+    market = StackelbergMarket(paper_fig2_population())
+    result = run_multiseed_comparison(
+        market,
+        config,
+        seeds=args.seeds,
+        schemes=tuple(s for s in args.schemes.split(",") if s.strip()),
+        metric=args.metric,
+        num_envs=args.num_envs,
+        shards=args.shards if args.shards > 1 else None,
+    )
+    print(result.table())
+    if args.output is not None:
+        target = save_json(args.output / "multiseed.json", result.to_payload())
+        print(f"\nwrote {target}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "multiseed":
+        return multiseed_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate figures of the VT-migration incentive paper.",
+        epilog=(
+            "Subcommands: `multiseed` runs the seeds-axis comparison "
+            "(see `multiseed --help`)."
+        ),
     )
     parser.add_argument("--figure", choices=sorted(FIGURES), help="which figure")
     parser.add_argument("--list", action="store_true", help="list figures")
@@ -156,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list or not args.figure:
         print("available figures:", ", ".join(sorted(FIGURES)))
+        print("subcommands: multiseed (see `multiseed --help`)")
         return 0
 
     config = (

@@ -16,20 +16,29 @@ the policy can commit to them.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.baselines import GreedyPricing, LearnedPricing, OraclePricing, RandomPricing
 from repro.core.mechanism import PricingPolicy
-from repro.core.stackelberg import StackelbergMarket
+from repro.core.stackelberg import PriceBatchOutcome, StackelbergMarket
 from repro.drl.ppo import PPOConfig
 from repro.drl.trainer import TrainerConfig, TrainingResult, train_pricing_agent
 from repro.env.vector import VectorMigrationEnv
 from repro.experiments.config import ExperimentConfig
-from repro.sim.engine import play_policy
+from repro.sim.engine import play_policies_stacked, play_policy
 
-__all__ = ["PolicyEvaluation", "TrainedPricing", "train_drl", "evaluate_policy", "compare_schemes"]
+__all__ = [
+    "PolicyEvaluation",
+    "TrainedPricing",
+    "FleetTrainedPricing",
+    "train_drl",
+    "train_drl_fleet",
+    "evaluate_policy",
+    "evaluate_policies_stacked",
+    "compare_schemes",
+    "compare_schemes_stacked",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +75,18 @@ class TrainedPricing:
     """A trained DRL pricing solution for one market."""
 
     policy: LearnedPricing
+    training: TrainingResult
+
+
+@dataclass
+class FleetTrainedPricing:
+    """One DRL pricing policy trained across a fleet of markets.
+
+    ``policies[m]`` adapts the single shared agent to market ``m``'s
+    observation normalisation; all entries share the same network weights.
+    """
+
+    policies: list[LearnedPricing]
     training: TrainingResult
 
 
@@ -113,21 +134,58 @@ def train_drl(
     return TrainedPricing(policy=policy, training=result)
 
 
-def evaluate_policy(
-    market: StackelbergMarket,
-    policy: PricingPolicy,
-    *,
-    rounds: int = 100,
-) -> PolicyEvaluation:
-    """Play ``policy`` for ``rounds`` and summarise the market outcome.
+def train_drl_fleet(
+    markets: Sequence[StackelbergMarket], config: ExperimentConfig
+) -> FleetTrainedPricing:
+    """Train **one** PPO pricing agent across a heterogeneous market fleet.
 
-    Runs through :func:`repro.sim.play_policy`: policies that can commit to
-    their price vector (random, fixed, oracle) are evaluated in one batched
-    market solve; history-dependent policies fall back to the sequential
-    loop with outcome memoisation.
+    Builds one member env per market (env 0 on ``config.seed``, the rest on
+    independent child streams — the :meth:`VectorMigrationEnv.from_markets`
+    contract), steps them in lockstep with one stacked market solve per
+    round, and pools every market's transitions into each PPO update. The
+    result is a single policy exposed once per market (shared weights,
+    per-market observation adaptation).
     """
-    policy.reset()
-    _, played = play_policy(market, policy, rounds)
+    env = VectorMigrationEnv.from_markets(
+        markets,
+        seed=config.seed,
+        history_length=config.history_length,
+        rounds_per_episode=config.rounds_per_episode,
+        reward_mode=config.reward_mode,
+    )
+    agent, result, scaler = train_pricing_agent(
+        env,
+        trainer_config=TrainerConfig(
+            num_episodes=config.num_episodes,
+            update_interval=config.update_interval,
+            update_epochs=config.update_epochs,
+            batch_size=config.batch_size,
+            gamma=config.gamma,
+            gae_lambda=config.gae_lambda,
+        ),
+        ppo_config=PPOConfig(
+            learning_rate=config.learning_rate,
+            entropy_coef=config.entropy_coef,
+        ),
+        seed=config.seed,
+    )
+    policies = [
+        LearnedPricing(
+            agent,
+            scaler,
+            market,
+            history_length=config.history_length,
+            seed=config.seed,
+        )
+        for market in markets
+    ]
+    return FleetTrainedPricing(policies=policies, training=result)
+
+
+def _summarise(
+    market: StackelbergMarket, played: PriceBatchOutcome
+) -> PolicyEvaluation:
+    """Fold one evaluation's per-round outcomes into a :class:`PolicyEvaluation`."""
     total_bandwidths = played.allocations.sum(axis=-1)
     total_vmu = played.vmu_utilities.sum(axis=-1)
     avg_vmu = played.vmu_utilities.mean(axis=-1)
@@ -150,6 +208,47 @@ def evaluate_policy(
     )
 
 
+def evaluate_policy(
+    market: StackelbergMarket,
+    policy: PricingPolicy,
+    *,
+    rounds: int = 100,
+) -> PolicyEvaluation:
+    """Play ``policy`` for ``rounds`` and summarise the market outcome.
+
+    Runs through :func:`repro.sim.play_policy`: policies that can commit to
+    their price vector (random, fixed, oracle) are evaluated in one batched
+    market solve; history-dependent policies fall back to the sequential
+    loop with outcome memoisation.
+    """
+    policy.reset()
+    _, played = play_policy(market, policy, rounds)
+    return _summarise(market, played)
+
+
+def evaluate_policies_stacked(
+    markets: Sequence[StackelbergMarket],
+    policies: Sequence[PricingPolicy],
+    *,
+    rounds: int = 100,
+) -> list[PolicyEvaluation]:
+    """Evaluate ``policies[m]`` on ``markets[m]`` for every ``m``, stacked.
+
+    Pairs whose policy commits to its price vector are solved as **one**
+    :meth:`MarketStack.outcomes_stacked` pass over the whole market grid
+    (the Fig. 3 sweep shape); history-dependent policies fall back to the
+    per-market sequential loop. Per market, the returned evaluation equals
+    an independent :func:`evaluate_policy` call exactly.
+    """
+    for policy in policies:
+        policy.reset()
+    played_all = play_policies_stacked(markets, policies, rounds)
+    return [
+        _summarise(market, played)
+        for market, (_, played) in zip(markets, played_all)
+    ]
+
+
 def compare_schemes(
     market: StackelbergMarket,
     config: ExperimentConfig,
@@ -162,23 +261,72 @@ def compare_schemes(
     ``random`` (baselines), ``equilibrium`` (complete-information optimum).
     """
     results: dict[str, PolicyEvaluation] = {}
-    cfg = market.config
     for scheme in schemes:
-        if scheme == "drl":
-            policy: PricingPolicy = train_drl(market, config).policy
-        elif scheme == "greedy":
-            policy = GreedyPricing(
-                cfg.unit_cost, cfg.max_price, seed=config.seed + 1
-            )
-        elif scheme == "random":
-            policy = RandomPricing(
-                cfg.unit_cost, cfg.max_price, seed=config.seed + 2
-            )
-        elif scheme == "equilibrium":
-            policy = OraclePricing(market)
-        else:
-            raise ValueError(f"unknown scheme {scheme!r}")
+        policy = _scheme_policy(scheme, market, config)
         results[scheme] = evaluate_policy(
             market, policy, rounds=config.evaluation_rounds
         )
+    return results
+
+
+def _scheme_policy(
+    scheme: str, market: StackelbergMarket, config: ExperimentConfig
+) -> PricingPolicy:
+    """Build one scheme's policy for one market (shared by the per-market
+    and stacked comparison paths, so both seed identically)."""
+    cfg = market.config
+    if scheme == "drl":
+        return train_drl(market, config).policy
+    if scheme == "greedy":
+        return GreedyPricing(cfg.unit_cost, cfg.max_price, seed=config.seed + 1)
+    if scheme == "random":
+        return RandomPricing(cfg.unit_cost, cfg.max_price, seed=config.seed + 2)
+    if scheme == "equilibrium":
+        return OraclePricing(market)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def compare_schemes_stacked(
+    markets: Sequence[StackelbergMarket],
+    config: ExperimentConfig,
+    *,
+    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+) -> list[dict[str, PolicyEvaluation]]:
+    """Evaluate the requested schemes across a whole market grid, stacked.
+
+    The market-axis form of :func:`compare_schemes`: one entry of the
+    returned list per market, each a scheme → evaluation dict exactly equal
+    to ``compare_schemes(markets[m], config, schemes=schemes)``. Schemes
+    that commit to their price vectors (``random``, ``equilibrium``)
+    evaluate the whole grid as one stacked market solve; ``drl`` still
+    trains per market and, like ``greedy``, evaluates through the
+    per-market sequential loop.
+    """
+    results: list[dict[str, PolicyEvaluation]] = [{} for _ in markets]
+    for scheme in schemes:
+        # History-dependent policies (drl, greedy) gain nothing from the
+        # stacked solve — evaluate each as soon as it is built so at most
+        # one trained agent is live at a time. Plannable policies are
+        # collected and solved as one stacked pass.
+        pending_markets: list[StackelbergMarket] = []
+        pending_indices: list[int] = []
+        pending_policies: list[PricingPolicy] = []
+        for index, market in enumerate(markets):
+            policy = _scheme_policy(scheme, market, config)
+            if getattr(policy, "propose_prices", None) is None:
+                results[index][scheme] = evaluate_policy(
+                    market, policy, rounds=config.evaluation_rounds
+                )
+            else:
+                pending_markets.append(market)
+                pending_indices.append(index)
+                pending_policies.append(policy)
+        if pending_policies:
+            evaluations = evaluate_policies_stacked(
+                pending_markets,
+                pending_policies,
+                rounds=config.evaluation_rounds,
+            )
+            for index, evaluation in zip(pending_indices, evaluations):
+                results[index][scheme] = evaluation
     return results

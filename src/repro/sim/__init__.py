@@ -5,24 +5,32 @@ batch axis instead of a Python loop:
 
 - price-batch market evaluation (:class:`PriceBatchOutcome`,
   :func:`batched_landscape`, :func:`scalar_landscape`, :func:`price_grid`);
-- batched policy evaluation (:func:`play_policy`, :func:`plan_prices`);
+- the market-stack axis (:class:`MarketStack`, :class:`StackedOutcome`) —
+  ``M`` *different* markets solved in one pass, re-exported from
+  :mod:`repro.core.marketstack`;
+- batched policy evaluation (:func:`play_policy`, :func:`plan_prices`,
+  :func:`play_policies_stacked`);
 - the vector environment (:class:`VectorMigrationEnv`) and the batched
   Algorithm-1 trainer (:class:`VectorTrainer`) re-exported from their home
   layers.
 """
 
+from repro.core.marketstack import MarketStack, StackedOutcome
 from repro.core.stackelberg import PriceBatchOutcome, uniform_price_grid
 from repro.drl.trainer import VectorTrainer
 from repro.env.vector import VectorMigrationEnv
-from repro.sim.engine import plan_prices, play_policy
+from repro.sim.engine import plan_prices, play_policies_stacked, play_policy
 from repro.sim.landscape import batched_landscape, price_grid, scalar_landscape
 
 __all__ = [
+    "MarketStack",
+    "StackedOutcome",
     "PriceBatchOutcome",
     "VectorTrainer",
     "VectorMigrationEnv",
     "plan_prices",
     "play_policy",
+    "play_policies_stacked",
     "batched_landscape",
     "price_grid",
     "scalar_landscape",

@@ -19,16 +19,27 @@ Both paths produce the identical :class:`GameHistory` and per-round
 :class:`PriceBatchOutcome` (axis 0 = round) as the classic
 :func:`repro.core.mechanism.run_rounds` loop; they are the engine behind
 :func:`repro.experiments.runner.evaluate_policy`.
+
+:func:`play_policies_stacked` lifts the price-vector fast path onto the
+market axis ``M``: the committed price vectors of *many* (market, policy)
+pairs — e.g. a whole Fig. 3 sweep's market grid — are solved as one
+:meth:`repro.core.marketstack.MarketStack.outcomes_stacked` pass instead of
+``M`` separate batched evaluations, with history-dependent policies falling
+back to the per-market sequential loop. Results are equal to ``M``
+independent :func:`play_policy` calls — bitwise, not just numerically.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
+from repro.core.marketstack import MarketStack
 from repro.core.mechanism import GameHistory, PricingPolicy, RoundRecord
 from repro.core.stackelberg import MarketOutcome, PriceBatchOutcome, StackelbergMarket
 
-__all__ = ["plan_prices", "play_policy"]
+__all__ = ["plan_prices", "play_policy", "play_policies_stacked"]
 
 
 def plan_prices(
@@ -82,7 +93,15 @@ def play_policy(
     else:
         return history, _play_sequential(market, policy, num_rounds, history)
 
-    for offset in range(num_rounds):
+    _append_records(history, played, start_index)
+    return history, played
+
+
+def _append_records(
+    history: GameHistory, played: PriceBatchOutcome, start_index: int
+) -> None:
+    """Append one :class:`RoundRecord` per row of a batch-solved evaluation."""
+    for offset in range(len(played)):
         history.append(
             RoundRecord(
                 round_index=start_index + offset,
@@ -91,7 +110,56 @@ def play_policy(
                 msp_utility=float(played.msp_utilities[offset]),
             )
         )
-    return history, played
+
+
+def play_policies_stacked(
+    markets: Sequence[StackelbergMarket],
+    policies: Sequence[PricingPolicy],
+    num_rounds: int,
+) -> list[tuple[GameHistory, PriceBatchOutcome]]:
+    """Play ``num_rounds`` of the pricing game in every market, stacked.
+
+    Pairs ``markets[m]`` with ``policies[m]`` (fresh histories). Every pair
+    whose policy commits to its price vector up front joins one
+    :meth:`MarketStack.outcomes_stacked` solve over the ``(M, R)`` price
+    grid — a whole market sweep's evaluation in a single numpy pass —
+    while history-dependent policies fall back to the per-market
+    memoised sequential loop. Per pair, histories and outcomes are equal
+    (bitwise) to an independent :func:`play_policy` call; callers that need
+    the single-market semantics of a prior history should use
+    :func:`play_policy` directly.
+    """
+    if len(markets) != len(policies):
+        raise ValueError(
+            f"got {len(markets)} markets for {len(policies)} policies"
+        )
+    if num_rounds < 1:
+        raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+    histories = [GameHistory() for _ in markets]
+    outcomes: list[PriceBatchOutcome | None] = [None] * len(markets)
+    stackable: list[tuple[int, np.ndarray]] = []
+    for i, (market, policy) in enumerate(zip(markets, policies)):
+        planned = plan_prices(policy, histories[i], num_rounds)
+        if planned is None:
+            outcomes[i] = _play_sequential(
+                market, policy, num_rounds, histories[i]
+            )
+        else:
+            config = market.config
+            stackable.append(
+                (i, np.clip(planned, config.unit_cost, config.max_price))
+            )
+    if stackable:
+        indices = [i for i, _ in stackable]
+        stack = MarketStack([markets[i] for i in indices])
+        stacked = stack.outcomes_stacked(
+            np.stack([prices for _, prices in stackable])
+        )
+        for position, i in enumerate(indices):
+            played = stacked.market_rows(position)
+            _append_records(histories[i], played, start_index=0)
+            outcomes[i] = played
+    return list(zip(histories, outcomes))
 
 
 def _play_sequential(

@@ -1,0 +1,166 @@
+"""MarketStack tests: the stacked solve must equal per-market scalar solves.
+
+The acceptance criterion of the market-stack axis: solving ``M`` different
+markets at ``M`` different prices (or ``M`` whole price grids) in one
+stacked pass reproduces the per-market solves **bitwise** — including
+ragged populations, which the stack pads and masks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MarketStack
+from repro.core.stackelberg import MarketConfig, StackelbergMarket
+from repro.entities.vmu import (
+    paper_fig2_population,
+    sample_population,
+    uniform_population,
+)
+from repro.errors import ConfigurationError
+
+
+def random_markets(count, *, root_seed=0, max_vmus=11):
+    """Heterogeneous markets: random (ragged) populations, costs, caps."""
+    rng = np.random.default_rng(root_seed)
+    markets = []
+    for _ in range(count):
+        population = sample_population(
+            int(rng.integers(1, max_vmus + 1)),
+            seed=int(rng.integers(0, 2**31)),
+        )
+        config = MarketConfig(
+            unit_cost=float(rng.uniform(3.0, 9.0)),
+            max_price=float(rng.uniform(30.0, 60.0)),
+            max_bandwidth=float(rng.uniform(20.0, 60.0)),
+            enforce_capacity=bool(rng.integers(0, 2)),
+        )
+        markets.append(StackelbergMarket(population, config=config))
+    return markets
+
+
+def random_prices(markets, rng):
+    return np.array(
+        [
+            float(rng.uniform(m.config.unit_cost, m.config.max_price))
+            for m in markets
+        ]
+    )
+
+
+class TestStackedEqualsScalar:
+    def test_50_random_ragged_markets_match_scalar_solves_bitwise(self):
+        """Property: across ~50 random heterogeneous markets (ragged N,
+        mixed capacity enforcement) the stacked solve equals per-market
+        scalar round outcomes bitwise."""
+        markets = random_markets(50, root_seed=7)
+        stack = MarketStack(markets)
+        assert stack.num_markets == 50
+        rng = np.random.default_rng(123)
+        for _ in range(4):
+            prices = random_prices(markets, rng)
+            stacked = stack.outcomes_stacked(prices)
+            for m, market in enumerate(markets):
+                reference = market.round_outcome(float(prices[m]))
+                row = stacked.row(m)
+                assert row.price == reference.price
+                assert (row.demands == reference.demands).all()
+                assert (row.allocations == reference.allocations).all()
+                assert (row.vmu_utilities == reference.vmu_utilities).all()
+                assert row.msp_utility == reference.msp_utility
+                assert row.capacity_binding == reference.capacity_binding
+
+    def test_price_grid_form_matches_per_market_batches_bitwise(self):
+        markets = random_markets(12, root_seed=3)
+        stack = MarketStack(markets)
+        grids = np.stack(
+            [
+                np.linspace(m.config.unit_cost, m.config.max_price, 33)
+                for m in markets
+            ]
+        )
+        stacked = stack.outcomes_stacked(grids)
+        assert stacked.has_price_grid
+        for m, market in enumerate(markets):
+            reference = market.outcomes_batch(grids[m])
+            rows = stacked.market_rows(m)
+            assert (rows.prices == reference.prices).all()
+            assert (rows.demands == reference.demands).all()
+            assert (rows.allocations == reference.allocations).all()
+            assert (rows.msp_utilities == reference.msp_utilities).all()
+            assert (rows.vmu_utilities == reference.vmu_utilities).all()
+            assert (rows.capacity_binding == reference.capacity_binding).all()
+
+    def test_single_market_stack_is_outcomes_batch(self):
+        """M = 1 broadcast case: the stack reproduces the market's own
+        price-batch evaluation (they share one code path)."""
+        market = StackelbergMarket(paper_fig2_population())
+        stack = MarketStack([market])
+        grid = np.linspace(5.0, 50.0, 17)
+        stacked = stack.outcomes_stacked(grid[np.newaxis, :])
+        reference = market.outcomes_batch(grid)
+        assert (stacked.market_rows(0).msp_utilities == reference.msp_utilities).all()
+        assert (stacked.market_rows(0).allocations == reference.allocations).all()
+
+    def test_padding_never_leaks_into_outcomes(self):
+        """Padded population slots stay exactly zero everywhere."""
+        markets = [
+            StackelbergMarket(uniform_population(1)),
+            StackelbergMarket(uniform_population(6)),
+        ]
+        stack = MarketStack(markets)
+        stacked = stack.outcomes_stacked(np.array([20.0, 20.0]))
+        assert stack.max_vmus == 6
+        assert (stacked.counts == [1, 6]).all()
+        padded = ~stacked.mask
+        assert (stacked.demands[padded] == 0.0).all()
+        assert (stacked.allocations[padded] == 0.0).all()
+        assert (stacked.vmu_utilities[padded] == 0.0).all()
+
+
+class TestMarketStackApi:
+    def test_parameter_arrays_and_accessors(self):
+        markets = random_markets(5, root_seed=1)
+        stack = MarketStack.from_markets(markets)
+        assert len(stack) == 5
+        assert stack.market(2) is markets[2]
+        assert stack.markets == tuple(markets)
+        assert stack.immersion_coefs.shape == (5, stack.max_vmus)
+        assert stack.data_units.shape == (5, stack.max_vmus)
+        assert stack.unit_costs.shape == (5,)
+        assert stack.max_prices.shape == (5,)
+        assert stack.capacities_natural.shape == (5,)
+        assert stack.spectral_efficiencies.shape == (5,)
+        assert (stack.mask.sum(axis=1) == stack.counts).all()
+
+    def test_leader_landscapes_match_per_market_landscapes(self):
+        markets = random_markets(6, root_seed=9)
+        stack = MarketStack(markets)
+        stacked = stack.leader_landscapes(grid_points=64)
+        for m, market in enumerate(markets):
+            reference = market.leader_landscape(grid_points=64)
+            assert (
+                stacked.market_rows(m).msp_utilities
+                == reference.msp_utilities
+            ).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarketStack([])
+        stack = MarketStack(random_markets(3, root_seed=4))
+        with pytest.raises(ConfigurationError):
+            stack.outcomes_stacked(np.array([20.0, 20.0]))  # wrong M
+        with pytest.raises(ConfigurationError):
+            stack.outcomes_stacked(np.array([20.0, -1.0, 20.0]))
+        with pytest.raises(ConfigurationError):
+            stack.outcomes_stacked(np.array([20.0, np.nan, 20.0]))
+        with pytest.raises(ConfigurationError):
+            stack.outcomes_stacked(np.zeros((3, 2, 2)))
+
+    def test_row_and_market_rows_guard_their_shapes(self):
+        stack = MarketStack(random_markets(2, root_seed=5))
+        vector = stack.outcomes_stacked(np.array([20.0, 21.0]))
+        grid = stack.outcomes_stacked(np.full((2, 3), 20.0))
+        with pytest.raises(ConfigurationError):
+            vector.market_rows(0)
+        with pytest.raises(ConfigurationError):
+            grid.row(0)

@@ -81,9 +81,9 @@ class TestExactTraceParity:
                     assert (observations[e] == obs).all()
                     assert rewards[e] == reward
 
-    def test_mixed_markets_fall_back_to_per_env_stepping(self):
-        """Different member markets can't share one batched solve; the
-        loop path must still produce each env's own outcome."""
+    def test_mixed_markets_batch_solve_each_envs_own_outcome(self):
+        """Different member markets batch-solve through one MarketStack
+        pass; each env must still receive its own market's outcome."""
         market_a = StackelbergMarket(paper_fig2_population())
         market_b = StackelbergMarket(
             uniform_population(2, data_size_mb=120.0, immersion_coef=4.0)
@@ -108,6 +108,50 @@ class TestExactTraceParity:
         assert infos[1]["msp_utility"] == info_b["msp_utility"]
         assert infos[0]["msp_utility"] != infos[1]["msp_utility"]
 
+    def test_heterogeneous_fleet_matches_sequential_runs_bitwise(self):
+        """Acceptance: a fleet of envs over *different* markets (costs,
+        caps, populations' parameters all varied) reproduces the exact
+        traces of sequential single-env runs — the batched stacked solve
+        changes nothing, bit for bit."""
+        base = StackelbergMarket(paper_fig2_population())
+        markets = [
+            base.with_unit_cost(5.0),
+            base.with_unit_cost(7.5),
+            StackelbergMarket(
+                uniform_population(2, data_size_mb=150.0, immersion_coef=6.0),
+                config=MarketConfig(unit_cost=4.0, max_bandwidth=20.0),
+            ),
+            StackelbergMarket(
+                paper_fig2_population(),
+                config=MarketConfig(enforce_capacity=False),
+            ),
+        ]
+        E, K = len(markets), 15
+        seeds = [21, 22, 23, 24]
+        kwargs = dict(history_length=3, rounds_per_episode=K)
+        rng = np.random.default_rng(77)
+        actions = rng.uniform(4.0, 55.0, size=(K, E))
+
+        refs = [
+            MigrationGameEnv(market, seed=seed, **kwargs)
+            for market, seed in zip(markets, seeds)
+        ]
+        venv = VectorMigrationEnv.from_markets(markets, seeds=seeds, **kwargs)
+        expected_obs = np.stack([ref.reset() for ref in refs])
+        assert (venv.reset() == expected_obs).all()
+        for k in range(K):
+            observations, rewards, dones, infos = venv.step(actions[k])
+            for e, ref in enumerate(refs):
+                obs, reward, done, info = ref.step(float(actions[k][e]))
+                assert (observations[e] == obs).all()
+                assert rewards[e] == reward
+                assert dones[e] == done
+                assert infos[e]["msp_utility"] == info["msp_utility"]
+                assert (infos[e]["allocations"] == info["allocations"]).all()
+                assert (
+                    infos[e]["vmu_utilities"] == info["vmu_utilities"]
+                ).all()
+
 
 class TestVectorEnvApi:
     def test_from_market_env0_matches_scalar_seed(self, market):
@@ -131,6 +175,27 @@ class TestVectorEnvApi:
         for row_a in batch_a:
             for row_b in batch_b:
                 assert not (row_a == row_b).all()
+
+    def test_from_markets_env0_matches_scalar_seed(self, market):
+        """from_markets keeps from_market's RNG-stream contract: env 0 on
+        the root seed itself, envs >= 1 on SeedSequence children."""
+        fleet = [market.with_unit_cost(c) for c in (5.0, 6.0, 7.0)]
+        venv = VectorMigrationEnv.from_markets(
+            fleet, seed=7, history_length=2, rounds_per_episode=5
+        )
+        scalar = MigrationGameEnv(
+            fleet[0], seed=7, history_length=2, rounds_per_episode=5
+        )
+        assert venv.num_envs == 3
+        assert (venv.reset()[0] == scalar.reset()).all()
+
+    def test_heterogeneous_fleet_reports_price_envelope(self, market):
+        fleet = [market.with_unit_cost(c) for c in (5.0, 8.0)]
+        venv = VectorMigrationEnv.from_markets(
+            fleet, seed=0, history_length=2, rounds_per_episode=5
+        )
+        assert venv.action_low == 5.0
+        assert venv.action_high == market.config.max_price
 
     def test_scalar_action_broadcasts(self, market):
         venv = VectorMigrationEnv.from_market(
@@ -179,6 +244,10 @@ class TestVectorEnvApi:
             VectorMigrationEnv.from_market(market, 0)
         with pytest.raises(EnvironmentError_):
             VectorMigrationEnv.from_market(market, 2, seeds=[1])
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv.from_markets([])
+        with pytest.raises(EnvironmentError_):
+            VectorMigrationEnv.from_markets([market, market], seeds=[1])
         with pytest.raises(EnvironmentError_):
             VectorMigrationEnv(
                 [

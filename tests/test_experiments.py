@@ -13,6 +13,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import (
     ExperimentConfig,
     compare_schemes,
+    compare_schemes_stacked,
     evaluate_policy,
     run_fig2,
     run_fig3_cost,
@@ -20,6 +21,7 @@ from repro.experiments import (
     run_history_ablation,
     run_reward_ablation,
     train_drl,
+    train_drl_fleet,
 )
 from repro.baselines import OraclePricing
 from repro.experiments.run import FIGURES, main
@@ -85,6 +87,33 @@ class TestRunner:
     def test_compare_unknown_scheme(self, market):
         with pytest.raises(ValueError):
             compare_schemes(market, SMOKE, schemes=("alien",))
+
+    def test_compare_schemes_stacked_equals_per_market(self, market):
+        """The stacked market-grid comparison must reproduce the
+        per-market compare_schemes results exactly."""
+        markets = [market.with_unit_cost(c) for c in (5.0, 7.0, 9.0)]
+        stacked = compare_schemes_stacked(
+            markets, SMOKE, schemes=("random", "greedy", "equilibrium")
+        )
+        assert len(stacked) == 3
+        for m, one_market in enumerate(markets):
+            solo = compare_schemes(
+                one_market, SMOKE, schemes=("random", "greedy", "equilibrium")
+            )
+            for scheme, evaluation in solo.items():
+                assert vars(stacked[m][scheme]) == vars(evaluation)
+
+    def test_train_drl_fleet_one_policy_many_markets(self, market):
+        """Fleet training: one agent across heterogeneous markets, one
+        LearnedPricing adapter per market (shared weights)."""
+        markets = [market.with_unit_cost(c) for c in (5.0, 8.0)]
+        fleet = train_drl_fleet(markets, SMOKE)
+        assert len(fleet.policies) == 2
+        assert fleet.policies[0].agent is fleet.policies[1].agent
+        # one iteration collects len(markets) episodes concurrently
+        assert fleet.training.num_episodes == SMOKE.num_episodes * 2
+        evaluation = evaluate_policy(markets[1], fleet.policies[1], rounds=5)
+        assert 5.0 <= evaluation.mean_price <= 50.0
 
 
 class TestFig2:
@@ -181,3 +210,24 @@ class TestCli:
     def test_no_figure_prints_list(self, capsys):
         assert main([]) == 0
         assert "available figures" in capsys.readouterr().out
+
+    def test_multiseed_subcommand(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "multiseed",
+                    "--seeds",
+                    "0,1,2",
+                    "--shards",
+                    "2",
+                    "--schemes",
+                    "random,equilibrium",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Multi-seed comparison" in out
+        assert (tmp_path / "multiseed.json").exists()

@@ -1,10 +1,13 @@
-"""Multi-seed runner tests."""
+"""Multi-seed runner tests: aggregation, payloads, and process sharding."""
 
 import pytest
 
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
+from repro.errors import ExperimentError
 from repro.experiments import ExperimentConfig, run_multiseed_comparison
+from repro.experiments.multiseed import MultiSeedResult, _partition_seeds
+from repro.utils.serialization import load_json, save_json
 
 
 @pytest.fixture(scope="module")
@@ -50,4 +53,74 @@ class TestMultiSeed:
         with pytest.raises(ValueError):
             run_multiseed_comparison(
                 market, ExperimentConfig.smoke(), seeds=(0,)
+            )
+
+    def test_duplicate_seeds_rejected(self):
+        """Duplicate seeds would silently double-count samples (same run
+        twice) and shrink every CI — the runner must refuse them."""
+        market = StackelbergMarket(paper_fig2_population())
+        with pytest.raises(ValueError, match="duplicate seeds"):
+            run_multiseed_comparison(
+                market,
+                ExperimentConfig.smoke(),
+                seeds=(0, 1, 2, 1),
+                schemes=("random", "equilibrium"),
+            )
+
+    def test_result_records_seed_axis(self, result):
+        assert result.seeds == (0, 1, 2)
+
+
+class TestPayloadRoundTrip:
+    def test_to_payload_from_payload_identity(self, result):
+        assert MultiSeedResult.from_payload(result.to_payload()) == result
+
+    def test_round_trips_through_save_load_json(self, result, tmp_path):
+        path = save_json(tmp_path / "multiseed.json", result.to_payload())
+        assert MultiSeedResult.from_payload(load_json(path)) == result
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(ExperimentError):
+            MultiSeedResult.from_payload([1, 2, 3])
+        with pytest.raises(ExperimentError):
+            MultiSeedResult.from_payload({"metric": "m", "seeds": []})
+        with pytest.raises(ExperimentError):
+            MultiSeedResult.from_payload(
+                {"metric": "m", "seeds": [], "samples": "oops"}
+            )
+        with pytest.raises(ExperimentError):
+            MultiSeedResult.from_payload(
+                {"metric": "m", "seeds": 5, "samples": {}}
+            )
+
+
+class TestSharding:
+    def test_partition_is_deterministic_round_robin(self):
+        assert _partition_seeds((0, 1, 2, 3, 4), 2) == [(0, 2, 4), (1, 3)]
+        assert _partition_seeds((5, 6), 8) == [(5,), (6,)]
+
+    def test_sharded_equals_sequential_exactly(self):
+        """Acceptance: shards=k returns samples exactly equal to (and in
+        the same seed order as) the sequential run."""
+        market = StackelbergMarket(paper_fig2_population())
+        config = ExperimentConfig.smoke()
+        kwargs = dict(
+            seeds=(0, 1, 2, 3, 4), schemes=("random", "equilibrium")
+        )
+        sequential = run_multiseed_comparison(market, config, **kwargs)
+        for shards in (2, 3):
+            sharded = run_multiseed_comparison(
+                market, config, shards=shards, **kwargs
+            )
+            assert sharded == sequential
+
+    def test_invalid_shards_rejected(self):
+        market = StackelbergMarket(paper_fig2_population())
+        with pytest.raises(ValueError):
+            run_multiseed_comparison(
+                market,
+                ExperimentConfig.smoke(),
+                seeds=(0, 1),
+                schemes=("random",),
+                shards=0,
             )
