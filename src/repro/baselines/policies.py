@@ -115,10 +115,50 @@ class OraclePricing:
 
     Computes the equilibrium of the supplied market once and replays it —
     the theoretical optimum the DRL agent should converge to (Fig. 2(b)).
+    For a whole market grid, :meth:`from_stack` builds every market's
+    oracle from one stacked equilibrium solve instead of per-market loops.
     """
 
-    def __init__(self, market: StackelbergMarket) -> None:
-        self._price = market.equilibrium().price
+    def __init__(
+        self, market: StackelbergMarket, *, price: float | None = None
+    ) -> None:
+        """Build the oracle for ``market``.
+
+        Args:
+            market: the market whose equilibrium price to replay.
+            price: the already-solved equilibrium price, if the caller
+                solved it elsewhere (e.g. one stacked solve for a whole
+                sweep — see :meth:`from_stack`); ``None`` solves here.
+        """
+        self._price = (
+            market.equilibrium().price if price is None else float(price)
+        )
+
+    @classmethod
+    def from_stack(cls, stack_or_markets) -> list["OraclePricing"]:
+        """One oracle per market of a stack, solved in a single pass.
+
+        Accepts a :class:`repro.core.marketstack.MarketStack` or a market
+        sequence. All ``M`` equilibria come from one
+        :meth:`MarketStack.equilibria_stacked` call — bitwise-equal to
+        ``[OraclePricing(m) for m in markets]``, which solves per market.
+
+        Raises:
+            InfeasibleMarketError: if any member market admits no
+                profitable trade (same as the per-market path).
+        """
+        from repro.core.marketstack import MarketStack
+
+        stack = (
+            stack_or_markets
+            if isinstance(stack_or_markets, MarketStack)
+            else MarketStack(stack_or_markets)
+        )
+        solved = stack.equilibria_stacked()
+        return [
+            cls(market, price=solved.equilibrium(m).price)
+            for m, market in enumerate(stack.markets)
+        ]
 
     @property
     def equilibrium_price(self) -> float:

@@ -1,4 +1,17 @@
-"""The paper's core contribution: AoTM + the Stackelberg incentive market."""
+"""The paper's core contribution: AoTM + the Stackelberg incentive market.
+
+Solve entry points, scalar to stacked:
+
+- :meth:`StackelbergMarket.round_outcome` / ``outcomes_batch`` — one
+  market at one price / a ``(P,)`` price vector;
+- :meth:`MarketStack.outcomes_stacked` — ``M`` different markets at
+  ``(M,)`` prices or ``(M, R)`` grids, one numpy pass;
+- :meth:`StackelbergMarket.equilibrium` /
+  :meth:`MarketStack.equilibria_stacked` — the closed-form Stackelberg
+  equilibrium of one market / of ``M`` markets in one stacked candidate
+  evaluation plus lockstep golden refinement (the scalar call is the
+  ``M = 1`` case of the stacked solve, so the two agree bitwise).
+"""
 
 from repro.core.aotm import aotm, aotm_mb, bandwidth_for_target_aotm, freshness_gain
 from repro.core.immersion import immersion, immersion_from_bandwidth, marginal_immersion
@@ -11,9 +24,15 @@ from repro.core.metrics import (
     deadline_violation_probability,
     peak_aoi,
 )
-from repro.core.marketstack import MarketStack, StackedOutcome
+from repro.core.marketstack import MarketStack, StackedEquilibria, StackedOutcome
 from repro.core.multimsp import MspSpec, MultiMspMarket, OligopolyOutcome
-from repro.core.welfare import WelfareReport, social_welfare, welfare_report
+from repro.core.welfare import (
+    WelfareReport,
+    social_welfare,
+    social_welfare_batch,
+    welfare_report,
+    welfare_reports_stacked,
+)
 from repro.core.stackelberg import (
     MarketConfig,
     MarketOutcome,
@@ -46,13 +65,16 @@ __all__ = [
     "deadline_violation_probability",
     "peak_aoi",
     "MarketStack",
+    "StackedEquilibria",
     "StackedOutcome",
     "MspSpec",
     "MultiMspMarket",
     "OligopolyOutcome",
     "WelfareReport",
     "social_welfare",
+    "social_welfare_batch",
     "welfare_report",
+    "welfare_reports_stacked",
     "GameHistory",
     "PricingPolicy",
     "RoundRecord",

@@ -38,6 +38,7 @@ from repro.channel.ofdma import proportional_rationing_stacked
 from repro.core.stackelberg import (
     MarketOutcome,
     PriceBatchOutcome,
+    StackelbergEquilibrium,
     StackelbergMarket,
     uniform_price_grid,
 )
@@ -46,9 +47,29 @@ from repro.core.utilities import (
     msp_utilities_stacked,
     vmu_utilities_stacked,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InfeasibleMarketError
+from repro.game.solvers import grid_then_golden_batch
 
-__all__ = ["MarketStack", "StackedOutcome"]
+__all__ = ["MarketStack", "StackedOutcome", "StackedEquilibria"]
+
+
+def _per_market_totals(
+    values: np.ndarray, counts: np.ndarray, *, ragged: bool
+) -> np.ndarray:
+    """Row sums over the trailing population axis, one per market.
+
+    Ragged stacks reduce each market over its *own* ``N`` so the summation
+    order is identical to the per-market solve; zero-padded rows could
+    associate differently inside numpy's pairwise reduction and drift a
+    ulp. The single implementation behind ``MarketStack._row_totals`` and
+    ``StackedOutcome.total_vmu_utilities``.
+    """
+    if not ragged:
+        return values.sum(axis=-1)
+    totals = np.empty(values.shape[:-1])
+    for m, n in enumerate(counts):
+        totals[m] = values[m, ..., :n].sum(axis=-1)
+    return totals
 
 
 @dataclass(frozen=True)
@@ -95,6 +116,17 @@ class StackedOutcome:
         """Σ granted bandwidth per market (and round), prices' shape."""
         return self.allocations.sum(axis=-1)
 
+    def total_vmu_utilities(self) -> np.ndarray:
+        """Σ U_n per market (and round), prices' shape.
+
+        Reduces each market over its *own* population (not the padded row),
+        so ragged stacks agree bitwise with per-market ``vmu_utilities.sum()``
+        — padded zeros are exact but would associate differently inside
+        numpy's pairwise reduction.
+        """
+        ragged = bool((self.counts != self.mask.shape[1]).any())
+        return _per_market_totals(self.vmu_utilities, self.counts, ragged=ragged)
+
     def row(self, market_index: int) -> MarketOutcome:
         """Market ``market_index``'s outcome as a scalar
         :class:`MarketOutcome` (padding stripped).
@@ -140,6 +172,90 @@ class StackedOutcome:
         )
 
 
+@dataclass(frozen=True)
+class StackedEquilibria:
+    """Stackelberg equilibria of ``M`` different markets, one stacked solve.
+
+    Arrays are batched along axis 0 (one entry per market); padded
+    population slots hold zeros. Markets where no feasible price induces
+    any demand are *masked*: their ``feasible`` entry is ``False``, their
+    numeric fields hold ``nan`` (bindings ``False``), and
+    :meth:`equilibrium` raises the same :class:`InfeasibleMarketError` the
+    per-market :meth:`StackelbergMarket.equilibrium` raises — the stacked
+    solve never aborts a whole grid for one degenerate member.
+    """
+
+    prices: np.ndarray
+    """Equilibrium price per market, shape ``(M,)`` (``nan`` if infeasible)."""
+    demands: np.ndarray
+    """Equilibrium bandwidth per VMU (natural units), shape ``(M, N_max)``."""
+    msp_utilities: np.ndarray
+    """Leader utility at equilibrium, shape ``(M,)``."""
+    vmu_utilities: np.ndarray
+    """Follower utilities at equilibrium, shape ``(M, N_max)``."""
+    capacity_binding: np.ndarray
+    """Whether Σ demand hit the market's ``B_max``, boolean ``(M,)``."""
+    price_cap_binding: np.ndarray
+    """Whether the equilibrium sits at ``p_max``, boolean ``(M,)``."""
+    feasible: np.ndarray
+    """Whether the market admits profitable trade, boolean ``(M,)``."""
+    mask: np.ndarray
+    """Valid-population mask, boolean shape ``(M, N_max)``."""
+    counts: np.ndarray
+    """True population size per market, shape ``(M,)``."""
+    unit_costs: np.ndarray
+    """Per-market unit cost ``C``, shape ``(M,)`` (for error reporting)."""
+
+    def __len__(self) -> int:
+        return self.num_markets
+
+    @property
+    def num_markets(self) -> int:
+        """Stack width ``M``."""
+        return int(self.prices.shape[0])
+
+    @property
+    def total_bandwidths(self) -> np.ndarray:
+        """Σ b*_n per market in natural units, shape ``(M,)``.
+
+        Always reduces each market over its own population — the same sum
+        the scalar ``StackelbergEquilibrium.total_bandwidth`` evaluates.
+        """
+        return _per_market_totals(self.demands, self.counts, ragged=True)
+
+    def equilibrium(self, market_index: int) -> StackelbergEquilibrium:
+        """Market ``market_index``'s equilibrium as a scalar
+        :class:`StackelbergEquilibrium` (padding stripped).
+
+        Raises:
+            InfeasibleMarketError: if the market admits no profitable
+                trade — the identical semantics of the per-market
+                :meth:`StackelbergMarket.equilibrium`.
+        """
+        if not bool(self.feasible[market_index]):
+            raise InfeasibleMarketError(
+                "every VMU's drop-out threshold is at or below the unit "
+                f"cost C={float(self.unit_costs[market_index])}; no "
+                "profitable trade exists"
+            )
+        n = int(self.counts[market_index])
+        return StackelbergEquilibrium(
+            price=float(self.prices[market_index]),
+            demands=self.demands[market_index, :n].copy(),
+            msp_utility=float(self.msp_utilities[market_index]),
+            vmu_utilities=self.vmu_utilities[market_index, :n].copy(),
+            capacity_binding=bool(self.capacity_binding[market_index]),
+            price_cap_binding=bool(self.price_cap_binding[market_index]),
+        )
+
+    def equilibria(self) -> list[StackelbergEquilibrium | None]:
+        """Every market's scalar equilibrium (``None`` where infeasible)."""
+        return [
+            self.equilibrium(m) if bool(self.feasible[m]) else None
+            for m in range(self.num_markets)
+        ]
+
+
 class MarketStack:
     """A stack of ``M`` (possibly heterogeneous) Stackelberg markets.
 
@@ -183,6 +299,12 @@ class MarketStack:
         self._enforce = np.array(
             [m.config.enforce_capacity for m in self._markets], dtype=bool
         )
+        # Lazy equilibrium-solve caches: the candidate matrix depends only
+        # on the (immutable) stacked parameters, and solved equilibria are
+        # memoised per refine flag (markets and configs are frozen, so the
+        # solve can never go stale).
+        self._candidates: tuple[np.ndarray, np.ndarray] | None = None
+        self._equilibria: dict[bool, StackedEquilibria] = {}
 
     @classmethod
     def from_markets(
@@ -276,19 +398,9 @@ class MarketStack:
         return p
 
     def _row_totals(self, values: np.ndarray) -> np.ndarray:
-        """Per-market row sums over the trailing population axis.
-
-        Ragged stacks reduce each market over its own ``N`` so the
-        summation order is identical to the per-market solve; zero-padded
-        rows could associate differently inside numpy's pairwise reduction
-        and drift a ulp.
-        """
-        if not self._ragged:
-            return values.sum(axis=-1)
-        totals = np.empty(values.shape[:-1])
-        for m, n in enumerate(self._counts):
-            totals[m] = values[m, ..., :n].sum(axis=-1)
-        return totals
+        """Per-market row sums over the trailing population axis
+        (see :func:`_per_market_totals` for the ragged-summation contract)."""
+        return _per_market_totals(values, self._counts, ragged=self._ragged)
 
     def outcomes_stacked(self, prices: np.ndarray) -> StackedOutcome:
         """Play one trading round in every market of the stack, vectorised.
@@ -360,3 +472,152 @@ class MarketStack:
             ]
         )
         return self.outcomes_stacked(grids)
+
+    # ------------------------------------------------------------------ #
+    # the stacked equilibrium solve
+    # ------------------------------------------------------------------ #
+    def _msp_objective(self, prices: np.ndarray) -> np.ndarray:
+        """Leader utilities at per-market prices ``(M,)`` or grids ``(M, R)``."""
+        return self.outcomes_stacked(prices).msp_utilities
+
+    def _candidate_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Theorem 2's closed-form candidate prices for every market.
+
+        Vectorises :meth:`StackelbergMarket._segment_candidates` across the
+        stack. Per market the layout is: the ``N_max + 2`` segment
+        boundaries (``C``, the drop-out thresholds inside ``(C, p_max)``
+        sorted ascending, ``p_max``), then each of the ``N_max + 1``
+        segments' clamped unconstrained optimum ``sqrt(C·SE·Σ_A α / Σ_A D)``
+        and clamped capacity-saturating price ``Σ_A α / (B + Σ_A D/SE)`` —
+        a ``(M, 3·N_max + 4)`` matrix. The per-segment active-set sums come
+        from prefix sums of ``α`` and ``D`` sorted by descending threshold,
+        so one cumulative pass replaces the per-probe ``O(N)`` re-reduction.
+        Padded population slots sort to the end (threshold ``-inf``) and
+        contribute zero to every prefix; segment slots with no active VMU
+        (or with capacity enforcement off, for the ``p_cap`` entries)
+        duplicate their segment's lower boundary, which is already a
+        candidate — duplicates never change the argmax's *price*, so a row
+        solved inside a wide ragged stack picks the identical equilibrium
+        it picks alone.
+
+        Returns ``(candidates (M, K), feasible (M,))``.
+        """
+        if self._candidates is not None:
+            return self._candidates
+        costs = self._unit_costs[:, np.newaxis]
+        caps_price = self._max_prices[:, np.newaxis]
+        se = self._se[:, np.newaxis]
+        thresholds = self._alphas * se / self._data
+        masked_t = np.where(self._mask, thresholds, -np.inf)
+        feasible = masked_t.max(axis=1) > self._unit_costs
+
+        # Prefix sums over (α, D) sorted by descending threshold: the
+        # active set of any probe price is a prefix of this order.
+        order = np.argsort(-masked_t, axis=1, kind="stable")
+        t_desc = np.take_along_axis(masked_t, order, axis=1)
+        alpha_prefix = np.cumsum(
+            np.take_along_axis(
+                np.where(self._mask, self._alphas, 0.0), order, axis=1
+            ),
+            axis=1,
+        )
+        data_prefix = np.cumsum(
+            np.take_along_axis(
+                np.where(self._mask, self._data, 0.0), order, axis=1
+            ),
+            axis=1,
+        )
+
+        inside = self._mask & (thresholds > costs) & (thresholds < caps_price)
+        inner = np.sort(np.where(inside, thresholds, caps_price), axis=1)
+        boundaries = np.concatenate([costs, inner, caps_price], axis=1)
+        low = boundaries[:, :-1]
+        high = boundaries[:, 1:]
+        probe = 0.5 * (low + high)
+        active_counts = (t_desc[:, np.newaxis, :] > probe[:, :, np.newaxis]).sum(
+            axis=2
+        )
+        has_active = active_counts > 0
+        prefix_idx = np.maximum(active_counts - 1, 0)
+        alpha_sums = np.take_along_axis(alpha_prefix, prefix_idx, axis=1)
+        data_sums = np.take_along_axis(data_prefix, prefix_idx, axis=1)
+        p_unconstrained = np.sqrt(costs * se * alpha_sums / data_sums)
+        p_cap = alpha_sums / (self._caps[:, np.newaxis] + data_sums / se)
+        unconstrained = np.where(
+            has_active, np.clip(p_unconstrained, low, high), low
+        )
+        saturating = np.where(
+            has_active & self._enforce[:, np.newaxis],
+            np.clip(p_cap, low, high),
+            low,
+        )
+        candidates = np.concatenate([boundaries, unconstrained, saturating], axis=1)
+        self._candidates = (candidates, feasible)
+        return self._candidates
+
+    def equilibria_stacked(self, *, refine: bool = True) -> StackedEquilibria:
+        """Solve every market's Stackelberg equilibrium in one stacked pass.
+
+        The market-axis form of :meth:`StackelbergMarket.equilibrium`
+        (which is itself the ``M = 1`` case of this solve, so the two
+        cannot diverge): evaluate the exact leader utility at every
+        market's closed-form candidate matrix in one
+        :meth:`outcomes_stacked` call, argmax per market, then — with
+        ``refine`` — cross-check with a lockstep batched golden-section
+        search (:func:`repro.game.solvers.grid_then_golden_batch`, all
+        ``M`` brackets per iteration in one stacked evaluation); the better
+        price wins per market. Infeasible markets are masked in the result
+        instead of aborting the solve (see :class:`StackedEquilibria`).
+
+        Results are memoised per ``refine`` flag — markets are immutable,
+        so repeated solves of one stack are free.
+        """
+        cached = self._equilibria.get(refine)
+        if cached is not None:
+            return cached
+        candidates, feasible = self._candidate_matrix()
+        candidate_values = self.outcomes_stacked(candidates).msp_utilities
+        best_idx = np.argmax(candidate_values, axis=1)[:, np.newaxis]
+        best_prices = np.take_along_axis(candidates, best_idx, axis=1)[:, 0]
+        best_values = np.take_along_axis(candidate_values, best_idx, axis=1)[:, 0]
+        if refine:
+            refined_prices, refined_values = grid_then_golden_batch(
+                self._msp_objective, self._unit_costs, self._max_prices
+            )
+            best_prices = np.where(
+                refined_values > best_values, refined_prices, best_prices
+            )
+        outcome = self.outcomes_stacked(best_prices)
+        price_cap_binding = np.abs(best_prices - self._max_prices) < 1e-9
+        rows = feasible[:, np.newaxis]
+        result = StackedEquilibria(
+            prices=np.where(feasible, best_prices, np.nan),
+            demands=np.where(rows, outcome.allocations, np.nan),
+            msp_utilities=np.where(feasible, outcome.msp_utilities, np.nan),
+            vmu_utilities=np.where(rows, outcome.vmu_utilities, np.nan),
+            capacity_binding=outcome.capacity_binding & feasible,
+            price_cap_binding=price_cap_binding & feasible,
+            feasible=feasible,
+            mask=self._mask.copy(),
+            counts=self._counts.copy(),
+            unit_costs=self._unit_costs.copy(),
+        )
+        # The result is memoised, so its backing arrays are frozen: a
+        # caller writing through them would silently poison every later
+        # equilibrium() solve of this stack. equilibrium(m) hands out
+        # copies; whole-array consumers get read-only views.
+        for field in (
+            result.prices,
+            result.demands,
+            result.msp_utilities,
+            result.vmu_utilities,
+            result.capacity_binding,
+            result.price_cap_binding,
+            result.feasible,
+            result.mask,
+            result.counts,
+            result.unit_costs,
+        ):
+            field.setflags(write=False)
+        self._equilibria[refine] = result
+        return result

@@ -28,8 +28,8 @@ from repro.channel.link import RsuLink, paper_link
 from repro.channel.ofdma import proportional_rationing
 from repro.core.utilities import follower_best_response
 from repro.entities.vmu import VmuProfile
-from repro.errors import ConfigurationError, InfeasibleMarketError
-from repro.game.solvers import grid_then_golden, uniform_price_grid
+from repro.errors import ConfigurationError
+from repro.game.solvers import uniform_price_grid
 from repro.utils.validation import require_positive
 
 __all__ = [
@@ -210,6 +210,7 @@ class StackelbergMarket:
         self._alphas = np.array([v.immersion_coef for v in vmus], dtype=float)
         self._data_units = np.array([v.data_units for v in vmus], dtype=float)
         self._stack = None  # lazy M = 1 MarketStack behind outcomes_batch
+        self._thresholds = None  # lazy drop-out threshold cache
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -256,10 +257,19 @@ class StackelbergMarket:
     # ------------------------------------------------------------------ #
     # follower stage
     # ------------------------------------------------------------------ #
+    def _dropout_thresholds_cached(self) -> np.ndarray:
+        """The threshold vector, computed once (do not mutate)."""
+        if self._thresholds is None:
+            self._thresholds = (
+                self._alphas * self.spectral_efficiency / self._data_units
+            )
+        return self._thresholds
+
     def dropout_thresholds(self) -> np.ndarray:
         """Per-VMU price above which the best response hits zero:
-        ``t_n = α_n · SE / D_n``."""
-        return self._alphas * self.spectral_efficiency / self._data_units
+        ``t_n = α_n · SE / D_n`` (copy; cached — the population and link
+        are immutable)."""
+        return self._dropout_thresholds_cached().copy()
 
     def best_response(self, price: float) -> np.ndarray:
         """Follower best responses at ``price`` (Eq. 8), natural units."""
@@ -373,7 +383,7 @@ class StackelbergMarket:
         return self.outcomes_batch(grid)
 
     def _active_set(self, price: float) -> np.ndarray:
-        return self.dropout_thresholds() > price
+        return self._dropout_thresholds_cached() > price
 
     def _segment_candidates(self) -> list[float]:
         """Closed-form candidate prices per active-set segment.
@@ -383,10 +393,16 @@ class StackelbergMarket:
         capacity-saturating price is ``p_cap = Σ_A α / (B + Σ_A D/SE)``
         with B the natural capacity. The equilibrium price is one of these
         (clamped to the segment) or a segment boundary.
+
+        This is the readable scalar reference of the candidate enumeration;
+        the solve itself runs through the vectorised
+        :meth:`repro.core.marketstack.MarketStack._candidate_matrix`, which
+        replaces the per-probe ``O(N)`` active-set reductions here with
+        prefix sums over the threshold-sorted population.
         """
         config = self._config
         se = self.spectral_efficiency
-        thresholds = np.unique(self.dropout_thresholds())
+        thresholds = np.unique(self._dropout_thresholds_cached())
         boundaries = sorted(
             {config.unit_cost, config.max_price}
             | {float(t) for t in thresholds if config.unit_cost < t < config.max_price}
@@ -415,40 +431,18 @@ class StackelbergMarket:
         search as a numerical cross-check. The two agree to ~1e-8 for every
         market the test-suite constructs; the better one wins.
 
+        Since the stacked-equilibrium refactor this is the ``M = 1``
+        broadcast case of
+        :meth:`repro.core.marketstack.MarketStack.equilibria_stacked` —
+        the candidate enumeration, its evaluation, and the golden-section
+        refinement all run the identical numpy operations a wide stack
+        runs per row, so the two entry points cannot diverge (and repeated
+        solves hit the stack's memo).
+
         Raises:
             InfeasibleMarketError: if no feasible price induces any demand.
         """
-        config = self._config
-        thresholds = self.dropout_thresholds()
-        if float(thresholds.max()) <= config.unit_cost:
-            raise InfeasibleMarketError(
-                "every VMU's drop-out threshold is at or below the unit "
-                f"cost C={config.unit_cost}; no profitable trade exists"
-            )
-        candidates = self._segment_candidates()
-        candidate_values = self.msp_utilities(np.asarray(candidates, dtype=float))
-        best_index = int(np.argmax(candidate_values))
-        best_price = candidates[best_index]
-        if refine:
-            refined_price, refined_value = grid_then_golden(
-                self.msp_utility,
-                config.unit_cost,
-                config.max_price,
-                vector_objective=self.msp_utilities,
-            )
-            if refined_value > float(candidate_values[best_index]):
-                best_price = refined_price
-        outcome = self.round_outcome(best_price)
-        return StackelbergEquilibrium(
-            price=best_price,
-            demands=outcome.allocations,
-            msp_utility=outcome.msp_utility,
-            vmu_utilities=outcome.vmu_utilities,
-            capacity_binding=outcome.capacity_binding,
-            price_cap_binding=bool(
-                abs(best_price - config.max_price) < 1e-9
-            ),
-        )
+        return self.as_stack().equilibria_stacked(refine=refine).equilibrium(0)
 
     def unconstrained_equilibrium_price(self) -> float:
         """Theorem 2's closed form ``p* = sqrt(C·SE·Σα/ΣD)``, ignoring

@@ -116,15 +116,41 @@ class MigrationGameEnv:
 
     def reset(self) -> np.ndarray:
         """Start a new episode with a randomly initialised history
-        (the paper: ``p_{k-L}, b_{k-L}`` generated randomly when k < L)."""
+        (the paper: ``p_{k-L}, b_{k-L}`` generated randomly when k < L).
+
+        The ``L`` priming rounds are solved as one price batch;
+        :class:`repro.env.vector.VectorMigrationEnv` batches further, one
+        stacked ``(E, L)`` solve for the whole fleet, via the
+        draw/prime split below.
+        """
+        prices = self._draw_reset_prices()
+        return self._prime_history(prices, self.market.allocate_batch(prices))
+
+    def _draw_reset_prices(self) -> np.ndarray:
+        """The ``L`` random priming prices, drawn from this env's own stream.
+
+        One vectorised ``uniform(size=L)`` draw — it consumes the stream
+        exactly like ``L`` scalar draws, so the batched reset sees the same
+        prices the historical per-round loop drew.
+        """
         config = self.market.config
+        return self._rng.uniform(
+            config.unit_cost, config.max_price, size=self.history_length
+        )
+
+    def _prime_history(
+        self, prices: np.ndarray, allocations: np.ndarray
+    ) -> np.ndarray:
+        """Fill the observation window from already-solved priming rounds.
+
+        Split out of :meth:`reset` so the vector env can solve a whole
+        fleet's priming rounds in one stacked pass and feed each env its
+        ``(L, N)`` block — the history layout and episode-state reset stay
+        in exactly one place.
+        """
         self._history.clear()
-        for _ in range(self.history_length):
-            price = float(
-                self._rng.uniform(config.unit_cost, config.max_price)
-            )
-            demands = self.market.allocate(price)
-            self._history.append(self._normalise_entry(price, demands))
+        for price, demands in zip(prices, allocations):
+            self._history.append(self._normalise_entry(float(price), demands))
         self._round = 0
         self._best_utility = float("-inf")
         self._started = True

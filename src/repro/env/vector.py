@@ -176,8 +176,62 @@ class VectorMigrationEnv:
 
     # ------------------------------------------------------------------ #
     def reset(self) -> np.ndarray:
-        """Reset every env (each on its own RNG stream); returns ``(E, obs_dim)``."""
-        return np.stack([env.reset() for env in self._envs])
+        """Reset every env (each on its own RNG stream); returns ``(E, obs_dim)``.
+
+        The fleet's ``E · L`` history-priming market solves collapse into
+        one vectorised pass: each env draws its ``L`` priming prices from
+        its own stream (same order as a sequential reset), then a shared
+        market solves the flattened ``(E·L,)`` price batch — and a
+        heterogeneous fleet solves the ``(E, L)`` grid through one
+        :meth:`MarketStack.outcomes_stacked` call. Observations are
+        bit-identical to per-env ``reset()`` loops.
+        """
+        if self.num_envs == 1 or len(
+            {env.history_length for env in self._envs}
+        ) != 1:
+            # Mixed observation windows (same obs_dim, different L·N split)
+            # can't share one price matrix; fall back to per-env resets.
+            return np.stack([env.reset() for env in self._envs])
+        price_rows = np.stack([env._draw_reset_prices() for env in self._envs])
+        if self._shared_market:
+            flat = self._envs[0].market.allocate_batch(price_rows.reshape(-1))
+            blocks = flat.reshape(*price_rows.shape, -1)
+        else:
+            if self._stack is None:
+                self._stack = MarketStack([env.market for env in self._envs])
+            stacked = self._stack.outcomes_stacked(price_rows)
+            blocks = stacked.allocations
+        return np.stack(
+            [
+                env._prime_history(price_rows[e], blocks[e])
+                for e, env in enumerate(self._envs)
+            ]
+        )
+
+    def equilibria(self, *, refine: bool = True):
+        """Every member market's Stackelberg equilibrium, one stacked solve.
+
+        Shared-market batches solve once and replicate; heterogeneous
+        fleets solve all members through a single
+        :meth:`MarketStack.equilibria_stacked` pass (memoised on the
+        fleet's stack, so repeated calls are free). Returns one
+        :class:`repro.core.stackelberg.StackelbergEquilibrium` per env —
+        the oracle reference the baselines replay.
+
+        Raises:
+            InfeasibleMarketError: if any member market admits no
+                profitable trade.
+        """
+        if self._shared_market:
+            # One memoised solve; each env still gets its own equilibrium
+            # object (fresh array copies), like the heterogeneous path —
+            # replicating one object would alias demands across envs.
+            market = self._envs[0].market
+            return [market.equilibrium(refine=refine) for _ in self._envs]
+        if self._stack is None:
+            self._stack = MarketStack([env.market for env in self._envs])
+        solved = self._stack.equilibria_stacked(refine=refine)
+        return [solved.equilibrium(e) for e in range(self.num_envs)]
 
     def step(
         self, actions: np.ndarray

@@ -1,8 +1,10 @@
 """Experiment harness: one runner per paper figure plus ablations."""
 
 from repro.experiments.ablations import (
+    CapacityAblationResult,
     HistoryAblationResult,
     RewardAblationResult,
+    run_capacity_ablation,
     run_history_ablation,
     run_reward_ablation,
 )
@@ -32,8 +34,10 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CapacityAblationResult",
     "HistoryAblationResult",
     "RewardAblationResult",
+    "run_capacity_ablation",
     "run_history_ablation",
     "run_reward_ablation",
     "ExperimentConfig",

@@ -7,12 +7,18 @@ shaped reward converges in fewer episodes (less sparse signal).
 E8 — observation history length L ∈ {1, 2, 4, 8}: the paper fixes L = 4;
 this ablation measures how much history the MSP agent actually needs in a
 stationary follower population.
+
+E9 — sellable-capacity B_max: the paper fixes B_max = 50; this ablation
+sweeps it and reports how the equilibrium moves between the
+capacity-binding and slack regimes. The whole sweep's market grid is one
+:meth:`repro.core.marketstack.MarketStack.equilibria_stacked` solve.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.core.marketstack import MarketStack
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
 from repro.experiments.config import ExperimentConfig
@@ -22,8 +28,10 @@ from repro.utils.tables import Table
 __all__ = [
     "RewardAblationResult",
     "HistoryAblationResult",
+    "CapacityAblationResult",
     "run_reward_ablation",
     "run_history_ablation",
+    "run_capacity_ablation",
 ]
 
 
@@ -63,6 +71,65 @@ class HistoryAblationResult:
         for length, trained, evaluated in self.rows:
             table.add_row(length, trained, evaluated, self.equilibrium_utility)
         return table
+
+
+@dataclass
+class CapacityAblationResult:
+    """E9 — equilibrium vs sellable capacity ``B_max``."""
+
+    capacities: tuple[float, ...]
+    rows: list[tuple[float, float, float, bool]] = field(default_factory=list)
+    """(B_max, equilibrium price, MSP utility, capacity binding)."""
+
+    def table(self) -> Table:
+        """Printable sweep table."""
+        table = Table(
+            headers=("B_max", "p*", "msp_utility", "capacity_binding"),
+            title="Ablation E9 — equilibrium vs sellable capacity B_max",
+        )
+        for row in self.rows:
+            table.add_row(*row)
+        return table
+
+
+def run_capacity_ablation(
+    *,
+    market: StackelbergMarket | None = None,
+    capacities: tuple[float, ...] = (5.0, 10.0, 25.0, 50.0, 100.0, 200.0),
+) -> CapacityAblationResult:
+    """Sweep ``B_max`` and solve every capacity's equilibrium, stacked.
+
+    The swept markets share the population and link and differ only in
+    capacity, so the whole grid is one ragged-free
+    :meth:`MarketStack.equilibria_stacked` pass — per capacity the result
+    equals a per-market ``equilibrium()`` call bitwise.
+    """
+    base = (
+        market
+        if market is not None
+        else StackelbergMarket(paper_fig2_population())
+    )
+    markets = [
+        StackelbergMarket(
+            base.vmus,
+            config=replace(base.config, max_bandwidth=float(capacity)),
+            link=base.link,
+        )
+        for capacity in capacities
+    ]
+    solved = MarketStack(markets).equilibria_stacked()
+    result = CapacityAblationResult(capacities=tuple(capacities))
+    for m, capacity in enumerate(capacities):
+        equilibrium = solved.equilibrium(m)
+        result.rows.append(
+            (
+                float(capacity),
+                equilibrium.price,
+                equilibrium.msp_utility,
+                equilibrium.capacity_binding,
+            )
+        )
+    return result
 
 
 def run_reward_ablation(

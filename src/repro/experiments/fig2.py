@@ -8,6 +8,10 @@ the Stackelberg-equilibrium utility.
 Training runs through the batched simulation engine (:mod:`repro.sim`):
 ``config.num_envs`` widens the env-batch axis, in which case the series
 carry ``num_envs`` episode entries per training iteration (env order).
+The equilibrium reference line (Fig. 2(b)'s dashed optimum) comes from the
+stacked equilibrium solver — ``market.equilibrium()`` is the ``M = 1``
+case of :meth:`repro.core.marketstack.MarketStack.equilibria_stacked`, and
+the memoised solve is shared with the oracle baseline.
 """
 
 from __future__ import annotations

@@ -11,6 +11,10 @@ population moves:
   price/utility distributions under Rayleigh/Rician/shadowing channels.
 - :func:`run_population_sweep` — multiple random population draws from
   the paper's parameter ranges with multi-seed summary statistics.
+
+Every sweep builds its whole market grid up front and solves it as one
+:meth:`repro.core.marketstack.MarketStack.equilibria_stacked` pass —
+bitwise-equal to the historical per-market ``equilibrium()`` loops.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import numpy as np
 
 from repro.channel.fading import FadingModel, RayleighFading
 from repro.channel.link import paper_link
+from repro.core.marketstack import MarketStack
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population, sample_population
 from repro.utils.rng import SeedLike, as_generator
@@ -63,14 +68,21 @@ class DistanceSweepResult:
 def run_distance_sweep(
     distances_m: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 4000.0),
 ) -> DistanceSweepResult:
-    """Solve the paper's 2-VMU market across RSU separations."""
+    """Solve the paper's 2-VMU market across RSU separations.
+
+    The swept markets form one :class:`MarketStack`, so every separation's
+    equilibrium comes out of a single stacked solve.
+    """
     result = DistanceSweepResult(distances_m=tuple(distances_m))
     vmus = paper_fig2_population()
-    for distance in distances_m:
-        link = paper_link().with_distance(distance)
-        market = StackelbergMarket(vmus, link=link)
-        equilibrium = market.equilibrium()
-        result.spectral_efficiencies.append(link.spectral_efficiency)
+    markets = [
+        StackelbergMarket(vmus, link=paper_link().with_distance(d))
+        for d in distances_m
+    ]
+    solved = MarketStack(markets).equilibria_stacked()
+    for m, market in enumerate(markets):
+        equilibrium = solved.equilibrium(m)
+        result.spectral_efficiencies.append(market.spectral_efficiency)
         result.prices.append(equilibrium.price)
         result.msp_utilities.append(equilibrium.msp_utility)
     return result
@@ -114,10 +126,17 @@ def run_fading_sweep(
     rng = as_generator(seed)
     vmus = paper_fig2_population()
     gains = fading.sample(rng, size=draws)
+    # One stacked solve across every fading realisation's market.
+    markets = [
+        StackelbergMarket(
+            vmus, link=paper_link().with_fading_gain(float(max(gain, 1e-6)))
+        )
+        for gain in gains
+    ]
+    solved = MarketStack(markets).equilibria_stacked()
     prices, utilities = [], []
-    for gain in gains:
-        link = paper_link().with_fading_gain(float(max(gain, 1e-6)))
-        equilibrium = StackelbergMarket(vmus, link=link).equilibrium()
+    for m in range(len(markets)):
+        equilibrium = solved.equilibrium(m)
         prices.append(equilibrium.price)
         utilities.append(equilibrium.msp_utility)
     return FadingSweepResult(
@@ -163,10 +182,15 @@ def run_population_sweep(
     if draws < 2:
         raise ValueError(f"draws must be >= 2, got {draws}")
     rng = as_generator(seed)
+    # One (ragged-capable) stacked solve across every population draw.
+    markets = [
+        StackelbergMarket(sample_population(num_vmus, seed=rng))
+        for _ in range(draws)
+    ]
+    solved = MarketStack(markets).equilibria_stacked()
     per_draw: list[tuple[float, float]] = []
-    for _ in range(draws):
-        vmus = sample_population(num_vmus, seed=rng)
-        equilibrium = StackelbergMarket(vmus).equilibrium()
+    for m in range(len(markets)):
+        equilibrium = solved.equilibrium(m)
         per_draw.append((equilibrium.price, equilibrium.msp_utility))
     prices = [p for p, _ in per_draw]
     utilities = [u for _, u in per_draw]

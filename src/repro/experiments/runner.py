@@ -273,7 +273,12 @@ def _scheme_policy(
     scheme: str, market: StackelbergMarket, config: ExperimentConfig
 ) -> PricingPolicy:
     """Build one scheme's policy for one market (shared by the per-market
-    and stacked comparison paths, so both seed identically)."""
+    and stacked comparison paths, so both seed identically).
+
+    Exception: ``compare_schemes_stacked`` builds the ``equilibrium``
+    scheme through :meth:`OraclePricing.from_stack` (one stacked solve for
+    the whole grid, bitwise-equal to the per-market construction here) —
+    keep the two branches in sync."""
     cfg = market.config
     if scheme == "drl":
         return train_drl(market, config).policy
@@ -311,16 +316,23 @@ def compare_schemes_stacked(
         pending_markets: list[StackelbergMarket] = []
         pending_indices: list[int] = []
         pending_policies: list[PricingPolicy] = []
-        for index, market in enumerate(markets):
-            policy = _scheme_policy(scheme, market, config)
-            if getattr(policy, "propose_prices", None) is None:
-                results[index][scheme] = evaluate_policy(
-                    market, policy, rounds=config.evaluation_rounds
-                )
-            else:
-                pending_markets.append(market)
-                pending_indices.append(index)
-                pending_policies.append(policy)
+        if scheme == "equilibrium":
+            # The whole grid's oracle prices come from one stacked
+            # equilibrium solve (bitwise-equal to per-market solves).
+            pending_markets = list(markets)
+            pending_indices = list(range(len(markets)))
+            pending_policies = list(OraclePricing.from_stack(markets))
+        else:
+            for index, market in enumerate(markets):
+                policy = _scheme_policy(scheme, market, config)
+                if getattr(policy, "propose_prices", None) is None:
+                    results[index][scheme] = evaluate_policy(
+                        market, policy, rounds=config.evaluation_rounds
+                    )
+                else:
+                    pending_markets.append(market)
+                    pending_indices.append(index)
+                    pending_policies.append(policy)
         if pending_policies:
             evaluations = evaluate_policies_stacked(
                 pending_markets,

@@ -8,7 +8,13 @@ from repro.game.analysis import (
     verify_no_profitable_deviation,
 )
 from repro.game.best_response import BestResponseResult, iterate_best_response
-from repro.game.solvers import bisect_root, golden_section_maximize, grid_then_golden
+from repro.game.solvers import (
+    bisect_root,
+    golden_section_maximize,
+    golden_section_maximize_batch,
+    grid_then_golden,
+    grid_then_golden_batch,
+)
 
 __all__ = [
     "is_concave_on",
@@ -20,5 +26,7 @@ __all__ = [
     "iterate_best_response",
     "bisect_root",
     "golden_section_maximize",
+    "golden_section_maximize_batch",
     "grid_then_golden",
+    "grid_then_golden_batch",
 ]

@@ -18,8 +18,10 @@ from repro.utils.validation import require_finite
 
 __all__ = [
     "golden_section_maximize",
+    "golden_section_maximize_batch",
     "bisect_root",
     "grid_then_golden",
+    "grid_then_golden_batch",
     "uniform_price_grid",
 ]
 
@@ -83,6 +85,80 @@ def golden_section_maximize(
             fd = objective(d)
     best = 0.5 * (a + b)
     return best, objective(best)
+
+
+def golden_section_maximize_batch(
+    objective: Callable[[np.ndarray], np.ndarray],
+    lows: np.ndarray,
+    highs: np.ndarray,
+    *,
+    tolerance: float = 1e-10,
+    max_iterations: int = 500,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Maximise ``M`` unimodal objectives on ``M`` brackets in lockstep.
+
+    The batched form of :func:`golden_section_maximize`: ``objective`` maps
+    a probe vector ``(M,)`` to values ``(M,)`` (e.g. one stacked market
+    solve), and every iteration advances **all** still-open brackets with a
+    single evaluation. Per bracket the sequence of probe points, the
+    ``fc >= fd`` branch decisions, and the iteration count are the exact
+    elementwise replica of the scalar algorithm, so ``result[m]`` equals
+    ``golden_section_maximize(obj_m, lows[m], highs[m])`` bitwise whenever
+    the batched objective agrees with the scalar one row for row. Brackets
+    converge at different rates; a converged bracket is frozen (its probe
+    slot is filled with its midpoint and the evaluation discarded) while
+    the rest keep iterating.
+
+    Returns ``(argmaxes (M,), max_values (M,))``.
+
+    Raises:
+        GameError: if any bracket has ``lows[m] > highs[m]`` or a
+            non-finite endpoint.
+    """
+    a = np.array(lows, dtype=float)
+    b = np.array(highs, dtype=float)
+    if a.ndim != 1 or a.shape != b.shape:
+        raise GameError(
+            f"lows and highs must share one (M,) shape, got {a.shape} "
+            f"and {b.shape}"
+        )
+    if np.any(~np.isfinite(a)) or np.any(~np.isfinite(b)):
+        raise GameError("brackets must be finite")
+    if np.any(a > b):
+        raise GameError("invalid bracket: low > high")
+
+    # Scalar early-return case: brackets already within tolerance resolve
+    # to their midpoint and never iterate.
+    mid = 0.5 * (a + b)
+    degenerate = (b - a) <= tolerance
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc = np.asarray(objective(np.where(degenerate, mid, c)), dtype=float)
+    fd = np.asarray(objective(np.where(degenerate, mid, d)), dtype=float)
+    active = ~degenerate
+    for _ in range(max_iterations):
+        active = active & ((b - a) > tolerance)
+        if not active.any():
+            break
+        left = active & (fc >= fd)
+        right = active & ~(fc >= fd)
+        old_c, old_d, old_fc, old_fd = c, d, fc, fd
+        # left:  b, d, fd = d, c, fc; then c = b - 1/φ·(b-a), eval fc
+        # right: a, c, fc = c, d, fd; then d = a + 1/φ·(b-a), eval fd
+        b = np.where(left, old_d, b)
+        a = np.where(right, old_c, a)
+        new_c = b - _INV_PHI * (b - a)
+        new_d = a + _INV_PHI * (b - a)
+        c = np.where(left, new_c, np.where(right, old_d, old_c))
+        d = np.where(right, new_d, np.where(left, old_c, old_d))
+        # One evaluation advances every open bracket; frozen rows probe
+        # their current midpoint and the value is discarded.
+        probe = np.where(left, c, np.where(right, d, 0.5 * (a + b)))
+        values = np.asarray(objective(probe), dtype=float)
+        fc = np.where(left, values, np.where(right, old_fd, old_fc))
+        fd = np.where(right, values, np.where(left, old_fc, old_fd))
+    best = np.where(degenerate, mid, 0.5 * (a + b))
+    return best, np.asarray(objective(best), dtype=float)
 
 
 def bisect_root(
@@ -168,4 +244,53 @@ def grid_then_golden(
     bracket_high = low + min(grid_points - 1, best_idx + 1) * step
     return golden_section_maximize(
         objective, bracket_low, bracket_high, tolerance=tolerance
+    )
+
+
+def grid_then_golden_batch(
+    objective: Callable[[np.ndarray], np.ndarray],
+    lows: np.ndarray,
+    highs: np.ndarray,
+    *,
+    grid_points: int = 256,
+    tolerance: float = 1e-10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global maximisation of ``M`` objectives on ``M`` intervals, stacked.
+
+    The batched form of :func:`grid_then_golden`: one coarse scan over the
+    ``(M, grid_points)`` grid matrix (every interval gets the same
+    ``lows[m] + step_m·arange`` grid the scalar path builds), then a
+    lockstep :func:`golden_section_maximize_batch` refinement inside each
+    interval's best bracket. ``objective`` must accept both probe shapes —
+    a grid matrix ``(M, R)`` and a probe vector ``(M,)`` — returning values
+    of the same shape (``MarketStack.outcomes_stacked`` does exactly this).
+
+    Per interval the result equals ``grid_then_golden(obj_m, lows[m],
+    highs[m], ...)`` bitwise whenever the batched objective agrees with the
+    scalar one row for row; degenerate intervals (``lows[m] == highs[m]``)
+    resolve to their single point like the scalar early return.
+    """
+    if grid_points < 3:
+        raise GameError(f"grid_points must be >= 3, got {grid_points}")
+    low_v = np.asarray(lows, dtype=float)
+    high_v = np.asarray(highs, dtype=float)
+    if low_v.ndim != 1 or low_v.shape != high_v.shape:
+        raise GameError(
+            f"lows and highs must share one (M,) shape, got {low_v.shape} "
+            f"and {high_v.shape}"
+        )
+    if np.any(low_v > high_v):
+        raise GameError("invalid bracket: low > high")
+    steps = (high_v - low_v) / (grid_points - 1)
+    grids = low_v[:, np.newaxis] + steps[:, np.newaxis] * np.arange(grid_points)
+    values = np.asarray(objective(grids), dtype=float)
+    if values.shape != grids.shape:
+        raise GameError(
+            f"objective returned shape {values.shape}, expected {grids.shape}"
+        )
+    best_idx = np.argmax(values, axis=1)
+    bracket_lows = low_v + np.maximum(0, best_idx - 1) * steps
+    bracket_highs = low_v + np.minimum(grid_points - 1, best_idx + 1) * steps
+    return golden_section_maximize_batch(
+        objective, bracket_lows, bracket_highs, tolerance=tolerance
     )
