@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.drl.policy import ActionScaler, ActorCritic
 from repro.drl.ppo import PPOAgent, PPOConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NeuralNetworkError
 
 __all__ = ["save_agent", "load_agent"]
 
@@ -60,27 +60,53 @@ def save_agent(
 
 
 def load_agent(path: str | Path) -> tuple[PPOAgent, ActionScaler, dict]:
-    """Rebuild ``(agent, scaler, metadata)`` from a checkpoint file."""
-    archive = np.load(Path(path))
-    if _META_KEY not in archive:
-        raise ConfigurationError(f"{path} is not a repro agent checkpoint")
-    meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
-    if meta.get("format_version") != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported checkpoint version {meta.get('format_version')!r}"
-        )
+    """Rebuild ``(agent, scaler, metadata)`` from a checkpoint file.
+
+    The npz archive is opened under a context manager so the file handle
+    is closed before returning — a leaked handle keeps the checkpoint
+    undeletable on platforms with mandatory file locking, breaking cache
+    cleanup. The stored parameter set must match the rebuilt network
+    exactly; any mismatch raises :class:`ConfigurationError` naming the
+    offending keys.
+    """
+    with np.load(Path(path)) as archive:
+        if _META_KEY not in archive:
+            raise ConfigurationError(f"{path} is not a repro agent checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint version {meta.get('format_version')!r}"
+            )
+        # Materialise the arrays while the archive is open; NpzFile reads
+        # lazily from the underlying zip.
+        state = {
+            key.replace("__", "."): archive[key]
+            for key in archive.files
+            if key != _META_KEY
+        }
     network = ActorCritic(
         obs_dim=int(meta["obs_dim"]),
         hidden_sizes=tuple(int(h) for h in meta["hidden_sizes"]),
         action_dim=int(meta["action_dim"]),
         seed=0,
     )
-    state = {
-        key.replace("__", "."): archive[key]
-        for key in archive.files
-        if key != _META_KEY
-    }
-    network.load_state_dict(state)
+    expected = set(network.state_dict())
+    stored = set(state)
+    if expected != stored:
+        missing = sorted(expected - stored)
+        unexpected = sorted(stored - expected)
+        raise ConfigurationError(
+            f"checkpoint {path} does not match the rebuilt "
+            f"{meta['hidden_sizes']} network: missing parameters "
+            f"{missing}, unexpected parameters {unexpected}"
+        )
+    try:
+        network.load_state_dict(state)
+    except NeuralNetworkError as exc:
+        raise ConfigurationError(
+            f"checkpoint {path} parameters do not fit the rebuilt "
+            f"architecture: {exc}"
+        ) from exc
     agent = PPOAgent(
         network,
         PPOConfig(

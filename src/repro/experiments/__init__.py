@@ -26,11 +26,22 @@ from repro.experiments.runner import (
     PolicyEvaluation,
     TrainedPricing,
     compare_schemes,
+    compare_schemes_scheduled,
     compare_schemes_stacked,
     evaluate_policies_stacked,
     evaluate_policy,
     train_drl,
     train_drl_fleet,
+)
+from repro.experiments.scheduler import (
+    Job,
+    JobScheduler,
+    config_from_payload,
+    config_to_payload,
+    execute_job,
+    market_from_payload,
+    market_to_payload,
+    register_job_kind,
 )
 
 __all__ = [
@@ -59,9 +70,18 @@ __all__ = [
     "PolicyEvaluation",
     "TrainedPricing",
     "compare_schemes",
+    "compare_schemes_scheduled",
     "compare_schemes_stacked",
     "evaluate_policies_stacked",
     "evaluate_policy",
     "train_drl",
     "train_drl_fleet",
+    "Job",
+    "JobScheduler",
+    "config_from_payload",
+    "config_to_payload",
+    "execute_job",
+    "market_from_payload",
+    "market_to_payload",
+    "register_job_kind",
 ]

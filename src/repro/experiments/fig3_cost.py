@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import PolicyEvaluation, compare_schemes_stacked
+from repro.experiments.runner import (
+    PolicyEvaluation,
+    compare_schemes_scheduled,
+    compare_schemes_stacked,
+)
+from repro.experiments.scheduler import JobScheduler
 from repro.utils.tables import Table
 
 __all__ = ["CostSweepResult", "run_fig3_cost"]
@@ -91,18 +96,27 @@ def run_fig3_cost(
     *,
     costs: tuple[float, ...] = DEFAULT_COSTS,
     schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+    scheduler: JobScheduler | None = None,
 ) -> CostSweepResult:
     """Sweep the unit transmission cost and evaluate every scheme.
 
     The swept markets are evaluated as one stacked market grid (see the
     module docstring); only the history-dependent schemes fall back to
-    per-market loops.
+    per-market loops. With ``scheduler``, each market point's independent
+    DRL (and greedy) training/evaluation becomes one ``market_scheme``
+    job — parallel across the scheduler's workers, cached and resumable
+    with its cache dir, bitwise-equal to the sequential path.
     """
     config = config if config is not None else ExperimentConfig.quick()
     base = StackelbergMarket(paper_fig2_population())
     result = CostSweepResult(costs=tuple(costs))
     markets = [base.with_unit_cost(float(cost)) for cost in costs]
-    evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
+    if scheduler is None:
+        evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
+    else:
+        evaluations = compare_schemes_scheduled(
+            markets, config, schemes=schemes, scheduler=scheduler
+        )
     for cost, by_scheme in zip(result.costs, evaluations):
         result.evaluations[cost] = by_scheme
     return result

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population, uniform_population
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import PolicyEvaluation, compare_schemes_stacked
+from repro.experiments.runner import (
+    PolicyEvaluation,
+    compare_schemes_scheduled,
+    compare_schemes_stacked,
+)
+from repro.experiments.scheduler import JobScheduler
 from repro.utils.tables import Table
 
 __all__ = ["VmuSweepResult", "run_fig3_vmus"]
@@ -95,12 +100,17 @@ def run_fig3_vmus(
     schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
     data_size_mb: float = 100.0,
     immersion_coef: float = 5.0,
+    scheduler: JobScheduler | None = None,
 ) -> VmuSweepResult:
     """Sweep the population size and evaluate every scheme.
 
     The (ragged) population-swept markets are evaluated as one stacked
     market grid; only the history-dependent schemes fall back to
-    per-market loops.
+    per-market loops. With ``scheduler``, each population point's
+    independent DRL (and greedy) training/evaluation becomes one
+    ``market_scheme`` job — parallel across the scheduler's workers,
+    cached and resumable with its cache dir, bitwise-equal to the
+    sequential path.
     """
     config = config if config is not None else ExperimentConfig.quick()
     base = StackelbergMarket(paper_fig2_population())
@@ -113,7 +123,12 @@ def run_fig3_vmus(
         )
         for count in counts
     ]
-    evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
+    if scheduler is None:
+        evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
+    else:
+        evaluations = compare_schemes_scheduled(
+            markets, config, schemes=schemes, scheduler=scheduler
+        )
     for count, by_scheme in zip(result.counts, evaluations):
         result.evaluations[count] = by_scheme
     return result

@@ -8,7 +8,12 @@ claims — the statistical backing the paper's single-run figures lack.
 Sharding
 --------
 Per-seed runs are fully independent, so :func:`run_multiseed_comparison`
-can fan them out across worker processes (``shards=k``). The contract is
+can fan them out across worker processes (``shards=k``). The runner is a
+thin client of the experiment scheduler
+(:mod:`repro.experiments.scheduler`): each shard is one serializable
+``multiseed_shard`` :class:`~repro.experiments.scheduler.Job`, so shards
+inherit the scheduler's result caching/resume and can be exported through
+the ``schedule`` CLI for cross-machine fan-out. The contract is
 **determinism, not approximation**:
 
 - seeds are partitioned round-robin (shard ``i`` takes ``seeds[i::k]``) —
@@ -24,18 +29,26 @@ path — same samples, same order — regardless of ``k`` or worker scheduling.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.stackelberg import StackelbergMarket
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import compare_schemes
+from repro.experiments.scheduler import (
+    Job,
+    JobScheduler,
+    config_from_payload,
+    config_to_payload,
+    market_from_payload,
+    market_to_payload,
+)
 from repro.utils.stats import SummaryStats, compare_means, summarize
 from repro.utils.tables import Table
 
-__all__ = ["MultiSeedResult", "run_multiseed_comparison"]
+__all__ = ["MultiSeedResult", "run_multiseed_comparison", "run_shard_job"]
 
 
 @dataclass
@@ -127,7 +140,9 @@ def _validate_seeds(seeds: tuple[int, ...]) -> tuple[int, ...]:
     samples and shrink every confidence interval."""
     if len(seeds) < 2:
         raise ValueError("need at least two seeds for statistics")
-    duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
+    duplicates = sorted(
+        seed for seed, count in Counter(seeds).items() if count > 1
+    )
     if duplicates:
         raise ValueError(
             f"duplicate seeds {duplicates} would double-count samples; "
@@ -156,20 +171,22 @@ def _run_sequential(
     return result
 
 
-def _run_shard(
-    market: StackelbergMarket,
-    base_config: ExperimentConfig,
-    shard_seeds: tuple[int, ...],
-    schemes: tuple[str, ...],
-    metric: str,
-) -> dict:
-    """Worker entry point: run one shard's seed slice, return its payload.
+def run_shard_job(payload: Mapping) -> dict:
+    """Job kind ``multiseed_shard``: one shard's seed slice, as a payload.
 
-    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
-    it; the payload dict keeps the wire format numpy-free.
+    The scheduler's worker entry point for multiseed sharding: rebuilds
+    the market and config from their JSON payloads, runs the identical
+    sequential per-seed loop on the shard's slice, and returns the
+    :meth:`MultiSeedResult.to_payload` wire dict.
     """
+    market = market_from_payload(payload["market"])
+    config = config_from_payload(payload["config"])
     return _run_sequential(
-        market, base_config, shard_seeds, schemes, metric
+        market,
+        config,
+        tuple(int(seed) for seed in payload["seeds"]),
+        tuple(str(scheme) for scheme in payload["schemes"]),
+        str(payload["metric"]),
     ).to_payload()
 
 
@@ -192,6 +209,17 @@ def _merge_shards(
     Each shard's payload carries its own seed slice, so every sample lands
     back at its seed's position in the original ``seeds`` order — the
     merged result is indistinguishable from a sequential run.
+
+    Every ``(scheme, seed)`` cell must be filled by exactly one shard: a
+    payload from a crashed or short shard must not merge silently as the
+    pre-filled ``0.0`` (which would corrupt the very means/CIs/p-values
+    multiseed exists to provide).
+
+    Raises:
+        ExperimentError: if a payload carries a seed outside ``seeds``,
+            two payloads fill the same cell, or — after all payloads are
+            merged — any ``(scheme, seed)`` cell is still missing (the
+            missing cells are named).
     """
     position = {seed: i for i, seed in enumerate(seeds)}
     merged = MultiSeedResult(
@@ -199,13 +227,45 @@ def _merge_shards(
         samples={scheme: [0.0] * len(seeds) for scheme in schemes},
         seeds=tuple(seeds),
     )
+    filled: set[tuple[str, int]] = set()
     for payload in payloads:
         part = MultiSeedResult.from_payload(payload)
         for scheme in schemes:
+            values = part.samples.get(scheme, [])
             for shard_pos, seed in enumerate(part.seeds):
-                merged.samples[scheme][position[seed]] = part.samples[
-                    scheme
-                ][shard_pos]
+                if seed not in position:
+                    raise ExperimentError(
+                        f"shard payload carries seed {seed}, which is not "
+                        f"in the requested seed set {tuple(seeds)}"
+                    )
+                if shard_pos >= len(values):
+                    # A short sample list: the cell stays unfilled and is
+                    # reported with the other missing cells below.
+                    continue
+                cell = (scheme, seed)
+                if cell in filled:
+                    raise ExperimentError(
+                        f"two shard payloads both carry a sample for "
+                        f"scheme {scheme!r}, seed {seed} — refusing to "
+                        "merge ambiguous duplicates"
+                    )
+                merged.samples[scheme][position[seed]] = values[shard_pos]
+                filled.add(cell)
+    missing = [
+        (scheme, seed)
+        for scheme in schemes
+        for seed in seeds
+        if (scheme, seed) not in filled
+    ]
+    if missing:
+        names = ", ".join(
+            f"({scheme!r}, seed {seed})" for scheme, seed in missing
+        )
+        raise ExperimentError(
+            f"shard merge is missing {len(missing)} sample(s): {names} — "
+            "a shard crashed or returned a short payload; a silent merge "
+            "would corrupt the means/CIs, so rerun the missing shards"
+        )
     return merged
 
 
@@ -218,6 +278,7 @@ def run_multiseed_comparison(
     metric: str = "mean_msp_utility",
     num_envs: int | None = None,
     shards: int | None = None,
+    scheduler: JobScheduler | None = None,
 ) -> MultiSeedResult:
     """Evaluate ``schemes`` on ``market`` across ``seeds``.
 
@@ -228,30 +289,47 @@ def run_multiseed_comparison(
     engine's env-batch axis so each seed's training collects that many
     episodes per iteration concurrently.
 
-    ``shards=k`` fans the (independent) per-seed runs out over ``k``
-    worker processes and merges their payloads back in seed order — the
-    result is *exactly* the sequential result, only faster on multi-core
-    machines (see the module docstring for the determinism contract).
-    ``shards=None`` or ``1`` keeps everything in-process.
+    ``shards=k`` partitions the (independent) per-seed runs into ``k``
+    ``multiseed_shard`` jobs and hands them to the experiment scheduler —
+    by default a fresh :class:`JobScheduler` with one worker process per
+    shard; pass ``scheduler`` to reuse a configured one (its cache dir
+    makes interrupted multiseed runs resumable). The merged result is
+    *exactly* the sequential result, only faster on multi-core machines
+    (see the module docstring for the determinism contract).
+    ``shards=None`` or ``1`` without a scheduler keeps everything
+    in-process.
 
     Raises:
-        ValueError: on fewer than two seeds, duplicate seeds (they would
-            silently double-count samples), or ``shards < 1``.
+        ValueError: on ``shards < 1`` (checked before any other work, so
+            a bad shard count never reaches the pool path), fewer than two
+            seeds, or duplicate seeds (they would silently double-count
+            samples).
     """
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     seeds = _validate_seeds(tuple(seeds))
     if num_envs is not None:
         base_config = base_config.with_num_envs(num_envs)
-    if shards is not None and shards < 1:
-        raise ValueError(f"shards must be >= 1, got {shards}")
-    if shards is None or shards == 1:
-        return _run_sequential(market, base_config, seeds, schemes, metric)
+    if scheduler is None:
+        if shards is None or shards == 1:
+            return _run_sequential(market, base_config, seeds, schemes, metric)
+        scheduler = JobScheduler(workers=min(shards, len(seeds)))
+    elif shards is None:
+        shards = scheduler.workers
     partitions = _partition_seeds(seeds, shards)
-    with ProcessPoolExecutor(max_workers=len(partitions)) as pool:
-        futures = [
-            pool.submit(
-                _run_shard, market, base_config, shard_seeds, schemes, metric
-            )
-            for shard_seeds in partitions
-        ]
-        payloads = [future.result() for future in futures]
-    return _merge_shards(metric, seeds, schemes, payloads)
+    market_payload = market_to_payload(market)
+    config_payload = config_to_payload(base_config)
+    jobs = [
+        Job(
+            "multiseed_shard",
+            {
+                "market": market_payload,
+                "config": config_payload,
+                "seeds": list(shard_seeds),
+                "schemes": list(schemes),
+                "metric": metric,
+            },
+        )
+        for shard_seeds in partitions
+    ]
+    return _merge_shards(metric, seeds, schemes, scheduler.run(jobs))

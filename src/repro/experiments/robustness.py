@@ -14,20 +14,23 @@ population moves:
 
 Every sweep builds its whole market grid up front and solves it as one
 :meth:`repro.core.marketstack.MarketStack.equilibria_stacked` pass —
-bitwise-equal to the historical per-market ``equilibrium()`` loops.
+bitwise-equal to the historical per-market ``equilibrium()`` loops. Pass a
+:class:`repro.experiments.scheduler.JobScheduler` to any sweep and each
+grid cell becomes one ``equilibrium_cell`` job instead — cached, resumable,
+fan-out-able across processes, and still bitwise-equal (the scalar
+equilibrium *is* the ``M = 1`` stacked solve).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.channel.fading import FadingModel, RayleighFading
 from repro.channel.link import paper_link
 from repro.core.marketstack import MarketStack
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population, sample_population
+from repro.experiments.scheduler import Job, JobScheduler, market_to_payload
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.stats import SummaryStats, summarize
 from repro.utils.tables import Table
@@ -40,6 +43,34 @@ __all__ = [
     "PopulationSweepResult",
     "run_population_sweep",
 ]
+
+
+def _solve_grid(
+    markets: list[StackelbergMarket], scheduler: JobScheduler | None
+) -> list[tuple[float, float]]:
+    """Per-market ``(price, msp_utility)`` equilibria for one sweep grid.
+
+    Without a scheduler: one stacked solve over the whole grid. With one:
+    one ``equilibrium_cell`` job per market — the same numbers (scalar
+    equilibrium == ``M = 1`` stacked solve, pinned in
+    ``tests/test_core_equilibria_stacked.py``), but cached/resumable and
+    parallel across the scheduler's workers.
+    """
+    if scheduler is None:
+        solved = MarketStack(markets).equilibria_stacked()
+        cells = []
+        for m in range(len(markets)):
+            equilibrium = solved.equilibrium(m)
+            cells.append((equilibrium.price, equilibrium.msp_utility))
+        return cells
+    jobs = [
+        Job("equilibrium_cell", {"market": market_to_payload(market)})
+        for market in markets
+    ]
+    return [
+        (float(payload["price"]), float(payload["msp_utility"]))
+        for payload in scheduler.run(jobs)
+    ]
 
 
 @dataclass
@@ -67,11 +98,14 @@ class DistanceSweepResult:
 
 def run_distance_sweep(
     distances_m: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 4000.0),
+    *,
+    scheduler: JobScheduler | None = None,
 ) -> DistanceSweepResult:
     """Solve the paper's 2-VMU market across RSU separations.
 
     The swept markets form one :class:`MarketStack`, so every separation's
-    equilibrium comes out of a single stacked solve.
+    equilibrium comes out of a single stacked solve (or, with
+    ``scheduler``, one cached ``equilibrium_cell`` job per separation).
     """
     result = DistanceSweepResult(distances_m=tuple(distances_m))
     vmus = paper_fig2_population()
@@ -79,12 +113,11 @@ def run_distance_sweep(
         StackelbergMarket(vmus, link=paper_link().with_distance(d))
         for d in distances_m
     ]
-    solved = MarketStack(markets).equilibria_stacked()
-    for m, market in enumerate(markets):
-        equilibrium = solved.equilibrium(m)
+    cells = _solve_grid(markets, scheduler)
+    for market, (price, msp_utility) in zip(markets, cells):
         result.spectral_efficiencies.append(market.spectral_efficiency)
-        result.prices.append(equilibrium.price)
-        result.msp_utilities.append(equilibrium.msp_utility)
+        result.prices.append(price)
+        result.msp_utilities.append(msp_utility)
     return result
 
 
@@ -118,8 +151,14 @@ def run_fading_sweep(
     fading: FadingModel | None = None,
     draws: int = 50,
     seed: SeedLike = 0,
+    scheduler: JobScheduler | None = None,
 ) -> FadingSweepResult:
-    """Monte-Carlo the equilibrium over fading realisations."""
+    """Monte-Carlo the equilibrium over fading realisations.
+
+    The fading gains are drawn up front in this process (so the grid is a
+    pure function of ``seed``); each realisation's market then solves in
+    the stacked pass or, with ``scheduler``, as one cached job.
+    """
     if draws < 2:
         raise ValueError(f"draws must be >= 2, got {draws}")
     fading = fading if fading is not None else RayleighFading()
@@ -133,12 +172,9 @@ def run_fading_sweep(
         )
         for gain in gains
     ]
-    solved = MarketStack(markets).equilibria_stacked()
-    prices, utilities = [], []
-    for m in range(len(markets)):
-        equilibrium = solved.equilibrium(m)
-        prices.append(equilibrium.price)
-        utilities.append(equilibrium.msp_utility)
+    cells = _solve_grid(markets, scheduler)
+    prices = [price for price, _ in cells]
+    utilities = [utility for _, utility in cells]
     return FadingSweepResult(
         price_stats=summarize(prices),
         utility_stats=summarize(utilities),
@@ -177,8 +213,14 @@ def run_population_sweep(
     num_vmus: int = 4,
     draws: int = 20,
     seed: SeedLike = 0,
+    scheduler: JobScheduler | None = None,
 ) -> PopulationSweepResult:
-    """Solve the market for many random populations from the paper ranges."""
+    """Solve the market for many random populations from the paper ranges.
+
+    Populations are drawn up front (pure function of ``seed``); each
+    draw's market solves in the stacked pass or, with ``scheduler``, as
+    one cached ``equilibrium_cell`` job.
+    """
     if draws < 2:
         raise ValueError(f"draws must be >= 2, got {draws}")
     rng = as_generator(seed)
@@ -187,11 +229,7 @@ def run_population_sweep(
         StackelbergMarket(sample_population(num_vmus, seed=rng))
         for _ in range(draws)
     ]
-    solved = MarketStack(markets).equilibria_stacked()
-    per_draw: list[tuple[float, float]] = []
-    for m in range(len(markets)):
-        equilibrium = solved.equilibrium(m)
-        per_draw.append((equilibrium.price, equilibrium.msp_utility))
+    per_draw: list[tuple[float, float]] = _solve_grid(markets, scheduler)
     prices = [p for p, _ in per_draw]
     utilities = [u for _, u in per_draw]
     return PopulationSweepResult(

@@ -4,30 +4,48 @@ Usage::
 
     python -m repro.experiments.run --figure fig2 [--quick | --paper]
     python -m repro.experiments.run --figure fig3a --output results/
+    python -m repro.experiments.run --figure fig3a --workers 4 --cache-dir .cache
     python -m repro.experiments.run --list
     python -m repro.experiments.run multiseed --seeds 0,1,2,3 --shards 2
+    python -m repro.experiments.run schedule --jobs jobs.json --workers 4 \
+        --cache-dir .cache --resume
 
 ``--quick`` (default) uses the reduced budget documented in EXPERIMENTS.md;
 ``--paper`` uses the full Sec. V-A budget (E = 500 episodes — slow on a
 laptop but faithful).
+
+``--workers``/``--cache-dir``/``--resume`` on the figure path route the
+fig3 sweeps' per-market DRL trainings and the robustness grids through the
+experiment scheduler (:mod:`repro.experiments.scheduler`): trainings fan
+out across worker processes and every finished unit is cached, so an
+interrupted sweep resumes instead of recomputing. Results are bitwise
+identical to the sequential path.
 
 The ``multiseed`` subcommand runs the seeds-axis robustness comparison
 (:func:`repro.experiments.run_multiseed_comparison`): ``--seeds`` picks the
 seed set, ``--shards`` fans the per-seed runs out across worker processes
 (exact — sharded results equal the sequential run), and ``--num-envs``
 widens the engine's env-batch axis inside each seed's training.
+
+The ``schedule`` subcommand executes an explicit job-spec file — a JSON
+list of ``{"kind": ..., "payload": ...}`` entries (the
+:meth:`repro.experiments.scheduler.Job.spec` wire form) — against the
+scheduler: the queued-experiment path for splitting one sweep's jobs
+across machines that share (or later merge) a cache directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from pathlib import Path
 
 from repro.core.stackelberg import StackelbergMarket
 from repro.core.welfare import welfare_report
 from repro.entities.vmu import paper_fig2_population
+from repro.errors import ExperimentError
 from repro.experiments.ablations import run_history_ablation, run_reward_ablation
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig2 import run_fig2
@@ -40,13 +58,16 @@ from repro.experiments.robustness import (
     run_fading_sweep,
     run_population_sweep,
 )
-from repro.utils.serialization import save_json
+from repro.experiments.scheduler import Job, JobScheduler
+from repro.utils.serialization import load_json, save_json
 from repro.utils.tables import Table
 
-__all__ = ["main", "multiseed_main", "FIGURES"]
+__all__ = ["main", "multiseed_main", "schedule_main", "FIGURES"]
 
 
-def _fig2(config: ExperimentConfig) -> tuple[str, object]:
+def _fig2(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
     result = run_fig2(config)
     payload = {
         "episode_returns": result.episode_returns,
@@ -57,8 +78,10 @@ def _fig2(config: ExperimentConfig) -> tuple[str, object]:
     return str(result.table()), payload
 
 
-def _fig3a(config: ExperimentConfig) -> tuple[str, object]:
-    result = run_fig3_cost(config)
+def _fig3a(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
+    result = run_fig3_cost(config, scheduler=scheduler)
     payload = {
         str(cost): {
             scheme: vars(evaluation)
@@ -69,8 +92,10 @@ def _fig3a(config: ExperimentConfig) -> tuple[str, object]:
     return f"{result.msp_table()}\n\n{result.vmu_table()}", payload
 
 
-def _fig3c(config: ExperimentConfig) -> tuple[str, object]:
-    result = run_fig3_vmus(config)
+def _fig3c(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
+    result = run_fig3_vmus(config, scheduler=scheduler)
     payload = {
         str(count): {
             scheme: vars(evaluation)
@@ -81,7 +106,9 @@ def _fig3c(config: ExperimentConfig) -> tuple[str, object]:
     return f"{result.msp_table()}\n\n{result.vmu_table()}", payload
 
 
-def _ablations(config: ExperimentConfig) -> tuple[str, object]:
+def _ablations(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
     reward = run_reward_ablation(config)
     history = run_history_ablation(config)
     text = f"{reward.table()}\n\n{history.table()}"
@@ -93,10 +120,14 @@ def _ablations(config: ExperimentConfig) -> tuple[str, object]:
     return text, payload
 
 
-def _robustness(config: ExperimentConfig) -> tuple[str, object]:
-    distance = run_distance_sweep()
-    fading = run_fading_sweep(draws=30, seed=config.seed)
-    population = run_population_sweep(draws=10, seed=config.seed)
+def _robustness(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
+    distance = run_distance_sweep(scheduler=scheduler)
+    fading = run_fading_sweep(draws=30, seed=config.seed, scheduler=scheduler)
+    population = run_population_sweep(
+        draws=10, seed=config.seed, scheduler=scheduler
+    )
     text = "\n\n".join(
         str(t) for t in (distance.table(), fading.table(), population.table())
     )
@@ -112,7 +143,9 @@ def _robustness(config: ExperimentConfig) -> tuple[str, object]:
     return text, payload
 
 
-def _welfare(config: ExperimentConfig) -> tuple[str, object]:
+def _welfare(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
     market = StackelbergMarket(paper_fig2_population())
     report = welfare_report(market)
     table = Table(
@@ -143,6 +176,10 @@ FIGURES = {
     "robustness": _robustness,
     "welfare": _welfare,
 }
+
+# Figures whose work actually routes through the scheduler; the rest run
+# sequentially and must not silently accept --workers/--cache-dir.
+SCHEDULED_FIGURES = frozenset({"fig3a", "fig3b", "fig3c", "fig3d", "robustness"})
 
 
 def _parse_seeds(text: str) -> tuple[int, ...]:
@@ -237,17 +274,106 @@ def multiseed_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def schedule_main(argv: list[str] | None = None) -> int:
+    """The ``schedule`` subcommand: execute a job-spec file through the
+    experiment scheduler (process pool + on-disk result cache + resume)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments schedule",
+        description=(
+            "Execute a JSON list of job specs ({kind, payload} entries) "
+            "through the experiment scheduler. Finished jobs are cached "
+            "under --cache-dir; a rerun with --resume serves them from "
+            "disk without touching a worker."
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=Path,
+        required=True,
+        help="JSON file: a list of {kind, payload} job specs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to execute jobs across (default 1, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for per-job result caching (enables resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve cached results instead of re-running (default on)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="seconds without any job finishing before the run fails fast",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="directory for JSON results"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    try:
+        specs = load_json(args.jobs)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read --jobs file: {exc}")
+    if not isinstance(specs, list):
+        parser.error("--jobs file must contain a JSON list of job specs")
+    try:
+        jobs = [Job.from_spec(spec) for spec in specs]
+    except ExperimentError as exc:
+        parser.error(f"bad job spec in --jobs file: {exc}")
+    scheduler = JobScheduler(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        job_timeout=args.job_timeout,
+    )
+    results = scheduler.run(jobs)
+    table = Table(
+        headers=("#", "kind", "job_hash", "source"),
+        title=f"Scheduled jobs — {args.jobs}",
+    )
+    for index, (job, source) in enumerate(zip(jobs, scheduler.job_sources)):
+        table.add_row(index, job.kind, job.job_hash()[:16], source)
+    print(table)
+    print(
+        f"\n{len(jobs)} job(s): {scheduler.jobs_executed} executed, "
+        f"{scheduler.cache_hits} from cache"
+    )
+    if args.output is not None:
+        payload = [
+            {"job": job.spec(), "job_hash": job.job_hash(), "result": result}
+            for job, result in zip(jobs, results)
+        ]
+        target = save_json(args.output / "schedule.json", payload)
+        print(f"\nwrote {target}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "multiseed":
         return multiseed_main(argv[1:])
+    if argv and argv[0] == "schedule":
+        return schedule_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate figures of the VT-migration incentive paper.",
         epilog=(
-            "Subcommands: `multiseed` runs the seeds-axis comparison "
-            "(see `multiseed --help`)."
+            "Subcommands: `multiseed` runs the seeds-axis comparison; "
+            "`schedule` executes a job-spec file through the experiment "
+            "scheduler (see each subcommand's --help)."
         ),
     )
     parser.add_argument("--figure", choices=sorted(FIGURES), help="which figure")
@@ -259,21 +385,60 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the figure's independent units (fig3 "
+            "per-market DRL trainings, robustness grid cells)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache finished units here so interrupted figure runs resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve cached units instead of re-running (default on)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="directory for JSON results"
     )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
         print("available figures:", ", ".join(sorted(FIGURES)))
-        print("subcommands: multiseed (see `multiseed --help`)")
+        print(
+            "subcommands: multiseed, schedule "
+            "(see `multiseed --help` / `schedule --help`)"
+        )
         return 0
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     config = (
         ExperimentConfig.paper(seed=args.seed)
         if args.paper
         else ExperimentConfig.quick(seed=args.seed)
     )
-    text, payload = FIGURES[args.figure](config)
+    scheduler = None
+    if args.workers > 1 or args.cache_dir is not None:
+        if args.figure not in SCHEDULED_FIGURES:
+            parser.error(
+                f"--workers/--cache-dir apply only to the scheduler-routed "
+                f"figures ({', '.join(sorted(SCHEDULED_FIGURES))}); "
+                f"--figure {args.figure} runs sequentially"
+            )
+        scheduler = JobScheduler(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+    text, payload = FIGURES[args.figure](config, scheduler)
     print(text)
     if args.output is not None:
         target = save_json(args.output / f"{args.figure}.json", payload)

@@ -16,16 +16,28 @@ the policy can commit to them.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, fields
+from pathlib import Path
 
 from repro.baselines import GreedyPricing, LearnedPricing, OraclePricing, RandomPricing
 from repro.core.mechanism import PricingPolicy
 from repro.core.stackelberg import PriceBatchOutcome, StackelbergMarket
+from repro.drl.checkpoints import save_agent
 from repro.drl.ppo import PPOConfig
 from repro.drl.trainer import TrainerConfig, TrainingResult, train_pricing_agent
 from repro.env.vector import VectorMigrationEnv
+from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.scheduler import (
+    ARTIFACT_DIR_KEY,
+    Job,
+    JobScheduler,
+    config_from_payload,
+    config_to_payload,
+    market_from_payload,
+    market_to_payload,
+)
 from repro.sim.engine import play_policies_stacked, play_policy
 
 __all__ = [
@@ -36,9 +48,18 @@ __all__ = [
     "train_drl_fleet",
     "evaluate_policy",
     "evaluate_policies_stacked",
+    "evaluation_to_payload",
+    "evaluation_from_payload",
     "compare_schemes",
     "compare_schemes_stacked",
+    "compare_schemes_scheduled",
+    "run_market_scheme_job",
 ]
+
+_KNOWN_SCHEMES = ("drl", "greedy", "random", "equilibrium")
+# Schemes that commit to their price vector up front; they evaluate as one
+# stacked solve over the whole market grid instead of per-market jobs.
+_PLANNABLE_SCHEMES = ("random", "equilibrium")
 
 
 @dataclass(frozen=True)
@@ -341,4 +362,145 @@ def compare_schemes_stacked(
             )
             for index, evaluation in zip(pending_indices, evaluations):
                 results[index][scheme] = evaluation
+    return results
+
+
+def evaluation_to_payload(evaluation: PolicyEvaluation) -> dict:
+    """A :class:`PolicyEvaluation` as a JSON-able dict (flat float fields).
+
+    Floats survive JSON exactly, so an evaluation computed in a worker and
+    shipped home through this payload equals the in-process one bitwise.
+    """
+    return {name: float(value) for name, value in vars(evaluation).items()}
+
+
+def evaluation_from_payload(payload: Mapping) -> PolicyEvaluation:
+    """Rebuild the evaluation :func:`evaluation_to_payload` serialised."""
+    if not isinstance(payload, Mapping):
+        raise ExperimentError(
+            f"evaluation payload must be a mapping, got {type(payload).__name__}"
+        )
+    expected = {field.name for field in fields(PolicyEvaluation)}
+    if set(payload) != expected:
+        missing = sorted(expected - set(payload))
+        unexpected = sorted(set(payload) - expected)
+        raise ExperimentError(
+            f"evaluation payload fields mismatch: missing={missing}, "
+            f"unexpected={unexpected}"
+        )
+    return PolicyEvaluation(**{name: float(payload[name]) for name in expected})
+
+
+def run_market_scheme_job(payload: Mapping) -> dict:
+    """Job kind ``market_scheme``: train/build one scheme on one market.
+
+    The Fig. 3 sweeps' per-market unit: rebuilds the market and config
+    from their payloads, builds the scheme's policy (for ``drl`` this is a
+    full PPO training — the expensive, independent unit worth sharding),
+    evaluates it, and ships the evaluation home as a JSON payload. A
+    trained DRL agent is also persisted via
+    :func:`repro.drl.checkpoints.save_agent` — to an explicit
+    ``checkpoint`` payload path if given, else (when the scheduler
+    injected its cache dir) to ``<cache>/checkpoints/<job_hash>.npz`` —
+    so the parent (or a later process) can reload the policy itself. The
+    target derived from the injected dir is *not* part of the job spec,
+    so the job hash — and the cache — stays stable across cache-dir
+    spellings and machines.
+    """
+    artifact_dir = payload.get(ARTIFACT_DIR_KEY)
+    spec_payload = {
+        key: value for key, value in payload.items() if key != ARTIFACT_DIR_KEY
+    }
+    market = market_from_payload(payload["market"])
+    config = config_from_payload(payload["config"])
+    scheme = str(payload["scheme"])
+    policy = _scheme_policy(scheme, market, config)
+    evaluation = evaluate_policy(
+        market, policy, rounds=config.evaluation_rounds
+    )
+    result = {"scheme": scheme, "evaluation": evaluation_to_payload(evaluation)}
+    if isinstance(policy, LearnedPricing):
+        explicit = payload.get("checkpoint")
+        if explicit is not None:
+            result["checkpoint"] = str(
+                _save_policy(policy, explicit, config)
+            )
+        elif artifact_dir is not None:
+            # Record the checkpoint *relative to the cache dir* so the
+            # cached result stays valid when the cache is moved or shared
+            # across machines (resolve against the consuming scheduler's
+            # cache dir; `JobScheduler.checkpoint_path(job)` is the
+            # absolute form).
+            job_hash = Job("market_scheme", spec_payload).job_hash()
+            relative = Path("checkpoints") / f"{job_hash}.npz"
+            _save_policy(policy, Path(artifact_dir) / relative, config)
+            result["checkpoint"] = str(relative)
+    return result
+
+
+def _save_policy(
+    policy: LearnedPricing, target: str | Path, config: ExperimentConfig
+) -> Path:
+    return save_agent(
+        target,
+        policy.agent,
+        policy.scaler,
+        history_length=config.history_length,
+    )
+
+
+def compare_schemes_scheduled(
+    markets: Sequence[StackelbergMarket],
+    config: ExperimentConfig,
+    *,
+    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+    scheduler: JobScheduler,
+) -> list[dict[str, PolicyEvaluation]]:
+    """:func:`compare_schemes_stacked` with the per-market trainings as jobs.
+
+    History-dependent schemes (``drl``, ``greedy``) — whose per-market
+    work is independent and, for ``drl``, expensive — become one
+    ``market_scheme`` :class:`Job` per market, executed by ``scheduler``
+    (parallel across workers, cached and resumable with a cache dir).
+    Plannable schemes still evaluate as one stacked solve in-process. The
+    merged output equals :func:`compare_schemes_stacked` — and hence the
+    sequential per-market path — bitwise: each job runs the identical
+    seeded training/evaluation, floats survive the JSON wire exactly.
+    """
+    markets = list(markets)
+    unknown = sorted(set(schemes) - set(_KNOWN_SCHEMES))
+    if unknown:
+        raise ValueError(f"unknown schemes {unknown}")
+    results: list[dict[str, PolicyEvaluation]] = [{} for _ in markets]
+    jobs: list[Job] = []
+    slots: list[tuple[int, str]] = []
+    plannable = tuple(s for s in schemes if s in _PLANNABLE_SCHEMES)
+    config_payload = config_to_payload(config)
+    market_payloads = [market_to_payload(market) for market in markets]
+    for scheme in schemes:
+        if scheme in _PLANNABLE_SCHEMES:
+            continue
+        for index, market_payload in enumerate(market_payloads):
+            # DRL jobs park their trained agent at the scheduler's
+            # checkpoint_path(job) on their own: the target is derived
+            # from the job hash and the injected cache dir at execution
+            # time, never written into the spec.
+            jobs.append(
+                Job(
+                    "market_scheme",
+                    {
+                        "scheme": scheme,
+                        "market": market_payload,
+                        "config": config_payload,
+                    },
+                )
+            )
+            slots.append((index, scheme))
+    for payload, (index, scheme) in zip(scheduler.run(jobs), slots):
+        results[index][scheme] = evaluation_from_payload(payload["evaluation"])
+    if plannable:
+        for index, by_scheme in enumerate(
+            compare_schemes_stacked(markets, config, schemes=plannable)
+        ):
+            results[index].update(by_scheme)
     return results

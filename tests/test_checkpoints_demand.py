@@ -52,6 +52,72 @@ class TestCheckpoints:
         with pytest.raises(ConfigurationError, match="not a repro"):
             load_agent(bogus)
 
+    def test_load_closes_file_so_checkpoint_is_deletable(self, tmp_path):
+        """The npz handle must be closed on return — a leaked handle keeps
+        the file undeletable on platforms with mandatory locking and trips
+        ResourceWarning everywhere else."""
+        import gc
+        import warnings
+
+        agent, scaler = self._agent()
+        path = save_agent(tmp_path / "a.npz", agent, scaler)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            loaded, _, _ = load_agent(path)
+            gc.collect()  # an unclosed NpzFile would warn on collection
+        path.unlink()
+        assert not path.exists()
+        assert loaded.network.num_parameters() == agent.network.num_parameters()
+
+    def _rewrite_checkpoint(self, path, mutate):
+        """Rewrite a checkpoint's array set through ``mutate(arrays)``."""
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        mutate(arrays)
+        np.savez(path, **arrays)
+
+    def test_missing_parameter_rejected(self, tmp_path):
+        agent, scaler = self._agent()
+        path = save_agent(tmp_path / "a.npz", agent, scaler)
+
+        def drop_one(arrays):
+            name = next(k for k in arrays if k != "__checkpoint_meta__")
+            del arrays[name]
+
+        self._rewrite_checkpoint(path, drop_one)
+        with pytest.raises(ConfigurationError, match="missing parameters"):
+            load_agent(path)
+
+    def test_unexpected_parameter_rejected(self, tmp_path):
+        agent, scaler = self._agent()
+        path = save_agent(tmp_path / "a.npz", agent, scaler)
+        self._rewrite_checkpoint(
+            path, lambda arrays: arrays.update(rogue__weight=np.zeros(3))
+        )
+        with pytest.raises(ConfigurationError, match="unexpected parameters"):
+            load_agent(path)
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        """Meta claiming a different width than the stored arrays must be
+        a ConfigurationError, not a bare KeyError/shape blow-up."""
+        import json as json_module
+
+        agent, scaler = self._agent()
+        path = save_agent(tmp_path / "a.npz", agent, scaler)
+
+        def shrink_hidden(arrays):
+            meta = json_module.loads(
+                bytes(arrays["__checkpoint_meta__"]).decode("utf-8")
+            )
+            meta["hidden_sizes"] = [8, 8]
+            arrays["__checkpoint_meta__"] = np.frombuffer(
+                json_module.dumps(meta).encode("utf-8"), dtype=np.uint8
+            )
+
+        self._rewrite_checkpoint(path, shrink_hidden)
+        with pytest.raises(ConfigurationError):
+            load_agent(path)
+
     def test_loaded_agent_can_keep_training(self, tmp_path):
         from repro.drl.buffer import RolloutBuffer
 

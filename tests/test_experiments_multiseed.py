@@ -6,7 +6,11 @@ from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
 from repro.errors import ExperimentError
 from repro.experiments import ExperimentConfig, run_multiseed_comparison
-from repro.experiments.multiseed import MultiSeedResult, _partition_seeds
+from repro.experiments.multiseed import (
+    MultiSeedResult,
+    _merge_shards,
+    _partition_seeds,
+)
 from repro.utils.serialization import load_json, save_json
 
 
@@ -123,4 +127,98 @@ class TestSharding:
                 seeds=(0, 1),
                 schemes=("random",),
                 shards=0,
+            )
+
+    def test_invalid_shards_rejected_before_seed_validation(self):
+        """shards=0 must error up front — before seed validation, config
+        work, or anything near the pool path."""
+        market = StackelbergMarket(paper_fig2_population())
+        with pytest.raises(ValueError, match="shards"):
+            run_multiseed_comparison(
+                market,
+                ExperimentConfig.smoke(),
+                seeds=(0,),  # itself invalid — shards must win
+                schemes=("random",),
+                shards=0,
+            )
+
+
+def _shard_payload(seeds, samples):
+    return MultiSeedResult(
+        metric="mean_msp_utility", samples=samples, seeds=tuple(seeds)
+    ).to_payload()
+
+
+class TestMergeValidation:
+    """A crashed or short shard must fail the merge loudly — the old
+    pre-fill-with-0.0 merge silently corrupted means/CIs/p-values."""
+
+    SEEDS = (0, 1, 2, 3)
+    SCHEMES = ("random", "equilibrium")
+
+    def _full_payloads(self):
+        return [
+            _shard_payload(
+                (0, 2), {"random": [1.0, 3.0], "equilibrium": [5.0, 7.0]}
+            ),
+            _shard_payload(
+                (1, 3), {"random": [2.0, 4.0], "equilibrium": [6.0, 8.0]}
+            ),
+        ]
+
+    def test_complete_payloads_merge_in_seed_order(self):
+        merged = _merge_shards(
+            "mean_msp_utility", self.SEEDS, self.SCHEMES, self._full_payloads()
+        )
+        assert merged.samples["random"] == [1.0, 2.0, 3.0, 4.0]
+        assert merged.samples["equilibrium"] == [5.0, 6.0, 7.0, 8.0]
+
+    def test_dropped_shard_raises_naming_missing_cells(self):
+        payloads = self._full_payloads()[:1]  # shard for seeds (1, 3) died
+        with pytest.raises(ExperimentError, match="seed 1") as excinfo:
+            _merge_shards(
+                "mean_msp_utility", self.SEEDS, self.SCHEMES, payloads
+            )
+        assert "seed 3" in str(excinfo.value)
+        assert "missing 4 sample" in str(excinfo.value)
+
+    def test_short_shard_payload_raises(self):
+        payloads = [
+            self._full_payloads()[0],
+            _shard_payload(
+                (1, 3), {"random": [2.0], "equilibrium": [6.0, 8.0]}
+            ),  # 'random' lost its seed-3 sample
+        ]
+        with pytest.raises(ExperimentError, match=r"\('random', seed 3\)"):
+            _merge_shards(
+                "mean_msp_utility", self.SEEDS, self.SCHEMES, payloads
+            )
+
+    def test_missing_scheme_raises(self):
+        payloads = [
+            self._full_payloads()[0],
+            _shard_payload((1, 3), {"random": [2.0, 4.0]}),
+        ]
+        with pytest.raises(ExperimentError, match="'equilibrium'"):
+            _merge_shards(
+                "mean_msp_utility", self.SEEDS, self.SCHEMES, payloads
+            )
+
+    def test_unknown_seed_raises(self):
+        payloads = [
+            self._full_payloads()[0],
+            _shard_payload(
+                (1, 9), {"random": [2.0, 4.0], "equilibrium": [6.0, 8.0]}
+            ),
+        ]
+        with pytest.raises(ExperimentError, match="seed 9"):
+            _merge_shards(
+                "mean_msp_utility", self.SEEDS, self.SCHEMES, payloads
+            )
+
+    def test_duplicate_cell_raises(self):
+        payloads = [*self._full_payloads(), self._full_payloads()[0]]
+        with pytest.raises(ExperimentError, match="both carry"):
+            _merge_shards(
+                "mean_msp_utility", self.SEEDS, self.SCHEMES, payloads
             )
