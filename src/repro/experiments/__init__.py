@@ -1,4 +1,13 @@
-"""Experiment harness: one runner per paper figure plus ablations."""
+"""Experiment harness: a declarative spec registry over scheduler jobs.
+
+Every experiment — the paper figures, robustness sweeps, ablations,
+welfare analysis, multiseed comparison — is a registered
+:class:`~repro.experiments.api.ExperimentSpec`:
+:func:`~repro.experiments.api.run_experiment` is the one entry point, a
+spec's ``plan()`` compiles it into scheduler :class:`Job`s (per seed /
+per market point / per grid cell), and the historical ``run_*`` functions
+are thin shims kept for convenience (bitwise-equal either way).
+"""
 
 from repro.experiments.ablations import (
     CapacityAblationResult,
@@ -7,6 +16,17 @@ from repro.experiments.ablations import (
     run_capacity_ablation,
     run_history_ablation,
     run_reward_ablation,
+)
+from repro.experiments.api import (
+    ExperimentPlan,
+    ExperimentSpec,
+    ParamSpec,
+    experiment_names,
+    get_experiment,
+    result_from_payload,
+    result_to_payload,
+    run_experiment,
+    schedule,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig2 import Fig2Result, run_fig2
@@ -43,6 +63,7 @@ from repro.experiments.scheduler import (
     market_to_payload,
     register_job_kind,
 )
+from repro.experiments.welfare import WelfareResult, run_welfare
 
 __all__ = [
     "CapacityAblationResult",
@@ -51,6 +72,15 @@ __all__ = [
     "run_capacity_ablation",
     "run_history_ablation",
     "run_reward_ablation",
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "ParamSpec",
+    "experiment_names",
+    "get_experiment",
+    "result_from_payload",
+    "result_to_payload",
+    "run_experiment",
+    "schedule",
     "ExperimentConfig",
     "Fig2Result",
     "run_fig2",
@@ -84,4 +114,6 @@ __all__ = [
     "market_from_payload",
     "market_to_payload",
     "register_job_kind",
+    "WelfareResult",
+    "run_welfare",
 ]

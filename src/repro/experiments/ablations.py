@@ -20,9 +20,21 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.marketstack import MarketStack
 from repro.core.stackelberg import StackelbergMarket
-from repro.entities.vmu import paper_fig2_population
+from repro.experiments import api
+from repro.experiments.api import (
+    CONFIG_PARAMS,
+    MARKET_PARAM,
+    ExperimentPlan,
+    ParamSpec,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import evaluate_policy, train_drl
+from repro.experiments.scheduler import (
+    Job,
+    JobScheduler,
+    config_to_payload,
+    market_to_payload,
+)
 from repro.utils.tables import Table
 
 __all__ = [
@@ -32,6 +44,9 @@ __all__ = [
     "run_reward_ablation",
     "run_history_ablation",
     "run_capacity_ablation",
+    "REWARD_ABLATION",
+    "HISTORY_ABLATION",
+    "CAPACITY_ABLATION",
 ]
 
 
@@ -92,44 +107,268 @@ class CapacityAblationResult:
         return table
 
 
-def run_capacity_ablation(
-    *,
-    market: StackelbergMarket | None = None,
-    capacities: tuple[float, ...] = (5.0, 10.0, 25.0, 50.0, 100.0, 200.0),
-) -> CapacityAblationResult:
-    """Sweep ``B_max`` and solve every capacity's equilibrium, stacked.
-
-    The swept markets share the population and link and differ only in
-    capacity, so the whole grid is one ragged-free
-    :meth:`MarketStack.equilibria_stacked` pass — per capacity the result
-    equals a per-market ``equilibrium()`` call bitwise.
-    """
-    base = (
-        market
-        if market is not None
-        else StackelbergMarket(paper_fig2_population())
+def _training_job(market: StackelbergMarket, config: ExperimentConfig) -> Job:
+    return Job(
+        "training_run",
+        {
+            "market": market_to_payload(market),
+            "config": config_to_payload(config),
+            "evaluate": True,
+        },
     )
-    markets = [
+
+
+def _train_and_evaluate(
+    market: StackelbergMarket, config: ExperimentConfig
+) -> tuple[float, float]:
+    """One ablation cell, in-process: (train tail utility, eval utility)."""
+    trained = train_drl(market, config)
+    evaluation = evaluate_policy(
+        market, trained.policy, rounds=config.evaluation_rounds
+    )
+    return (
+        trained.training.tail_mean_best_utility(),
+        evaluation.best_msp_utility,
+    )
+
+
+def _cell_from_payload(payload) -> tuple[float, float]:
+    return (
+        float(payload["tail_mean_best_utility"]),
+        float(payload["evaluation"]["best_msp_utility"]),
+    )
+
+
+# ------------------------------------------------------------------ #
+# E7 — reward shaping
+# ------------------------------------------------------------------ #
+def _reward_plan(params) -> ExperimentPlan:
+    config = api.resolve_config(params)
+    market = api.resolve_market(params)
+    modes = tuple(params["modes"])
+    jobs = [
+        _training_job(market, config.with_reward_mode(mode)) for mode in modes
+    ]
+    return ExperimentPlan(
+        "reward_ablation",
+        dict(params),
+        jobs,
+        context={"market": market, "modes": modes},
+    )
+
+
+def _reward_assemble(plan: ExperimentPlan, results: list) -> RewardAblationResult:
+    equilibrium = plan.context["market"].equilibrium()
+    result = RewardAblationResult(equilibrium_utility=equilibrium.msp_utility)
+    for mode, payload in zip(plan.context["modes"], results):
+        result.rows.append((mode, *_cell_from_payload(payload)))
+    return result
+
+
+def _reward_direct(params) -> RewardAblationResult:
+    config = api.resolve_config(params)
+    market = api.resolve_market(params)
+    equilibrium = market.equilibrium()
+    result = RewardAblationResult(equilibrium_utility=equilibrium.msp_utility)
+    for mode in params["modes"]:
+        result.rows.append(
+            (mode, *_train_and_evaluate(market, config.with_reward_mode(mode)))
+        )
+    return result
+
+
+REWARD_ABLATION = api.register(
+    api.ExperimentSpec(
+        name="reward_ablation",
+        description=(
+            "Ablation E7 — reward shaping: the paper's binary Eq.-12 "
+            "reward vs the shaped per-round-utility reward (one DRL "
+            "training per mode)"
+        ),
+        params=(
+            ParamSpec("modes", "strs", ("paper", "utility"), "reward formulations to train"),
+            MARKET_PARAM,
+            *CONFIG_PARAMS,
+        ),
+        result_type=RewardAblationResult,
+        plan=_reward_plan,
+        assemble=_reward_assemble,
+        direct=_reward_direct,
+    )
+)
+
+
+# ------------------------------------------------------------------ #
+# E8 — observation history length
+# ------------------------------------------------------------------ #
+def _history_plan(params) -> ExperimentPlan:
+    config = api.resolve_config(params)
+    market = api.resolve_market(params)
+    lengths = tuple(params["lengths"])
+    jobs = [
+        _training_job(market, config.with_history_length(length))
+        for length in lengths
+    ]
+    return ExperimentPlan(
+        "history_ablation",
+        dict(params),
+        jobs,
+        context={"market": market, "lengths": lengths},
+    )
+
+
+def _history_assemble(
+    plan: ExperimentPlan, results: list
+) -> HistoryAblationResult:
+    equilibrium = plan.context["market"].equilibrium()
+    result = HistoryAblationResult(equilibrium_utility=equilibrium.msp_utility)
+    for length, payload in zip(plan.context["lengths"], results):
+        result.rows.append((length, *_cell_from_payload(payload)))
+    return result
+
+
+def _history_direct(params) -> HistoryAblationResult:
+    config = api.resolve_config(params)
+    market = api.resolve_market(params)
+    equilibrium = market.equilibrium()
+    result = HistoryAblationResult(equilibrium_utility=equilibrium.msp_utility)
+    for length in params["lengths"]:
+        result.rows.append(
+            (
+                length,
+                *_train_and_evaluate(
+                    market, config.with_history_length(length)
+                ),
+            )
+        )
+    return result
+
+
+HISTORY_ABLATION = api.register(
+    api.ExperimentSpec(
+        name="history_ablation",
+        description=(
+            "Ablation E8 — observation history length L: how much pricing "
+            "history the MSP agent needs (one DRL training per length)"
+        ),
+        params=(
+            ParamSpec("lengths", "ints", (1, 2, 4, 8), "history lengths L to train"),
+            MARKET_PARAM,
+            *CONFIG_PARAMS,
+        ),
+        result_type=HistoryAblationResult,
+        plan=_history_plan,
+        assemble=_history_assemble,
+        direct=_history_direct,
+    )
+)
+
+
+# ------------------------------------------------------------------ #
+# E9 — sellable capacity
+# ------------------------------------------------------------------ #
+DEFAULT_CAPACITIES = (5.0, 10.0, 25.0, 50.0, 100.0, 200.0)
+
+
+def _capacity_markets(params) -> list[StackelbergMarket]:
+    base = api.resolve_market(params)
+    return [
         StackelbergMarket(
             base.vmus,
             config=replace(base.config, max_bandwidth=float(capacity)),
             link=base.link,
         )
-        for capacity in capacities
+        for capacity in params["capacities"]
     ]
+
+
+def _capacity_pack(params, cells) -> CapacityAblationResult:
+    result = CapacityAblationResult(capacities=tuple(params["capacities"]))
+    for capacity, (price, msp_utility, binding) in zip(
+        result.capacities, cells
+    ):
+        result.rows.append((float(capacity), price, msp_utility, binding))
+    return result
+
+
+def _capacity_plan(params) -> ExperimentPlan:
+    markets = _capacity_markets(params)
+    jobs = [
+        Job("equilibrium_cell", {"market": market_to_payload(market)})
+        for market in markets
+    ]
+    return ExperimentPlan("capacity_ablation", dict(params), jobs)
+
+
+def _capacity_assemble(
+    plan: ExperimentPlan, results: list
+) -> CapacityAblationResult:
+    cells = [
+        (
+            float(payload["price"]),
+            float(payload["msp_utility"]),
+            bool(payload["capacity_binding"]),
+        )
+        for payload in results
+    ]
+    return _capacity_pack(plan.params, cells)
+
+
+def _capacity_direct(params) -> CapacityAblationResult:
+    markets = _capacity_markets(params)
     solved = MarketStack(markets).equilibria_stacked()
-    result = CapacityAblationResult(capacities=tuple(capacities))
-    for m, capacity in enumerate(capacities):
+    cells = []
+    for m in range(len(markets)):
         equilibrium = solved.equilibrium(m)
-        result.rows.append(
+        cells.append(
             (
-                float(capacity),
                 equilibrium.price,
                 equilibrium.msp_utility,
                 equilibrium.capacity_binding,
             )
         )
-    return result
+    return _capacity_pack(params, cells)
+
+
+CAPACITY_ABLATION = api.register(
+    api.ExperimentSpec(
+        name="capacity_ablation",
+        description=(
+            "Ablation E9 — equilibrium vs sellable capacity B_max, "
+            "between the capacity-binding and slack regimes"
+        ),
+        params=(
+            ParamSpec("capacities", "floats", DEFAULT_CAPACITIES, "B_max values to sweep"),
+            MARKET_PARAM,
+        ),
+        result_type=CapacityAblationResult,
+        plan=_capacity_plan,
+        assemble=_capacity_assemble,
+        direct=_capacity_direct,
+    )
+)
+
+
+def run_capacity_ablation(
+    *,
+    market: StackelbergMarket | None = None,
+    capacities: tuple[float, ...] = DEFAULT_CAPACITIES,
+    scheduler: JobScheduler | None = None,
+) -> CapacityAblationResult:
+    """Sweep ``B_max`` and solve every capacity's equilibrium.
+
+    Thin shim over the ``capacity_ablation`` spec: without a scheduler
+    the swept markets — same population and link, capacity varied — solve
+    as one ragged-free :meth:`MarketStack.equilibria_stacked` pass; with
+    one, each capacity is one cached ``equilibrium_cell`` job. Per
+    capacity the result equals a per-market ``equilibrium()`` call
+    bitwise.
+    """
+    return api.run_experiment(
+        CAPACITY_ABLATION,
+        {"market": market, "capacities": capacities},
+        scheduler=scheduler,
+    )
 
 
 def run_reward_ablation(
@@ -137,29 +376,19 @@ def run_reward_ablation(
     *,
     market: StackelbergMarket | None = None,
     modes: tuple[str, ...] = ("paper", "utility"),
+    scheduler: JobScheduler | None = None,
 ) -> RewardAblationResult:
-    """Train with each reward formulation on the same market."""
-    config = config if config is not None else ExperimentConfig.quick()
-    market = (
-        market
-        if market is not None
-        else StackelbergMarket(paper_fig2_population())
+    """Train with each reward formulation on the same market.
+
+    Thin shim over the ``reward_ablation`` spec; with ``scheduler`` each
+    mode's training is one ``training_run`` job (parallel, cached,
+    resumable, bitwise-equal to the sequential loop).
+    """
+    return api.run_experiment(
+        REWARD_ABLATION,
+        {"config": config, "market": market, "modes": modes},
+        scheduler=scheduler,
     )
-    equilibrium = market.equilibrium()
-    result = RewardAblationResult(equilibrium_utility=equilibrium.msp_utility)
-    for mode in modes:
-        trained = train_drl(market, config.with_reward_mode(mode))
-        evaluation = evaluate_policy(
-            market, trained.policy, rounds=config.evaluation_rounds
-        )
-        result.rows.append(
-            (
-                mode,
-                trained.training.tail_mean_best_utility(),
-                evaluation.best_msp_utility,
-            )
-        )
-    return result
 
 
 def run_history_ablation(
@@ -167,26 +396,16 @@ def run_history_ablation(
     *,
     market: StackelbergMarket | None = None,
     lengths: tuple[int, ...] = (1, 2, 4, 8),
+    scheduler: JobScheduler | None = None,
 ) -> HistoryAblationResult:
-    """Train with each observation history length on the same market."""
-    config = config if config is not None else ExperimentConfig.quick()
-    market = (
-        market
-        if market is not None
-        else StackelbergMarket(paper_fig2_population())
+    """Train with each observation history length on the same market.
+
+    Thin shim over the ``history_ablation`` spec; with ``scheduler`` each
+    length's training is one ``training_run`` job (parallel, cached,
+    resumable, bitwise-equal to the sequential loop).
+    """
+    return api.run_experiment(
+        HISTORY_ABLATION,
+        {"config": config, "market": market, "lengths": lengths},
+        scheduler=scheduler,
     )
-    equilibrium = market.equilibrium()
-    result = HistoryAblationResult(equilibrium_utility=equilibrium.msp_utility)
-    for length in lengths:
-        trained = train_drl(market, config.with_history_length(length))
-        evaluation = evaluate_policy(
-            market, trained.policy, rounds=config.evaluation_rounds
-        )
-        result.rows.append(
-            (
-                length,
-                trained.training.tail_mean_best_utility(),
-                evaluation.best_msp_utility,
-            )
-        )
-    return result

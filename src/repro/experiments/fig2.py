@@ -21,12 +21,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.stackelberg import StackelbergMarket
-from repro.entities.vmu import paper_fig2_population
+from repro.experiments import api
+from repro.experiments.api import CONFIG_PARAMS, MARKET_PARAM, ExperimentPlan
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import train_drl
+from repro.experiments.scheduler import (
+    Job,
+    JobScheduler,
+    config_to_payload,
+    market_to_payload,
+)
 from repro.utils.tables import Table
 
-__all__ = ["Fig2Result", "run_fig2"]
+__all__ = ["Fig2Result", "run_fig2", "FIG2"]
 
 
 @dataclass
@@ -85,24 +92,92 @@ class Fig2Result:
         return table
 
 
+def _result(
+    market: StackelbergMarket,
+    config: ExperimentConfig,
+    episode_returns: list[float],
+    episode_best_utilities: list[float],
+) -> Fig2Result:
+    equilibrium = market.equilibrium()
+    return Fig2Result(
+        episode_returns=episode_returns,
+        episode_best_utilities=episode_best_utilities,
+        equilibrium_utility=equilibrium.msp_utility,
+        equilibrium_price=equilibrium.price,
+        max_round=config.rounds_per_episode,
+    )
+
+
+def _plan(params) -> ExperimentPlan:
+    config = api.resolve_config(params)
+    market = api.resolve_market(params)
+    job = Job(
+        "training_run",
+        {
+            "market": market_to_payload(market),
+            "config": config_to_payload(config),
+            "evaluate": False,
+        },
+    )
+    return ExperimentPlan(
+        "fig2",
+        dict(params),
+        [job],
+        context={"market": market, "config": config},
+    )
+
+
+def _assemble(plan: ExperimentPlan, results: list) -> Fig2Result:
+    series = results[0]
+    return _result(
+        plan.context["market"],
+        plan.context["config"],
+        [float(v) for v in series["episode_returns"]],
+        [float(v) for v in series["episode_best_utilities"]],
+    )
+
+
+def _direct(params) -> Fig2Result:
+    config = api.resolve_config(params)
+    market = api.resolve_market(params)
+    trained = train_drl(market, config)
+    return _result(
+        market,
+        config,
+        list(trained.training.episode_returns),
+        list(trained.training.episode_best_utilities),
+    )
+
+
+FIG2 = api.register(
+    api.ExperimentSpec(
+        name="fig2",
+        description=(
+            "Fig. 2 — DRL convergence of the incentive mechanism on the "
+            "paper's 2-VMU market (episode return and best MSP utility "
+            "series vs the Stackelberg equilibrium)"
+        ),
+        params=(*CONFIG_PARAMS, MARKET_PARAM),
+        result_type=Fig2Result,
+        plan=_plan,
+        assemble=_assemble,
+        direct=_direct,
+    )
+)
+
+
 def run_fig2(
     config: ExperimentConfig | None = None,
     *,
     market: StackelbergMarket | None = None,
+    scheduler: JobScheduler | None = None,
 ) -> Fig2Result:
-    """Train the DRL mechanism on the Fig. 2 market and collect the series."""
-    config = config if config is not None else ExperimentConfig.quick()
-    market = (
-        market
-        if market is not None
-        else StackelbergMarket(paper_fig2_population())
-    )
-    equilibrium = market.equilibrium()
-    trained = train_drl(market, config)
-    return Fig2Result(
-        episode_returns=list(trained.training.episode_returns),
-        episode_best_utilities=list(trained.training.episode_best_utilities),
-        equilibrium_utility=equilibrium.msp_utility,
-        equilibrium_price=equilibrium.price,
-        max_round=config.rounds_per_episode,
+    """Train the DRL mechanism on the Fig. 2 market and collect the series.
+
+    Thin shim over :func:`repro.experiments.api.run_experiment` with the
+    ``fig2`` spec; with ``scheduler``, the training runs as one
+    ``training_run`` job (cached, resumable, bitwise-equal).
+    """
+    return api.run_experiment(
+        FIG2, {"config": config, "market": market}, scheduler=scheduler
     )

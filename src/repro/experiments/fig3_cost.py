@@ -22,18 +22,22 @@ from dataclasses import dataclass, field
 
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
+from repro.experiments import api
+from repro.experiments.api import CONFIG_PARAMS, ExperimentPlan, ParamSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     PolicyEvaluation,
-    compare_schemes_scheduled,
+    assemble_scheme_results,
     compare_schemes_stacked,
+    plan_scheme_jobs,
 )
 from repro.experiments.scheduler import JobScheduler
 from repro.utils.tables import Table
 
-__all__ = ["CostSweepResult", "run_fig3_cost"]
+__all__ = ["CostSweepResult", "run_fig3_cost", "FIG3_COST"]
 
 DEFAULT_COSTS = (5.0, 6.0, 7.0, 8.0, 9.0)
+DEFAULT_SCHEMES = ("drl", "greedy", "random", "equilibrium")
 
 
 @dataclass
@@ -91,32 +95,90 @@ class CostSweepResult:
         ]
 
 
+def _markets(params) -> list[StackelbergMarket]:
+    base = StackelbergMarket(paper_fig2_population())
+    return [base.with_unit_cost(float(cost)) for cost in params["costs"]]
+
+
+def _pack(params, evaluations) -> CostSweepResult:
+    result = CostSweepResult(costs=tuple(params["costs"]))
+    for cost, by_scheme in zip(result.costs, evaluations):
+        result.evaluations[cost] = by_scheme
+    return result
+
+
+def _plan(params) -> ExperimentPlan:
+    config = api.resolve_config(params)
+    markets = _markets(params)
+    jobs, slots = plan_scheme_jobs(markets, config, tuple(params["schemes"]))
+    return ExperimentPlan(
+        "fig3_cost",
+        dict(params),
+        jobs,
+        context={"config": config, "markets": markets, "slots": slots},
+    )
+
+
+def _assemble(plan: ExperimentPlan, results: list) -> CostSweepResult:
+    evaluations = assemble_scheme_results(
+        plan.context["markets"],
+        plan.context["config"],
+        tuple(plan.params["schemes"]),
+        plan.context["slots"],
+        results,
+    )
+    return _pack(plan.params, evaluations)
+
+
+def _direct(params) -> CostSweepResult:
+    config = api.resolve_config(params)
+    evaluations = compare_schemes_stacked(
+        _markets(params), config, schemes=tuple(params["schemes"])
+    )
+    return _pack(params, evaluations)
+
+
+FIG3_COST = api.register(
+    api.ExperimentSpec(
+        name="fig3_cost",
+        description=(
+            "Fig. 3(a)/(b) — sweep the unit transmission cost C and "
+            "compare pricing schemes (MSP utility/price, VMU "
+            "utility/bandwidth per cost point)"
+        ),
+        params=(
+            ParamSpec("costs", "floats", DEFAULT_COSTS, "unit transmission costs to sweep"),
+            ParamSpec("schemes", "strs", DEFAULT_SCHEMES, "pricing schemes to compare"),
+            *CONFIG_PARAMS,
+        ),
+        result_type=CostSweepResult,
+        plan=_plan,
+        assemble=_assemble,
+        direct=_direct,
+        render=lambda r: f"{r.msp_table()}\n\n{r.vmu_table()}",
+    )
+)
+
+
 def run_fig3_cost(
     config: ExperimentConfig | None = None,
     *,
     costs: tuple[float, ...] = DEFAULT_COSTS,
-    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
     scheduler: JobScheduler | None = None,
 ) -> CostSweepResult:
     """Sweep the unit transmission cost and evaluate every scheme.
 
-    The swept markets are evaluated as one stacked market grid (see the
-    module docstring); only the history-dependent schemes fall back to
-    per-market loops. With ``scheduler``, each market point's independent
-    DRL (and greedy) training/evaluation becomes one ``market_scheme``
-    job — parallel across the scheduler's workers, cached and resumable
-    with its cache dir, bitwise-equal to the sequential path.
+    Thin shim over :func:`repro.experiments.api.run_experiment` with the
+    ``fig3_cost`` spec. Without a scheduler the swept markets are
+    evaluated as one stacked market grid (see the module docstring); with
+    one, each market point's independent DRL (and greedy)
+    training/evaluation becomes one ``market_scheme`` job — parallel
+    across the scheduler's workers, cached and resumable with its cache
+    dir, bitwise-equal to the sequential path.
     """
-    config = config if config is not None else ExperimentConfig.quick()
-    base = StackelbergMarket(paper_fig2_population())
-    result = CostSweepResult(costs=tuple(costs))
-    markets = [base.with_unit_cost(float(cost)) for cost in costs]
-    if scheduler is None:
-        evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
-    else:
-        evaluations = compare_schemes_scheduled(
-            markets, config, schemes=schemes, scheduler=scheduler
-        )
-    for cost, by_scheme in zip(result.costs, evaluations):
-        result.evaluations[cost] = by_scheme
-    return result
+    return api.run_experiment(
+        FIG3_COST,
+        {"config": config, "costs": costs, "schemes": schemes},
+        scheduler=scheduler,
+    )

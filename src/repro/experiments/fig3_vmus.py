@@ -23,18 +23,22 @@ from dataclasses import dataclass, field
 
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population, uniform_population
+from repro.experiments import api
+from repro.experiments.api import CONFIG_PARAMS, ExperimentPlan, ParamSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     PolicyEvaluation,
-    compare_schemes_scheduled,
+    assemble_scheme_results,
     compare_schemes_stacked,
+    plan_scheme_jobs,
 )
 from repro.experiments.scheduler import JobScheduler
 from repro.utils.tables import Table
 
-__all__ = ["VmuSweepResult", "run_fig3_vmus"]
+__all__ = ["VmuSweepResult", "run_fig3_vmus", "FIG3_VMUS"]
 
 DEFAULT_COUNTS = (1, 2, 3, 4, 5, 6)
+DEFAULT_SCHEMES = ("drl", "greedy", "random", "equilibrium")
 
 
 @dataclass
@@ -93,42 +97,108 @@ class VmuSweepResult:
         ]
 
 
+def _markets(params) -> list[StackelbergMarket]:
+    base = StackelbergMarket(paper_fig2_population())
+    return [
+        base.with_vmus(
+            uniform_population(
+                count,
+                data_size_mb=float(params["data_size_mb"]),
+                immersion_coef=float(params["immersion_coef"]),
+            )
+        )
+        for count in params["counts"]
+    ]
+
+
+def _pack(params, evaluations) -> VmuSweepResult:
+    result = VmuSweepResult(counts=tuple(params["counts"]))
+    for count, by_scheme in zip(result.counts, evaluations):
+        result.evaluations[count] = by_scheme
+    return result
+
+
+def _plan(params) -> ExperimentPlan:
+    config = api.resolve_config(params)
+    markets = _markets(params)
+    jobs, slots = plan_scheme_jobs(markets, config, tuple(params["schemes"]))
+    return ExperimentPlan(
+        "fig3_vmus",
+        dict(params),
+        jobs,
+        context={"config": config, "markets": markets, "slots": slots},
+    )
+
+
+def _assemble(plan: ExperimentPlan, results: list) -> VmuSweepResult:
+    evaluations = assemble_scheme_results(
+        plan.context["markets"],
+        plan.context["config"],
+        tuple(plan.params["schemes"]),
+        plan.context["slots"],
+        results,
+    )
+    return _pack(plan.params, evaluations)
+
+
+def _direct(params) -> VmuSweepResult:
+    config = api.resolve_config(params)
+    evaluations = compare_schemes_stacked(
+        _markets(params), config, schemes=tuple(params["schemes"])
+    )
+    return _pack(params, evaluations)
+
+
+FIG3_VMUS = api.register(
+    api.ExperimentSpec(
+        name="fig3_vmus",
+        description=(
+            "Fig. 3(c)/(d) — sweep the number of VMUs N and compare "
+            "pricing schemes (MSP utility/price, per-VMU "
+            "utility/bandwidth per population point)"
+        ),
+        params=(
+            ParamSpec("counts", "ints", DEFAULT_COUNTS, "population sizes N to sweep"),
+            ParamSpec("schemes", "strs", DEFAULT_SCHEMES, "pricing schemes to compare"),
+            ParamSpec("data_size_mb", "float", 100.0, "per-VMU data size D (MB)"),
+            ParamSpec("immersion_coef", "float", 5.0, "per-VMU immersion coefficient α"),
+            *CONFIG_PARAMS,
+        ),
+        result_type=VmuSweepResult,
+        plan=_plan,
+        assemble=_assemble,
+        direct=_direct,
+        render=lambda r: f"{r.msp_table()}\n\n{r.vmu_table()}",
+    )
+)
+
+
 def run_fig3_vmus(
     config: ExperimentConfig | None = None,
     *,
     counts: tuple[int, ...] = DEFAULT_COUNTS,
-    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
     data_size_mb: float = 100.0,
     immersion_coef: float = 5.0,
     scheduler: JobScheduler | None = None,
 ) -> VmuSweepResult:
     """Sweep the population size and evaluate every scheme.
 
-    The (ragged) population-swept markets are evaluated as one stacked
-    market grid; only the history-dependent schemes fall back to
-    per-market loops. With ``scheduler``, each population point's
-    independent DRL (and greedy) training/evaluation becomes one
-    ``market_scheme`` job — parallel across the scheduler's workers,
-    cached and resumable with its cache dir, bitwise-equal to the
-    sequential path.
+    Thin shim over :func:`repro.experiments.api.run_experiment` with the
+    ``fig3_vmus`` spec. Without a scheduler the (ragged)
+    population-swept markets are evaluated as one stacked market grid;
+    with one, each population point's independent DRL (and greedy)
+    training/evaluation becomes one ``market_scheme`` job — parallel,
+    cached, resumable, bitwise-equal to the sequential path.
     """
-    config = config if config is not None else ExperimentConfig.quick()
-    base = StackelbergMarket(paper_fig2_population())
-    result = VmuSweepResult(counts=tuple(counts))
-    markets = [
-        base.with_vmus(
-            uniform_population(
-                count, data_size_mb=data_size_mb, immersion_coef=immersion_coef
-            )
-        )
-        for count in counts
-    ]
-    if scheduler is None:
-        evaluations = compare_schemes_stacked(markets, config, schemes=schemes)
-    else:
-        evaluations = compare_schemes_scheduled(
-            markets, config, schemes=schemes, scheduler=scheduler
-        )
-    for count, by_scheme in zip(result.counts, evaluations):
-        result.evaluations[count] = by_scheme
-    return result
+    return api.run_experiment(
+        FIG3_VMUS,
+        {
+            "config": config,
+            "counts": counts,
+            "schemes": schemes,
+            "data_size_mb": data_size_mb,
+            "immersion_coef": immersion_coef,
+        },
+        scheduler=scheduler,
+    )

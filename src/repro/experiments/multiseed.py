@@ -29,14 +29,17 @@ path — same samples, same order — regardless of ``k`` or worker scheduling.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.stackelberg import StackelbergMarket
 from repro.errors import ExperimentError
+from repro.experiments import api
+from repro.experiments.api import CONFIG_PARAMS, MARKET_PARAM, ExperimentPlan, ParamSpec
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import compare_schemes
+from repro.experiments.runner import PolicyEvaluation, compare_schemes
 from repro.experiments.scheduler import (
     Job,
     JobScheduler,
@@ -48,7 +51,12 @@ from repro.experiments.scheduler import (
 from repro.utils.stats import SummaryStats, compare_means, summarize
 from repro.utils.tables import Table
 
-__all__ = ["MultiSeedResult", "run_multiseed_comparison", "run_shard_job"]
+__all__ = [
+    "MultiSeedResult",
+    "run_multiseed_comparison",
+    "run_shard_job",
+    "MULTISEED",
+]
 
 
 @dataclass
@@ -269,6 +277,107 @@ def _merge_shards(
     return merged
 
 
+def _validate_metric(metric: str) -> str:
+    """The metric must name a PolicyEvaluation field — checked up front,
+    because the first seed can take minutes of DRL training before a bad
+    name would otherwise die in ``getattr`` (possibly inside a worker)."""
+    names = {spec.name for spec in dataclasses.fields(PolicyEvaluation)}
+    if metric not in names:
+        raise ValueError(
+            f"metric must be a PolicyEvaluation field "
+            f"({', '.join(sorted(names))}), got {metric!r}"
+        )
+    return metric
+
+
+def _plan(params) -> ExperimentPlan:
+    shards = int(params["shards"])
+    # shards is checked before seed validation (and any other work) so a
+    # bad shard count never reaches the pool path.
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    seeds = _validate_seeds(tuple(params["seeds"]))
+    schemes = tuple(params["schemes"])
+    metric = _validate_metric(str(params["metric"]))
+    market = api.resolve_market(params)
+    config = api.resolve_config(params)
+    partitions = _partition_seeds(seeds, shards)
+    market_payload = market_to_payload(market)
+    config_payload = config_to_payload(config)
+    jobs = [
+        Job(
+            "multiseed_shard",
+            {
+                "market": market_payload,
+                "config": config_payload,
+                "seeds": list(shard_seeds),
+                "schemes": list(schemes),
+                "metric": metric,
+            },
+        )
+        for shard_seeds in partitions
+    ]
+    return ExperimentPlan(
+        "multiseed",
+        dict(params),
+        jobs,
+        context={"seeds": seeds, "schemes": schemes, "metric": metric},
+    )
+
+
+def _assemble(plan: ExperimentPlan, results: list) -> MultiSeedResult:
+    return _merge_shards(
+        plan.context["metric"],
+        plan.context["seeds"],
+        plan.context["schemes"],
+        results,
+    )
+
+
+def _direct(params) -> MultiSeedResult:
+    shards = int(params["shards"])
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        seeds = _validate_seeds(tuple(params["seeds"]))
+        return _run_sequential(
+            api.resolve_market(params),
+            api.resolve_config(params),
+            seeds,
+            tuple(params["schemes"]),
+            _validate_metric(str(params["metric"])),
+        )
+    # Sharded without an explicit scheduler: one worker process per shard.
+    plan = _plan(params)
+    scheduler = JobScheduler(
+        workers=min(shards, len(plan.context["seeds"]))
+    )
+    return _assemble(plan, scheduler.run(plan.jobs))
+
+
+MULTISEED = api.register(
+    api.ExperimentSpec(
+        name="multiseed",
+        description=(
+            "Multi-seed scheme comparison with confidence intervals and a "
+            "Welch test (per-seed runs shard into multiseed_shard jobs)"
+        ),
+        params=(
+            ParamSpec("seeds", "ints", (0, 1, 2, 3, 4), "seed list (>= 2 distinct seeds)"),
+            ParamSpec("schemes", "strs", ("drl", "random"), "pricing schemes to compare"),
+            ParamSpec("metric", "str", "mean_msp_utility", "PolicyEvaluation field to aggregate"),
+            ParamSpec("shards", "int", 1, "shard count for the per-seed fan-out"),
+            MARKET_PARAM,
+            *CONFIG_PARAMS,
+        ),
+        result_type=MultiSeedResult,
+        plan=_plan,
+        assemble=_assemble,
+        direct=_direct,
+    )
+)
+
+
 def run_multiseed_comparison(
     market: StackelbergMarket,
     base_config: ExperimentConfig,
@@ -282,12 +391,13 @@ def run_multiseed_comparison(
 ) -> MultiSeedResult:
     """Evaluate ``schemes`` on ``market`` across ``seeds``.
 
-    Each seed re-trains the DRL scheme and re-draws the baselines'
-    randomness; the metric is any :class:`PolicyEvaluation` field name.
-    Every per-seed run goes through the batched simulation engine;
-    ``num_envs`` (default: whatever ``base_config`` carries) widens the
-    engine's env-batch axis so each seed's training collects that many
-    episodes per iteration concurrently.
+    Thin shim over the ``multiseed`` spec. Each seed re-trains the DRL
+    scheme and re-draws the baselines' randomness; the metric is any
+    :class:`PolicyEvaluation` field name. Every per-seed run goes through
+    the batched simulation engine; ``num_envs`` (default: whatever
+    ``base_config`` carries) widens the engine's env-batch axis so each
+    seed's training collects that many episodes per iteration
+    concurrently.
 
     ``shards=k`` partitions the (independent) per-seed runs into ``k``
     ``multiseed_shard`` jobs and hands them to the experiment scheduler —
@@ -307,29 +417,18 @@ def run_multiseed_comparison(
     """
     if shards is not None and shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
-    seeds = _validate_seeds(tuple(seeds))
-    if num_envs is not None:
-        base_config = base_config.with_num_envs(num_envs)
-    if scheduler is None:
-        if shards is None or shards == 1:
-            return _run_sequential(market, base_config, seeds, schemes, metric)
-        scheduler = JobScheduler(workers=min(shards, len(seeds)))
-    elif shards is None:
-        shards = scheduler.workers
-    partitions = _partition_seeds(seeds, shards)
-    market_payload = market_to_payload(market)
-    config_payload = config_to_payload(base_config)
-    jobs = [
-        Job(
-            "multiseed_shard",
-            {
-                "market": market_payload,
-                "config": config_payload,
-                "seeds": list(shard_seeds),
-                "schemes": list(schemes),
-                "metric": metric,
-            },
-        )
-        for shard_seeds in partitions
-    ]
-    return _merge_shards(metric, seeds, schemes, scheduler.run(jobs))
+    # shards=None with a scheduler defaults to scheduler.workers inside
+    # run_experiment (the one place that rule lives).
+    return api.run_experiment(
+        MULTISEED,
+        {
+            "market": market,
+            "config": base_config,
+            "seeds": seeds,
+            "schemes": schemes,
+            "metric": metric,
+            "num_envs": num_envs,
+            "shards": shards,
+        },
+        scheduler=scheduler,
+    )

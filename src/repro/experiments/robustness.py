@@ -30,6 +30,8 @@ from repro.channel.link import paper_link
 from repro.core.marketstack import MarketStack
 from repro.core.stackelberg import StackelbergMarket
 from repro.entities.vmu import paper_fig2_population, sample_population
+from repro.experiments import api
+from repro.experiments.api import ExperimentPlan, ParamSpec
 from repro.experiments.scheduler import Job, JobScheduler, market_to_payload
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.stats import SummaryStats, summarize
@@ -42,34 +44,40 @@ __all__ = [
     "run_fading_sweep",
     "PopulationSweepResult",
     "run_population_sweep",
+    "DISTANCE_SWEEP",
+    "FADING_SWEEP",
+    "POPULATION_SWEEP",
 ]
 
 
 def _solve_grid(
-    markets: list[StackelbergMarket], scheduler: JobScheduler | None
+    markets: list[StackelbergMarket],
 ) -> list[tuple[float, float]]:
-    """Per-market ``(price, msp_utility)`` equilibria for one sweep grid.
+    """Per-market ``(price, msp_utility)`` equilibria for one sweep grid:
+    one stacked solve over the whole grid (the specs' direct path; the
+    scheduled path runs one ``equilibrium_cell`` job per market instead —
+    same numbers, scalar equilibrium == ``M = 1`` stacked solve, pinned
+    in ``tests/test_core_equilibria_stacked.py``)."""
+    solved = MarketStack(markets).equilibria_stacked()
+    cells = []
+    for m in range(len(markets)):
+        equilibrium = solved.equilibrium(m)
+        cells.append((equilibrium.price, equilibrium.msp_utility))
+    return cells
 
-    Without a scheduler: one stacked solve over the whole grid. With one:
-    one ``equilibrium_cell`` job per market — the same numbers (scalar
-    equilibrium == ``M = 1`` stacked solve, pinned in
-    ``tests/test_core_equilibria_stacked.py``), but cached/resumable and
-    parallel across the scheduler's workers.
-    """
-    if scheduler is None:
-        solved = MarketStack(markets).equilibria_stacked()
-        cells = []
-        for m in range(len(markets)):
-            equilibrium = solved.equilibrium(m)
-            cells.append((equilibrium.price, equilibrium.msp_utility))
-        return cells
-    jobs = [
+
+def _grid_jobs(markets: list[StackelbergMarket]) -> list[Job]:
+    """One ``equilibrium_cell`` job per market of a sweep grid."""
+    return [
         Job("equilibrium_cell", {"market": market_to_payload(market)})
         for market in markets
     ]
+
+
+def _cells_from_payloads(payloads: list) -> list[tuple[float, float]]:
     return [
         (float(payload["price"]), float(payload["msp_utility"]))
-        for payload in scheduler.run(jobs)
+        for payload in payloads
     ]
 
 
@@ -96,29 +104,80 @@ class DistanceSweepResult:
         return table
 
 
-def run_distance_sweep(
-    distances_m: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 4000.0),
-    *,
-    scheduler: JobScheduler | None = None,
-) -> DistanceSweepResult:
-    """Solve the paper's 2-VMU market across RSU separations.
+DEFAULT_DISTANCES = (250.0, 500.0, 1000.0, 2000.0, 4000.0)
 
-    The swept markets form one :class:`MarketStack`, so every separation's
-    equilibrium comes out of a single stacked solve (or, with
-    ``scheduler``, one cached ``equilibrium_cell`` job per separation).
-    """
-    result = DistanceSweepResult(distances_m=tuple(distances_m))
+
+def _distance_markets(params) -> list[StackelbergMarket]:
     vmus = paper_fig2_population()
-    markets = [
+    return [
         StackelbergMarket(vmus, link=paper_link().with_distance(d))
-        for d in distances_m
+        for d in params["distances_m"]
     ]
-    cells = _solve_grid(markets, scheduler)
+
+
+def _distance_pack(params, markets, cells) -> DistanceSweepResult:
+    result = DistanceSweepResult(distances_m=tuple(params["distances_m"]))
     for market, (price, msp_utility) in zip(markets, cells):
         result.spectral_efficiencies.append(market.spectral_efficiency)
         result.prices.append(price)
         result.msp_utilities.append(msp_utility)
     return result
+
+
+def _distance_plan(params) -> ExperimentPlan:
+    markets = _distance_markets(params)
+    return ExperimentPlan(
+        "distance_sweep",
+        dict(params),
+        _grid_jobs(markets),
+        context={"markets": markets},
+    )
+
+
+def _distance_assemble(plan: ExperimentPlan, results: list) -> DistanceSweepResult:
+    return _distance_pack(
+        plan.params, plan.context["markets"], _cells_from_payloads(results)
+    )
+
+
+def _distance_direct(params) -> DistanceSweepResult:
+    markets = _distance_markets(params)
+    return _distance_pack(params, markets, _solve_grid(markets))
+
+
+DISTANCE_SWEEP = api.register(
+    api.ExperimentSpec(
+        name="distance_sweep",
+        description=(
+            "Robustness — Stackelberg equilibrium vs RSU separation d "
+            "(spectral efficiency, price, MSP utility per distance)"
+        ),
+        params=(
+            ParamSpec("distances_m", "floats", DEFAULT_DISTANCES, "RSU separations to sweep (m)"),
+        ),
+        result_type=DistanceSweepResult,
+        plan=_distance_plan,
+        assemble=_distance_assemble,
+        direct=_distance_direct,
+    )
+)
+
+
+def run_distance_sweep(
+    distances_m: tuple[float, ...] = DEFAULT_DISTANCES,
+    *,
+    scheduler: JobScheduler | None = None,
+) -> DistanceSweepResult:
+    """Solve the paper's 2-VMU market across RSU separations.
+
+    Thin shim over the ``distance_sweep`` spec: without a scheduler the
+    swept markets form one :class:`MarketStack`, so every separation's
+    equilibrium comes out of a single stacked solve; with one, each
+    separation is one cached ``equilibrium_cell`` job.
+    """
+    return api.run_experiment(
+        DISTANCE_SWEEP, {"distances_m": distances_m}, scheduler=scheduler
+    )
 
 
 @dataclass
@@ -146,6 +205,74 @@ class FadingSweepResult:
         return table
 
 
+def _fading_markets(params) -> list[StackelbergMarket]:
+    draws = int(params["draws"])
+    if draws < 2:
+        raise ValueError(f"draws must be >= 2, got {draws}")
+    fading = (
+        params["fading"] if params["fading"] is not None else RayleighFading()
+    )
+    rng = as_generator(params["seed"])
+    vmus = paper_fig2_population()
+    gains = fading.sample(rng, size=draws)
+    # The gains are drawn up front in this process, so the market grid is
+    # a pure function of (fading, draws, seed) and each cell's job spec is
+    # fully determined.
+    return [
+        StackelbergMarket(
+            vmus, link=paper_link().with_fading_gain(float(max(gain, 1e-6)))
+        )
+        for gain in gains
+    ]
+
+
+def _fading_pack(cells) -> FadingSweepResult:
+    prices = [price for price, _ in cells]
+    utilities = [utility for _, utility in cells]
+    return FadingSweepResult(
+        price_stats=summarize(prices),
+        utility_stats=summarize(utilities),
+        prices=prices,
+        utilities=utilities,
+    )
+
+
+def _fading_plan(params) -> ExperimentPlan:
+    markets = _fading_markets(params)
+    return ExperimentPlan(
+        "fading_sweep", dict(params), _grid_jobs(markets)
+    )
+
+
+def _fading_assemble(plan: ExperimentPlan, results: list) -> FadingSweepResult:
+    return _fading_pack(_cells_from_payloads(results))
+
+
+def _fading_direct(params) -> FadingSweepResult:
+    return _fading_pack(_solve_grid(_fading_markets(params)))
+
+
+FADING_SWEEP = api.register(
+    api.ExperimentSpec(
+        name="fading_sweep",
+        description=(
+            "Robustness — Monte-Carlo the equilibrium over channel-fading "
+            "realisations (price/utility distributions under "
+            "Rayleigh/Rician/shadowing channels)"
+        ),
+        params=(
+            ParamSpec("fading", "fading?", None, 'fading model: rayleigh (default) | nofading | JSON payload for parameterised models, e.g. {"model": "rician", "k_factor": 3} or {"model": "shadowing", "sigma_db": 4}'),
+            ParamSpec("draws", "int", 50, "Monte-Carlo fading draws (>= 2)"),
+            ParamSpec("seed", "seed", 0, "RNG seed for the fading draws"),
+        ),
+        result_type=FadingSweepResult,
+        plan=_fading_plan,
+        assemble=_fading_assemble,
+        direct=_fading_direct,
+    )
+)
+
+
 def run_fading_sweep(
     *,
     fading: FadingModel | None = None,
@@ -155,31 +282,15 @@ def run_fading_sweep(
 ) -> FadingSweepResult:
     """Monte-Carlo the equilibrium over fading realisations.
 
-    The fading gains are drawn up front in this process (so the grid is a
-    pure function of ``seed``); each realisation's market then solves in
-    the stacked pass or, with ``scheduler``, as one cached job.
+    Thin shim over the ``fading_sweep`` spec: the fading gains are drawn
+    up front (a pure function of ``seed``); each realisation's market
+    then solves in the stacked pass or, with ``scheduler``, as one cached
+    ``equilibrium_cell`` job.
     """
-    if draws < 2:
-        raise ValueError(f"draws must be >= 2, got {draws}")
-    fading = fading if fading is not None else RayleighFading()
-    rng = as_generator(seed)
-    vmus = paper_fig2_population()
-    gains = fading.sample(rng, size=draws)
-    # One stacked solve across every fading realisation's market.
-    markets = [
-        StackelbergMarket(
-            vmus, link=paper_link().with_fading_gain(float(max(gain, 1e-6)))
-        )
-        for gain in gains
-    ]
-    cells = _solve_grid(markets, scheduler)
-    prices = [price for price, _ in cells]
-    utilities = [utility for _, utility in cells]
-    return FadingSweepResult(
-        price_stats=summarize(prices),
-        utility_stats=summarize(utilities),
-        prices=prices,
-        utilities=utilities,
+    return api.run_experiment(
+        FADING_SWEEP,
+        {"fading": fading, "draws": draws, "seed": seed},
+        scheduler=scheduler,
     )
 
 
@@ -208,6 +319,66 @@ class PopulationSweepResult:
         return table
 
 
+def _population_markets(params) -> list[StackelbergMarket]:
+    draws = int(params["draws"])
+    if draws < 2:
+        raise ValueError(f"draws must be >= 2, got {draws}")
+    rng = as_generator(params["seed"])
+    # Populations are drawn up front: the grid — and every cell's job
+    # spec — is a pure function of (num_vmus, draws, seed).
+    return [
+        StackelbergMarket(sample_population(int(params["num_vmus"]), seed=rng))
+        for _ in range(draws)
+    ]
+
+
+def _population_pack(per_draw) -> PopulationSweepResult:
+    prices = [p for p, _ in per_draw]
+    utilities = [u for _, u in per_draw]
+    return PopulationSweepResult(
+        utility_stats=summarize(utilities),
+        price_stats=summarize(prices),
+        per_draw=per_draw,
+    )
+
+
+def _population_plan(params) -> ExperimentPlan:
+    markets = _population_markets(params)
+    return ExperimentPlan(
+        "population_sweep", dict(params), _grid_jobs(markets)
+    )
+
+
+def _population_assemble(
+    plan: ExperimentPlan, results: list
+) -> PopulationSweepResult:
+    return _population_pack(_cells_from_payloads(results))
+
+
+def _population_direct(params) -> PopulationSweepResult:
+    return _population_pack(_solve_grid(_population_markets(params)))
+
+
+POPULATION_SWEEP = api.register(
+    api.ExperimentSpec(
+        name="population_sweep",
+        description=(
+            "Robustness — equilibrium statistics across random population "
+            "draws from the paper's parameter ranges"
+        ),
+        params=(
+            ParamSpec("num_vmus", "int", 4, "VMUs per drawn population"),
+            ParamSpec("draws", "int", 20, "random population draws (>= 2)"),
+            ParamSpec("seed", "seed", 0, "RNG seed for the population draws"),
+        ),
+        result_type=PopulationSweepResult,
+        plan=_population_plan,
+        assemble=_population_assemble,
+        direct=_population_direct,
+    )
+)
+
+
 def run_population_sweep(
     *,
     num_vmus: int = 4,
@@ -217,23 +388,13 @@ def run_population_sweep(
 ) -> PopulationSweepResult:
     """Solve the market for many random populations from the paper ranges.
 
-    Populations are drawn up front (pure function of ``seed``); each
-    draw's market solves in the stacked pass or, with ``scheduler``, as
-    one cached ``equilibrium_cell`` job.
+    Thin shim over the ``population_sweep`` spec: populations are drawn
+    up front (pure function of ``seed``); each draw's market solves in
+    the stacked pass or, with ``scheduler``, as one cached
+    ``equilibrium_cell`` job.
     """
-    if draws < 2:
-        raise ValueError(f"draws must be >= 2, got {draws}")
-    rng = as_generator(seed)
-    # One (ragged-capable) stacked solve across every population draw.
-    markets = [
-        StackelbergMarket(sample_population(num_vmus, seed=rng))
-        for _ in range(draws)
-    ]
-    per_draw: list[tuple[float, float]] = _solve_grid(markets, scheduler)
-    prices = [p for p, _ in per_draw]
-    utilities = [u for _, u in per_draw]
-    return PopulationSweepResult(
-        utility_stats=summarize(utilities),
-        price_stats=summarize(prices),
-        per_draw=per_draw,
+    return api.run_experiment(
+        POPULATION_SWEEP,
+        {"num_vmus": num_vmus, "draws": draws, "seed": seed},
+        scheduler=scheduler,
     )

@@ -1,25 +1,38 @@
-"""Command-line entry point: regenerate any paper figure.
+"""Command-line entry point: run any registered experiment.
 
 Usage::
 
-    python -m repro.experiments.run --figure fig2 [--quick | --paper]
-    python -m repro.experiments.run --figure fig3a --output results/
-    python -m repro.experiments.run --figure fig3a --workers 4 --cache-dir .cache
-    python -m repro.experiments.run --list
-    python -m repro.experiments.run multiseed --seeds 0,1,2,3 --shards 2
+    python -m repro.experiments.run list
+    python -m repro.experiments.run describe fig3_cost
+    python -m repro.experiments.run run fig2 --param episodes=2
+    python -m repro.experiments.run run fig3_cost --param costs=5,7,9 \
+        --workers 4 --cache-dir .cache --resume
     python -m repro.experiments.run schedule --jobs jobs.json --workers 4 \
         --cache-dir .cache --resume
+    python -m repro.experiments.run multiseed --seeds 0,1,2,3 --shards 2
 
-``--quick`` (default) uses the reduced budget documented in EXPERIMENTS.md;
-``--paper`` uses the full Sec. V-A budget (E = 500 episodes — slow on a
-laptop but faithful).
+    # legacy figure interface (flags kept; --output JSON payloads are now
+    # the uniform spec payloads, reloadable via result_from_payload):
+    python -m repro.experiments.run --figure fig2 [--quick | --paper]
+    python -m repro.experiments.run --figure fig3a --workers 4 --cache-dir .cache
+    python -m repro.experiments.run --list
 
-``--workers``/``--cache-dir``/``--resume`` on the figure path route the
-fig3 sweeps' per-market DRL trainings and the robustness grids through the
-experiment scheduler (:mod:`repro.experiments.scheduler`): trainings fan
-out across worker processes and every finished unit is cached, so an
-interrupted sweep resumes instead of recomputing. Results are bitwise
-identical to the sequential path.
+The ``run`` subcommand is the generic path: ``run <name> --param k=v``
+works for **every** experiment in the
+:mod:`repro.experiments.api` registry (``list`` names them, ``describe
+<name>`` prints the typed parameter schema). ``--workers``, ``--cache-dir``
+and ``--resume`` — defined once, in a parent parser shared by every
+subcommand, so the flags cannot drift — route any experiment through the
+job scheduler (:mod:`repro.experiments.scheduler`): independent units
+(per-seed DRL trainings, per-market-point trainings, per-grid-cell
+equilibria) fan out across worker processes and every finished unit is
+cached, so an interrupted run resumes instead of recomputing. Results are
+bitwise identical to the sequential path.
+
+``--quick`` (default preset) uses the reduced budget documented in
+EXPERIMENTS.md; ``--param preset=paper`` (or the legacy ``--paper`` flag)
+uses the full Sec. V-A budget (E = 500 episodes — slow on a laptop but
+faithful).
 
 The ``multiseed`` subcommand runs the seeds-axis robustness comparison
 (:func:`repro.experiments.run_multiseed_comparison`): ``--seeds`` picks the
@@ -29,173 +42,231 @@ widens the engine's env-batch axis inside each seed's training.
 
 The ``schedule`` subcommand executes an explicit job-spec file — a JSON
 list of ``{"kind": ..., "payload": ...}`` entries (the
-:meth:`repro.experiments.scheduler.Job.spec` wire form) — against the
-scheduler: the queued-experiment path for splitting one sweep's jobs
-across machines that share (or later merge) a cache directory.
+:meth:`repro.experiments.scheduler.Job.spec` wire form, which
+:meth:`repro.experiments.api.ExperimentPlan.job_specs` emits) — against
+the scheduler: the queued-experiment path for splitting one experiment's
+jobs across machines that share (or later merge) a cache directory.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 from pathlib import Path
 
-from repro.core.stackelberg import StackelbergMarket
-from repro.core.welfare import welfare_report
-from repro.entities.vmu import paper_fig2_population
-from repro.errors import ExperimentError
-from repro.experiments.ablations import run_history_ablation, run_reward_ablation
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.fig2 import run_fig2
-from repro.experiments.fig3_cost import run_fig3_cost
-from repro.experiments.fig3_vmus import run_fig3_vmus
-from repro.experiments.multiseed import run_multiseed_comparison
-from repro.experiments.runner import PolicyEvaluation
-from repro.experiments.robustness import (
-    run_distance_sweep,
-    run_fading_sweep,
-    run_population_sweep,
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.api import (
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    parse_int_tuple,
+    run_experiment,
 )
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.scheduler import Job, JobScheduler
 from repro.utils.serialization import load_json, save_json
 from repro.utils.tables import Table
 
-__all__ = ["main", "multiseed_main", "schedule_main", "FIGURES"]
+__all__ = [
+    "main",
+    "run_main",
+    "list_main",
+    "describe_main",
+    "multiseed_main",
+    "schedule_main",
+    "FIGURES",
+]
 
 
-def _fig2(
-    config: ExperimentConfig, scheduler: JobScheduler | None = None
-) -> tuple[str, object]:
-    result = run_fig2(config)
-    payload = {
-        "episode_returns": result.episode_returns,
-        "episode_best_utilities": result.episode_best_utilities,
-        "equilibrium_utility": result.equilibrium_utility,
-        "equilibrium_price": result.equilibrium_price,
-    }
-    return str(result.table()), payload
-
-
-def _fig3a(
-    config: ExperimentConfig, scheduler: JobScheduler | None = None
-) -> tuple[str, object]:
-    result = run_fig3_cost(config, scheduler=scheduler)
-    payload = {
-        str(cost): {
-            scheme: vars(evaluation)
-            for scheme, evaluation in by_scheme.items()
-        }
-        for cost, by_scheme in result.evaluations.items()
-    }
-    return f"{result.msp_table()}\n\n{result.vmu_table()}", payload
-
-
-def _fig3c(
-    config: ExperimentConfig, scheduler: JobScheduler | None = None
-) -> tuple[str, object]:
-    result = run_fig3_vmus(config, scheduler=scheduler)
-    payload = {
-        str(count): {
-            scheme: vars(evaluation)
-            for scheme, evaluation in by_scheme.items()
-        }
-        for count, by_scheme in result.evaluations.items()
-    }
-    return f"{result.msp_table()}\n\n{result.vmu_table()}", payload
-
-
-def _ablations(
-    config: ExperimentConfig, scheduler: JobScheduler | None = None
-) -> tuple[str, object]:
-    reward = run_reward_ablation(config)
-    history = run_history_ablation(config)
-    text = f"{reward.table()}\n\n{history.table()}"
-    payload = {
-        "reward": reward.rows,
-        "history": history.rows,
-        "equilibrium_utility": reward.equilibrium_utility,
-    }
-    return text, payload
-
-
-def _robustness(
-    config: ExperimentConfig, scheduler: JobScheduler | None = None
-) -> tuple[str, object]:
-    distance = run_distance_sweep(scheduler=scheduler)
-    fading = run_fading_sweep(draws=30, seed=config.seed, scheduler=scheduler)
-    population = run_population_sweep(
-        draws=10, seed=config.seed, scheduler=scheduler
+# ------------------------------------------------------------------ #
+# shared flags — ONE definition for every subcommand (and the legacy
+# figure path), so --workers/--cache-dir/--resume cannot drift
+# ------------------------------------------------------------------ #
+def _scheduler_parent() -> argparse.ArgumentParser:
+    """Parent parser carrying the scheduler and output flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("scheduler")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the experiment's independent units "
+            "(per-seed / per-market-point DRL trainings, grid cells)"
+        ),
     )
-    text = "\n\n".join(
-        str(t) for t in (distance.table(), fading.table(), population.table())
+    group.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache finished units here so interrupted runs resume",
     )
-    payload = {
-        "distance": {
-            "distances_m": distance.distances_m,
-            "prices": distance.prices,
-            "msp_utilities": distance.msp_utilities,
-        },
-        "fading_prices": fading.prices,
-        "population_per_draw": population.per_draw,
-    }
-    return text, payload
-
-
-def _welfare(
-    config: ExperimentConfig, scheduler: JobScheduler | None = None
-) -> tuple[str, object]:
-    market = StackelbergMarket(paper_fig2_population())
-    report = welfare_report(market)
-    table = Table(
-        headers=("quantity", "value"),
-        title="Welfare analysis — paper's 2-VMU market",
+    group.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve cached units instead of re-running (default on)",
     )
-    rows = {
-        "monopoly price": report.monopoly_price,
-        "monopoly welfare": report.monopoly_welfare,
-        "MSP share of welfare": report.monopoly_msp_share,
-        "planner price": report.planner_price,
-        "planner welfare": report.planner_welfare,
-        "deadweight loss": report.deadweight_loss,
-        "efficiency": report.efficiency,
-    }
-    for name, value in rows.items():
-        table.add_row(name, value)
-    return str(table), rows
+    parent.add_argument(
+        "--output", type=Path, default=None, help="directory for JSON results"
+    )
+    return parent
 
 
-FIGURES = {
-    "fig2": _fig2,
-    "fig3a": _fig3a,
-    "fig3b": _fig3a,  # 3(a) and 3(b) come from the same sweep
-    "fig3c": _fig3c,
-    "fig3d": _fig3c,  # 3(c) and 3(d) come from the same sweep
-    "ablations": _ablations,
-    "robustness": _robustness,
-    "welfare": _welfare,
-}
+def _validate_workers(parser: argparse.ArgumentParser, args) -> None:
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
-# Figures whose work actually routes through the scheduler; the rest run
-# sequentially and must not silently accept --workers/--cache-dir.
-SCHEDULED_FIGURES = frozenset({"fig3a", "fig3b", "fig3c", "fig3d", "robustness"})
+
+def _build_scheduler(args, *, force: bool = False) -> JobScheduler | None:
+    """The scheduler the parsed flags describe (None → run in-process)."""
+    if not force and args.workers == 1 and args.cache_dir is None:
+        return None
+    return JobScheduler(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        job_timeout=getattr(args, "job_timeout", None),
+    )
 
 
 def _parse_seeds(text: str) -> tuple[int, ...]:
     try:
-        return tuple(int(part) for part in text.split(",") if part.strip())
+        return parse_int_tuple(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"--seeds wants comma-separated integers, got {text!r}"
         ) from exc
 
 
+# ------------------------------------------------------------------ #
+# run / list / describe — the generic spec-driven interface
+# ------------------------------------------------------------------ #
+def _parse_cli_params(spec: ExperimentSpec, pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, separator, text = pair.partition("=")
+        if not separator or not key:
+            raise ConfigurationError(
+                f"--param wants KEY=VALUE, got {pair!r}"
+            )
+        params[key] = spec.param(key).parse(text)
+    return params
+
+
+def run_main(argv: list[str] | None = None) -> int:
+    """The ``run`` subcommand: execute any registered experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run",
+        parents=[_scheduler_parent()],
+        description=(
+            "Run one registered experiment. Parameters come from the "
+            "experiment's typed schema (`describe <name>` prints it); "
+            "--workers/--cache-dir/--resume route the run through the "
+            "job scheduler — fan-out, caching, and kill-resume for every "
+            "experiment, bitwise-equal to the sequential path."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help=f"registered experiment ({', '.join(experiment_names())})",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="set one spec parameter (repeatable), e.g. --param seeds=0,1,2",
+    )
+    args = parser.parse_args(argv)
+    _validate_workers(parser, args)
+    try:
+        spec = get_experiment(args.experiment)
+        params = _parse_cli_params(spec, args.param)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    scheduler = _build_scheduler(args)
+    try:
+        result = run_experiment(spec, params, scheduler=scheduler)
+    except ValueError as exc:
+        # ConfigurationError and the specs' domain validations (bad shard
+        # counts, draws < 2, unknown scheme names) are all ValueErrors —
+        # a clean CLI error, not a traceback.
+        parser.error(str(exc))
+    print(spec.render_result(result))
+    if scheduler is not None:
+        print(
+            f"\n{scheduler.jobs_executed} job(s) executed, "
+            f"{scheduler.cache_hits} from cache"
+        )
+    if args.output is not None:
+        target = save_json(
+            args.output / f"{spec.name}.json", spec.result_to_payload(result)
+        )
+        print(f"\nwrote {target}")
+    return 0
+
+
+def list_main(argv: list[str] | None = None) -> int:
+    """The ``list`` subcommand: every registered experiment."""
+    argparse.ArgumentParser(
+        prog="repro-experiments list",
+        description="List the registered experiments.",
+    ).parse_args(argv)
+    table = Table(
+        headers=("experiment", "description"),
+        title="Registered experiments — run <name> --param k=v",
+    )
+    for name in experiment_names():
+        table.add_row(name, get_experiment(name).description)
+    print(table)
+    return 0
+
+
+def describe_main(argv: list[str] | None = None) -> int:
+    """The ``describe`` subcommand: one experiment's parameter schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments describe",
+        description="Show one experiment's typed parameter schema.",
+    )
+    parser.add_argument("experiment", metavar="EXPERIMENT")
+    args = parser.parse_args(argv)
+    try:
+        spec = get_experiment(args.experiment)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    print(f"{spec.name} — {spec.description}")
+    print(f"result type: {spec.result_type.__name__}")
+    table = Table(
+        headers=("parameter", "type", "default", "help"),
+        title=f"Parameters — run {spec.name} --param KEY=VALUE",
+    )
+    for param in spec.params:
+        default = "" if param.default is None else repr(param.default)
+        table.add_row(param.name, param.type, default, param.help)
+    print(table)
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# multiseed — the seeds-axis comparison subcommand
+# ------------------------------------------------------------------ #
 def multiseed_main(argv: list[str] | None = None) -> int:
     """The ``multiseed`` subcommand: seeds-axis comparison, optionally
     sharded across processes."""
+    from repro.core.stackelberg import StackelbergMarket
+    from repro.entities.vmu import paper_fig2_population
+    from repro.experiments.multiseed import (
+        _validate_metric,
+        _validate_seeds,
+        run_multiseed_comparison,
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments multiseed",
+        parents=[_scheduler_parent()],
         description=(
             "Multi-seed scheme comparison with confidence intervals "
             "(process-sharded when --shards > 1; sharded results are "
@@ -212,7 +283,7 @@ def multiseed_main(argv: list[str] | None = None) -> int:
         "--shards",
         type=int,
         default=1,
-        help="worker processes to fan the per-seed runs across (default 1)",
+        help="shards to fan the per-seed runs across (default 1)",
     )
     parser.add_argument(
         "--num-envs",
@@ -235,26 +306,26 @@ def multiseed_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="use the paper's full training budget (slow)",
     )
-    parser.add_argument(
-        "--output", type=Path, default=None, help="directory for JSON results"
-    )
     args = parser.parse_args(argv)
     # Fail fast on bad knobs: the first seed can take minutes of DRL
     # training at the paper budget, and under --shards a late ValueError
     # or AttributeError would surface as a worker traceback.
+    _validate_workers(parser, args)
     if args.shards < 1:
         parser.error(f"--shards must be >= 1, got {args.shards}")
-    metric_names = {field.name for field in dataclasses.fields(PolicyEvaluation)}
-    if args.metric not in metric_names:
-        parser.error(
-            f"--metric must be a PolicyEvaluation field "
-            f"({', '.join(sorted(metric_names))}), got {args.metric!r}"
-        )
-    if len(args.seeds) < 2:
-        parser.error(f"--seeds needs at least two seeds, got {args.seeds}")
-    duplicates = sorted({s for s in args.seeds if args.seeds.count(s) > 1})
-    if duplicates:
-        parser.error(f"--seeds contains duplicates {duplicates}")
+    try:
+        # The spec's own validators — one definition, translated into
+        # clean parser errors here.
+        _validate_metric(args.metric)
+        _validate_seeds(args.seeds)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.workers == 1 and args.shards > 1:
+        # --shards N promises N-way fan-out; without an explicit --workers
+        # the scheduler gets one worker per shard (capped at the seed
+        # count), matching the schedulerless --shards behaviour — so
+        # adding --cache-dir never silently serializes the run.
+        args.workers = min(args.shards, len(args.seeds))
 
     config = ExperimentConfig.paper() if args.paper else ExperimentConfig.quick()
     market = StackelbergMarket(paper_fig2_population())
@@ -266,6 +337,7 @@ def multiseed_main(argv: list[str] | None = None) -> int:
         metric=args.metric,
         num_envs=args.num_envs,
         shards=args.shards if args.shards > 1 else None,
+        scheduler=_build_scheduler(args),
     )
     print(result.table())
     if args.output is not None:
@@ -274,11 +346,15 @@ def multiseed_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ #
+# schedule — execute an explicit job-spec file
+# ------------------------------------------------------------------ #
 def schedule_main(argv: list[str] | None = None) -> int:
     """The ``schedule`` subcommand: execute a job-spec file through the
     experiment scheduler (process pool + on-disk result cache + resume)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments schedule",
+        parents=[_scheduler_parent()],
         description=(
             "Execute a JSON list of job specs ({kind, payload} entries) "
             "through the experiment scheduler. Finished jobs are cached "
@@ -293,35 +369,13 @@ def schedule_main(argv: list[str] | None = None) -> int:
         help="JSON file: a list of {kind, payload} job specs",
     )
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes to execute jobs across (default 1, in-process)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="directory for per-job result caching (enables resume)",
-    )
-    parser.add_argument(
-        "--resume",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="serve cached results instead of re-running (default on)",
-    )
-    parser.add_argument(
         "--job-timeout",
         type=float,
         default=None,
         help="seconds without any job finishing before the run fails fast",
     )
-    parser.add_argument(
-        "--output", type=Path, default=None, help="directory for JSON results"
-    )
     args = parser.parse_args(argv)
-    if args.workers < 1:
-        parser.error(f"--workers must be >= 1, got {args.workers}")
+    _validate_workers(parser, args)
     try:
         specs = load_json(args.jobs)
     except (OSError, json.JSONDecodeError) as exc:
@@ -332,12 +386,7 @@ def schedule_main(argv: list[str] | None = None) -> int:
         jobs = [Job.from_spec(spec) for spec in specs]
     except ExperimentError as exc:
         parser.error(f"bad job spec in --jobs file: {exc}")
-    scheduler = JobScheduler(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        resume=args.resume,
-        job_timeout=args.job_timeout,
-    )
+    scheduler = _build_scheduler(args, force=True)
     results = scheduler.run(jobs)
     table = Table(
         headers=("#", "kind", "job_hash", "source"),
@@ -360,20 +409,105 @@ def schedule_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ #
+# legacy figure interface — thin aliases onto the spec registry
+# ------------------------------------------------------------------ #
+def _spec_figure(name: str):
+    def runner(
+        config: ExperimentConfig, scheduler: JobScheduler | None = None
+    ) -> tuple[str, object]:
+        spec = get_experiment(name)
+        params = (
+            {"config": config} if any(p.name == "config" for p in spec.params)
+            else {}
+        )
+        result = run_experiment(spec, params, scheduler=scheduler)
+        return spec.render_result(result), spec.result_to_payload(result)
+
+    return runner
+
+
+def _ablations(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
+    reward_spec = get_experiment("reward_ablation")
+    history_spec = get_experiment("history_ablation")
+    reward = run_experiment(
+        reward_spec, {"config": config}, scheduler=scheduler
+    )
+    history = run_experiment(
+        history_spec, {"config": config}, scheduler=scheduler
+    )
+    text = f"{reward.table()}\n\n{history.table()}"
+    payload = {
+        "reward": reward_spec.result_to_payload(reward),
+        "history": history_spec.result_to_payload(history),
+    }
+    return text, payload
+
+
+def _robustness(
+    config: ExperimentConfig, scheduler: JobScheduler | None = None
+) -> tuple[str, object]:
+    distance_spec = get_experiment("distance_sweep")
+    fading_spec = get_experiment("fading_sweep")
+    population_spec = get_experiment("population_sweep")
+    distance = run_experiment(distance_spec, {}, scheduler=scheduler)
+    fading = run_experiment(
+        fading_spec, {"draws": 30, "seed": config.seed}, scheduler=scheduler
+    )
+    population = run_experiment(
+        population_spec,
+        {"draws": 10, "seed": config.seed},
+        scheduler=scheduler,
+    )
+    text = "\n\n".join(
+        str(t) for t in (distance.table(), fading.table(), population.table())
+    )
+    payload = {
+        "distance": distance_spec.result_to_payload(distance),
+        "fading": fading_spec.result_to_payload(fading),
+        "population": population_spec.result_to_payload(population),
+    }
+    return text, payload
+
+
+FIGURES = {
+    "fig2": _spec_figure("fig2"),
+    "fig3a": _spec_figure("fig3_cost"),
+    "fig3b": _spec_figure("fig3_cost"),  # 3(a) and 3(b): same sweep
+    "fig3c": _spec_figure("fig3_vmus"),
+    "fig3d": _spec_figure("fig3_vmus"),  # 3(c) and 3(d): same sweep
+    "ablations": _ablations,
+    "robustness": _robustness,
+    "welfare": _spec_figure("welfare"),
+}
+
+
+SUBCOMMANDS = {
+    "run": run_main,
+    "list": list_main,
+    "describe": describe_main,
+    "multiseed": multiseed_main,
+    "schedule": schedule_main,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "multiseed":
-        return multiseed_main(argv[1:])
-    if argv and argv[0] == "schedule":
-        return schedule_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
+        parents=[_scheduler_parent()],
         description="Regenerate figures of the VT-migration incentive paper.",
         epilog=(
-            "Subcommands: `multiseed` runs the seeds-axis comparison; "
-            "`schedule` executes a job-spec file through the experiment "
-            "scheduler (see each subcommand's --help)."
+            "Subcommands: `run <experiment> --param k=v` executes any "
+            "registered experiment; `list` and `describe <experiment>` "
+            "show the registry; `multiseed` runs the seeds-axis "
+            "comparison; `schedule` executes a job-spec file (see each "
+            "subcommand's --help)."
         ),
     )
     parser.add_argument("--figure", choices=sorted(FIGURES), help="which figure")
@@ -384,60 +518,28 @@ def main(argv: list[str] | None = None) -> int:
         help="use the paper's full training budget (slow)",
     )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help=(
-            "worker processes for the figure's independent units (fig3 "
-            "per-market DRL trainings, robustness grid cells)"
-        ),
-    )
-    parser.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="cache finished units here so interrupted figure runs resume",
-    )
-    parser.add_argument(
-        "--resume",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="serve cached units instead of re-running (default on)",
-    )
-    parser.add_argument(
-        "--output", type=Path, default=None, help="directory for JSON results"
-    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
         print("available figures:", ", ".join(sorted(FIGURES)))
         print(
-            "subcommands: multiseed, schedule "
-            "(see `multiseed --help` / `schedule --help`)"
+            "experiments:", ", ".join(experiment_names())
+        )
+        print(
+            "subcommands: run, list, describe, multiseed, schedule "
+            "(see `run --help` / `list --help` / ...)"
         )
         return 0
-    if args.workers < 1:
-        parser.error(f"--workers must be >= 1, got {args.workers}")
+    _validate_workers(parser, args)
 
     config = (
         ExperimentConfig.paper(seed=args.seed)
         if args.paper
         else ExperimentConfig.quick(seed=args.seed)
     )
-    scheduler = None
-    if args.workers > 1 or args.cache_dir is not None:
-        if args.figure not in SCHEDULED_FIGURES:
-            parser.error(
-                f"--workers/--cache-dir apply only to the scheduler-routed "
-                f"figures ({', '.join(sorted(SCHEDULED_FIGURES))}); "
-                f"--figure {args.figure} runs sequentially"
-            )
-        scheduler = JobScheduler(
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            resume=args.resume,
-        )
+    # Every figure routes through the spec registry now, so the scheduler
+    # flags apply uniformly — fig2 and the ablations included.
+    scheduler = _build_scheduler(args)
     text, payload = FIGURES[args.figure](config, scheduler)
     print(text)
     if args.output is not None:

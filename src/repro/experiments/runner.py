@@ -53,7 +53,10 @@ __all__ = [
     "compare_schemes",
     "compare_schemes_stacked",
     "compare_schemes_scheduled",
+    "plan_scheme_jobs",
+    "assemble_scheme_results",
     "run_market_scheme_job",
+    "run_training_job",
 ]
 
 _KNOWN_SCHEMES = ("drl", "greedy", "random", "equilibrium")
@@ -438,6 +441,51 @@ def run_market_scheme_job(payload: Mapping) -> dict:
     return result
 
 
+def run_training_job(payload: Mapping) -> dict:
+    """Job kind ``training_run``: one full DRL training, series included.
+
+    The Fig. 2 / ablation unit: rebuilds the market and config from their
+    payloads, runs :func:`train_drl` (the expensive, independent unit),
+    and ships home the whole training series — ``episode_returns`` and
+    ``episode_best_utilities`` (Fig. 2's two panels) plus the converged
+    ``tail_mean_best_utility``. With ``"evaluate": true`` in the payload
+    the trained policy is also played for ``config.evaluation_rounds`` and
+    the :class:`PolicyEvaluation` payload attached (the ablation tables'
+    evaluation column). Floats survive the JSON wire exactly, so a
+    training executed in a worker merges back bitwise-equal to the
+    sequential path. Like ``market_scheme``, the trained agent is parked
+    at ``<cache>/checkpoints/<job_hash>.npz`` (cache-relative on the
+    wire) when the scheduler injected its cache dir.
+    """
+    artifact_dir = payload.get(ARTIFACT_DIR_KEY)
+    spec_payload = {
+        key: value for key, value in payload.items() if key != ARTIFACT_DIR_KEY
+    }
+    market = market_from_payload(payload["market"])
+    config = config_from_payload(payload["config"])
+    trained = train_drl(market, config)
+    result: dict = {
+        "episode_returns": [
+            float(v) for v in trained.training.episode_returns
+        ],
+        "episode_best_utilities": [
+            float(v) for v in trained.training.episode_best_utilities
+        ],
+        "tail_mean_best_utility": trained.training.tail_mean_best_utility(),
+    }
+    if bool(payload.get("evaluate", False)):
+        evaluation = evaluate_policy(
+            market, trained.policy, rounds=config.evaluation_rounds
+        )
+        result["evaluation"] = evaluation_to_payload(evaluation)
+    if artifact_dir is not None:
+        job_hash = Job("training_run", spec_payload).job_hash()
+        relative = Path("checkpoints") / f"{job_hash}.npz"
+        _save_policy(trained.policy, Path(artifact_dir) / relative, config)
+        result["checkpoint"] = str(relative)
+    return result
+
+
 def _save_policy(
     policy: LearnedPricing, target: str | Path, config: ExperimentConfig
 ) -> Path:
@@ -449,32 +497,24 @@ def _save_policy(
     )
 
 
-def compare_schemes_scheduled(
+def plan_scheme_jobs(
     markets: Sequence[StackelbergMarket],
     config: ExperimentConfig,
-    *,
-    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
-    scheduler: JobScheduler,
-) -> list[dict[str, PolicyEvaluation]]:
-    """:func:`compare_schemes_stacked` with the per-market trainings as jobs.
+    schemes: tuple[str, ...],
+) -> tuple[list[Job], list[tuple[int, str]]]:
+    """The job half of a scheduled market-grid comparison.
 
-    History-dependent schemes (``drl``, ``greedy``) — whose per-market
-    work is independent and, for ``drl``, expensive — become one
-    ``market_scheme`` :class:`Job` per market, executed by ``scheduler``
-    (parallel across workers, cached and resumable with a cache dir).
-    Plannable schemes still evaluate as one stacked solve in-process. The
-    merged output equals :func:`compare_schemes_stacked` — and hence the
-    sequential per-market path — bitwise: each job runs the identical
-    seeded training/evaluation, floats survive the JSON wire exactly.
+    One ``market_scheme`` :class:`Job` per (non-plannable scheme, market)
+    pair, plus the ``(market index, scheme)`` slot of each job so
+    :func:`assemble_scheme_results` can merge the results back. Plannable
+    schemes (``random``, ``equilibrium``) emit no jobs — they evaluate as
+    one stacked solve at assemble time.
     """
-    markets = list(markets)
     unknown = sorted(set(schemes) - set(_KNOWN_SCHEMES))
     if unknown:
         raise ValueError(f"unknown schemes {unknown}")
-    results: list[dict[str, PolicyEvaluation]] = [{} for _ in markets]
     jobs: list[Job] = []
     slots: list[tuple[int, str]] = []
-    plannable = tuple(s for s in schemes if s in _PLANNABLE_SCHEMES)
     config_payload = config_to_payload(config)
     market_payloads = [market_to_payload(market) for market in markets]
     for scheme in schemes:
@@ -496,11 +536,50 @@ def compare_schemes_scheduled(
                 )
             )
             slots.append((index, scheme))
-    for payload, (index, scheme) in zip(scheduler.run(jobs), slots):
+    return jobs, slots
+
+
+def assemble_scheme_results(
+    markets: Sequence[StackelbergMarket],
+    config: ExperimentConfig,
+    schemes: tuple[str, ...],
+    slots: Sequence[tuple[int, str]],
+    payloads: Sequence[Mapping],
+) -> list[dict[str, PolicyEvaluation]]:
+    """Merge :func:`plan_scheme_jobs` results; solve plannable schemes
+    as one stacked in-process pass."""
+    results: list[dict[str, PolicyEvaluation]] = [{} for _ in markets]
+    for payload, (index, scheme) in zip(payloads, slots):
         results[index][scheme] = evaluation_from_payload(payload["evaluation"])
+    plannable = tuple(s for s in schemes if s in _PLANNABLE_SCHEMES)
     if plannable:
         for index, by_scheme in enumerate(
             compare_schemes_stacked(markets, config, schemes=plannable)
         ):
             results[index].update(by_scheme)
     return results
+
+
+def compare_schemes_scheduled(
+    markets: Sequence[StackelbergMarket],
+    config: ExperimentConfig,
+    *,
+    schemes: tuple[str, ...] = ("drl", "greedy", "random", "equilibrium"),
+    scheduler: JobScheduler,
+) -> list[dict[str, PolicyEvaluation]]:
+    """:func:`compare_schemes_stacked` with the per-market trainings as jobs.
+
+    History-dependent schemes (``drl``, ``greedy``) — whose per-market
+    work is independent and, for ``drl``, expensive — become one
+    ``market_scheme`` :class:`Job` per market, executed by ``scheduler``
+    (parallel across workers, cached and resumable with a cache dir).
+    Plannable schemes still evaluate as one stacked solve in-process. The
+    merged output equals :func:`compare_schemes_stacked` — and hence the
+    sequential per-market path — bitwise: each job runs the identical
+    seeded training/evaluation, floats survive the JSON wire exactly.
+    """
+    markets = list(markets)
+    jobs, slots = plan_scheme_jobs(markets, config, schemes)
+    return assemble_scheme_results(
+        markets, config, schemes, slots, scheduler.run(jobs)
+    )

@@ -95,6 +95,8 @@ _BUILTIN_JOB_KINDS: dict[str, str] = {
     "multiseed_shard": "repro.experiments.multiseed:run_shard_job",
     "market_scheme": "repro.experiments.runner:run_market_scheme_job",
     "equilibrium_cell": "repro.experiments.scheduler:run_equilibrium_cell_job",
+    "training_run": "repro.experiments.runner:run_training_job",
+    "welfare_report": "repro.experiments.welfare:run_welfare_report_job",
 }
 
 _REGISTERED_JOB_KINDS: dict[str, str | Callable[[Mapping], object]] = {}
@@ -530,4 +532,5 @@ def run_equilibrium_cell_job(payload: Mapping) -> dict:
     return {
         "price": float(equilibrium.price),
         "msp_utility": float(equilibrium.msp_utility),
+        "capacity_binding": bool(equilibrium.capacity_binding),
     }

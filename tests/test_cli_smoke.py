@@ -1,0 +1,102 @@
+"""CLI smoke tests: `list`, `describe` for every registered experiment,
+and one tiny `run fig2` end-to-end (fan-out flags + cache resume).
+
+This is the CI smoke job (run under pytest-timeout): it pins that the
+generic spec-driven CLI stays wired — every experiment is listable,
+describable, and runnable with the shared --workers/--cache-dir/--resume
+flags.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.api import experiment_names, get_experiment
+from repro.experiments.run import main
+
+
+class TestListAndDescribe:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+
+    @pytest.mark.parametrize("name", experiment_names())
+    def test_describe_prints_schema(self, name, capsys):
+        assert main(["describe", name]) == 0
+        out = capsys.readouterr().out
+        assert name in out
+        spec = get_experiment(name)
+        assert spec.result_type.__name__ in out
+        for param in spec.params:
+            assert param.name in out
+
+    def test_describe_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["describe", "fig9"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestRunEndToEnd:
+    def test_tiny_fig2_run_with_cache_resume(self, tmp_path, capsys):
+        argv = [
+            "run", "fig2",
+            "--param", "episodes=2",
+            "--workers", "1",
+            "--resume",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output", str(tmp_path / "out"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "1 job(s) executed, 0 from cache" in out
+        payload = json.loads((tmp_path / "out" / "fig2.json").read_text())
+        result = get_experiment("fig2").result_from_payload(payload)
+        assert len(result.episode_returns) == 2
+        # Rerun: the training must come back from the cache, not retrain,
+        # and assemble the identical result.
+        assert main(argv) == 0
+        resumed_out = capsys.readouterr().out
+        assert "0 job(s) executed, 1 from cache" in resumed_out
+        resumed = get_experiment("fig2").result_from_payload(
+            json.loads((tmp_path / "out" / "fig2.json").read_text())
+        )
+        assert resumed == result
+
+    def test_cheap_sweep_runs_without_scheduler_flags(self, capsys):
+        assert main(
+            ["run", "distance_sweep", "--param", "distances_m=500,1000"]
+        ) == 0
+        assert "RSU separation" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig9"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_param(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--param", "episodess=2"])
+        err = capsys.readouterr().err
+        assert "episodess" in err
+
+    def test_run_rejects_malformed_param(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--param", "episodes"])
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_run_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            main(["run", "welfare", "--workers", "0"])
+
+    def test_run_domain_validation_is_clean_cli_error(self, capsys):
+        """Spec-level ValueErrors (bad draws/shards/schemes) must exit as
+        parser errors on the generic path, not raw tracebacks."""
+        with pytest.raises(SystemExit):
+            main(["run", "fading_sweep", "--param", "draws=1"])
+        assert "draws" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["run", "multiseed", "--param", "shards=0"])
+        assert "shards" in capsys.readouterr().err

@@ -1,0 +1,317 @@
+"""Spec-API tests: registry, parameter validation, uniform payload
+round-trips, and plan/assemble vs direct bitwise equality.
+
+DRL runs use the smoke budget — these tests pin the *contract* (every
+registered experiment compiles to scheduler jobs whose assembled result
+equals the direct sequential path bitwise, and every result type
+round-trips through its generated JSON payload), not training quality.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments import (
+    ExperimentConfig,
+    Fig2Result,
+    JobScheduler,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+    schedule,
+)
+from repro.experiments import api
+from repro.experiments.api import ParamSpec
+from repro.utils.serialization import load_json, save_json
+
+SMOKE = ExperimentConfig.smoke()
+
+# One tiny-but-real parameterisation per registered experiment: every
+# spec's plan/assemble, direct path, and payload codec run against these.
+TINY_PARAMS = {
+    "fig2": {"config": SMOKE},
+    "fig3_cost": {
+        "config": SMOKE,
+        "costs": (5.0, 9.0),
+        "schemes": ("greedy", "random", "equilibrium"),
+    },
+    "fig3_vmus": {
+        "config": SMOKE,
+        "counts": (1, 2),
+        "schemes": ("greedy", "equilibrium"),
+    },
+    "distance_sweep": {"distances_m": (500.0, 1000.0)},
+    "fading_sweep": {"draws": 4},
+    "population_sweep": {"num_vmus": 2, "draws": 3},
+    "reward_ablation": {"config": SMOKE, "modes": ("utility",)},
+    "history_ablation": {"config": SMOKE, "lengths": (1, 2)},
+    "capacity_ablation": {"capacities": (10.0, 50.0)},
+    "welfare": {},
+    "multiseed": {
+        "config": SMOKE,
+        "seeds": (0, 1),
+        "schemes": ("random", "equilibrium"),
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def direct_results():
+    """Every experiment's direct (schedulerless) result, computed once."""
+    return {
+        name: run_experiment(name, params)
+        for name, params in TINY_PARAMS.items()
+    }
+
+
+class TestRegistry:
+    def test_every_experiment_is_registered(self):
+        assert experiment_names() == sorted(TINY_PARAMS)
+
+    def test_get_experiment_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_experiment("fig9")
+
+    def test_specs_carry_schema_and_result_type(self):
+        for name in experiment_names():
+            spec = get_experiment(name)
+            assert spec.description
+            assert spec.params, name
+            assert isinstance(spec.result_type, type)
+
+
+class TestJobsPathBitwiseEqualsDirect:
+    """Acceptance: every registered experiment runs through the scheduler
+    and assembles a result bitwise-equal to the direct sequential path."""
+
+    @pytest.mark.parametrize("name", sorted(TINY_PARAMS))
+    def test_scheduled_equals_direct(self, name, direct_results):
+        scheduled = run_experiment(
+            name, TINY_PARAMS[name], scheduler=JobScheduler(workers=1)
+        )
+        assert scheduled == direct_results[name]
+
+    @pytest.mark.parametrize("name", sorted(TINY_PARAMS))
+    def test_plan_compiles_to_jobs(self, name):
+        plan = schedule(name, TINY_PARAMS[name])
+        assert plan.experiment == name
+        # Every job spec must survive the JSON wire (the schedule CLI /
+        # remote-backend format).
+        specs = json.loads(json.dumps(plan.job_specs()))
+        assert len(specs) == len(plan.jobs)
+        for spec in specs:
+            assert set(spec) == {"kind", "payload"}
+
+    def test_fig2_and_ablations_decompose_into_jobs(self):
+        assert [j.kind for j in schedule("fig2", TINY_PARAMS["fig2"]).jobs] == [
+            "training_run"
+        ]
+        history = schedule("history_ablation", TINY_PARAMS["history_ablation"])
+        assert [j.kind for j in history.jobs] == ["training_run"] * 2
+        capacity = schedule(
+            "capacity_ablation", TINY_PARAMS["capacity_ablation"]
+        )
+        assert [j.kind for j in capacity.jobs] == ["equilibrium_cell"] * 2
+        shards = schedule(
+            "multiseed", {**TINY_PARAMS["multiseed"], "shards": 2}
+        )
+        assert [j.kind for j in shards.jobs] == ["multiseed_shard"] * 2
+
+
+class TestPayloadRoundTrips:
+    """Acceptance: load_json(save_json(r)) is bitwise-equal for every
+    registered result type — not just MultiSeedResult."""
+
+    @pytest.mark.parametrize("name", sorted(TINY_PARAMS))
+    def test_json_round_trip_identity(self, name, direct_results, tmp_path):
+        spec = get_experiment(name)
+        result = direct_results[name]
+        path = save_json(
+            tmp_path / f"{name}.json", spec.result_to_payload(result)
+        )
+        assert spec.result_from_payload(load_json(path)) == result
+
+    def test_codec_rejects_non_mapping(self):
+        with pytest.raises(ExperimentError, match="mapping"):
+            api.result_from_payload(Fig2Result, [1, 2, 3])
+
+    def test_codec_rejects_missing_and_unexpected_fields(self):
+        spec = get_experiment("welfare")
+        payload = spec.result_to_payload(run_experiment("welfare"))
+        short = {k: v for k, v in payload.items() if k != "efficiency"}
+        with pytest.raises(ExperimentError, match="missing=\\['efficiency'\\]"):
+            spec.result_from_payload(short)
+        with pytest.raises(ExperimentError, match="unexpected=\\['bogus'\\]"):
+            spec.result_from_payload({**payload, "bogus": 1})
+
+    def test_wrong_result_type_rejected(self):
+        spec = get_experiment("welfare")
+        with pytest.raises(ExperimentError, match="WelfareResult"):
+            spec.result_to_payload(object())
+
+
+class TestParamValidation:
+    """Acceptance: a typo'd parameter key errors loudly instead of
+    silently falling back to a default."""
+
+    def test_run_experiment_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="'episodess'"):
+            run_experiment("fig2", {"episodess": 2})
+
+    def test_schedule_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="'draw'"):
+            schedule("fading_sweep", {"draw": 4})
+
+    def test_multiseed_metric_validated_before_any_training(self):
+        """A typo'd metric must fail up front on every entry point — not
+        minutes later in getattr inside a (possibly worker) evaluation."""
+        bad = {**TINY_PARAMS["multiseed"], "metric": "mean_msp_utilty"}
+        with pytest.raises(ValueError, match="mean_msp_utilty"):
+            run_experiment("multiseed", bad)
+        with pytest.raises(ValueError, match="PolicyEvaluation field"):
+            schedule("multiseed", bad)
+
+    def test_ill_typed_value_rejected_naming_param(self):
+        with pytest.raises(ConfigurationError, match="'episodes'"):
+            run_experiment("fig2", {"episodes": "lots"})
+        with pytest.raises(ConfigurationError, match="'costs'"):
+            schedule("fig3_cost", {"costs": 5.0})
+
+    def test_none_means_default(self):
+        spec = get_experiment("fig3_cost")
+        validated = spec.validate({"costs": None})
+        assert validated["costs"] == (5.0, 6.0, 7.0, 8.0, 9.0)
+
+    def test_param_parse_types(self):
+        assert ParamSpec("s", "ints").parse("0,1,2") == (0, 1, 2)
+        assert ParamSpec("c", "floats").parse("5,7.5") == (5.0, 7.5)
+        assert ParamSpec("m", "strs").parse("drl, random") == ("drl", "random")
+        assert ParamSpec("b", "bool").parse("yes") is True
+        assert ParamSpec("e", "int?").parse("none") is None
+        assert ParamSpec("e", "int?").parse("3") == 3
+        with pytest.raises(ConfigurationError, match="'e'"):
+            ParamSpec("e", "int?").parse("many")
+
+    def test_fading_param_parses_names_and_json_payloads(self):
+        from repro.channel.fading import LogNormalShadowing, RicianFading
+
+        spec = ParamSpec("fading", "fading?")
+        assert type(spec.parse("rayleigh")).__name__ == "RayleighFading"
+        assert spec.parse("nofading").__class__.__name__ == "NoFading"
+        assert spec.parse("none") is None  # "none" = unset → default
+        rician = spec.parse('{"model": "rician", "k_factor": 3.0}')
+        assert rician == RicianFading(k_factor=3.0)
+        # Parameterised models by bare name must explain the JSON form.
+        with pytest.raises(ConfigurationError, match="JSON"):
+            spec.parse("rician")
+        with pytest.raises(ConfigurationError, match="unknown fading"):
+            spec.parse("nakagami")
+        # Encode/decode round trip for a parameterised model.
+        shadow = LogNormalShadowing(sigma_db=4.0)
+        assert spec.decode(spec.encode(shadow)) == shadow
+
+    def test_unknown_param_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown type"):
+            ParamSpec("x", "complex128")
+
+    def test_resolve_config_presets_and_overrides(self):
+        assert api.resolve_config({"preset": "smoke"}) == SMOKE
+        assert api.resolve_config({"preset": "quick", "seed": 7}).seed == 7
+        resolved = api.resolve_config({"config": SMOKE, "episodes": 2})
+        assert resolved.num_episodes == 2
+        assert resolved.rounds_per_episode == SMOKE.rounds_per_episode
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            api.resolve_config({"preset": "huge"})
+
+
+class TestShardsFollowScheduler:
+    def test_multiseed_shards_default_to_scheduler_workers(
+        self, direct_results
+    ):
+        """run_experiment('multiseed', ..., scheduler=N workers) must fan
+        out N shard jobs when shards is unset — --workers alone may not
+        silently collapse to one sequential job."""
+        scheduler = JobScheduler(workers=2)
+        result = run_experiment(
+            "multiseed", TINY_PARAMS["multiseed"], scheduler=scheduler
+        )
+        assert scheduler.jobs_executed == 2
+        assert result == direct_results["multiseed"]
+
+    def test_explicit_shards_win_over_scheduler_workers(self):
+        scheduler = JobScheduler(workers=2)
+        run_experiment(
+            "multiseed",
+            {**TINY_PARAMS["multiseed"], "shards": 1},
+            scheduler=scheduler,
+        )
+        assert scheduler.jobs_executed == 1
+
+
+class TestResumeFromCache:
+    """Acceptance: a killed fig2/ablation run resumes from its cache with
+    results bitwise-equal to the sequential path."""
+
+    def test_fig2_resumes_without_retraining(self, tmp_path, direct_results):
+        scheduler = JobScheduler(workers=1, cache_dir=tmp_path)
+        first = run_experiment("fig2", TINY_PARAMS["fig2"], scheduler=scheduler)
+        assert first == direct_results["fig2"]
+        assert scheduler.jobs_executed == 1
+        # The training job parked its agent next to the result cache.
+        assert len(list((tmp_path / "checkpoints").glob("*.npz"))) == 1
+        resumed_scheduler = JobScheduler(workers=1, cache_dir=tmp_path)
+        resumed = run_experiment(
+            "fig2", TINY_PARAMS["fig2"], scheduler=resumed_scheduler
+        )
+        assert resumed == direct_results["fig2"]
+        assert resumed_scheduler.jobs_executed == 0
+        assert resumed_scheduler.cache_hits == 1
+
+    def test_killed_history_ablation_resumes(self, tmp_path, direct_results):
+        params = TINY_PARAMS["history_ablation"]
+        scheduler = JobScheduler(workers=1, cache_dir=tmp_path)
+        baseline = run_experiment(
+            "history_ablation", params, scheduler=scheduler
+        )
+        cached = sorted(tmp_path.glob("*.json"))
+        assert len(cached) == 2  # one training_run per history length
+        # Simulate a run killed after finishing only the first length.
+        cached[1].unlink()
+        resumed_scheduler = JobScheduler(workers=1, cache_dir=tmp_path)
+        resumed = run_experiment(
+            "history_ablation", params, scheduler=resumed_scheduler
+        )
+        assert resumed_scheduler.cache_hits == 1
+        assert resumed_scheduler.jobs_executed == 1
+        assert resumed == baseline
+        assert resumed == direct_results["history_ablation"]
+
+
+class TestShimsAreThin:
+    """The historical run_* functions are shims over run_experiment."""
+
+    def test_run_fig2_equals_spec_path(self, direct_results):
+        from repro.experiments import run_fig2
+
+        assert run_fig2(SMOKE) == direct_results["fig2"]
+
+    def test_run_capacity_ablation_accepts_scheduler(self, direct_results):
+        from repro.experiments import run_capacity_ablation
+
+        scheduled = run_capacity_ablation(
+            capacities=(10.0, 50.0), scheduler=JobScheduler(workers=1)
+        )
+        assert scheduled == direct_results["capacity_ablation"]
+
+    def test_run_welfare_matches_report(self):
+        from repro.core.stackelberg import StackelbergMarket
+        from repro.core.welfare import welfare_report
+        from repro.entities.vmu import paper_fig2_population
+        from repro.experiments import run_welfare
+
+        report = welfare_report(StackelbergMarket(paper_fig2_population()))
+        result = run_welfare()
+        assert result.monopoly_price == report.monopoly_price
+        assert result.planner_welfare == report.planner_welfare
+        assert result.efficiency == report.efficiency

@@ -523,10 +523,15 @@ class TestScheduleCli:
         with pytest.raises(SystemExit):  # clean CLI error, not a traceback
             schedule_main(["--jobs", str(bad_entries)])
 
-    def test_scheduler_flags_rejected_for_sequential_figures(self):
+    def test_scheduler_flags_apply_to_every_figure(self, tmp_path, capsys):
+        """Since the spec registry landed, --workers/--cache-dir route
+        *every* figure through the scheduler — welfare (one
+        welfare_report job) included — instead of erroring out."""
         from repro.experiments.run import main
 
-        with pytest.raises(SystemExit):
-            main(["--figure", "welfare", "--workers", "2"])
-        with pytest.raises(SystemExit):
-            main(["--figure", "fig2", "--cache-dir", "/tmp/nope"])
+        assert main(["--figure", "welfare", "--workers", "2"]) == 0
+        assert "deadweight" in capsys.readouterr().out
+        assert (
+            main(["--figure", "welfare", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 1
