@@ -135,13 +135,22 @@ class OraclePricing:
         )
 
     @classmethod
-    def from_stack(cls, stack_or_markets) -> list["OraclePricing"]:
+    def from_stack(
+        cls,
+        stack_or_markets,
+        *,
+        chunk_size: int | None = None,
+        chunk_bytes: int | None = None,
+    ) -> list["OraclePricing"]:
         """One oracle per market of a stack, solved in a single pass.
 
         Accepts a :class:`repro.core.marketstack.MarketStack` or a market
         sequence. All ``M`` equilibria come from one
         :meth:`MarketStack.equilibria_stacked` call — bitwise-equal to
         ``[OraclePricing(m) for m in markets]``, which solves per market.
+        With either chunk knob set, the solve streams through
+        :meth:`MarketStack.equilibria_stacked_chunked` (same bits, memory
+        bounded by the chunk — for city-scale oracle grids).
 
         Raises:
             InfeasibleMarketError: if any member market admits no
@@ -154,7 +163,12 @@ class OraclePricing:
             if isinstance(stack_or_markets, MarketStack)
             else MarketStack(stack_or_markets)
         )
-        solved = stack.equilibria_stacked()
+        if chunk_size is not None or chunk_bytes is not None:
+            solved = stack.equilibria_stacked_chunked(
+                chunk_size=chunk_size, chunk_bytes=chunk_bytes
+            )
+        else:
+            solved = stack.equilibria_stacked()
         return [
             cls(market, price=solved.equilibrium(m).price)
             for m, market in enumerate(stack.markets)

@@ -25,12 +25,27 @@ A stacked solve agrees **bitwise** with ``M`` separate per-market solves:
 ``StackelbergMarket.outcomes_batch`` is the ``M = 1`` broadcast case of
 this path — the single-market price batch delegates here, so the two
 entry points cannot diverge.
+
+Chunking contract
+-----------------
+:meth:`MarketStack.equilibria_stacked_chunked` streams the equilibrium
+solve over row ranges of the stack so peak memory is bounded by the chunk,
+not by ``M``. Every operation of the solve — the Theorem-2 candidate
+matrix, the candidate evaluation, and the lockstep golden refinement — is
+row-local (reductions run along the population or candidate axis, never
+across markets), so solving rows ``[lo, hi)`` alone produces bitwise the
+same numbers those rows get inside the full stacked solve. The per-chunk
+evaluation writes into one set of preallocated scratch buffers
+(:class:`_ChunkScratch`) reused across all chunks, and results stream into
+preallocated ``(M,)``/``(M, N_max)`` output arrays — memory scales with
+``chunk_size``, results are bitwise-equal to :meth:`equilibria_stacked`
+for *every* chunk size. See ``sim/README.md`` for the budget semantics.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -40,7 +55,6 @@ from repro.core.stackelberg import (
     PriceBatchOutcome,
     StackelbergEquilibrium,
     StackelbergMarket,
-    uniform_price_grid,
 )
 from repro.core.utilities import (
     follower_best_response_stacked,
@@ -50,7 +64,64 @@ from repro.core.utilities import (
 from repro.errors import ConfigurationError, InfeasibleMarketError
 from repro.game.solvers import grid_then_golden_batch
 
-__all__ = ["MarketStack", "StackedOutcome", "StackedEquilibria"]
+__all__ = [
+    "MarketStack",
+    "StackedOutcome",
+    "StackedEquilibria",
+    "DEFAULT_CHUNK_BYTES",
+    "resolve_chunk_size",
+    "solve_scratch_bytes_per_market",
+]
+
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+"""Default scratch-memory budget of a chunked solve (64 MiB)."""
+
+_REFINE_GRID_POINTS = 256
+"""Coarse-scan width of ``grid_then_golden_batch`` — the widest per-market
+price batch the equilibrium solve evaluates (together with the
+``3·N_max + 4``-wide candidate matrix)."""
+
+
+def solve_scratch_bytes_per_market(n_max: int) -> int:
+    """Estimated peak scratch bytes one market contributes to a chunk.
+
+    Sized for the widest evaluation of the solve: a ``(width, N_max)``
+    best-response/allocation band where ``width = max(256, 3·N_max + 4)``,
+    the transient grouped-reduction copies of that band (ragged stacks),
+    the ``(width,)``-shaped grid/total/scale temporaries, and the
+    candidate-matrix intermediates. Deliberately conservative so a chunk
+    sized from ``chunk_bytes`` stays inside the budget including numpy's
+    untracked temporaries.
+    """
+    if n_max < 1:
+        raise ConfigurationError(f"n_max must be >= 1, got {n_max}")
+    width = max(_REFINE_GRID_POINTS, 3 * n_max + 4)
+    return 8 * (3 * width * n_max + 12 * width + 32 * n_max + 128)
+
+
+def resolve_chunk_size(
+    num_markets: int,
+    n_max: int,
+    *,
+    chunk_size: int | None = None,
+    chunk_bytes: int | None = None,
+) -> int:
+    """Rows per chunk for a chunked solve of an ``(M, N_max)`` stack.
+
+    An explicit ``chunk_size`` wins over ``chunk_bytes``; with neither set
+    the :data:`DEFAULT_CHUNK_BYTES` budget applies. The result is clamped
+    to ``[1, num_markets]``, so any positive value is safe to pass.
+    """
+    if chunk_size is not None:
+        size = int(chunk_size)
+        if size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        return min(size, num_markets)
+    budget = DEFAULT_CHUNK_BYTES if chunk_bytes is None else int(chunk_bytes)
+    if budget < 1:
+        raise ConfigurationError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    per_market = solve_scratch_bytes_per_market(n_max)
+    return max(1, min(num_markets, budget // per_market))
 
 
 def _per_market_totals(
@@ -61,15 +132,37 @@ def _per_market_totals(
     Ragged stacks reduce each market over its *own* ``N`` so the summation
     order is identical to the per-market solve; zero-padded rows could
     associate differently inside numpy's pairwise reduction and drift a
-    ulp. The single implementation behind ``MarketStack._row_totals`` and
+    ulp. Markets are grouped by population size — one numpy reduction per
+    *distinct* ``N`` instead of one Python iteration per market; within a
+    group each row reduces over the same contiguous ``[:n]`` slice the
+    per-market loop reduced, so the grouping is bitwise-invisible. The
+    single implementation behind ``MarketStack._row_totals`` and
     ``StackedOutcome.total_vmu_utilities``.
     """
     if not ragged:
         return values.sum(axis=-1)
-    totals = np.empty(values.shape[:-1])
-    for m, n in enumerate(counts):
-        totals[m] = values[m, ..., :n].sum(axis=-1)
+    totals = np.empty(values.shape[:-1], dtype=np.float64)
+    for n in np.unique(counts):
+        members = np.flatnonzero(counts == n)
+        totals[members] = values[members, ..., : int(n)].sum(axis=-1)
     return totals
+
+
+class _ChunkScratch:
+    """Preallocated per-chunk buffers, reused across every chunk.
+
+    ``band`` holds the widest ``(chunk, width, N_max)`` evaluation of the
+    solve (best responses overwritten in place by allocations); ``ratio``
+    holds the per-chunk ``D/SE`` matrix; ``pad`` the inverted population
+    mask. Chunks narrower than the buffers use leading-axis views, so no
+    chunk allocates fresh band-sized arrays.
+    """
+
+    def __init__(self, chunk_size: int, n_max: int) -> None:
+        width = max(_REFINE_GRID_POINTS, 3 * n_max + 4)
+        self.band = np.empty((chunk_size, width, n_max), dtype=np.float64)
+        self.ratio = np.empty((chunk_size, n_max), dtype=np.float64)
+        self.pad = np.empty((chunk_size, n_max), dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -205,6 +298,10 @@ class StackedEquilibria:
     """True population size per market, shape ``(M,)``."""
     unit_costs: np.ndarray
     """Per-market unit cost ``C``, shape ``(M,)`` (for error reporting)."""
+    _scalar_cache: dict[int, StackelbergEquilibrium] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    """Lazily built per-market scalar equilibria (accessor memo)."""
 
     def __len__(self) -> int:
         return self.num_markets
@@ -227,6 +324,10 @@ class StackedEquilibria:
         """Market ``market_index``'s equilibrium as a scalar
         :class:`StackelbergEquilibrium` (padding stripped).
 
+        Built once per market and cached — repeated access during sweep
+        assembly is O(1). The cached object is shared between callers, so
+        its arrays are read-only (the stacked backing arrays already are).
+
         Raises:
             InfeasibleMarketError: if the market admits no profitable
                 trade — the identical semantics of the per-market
@@ -238,15 +339,25 @@ class StackedEquilibria:
                 f"cost C={float(self.unit_costs[market_index])}; no "
                 "profitable trade exists"
             )
-        n = int(self.counts[market_index])
-        return StackelbergEquilibrium(
-            price=float(self.prices[market_index]),
-            demands=self.demands[market_index, :n].copy(),
-            msp_utility=float(self.msp_utilities[market_index]),
-            vmu_utilities=self.vmu_utilities[market_index, :n].copy(),
-            capacity_binding=bool(self.capacity_binding[market_index]),
-            price_cap_binding=bool(self.price_cap_binding[market_index]),
+        index = int(market_index)
+        cached = self._scalar_cache.get(index)
+        if cached is not None:
+            return cached
+        n = int(self.counts[index])
+        demands = self.demands[index, :n].copy()
+        vmu_utilities = self.vmu_utilities[index, :n].copy()
+        demands.setflags(write=False)
+        vmu_utilities.setflags(write=False)
+        result = StackelbergEquilibrium(
+            price=float(self.prices[index]),
+            demands=demands,
+            msp_utility=float(self.msp_utilities[index]),
+            vmu_utilities=vmu_utilities,
+            capacity_binding=bool(self.capacity_binding[index]),
+            price_cap_binding=bool(self.price_cap_binding[index]),
         )
+        self._scalar_cache[index] = result
+        return result
 
     def equilibria(self) -> list[StackelbergEquilibrium | None]:
         """Every market's scalar equilibrium (``None`` where infeasible)."""
@@ -262,47 +373,67 @@ class MarketStack:
     Stacks per-market parameters into padded ``(M, N_max)`` matrices once
     at construction; :meth:`outcomes_stacked` then solves all ``M`` markets
     at ``M`` different prices (or ``M`` whole price grids) in one numpy
-    pass. See the module docstring for the bitwise exactness contract.
+    pass. See the module docstring for the bitwise exactness contract and
+    :meth:`equilibria_stacked_chunked` for the memory-bounded city-scale
+    path.
     """
 
     def __init__(self, markets: Sequence[StackelbergMarket]) -> None:
         if len(markets) == 0:
             raise ConfigurationError("market stack needs at least one market")
         self._markets = tuple(markets)
-        counts = np.array([m.num_vmus for m in self._markets], dtype=int)
-        num_markets, n_max = len(self._markets), int(counts.max())
+        num_markets = len(self._markets)
+        counts = np.fromiter(
+            (m.num_vmus for m in self._markets),
+            dtype=np.int64,
+            count=num_markets,
+        )
+        n_max = int(counts.max())
         # Padding value 1.0 keeps the padded slots' elementwise math finite;
         # the mask zeroes their demand before anything downstream sees it.
-        alphas = np.ones((num_markets, n_max))
-        data = np.ones((num_markets, n_max))
-        mask = np.zeros((num_markets, n_max), dtype=bool)
-        for i, market in enumerate(self._markets):
-            n = market.num_vmus
-            alphas[i, :n] = market.immersion_coefs
-            data[i, :n] = market.data_units
-            mask[i, :n] = True
+        # The mask's True slots are each row's leading prefix, so boolean
+        # assignment (row-major) scatters the concatenated per-market
+        # vectors into exactly the slots the per-market fill loop wrote.
+        alphas = np.ones((num_markets, n_max), dtype=np.float64)
+        data = np.ones((num_markets, n_max), dtype=np.float64)
+        mask = np.arange(n_max) < counts[:, np.newaxis]
+        alphas[mask] = np.concatenate([m._alphas for m in self._markets])
+        data[mask] = np.concatenate([m._data_units for m in self._markets])
         self._counts = counts
         self._mask = mask
         self._alphas = alphas
         self._data = data
         self._ragged = bool((counts != n_max).any())
-        self._se = np.array([m.spectral_efficiency for m in self._markets])
-        self._unit_costs = np.array(
-            [m.config.unit_cost for m in self._markets]
+        self._se = np.fromiter(
+            (m.spectral_efficiency for m in self._markets),
+            dtype=np.float64,
+            count=num_markets,
         )
-        self._max_prices = np.array(
-            [m.config.max_price for m in self._markets]
+        self._unit_costs = np.fromiter(
+            (m.config.unit_cost for m in self._markets),
+            dtype=np.float64,
+            count=num_markets,
         )
-        self._caps = np.array(
-            [m.config.capacity_natural for m in self._markets]
+        self._max_prices = np.fromiter(
+            (m.config.max_price for m in self._markets),
+            dtype=np.float64,
+            count=num_markets,
         )
-        self._enforce = np.array(
-            [m.config.enforce_capacity for m in self._markets], dtype=bool
+        self._caps = np.fromiter(
+            (m.config.capacity_natural for m in self._markets),
+            dtype=np.float64,
+            count=num_markets,
+        )
+        self._enforce = np.fromiter(
+            (m.config.enforce_capacity for m in self._markets),
+            dtype=bool,
+            count=num_markets,
         )
         # Lazy equilibrium-solve caches: the candidate matrix depends only
         # on the (immutable) stacked parameters, and solved equilibria are
         # memoised per refine flag (markets and configs are frozen, so the
-        # solve can never go stale).
+        # solve can never go stale). Chunked and unchunked solves are
+        # bitwise-equal, so they share the memo.
         self._candidates: tuple[np.ndarray, np.ndarray] | None = None
         self._equilibria: dict[bool, StackedEquilibria] = {}
 
@@ -313,6 +444,55 @@ class MarketStack:
         """Build a stack over ``markets`` (alias of the constructor, named
         for symmetry with ``VectorMigrationEnv.from_market``)."""
         return cls(markets)
+
+    @classmethod
+    def from_grid(
+        cls,
+        num_markets: int | None = None,
+        *,
+        rows: int | None = None,
+        cols: int | None = None,
+        block_m: float = 400.0,
+        coverage_radius_m: float | None = None,
+        speed_limit_mps: float = 13.9,
+        vehicles_per_cell: float = 400.0,
+        max_vmus: int = 6,
+        target_aotm: float = 0.05,
+        horizon_s: float = 3600.0,
+        seed: int = 0,
+    ) -> "MarketStack":
+        """A city-scale stack: one migration market per RSU-grid junction.
+
+        Builds a Manhattan grid (:func:`repro.mobility.road.grid_city`)
+        with one :class:`~repro.entities.rsu.RoadsideUnit` per junction,
+        derives each junction's migration-demand profile from the mobility
+        models (handover rate of ``vehicles_per_cell`` vehicles crossing
+        the cell at ``speed_limit_mps``), sizes the market's ``B_max`` via
+        :func:`repro.mobility.demand.capacity_for_demand`, and samples the
+        VMU population per cell. Each market is a pure function of the
+        grid parameters and its junction index (per-index seeding), so a
+        chunked/scheduled build of index range ``[lo, hi)`` produces the
+        identical markets — see :mod:`repro.mobility.citygrid`.
+
+        Pass either ``num_markets`` (grid shape derived, near-square) or an
+        explicit ``rows × cols`` shape.
+        """
+        from repro.mobility.citygrid import CityGridSpec, city_markets
+
+        spec = CityGridSpec.for_markets(
+            num_markets,
+            rows=rows,
+            cols=cols,
+            block_m=block_m,
+            coverage_radius_m=coverage_radius_m,
+            speed_limit_mps=speed_limit_mps,
+            vehicles_per_cell=vehicles_per_cell,
+            max_vmus=max_vmus,
+            target_aotm=target_aotm,
+            horizon_s=horizon_s,
+            seed=seed,
+        )
+        return cls(city_markets(spec))
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -459,17 +639,20 @@ class MarketStack:
 
         Each market gets its own uniform ``grid_points``-point grid over
         its feasible interval ``[C_m, p_max_m]`` — the whole Fig.-3-style
-        market grid evaluated in a single ``(M, R, N)`` pass.
+        market grid evaluated in a single ``(M, R, N)`` pass. The grid
+        rows are the elementwise ``low + step·arange`` expression of
+        :func:`repro.game.solvers.uniform_price_grid`, built for all
+        markets in one broadcast (bitwise-identical rows, no per-market
+        loop).
         """
-        grids = np.stack(
-            [
-                uniform_price_grid(
-                    float(self._unit_costs[m]),
-                    float(self._max_prices[m]),
-                    grid_points,
-                )
-                for m in range(self.num_markets)
-            ]
+        if grid_points < 2:
+            raise ConfigurationError(
+                f"grid_points must be >= 2, got {grid_points}"
+            )
+        steps = (self._max_prices - self._unit_costs) / (grid_points - 1)
+        grids = (
+            self._unit_costs[:, np.newaxis]
+            + steps[:, np.newaxis] * np.arange(grid_points)
         )
         return self.outcomes_stacked(grids)
 
@@ -480,8 +663,8 @@ class MarketStack:
         """Leader utilities at per-market prices ``(M,)`` or grids ``(M, R)``."""
         return self.outcomes_stacked(prices).msp_utilities
 
-    def _candidate_matrix(self) -> tuple[np.ndarray, np.ndarray]:
-        """Theorem 2's closed-form candidate prices for every market.
+    def _candidate_rows(self, sl: slice) -> tuple[np.ndarray, np.ndarray]:
+        """Theorem 2's closed-form candidate prices for rows ``sl``.
 
         Vectorises :meth:`StackelbergMarket._segment_candidates` across the
         stack. Per market the layout is: the ``N_max + 2`` segment
@@ -489,7 +672,7 @@ class MarketStack:
         sorted ascending, ``p_max``), then each of the ``N_max + 1``
         segments' clamped unconstrained optimum ``sqrt(C·SE·Σ_A α / Σ_A D)``
         and clamped capacity-saturating price ``Σ_A α / (B + Σ_A D/SE)`` —
-        a ``(M, 3·N_max + 4)`` matrix. The per-segment active-set sums come
+        a ``(m, 3·N_max + 4)`` matrix. The per-segment active-set sums come
         from prefix sums of ``α`` and ``D`` sorted by descending threshold,
         so one cumulative pass replaces the per-probe ``O(N)`` re-reduction.
         Padded population slots sort to the end (threshold ``-inf``) and
@@ -498,18 +681,22 @@ class MarketStack:
         duplicate their segment's lower boundary, which is already a
         candidate — duplicates never change the argmax's *price*, so a row
         solved inside a wide ragged stack picks the identical equilibrium
-        it picks alone.
+        it picks alone. Every operation is row-local (sorts, prefix sums,
+        and reductions run along axis 1), so the rows of a slice are
+        bitwise the rows of the full matrix — the property the chunked
+        solve streams on.
 
-        Returns ``(candidates (M, K), feasible (M,))``.
+        Returns ``(candidates (m, K), feasible (m,))``.
         """
-        if self._candidates is not None:
-            return self._candidates
-        costs = self._unit_costs[:, np.newaxis]
-        caps_price = self._max_prices[:, np.newaxis]
-        se = self._se[:, np.newaxis]
-        thresholds = self._alphas * se / self._data
-        masked_t = np.where(self._mask, thresholds, -np.inf)
-        feasible = masked_t.max(axis=1) > self._unit_costs
+        row_mask = self._mask[sl]
+        row_alphas = self._alphas[sl]
+        row_data = self._data[sl]
+        costs = self._unit_costs[sl][:, np.newaxis]
+        caps_price = self._max_prices[sl][:, np.newaxis]
+        se = self._se[sl][:, np.newaxis]
+        thresholds = row_alphas * se / row_data
+        masked_t = np.where(row_mask, thresholds, -np.inf)
+        feasible = masked_t.max(axis=1) > self._unit_costs[sl]
 
         # Prefix sums over (α, D) sorted by descending threshold: the
         # active set of any probe price is a prefix of this order.
@@ -517,18 +704,18 @@ class MarketStack:
         t_desc = np.take_along_axis(masked_t, order, axis=1)
         alpha_prefix = np.cumsum(
             np.take_along_axis(
-                np.where(self._mask, self._alphas, 0.0), order, axis=1
+                np.where(row_mask, row_alphas, 0.0), order, axis=1
             ),
             axis=1,
         )
         data_prefix = np.cumsum(
             np.take_along_axis(
-                np.where(self._mask, self._data, 0.0), order, axis=1
+                np.where(row_mask, row_data, 0.0), order, axis=1
             ),
             axis=1,
         )
 
-        inside = self._mask & (thresholds > costs) & (thresholds < caps_price)
+        inside = row_mask & (thresholds > costs) & (thresholds < caps_price)
         inner = np.sort(np.where(inside, thresholds, caps_price), axis=1)
         boundaries = np.concatenate([costs, inner, caps_price], axis=1)
         low = boundaries[:, :-1]
@@ -542,17 +729,25 @@ class MarketStack:
         alpha_sums = np.take_along_axis(alpha_prefix, prefix_idx, axis=1)
         data_sums = np.take_along_axis(data_prefix, prefix_idx, axis=1)
         p_unconstrained = np.sqrt(costs * se * alpha_sums / data_sums)
-        p_cap = alpha_sums / (self._caps[:, np.newaxis] + data_sums / se)
+        p_cap = alpha_sums / (self._caps[sl][:, np.newaxis] + data_sums / se)
         unconstrained = np.where(
             has_active, np.clip(p_unconstrained, low, high), low
         )
         saturating = np.where(
-            has_active & self._enforce[:, np.newaxis],
+            has_active & self._enforce[sl][:, np.newaxis],
             np.clip(p_cap, low, high),
             low,
         )
-        candidates = np.concatenate([boundaries, unconstrained, saturating], axis=1)
-        self._candidates = (candidates, feasible)
+        candidates = np.concatenate(
+            [boundaries, unconstrained, saturating], axis=1
+        )
+        return candidates, feasible
+
+    def _candidate_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """The full-stack candidate matrix (cached; see
+        :meth:`_candidate_rows` for the construction)."""
+        if self._candidates is None:
+            self._candidates = self._candidate_rows(slice(None))
         return self._candidates
 
     def equilibria_stacked(self, *, refine: bool = True) -> StackedEquilibria:
@@ -570,7 +765,9 @@ class MarketStack:
         instead of aborting the solve (see :class:`StackedEquilibria`).
 
         Results are memoised per ``refine`` flag — markets are immutable,
-        so repeated solves of one stack are free.
+        so repeated solves of one stack are free. For stacks too wide to
+        materialise the full candidate evaluation, use
+        :meth:`equilibria_stacked_chunked` (bitwise-equal).
         """
         cached = self._equilibria.get(refine)
         if cached is not None:
@@ -602,11 +799,236 @@ class MarketStack:
             counts=self._counts.copy(),
             unit_costs=self._unit_costs.copy(),
         )
-        # The result is memoised, so its backing arrays are frozen: a
-        # caller writing through them would silently poison every later
-        # equilibrium() solve of this stack. equilibrium(m) hands out
-        # copies; whole-array consumers get read-only views.
-        for field in (
+        return self._memoise(refine, result)
+
+    # ------------------------------------------------------------------ #
+    # the chunked (memory-bounded) equilibrium solve
+    # ------------------------------------------------------------------ #
+    def resolve_chunk_size(
+        self,
+        *,
+        chunk_size: int | None = None,
+        chunk_bytes: int | None = None,
+    ) -> int:
+        """Rows per chunk a chunked solve of this stack would use
+        (see the module-level :func:`resolve_chunk_size`)."""
+        return resolve_chunk_size(
+            self.num_markets,
+            self.max_vmus,
+            chunk_size=chunk_size,
+            chunk_bytes=chunk_bytes,
+        )
+
+    def _grid_utilities(
+        self, sl: slice, prices: np.ndarray, scratch: _ChunkScratch
+    ) -> np.ndarray:
+        """Leader utilities of rows ``sl`` at per-market price grids,
+        evaluated into the chunk's scratch buffers.
+
+        The scratch-buffered replica of
+        ``outcomes_stacked(prices).msp_utilities`` for a row range: best
+        responses, mask zeroing, and rationing are the identical
+        elementwise expressions, computed in place in ``scratch.band``
+        instead of freshly allocated ``(M, R, N)`` arrays. Only the
+        ``(m, R)``-shaped totals/scales remain ordinary allocations.
+        """
+        alphas = self._alphas[sl]
+        data = self._data[sl]
+        se = self._se[sl]
+        counts = self._counts[sl]
+        m, width = prices.shape
+        band = scratch.band[:m, :width]
+        # b*_n = max(0, α_n/p − D_n/SE), padded slots zeroed — identical
+        # operands (and therefore bits) to follower_best_response_stacked
+        # plus the np.where(mask, ·, 0.0) of outcomes_stacked.
+        np.divide(alphas[:, np.newaxis, :], prices[:, :, np.newaxis], out=band)
+        ratio = scratch.ratio[:m]
+        np.divide(data, se[:, np.newaxis], out=ratio)
+        np.subtract(band, ratio[:, np.newaxis, :], out=band)
+        np.maximum(band, 0.0, out=band)
+        np.copyto(band, 0.0, where=scratch.pad[:m, np.newaxis, :])
+        demand_totals = _per_market_totals(band, counts, ragged=self._ragged)
+        # Proportional rationing in place (demands are not needed after
+        # their totals): the same where-guarded scale expression as
+        # proportional_rationing_stacked, rows within capacity scaled by
+        # exactly 1.0.
+        caps_rows = np.where(self._enforce[sl], self._caps[sl], np.inf)[
+            :, np.newaxis
+        ]
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            scales = np.where(
+                demand_totals > caps_rows, caps_rows / demand_totals, 1.0
+            )
+        np.multiply(band, scales[:, :, np.newaxis], out=band)
+        return msp_utilities_stacked(
+            prices,
+            self._unit_costs[sl],
+            _per_market_totals(band, counts, ragged=self._ragged),
+        )
+
+    def _vector_utilities(self, sl: slice, prices: np.ndarray) -> np.ndarray:
+        """Leader utilities of rows ``sl`` at one price per market — the
+        row-sliced replica of the ``(M,)``-priced ``outcomes_stacked``
+        utility chain (small arrays; no scratch needed)."""
+        mask = self._mask[sl]
+        counts = self._counts[sl]
+        raw = follower_best_response_stacked(
+            self._alphas[sl], self._data[sl], prices, self._se[sl]
+        )
+        demands = np.where(mask, raw, 0.0)
+        demand_totals = _per_market_totals(demands, counts, ragged=self._ragged)
+        effective_caps = np.where(self._enforce[sl], self._caps[sl], np.inf)
+        allocations = proportional_rationing_stacked(
+            demands, effective_caps, totals=demand_totals
+        )
+        return msp_utilities_stacked(
+            prices,
+            self._unit_costs[sl],
+            _per_market_totals(allocations, counts, ragged=self._ragged),
+        )
+
+    def _solve_rows(
+        self, sl: slice, refine: bool, scratch: _ChunkScratch
+    ) -> dict[str, np.ndarray]:
+        """Equilibrium arrays for rows ``sl`` — one chunk of the solve.
+
+        Runs the identical candidate-argmax + golden-refinement sequence
+        :meth:`equilibria_stacked` runs, restricted to a row range and
+        evaluated through the chunk scratch buffers. Because every
+        operation is row-local, the returned arrays are bitwise the
+        corresponding rows of the unchunked result.
+        """
+        num_rows = len(range(*sl.indices(self.num_markets)))
+        np.logical_not(self._mask[sl], out=scratch.pad[:num_rows])
+        candidates, feasible = self._candidate_rows(sl)
+        candidate_values = self._grid_utilities(sl, candidates, scratch)
+        best_idx = np.argmax(candidate_values, axis=1)[:, np.newaxis]
+        best_prices = np.take_along_axis(candidates, best_idx, axis=1)[:, 0]
+        best_values = np.take_along_axis(candidate_values, best_idx, axis=1)[
+            :, 0
+        ]
+        if refine:
+
+            def objective(prices: np.ndarray) -> np.ndarray:
+                p = np.asarray(prices, dtype=np.float64)
+                if p.ndim == 2:
+                    return self._grid_utilities(sl, p, scratch)
+                return self._vector_utilities(sl, p)
+
+            refined_prices, refined_values = grid_then_golden_batch(
+                objective, self._unit_costs[sl], self._max_prices[sl]
+            )
+            best_prices = np.where(
+                refined_values > best_values, refined_prices, best_prices
+            )
+        # Full outcome fields at the winning prices — the row-sliced
+        # replica of the final outcomes_stacked(best_prices) evaluation
+        # (small (m, N_max) arrays, so no scratch indirection).
+        mask = self._mask[sl]
+        counts = self._counts[sl]
+        raw = follower_best_response_stacked(
+            self._alphas[sl], self._data[sl], best_prices, self._se[sl]
+        )
+        demands = np.where(mask, raw, 0.0)
+        demand_totals = _per_market_totals(demands, counts, ragged=self._ragged)
+        effective_caps = np.where(self._enforce[sl], self._caps[sl], np.inf)
+        allocations = proportional_rationing_stacked(
+            demands, effective_caps, totals=demand_totals
+        )
+        binding = self._enforce[sl] & (
+            demand_totals >= self._caps[sl] * (1.0 - 1e-9)
+        )
+        utilities = msp_utilities_stacked(
+            best_prices,
+            self._unit_costs[sl],
+            _per_market_totals(allocations, counts, ragged=self._ragged),
+        )
+        follower_utilities = np.where(
+            mask,
+            vmu_utilities_stacked(
+                self._alphas[sl],
+                self._data[sl],
+                allocations,
+                best_prices,
+                self._se[sl],
+            ),
+            0.0,
+        )
+        price_cap_binding = np.abs(best_prices - self._max_prices[sl]) < 1e-9
+        rows = feasible[:, np.newaxis]
+        return {
+            "prices": np.where(feasible, best_prices, np.nan),
+            "demands": np.where(rows, allocations, np.nan),
+            "msp_utilities": np.where(feasible, utilities, np.nan),
+            "vmu_utilities": np.where(rows, follower_utilities, np.nan),
+            "capacity_binding": binding & feasible,
+            "price_cap_binding": price_cap_binding & feasible,
+            "feasible": feasible,
+        }
+
+    def equilibria_stacked_chunked(
+        self,
+        *,
+        refine: bool = True,
+        chunk_size: int | None = None,
+        chunk_bytes: int | None = None,
+    ) -> StackedEquilibria:
+        """The memory-bounded streaming form of :meth:`equilibria_stacked`.
+
+        Partitions the stack into chunks of :meth:`resolve_chunk_size`
+        rows (explicit ``chunk_size`` wins over the ``chunk_bytes`` scratch
+        budget; neither set uses :data:`DEFAULT_CHUNK_BYTES`), solves each
+        chunk through the candidate-matrix + golden-refinement path into
+        one set of preallocated scratch buffers reused across chunks, and
+        streams the per-chunk rows into preallocated result arrays. Peak
+        memory scales with the chunk, never with ``M`` — and the result is
+        **bitwise-equal** to the unchunked solve for every chunk size (the
+        solve is row-local end to end; see the module docstring).
+
+        Shares the per-``refine`` memo with :meth:`equilibria_stacked`:
+        solving a stack twice — chunked or not, any chunk size — returns
+        the identical cached object.
+        """
+        cached = self._equilibria.get(refine)
+        if cached is not None:
+            return cached
+        size = self.resolve_chunk_size(
+            chunk_size=chunk_size, chunk_bytes=chunk_bytes
+        )
+        num_markets, n_max = self.num_markets, self.max_vmus
+        out = {
+            "prices": np.empty(num_markets, dtype=np.float64),
+            "demands": np.empty((num_markets, n_max), dtype=np.float64),
+            "msp_utilities": np.empty(num_markets, dtype=np.float64),
+            "vmu_utilities": np.empty((num_markets, n_max), dtype=np.float64),
+            "capacity_binding": np.empty(num_markets, dtype=bool),
+            "price_cap_binding": np.empty(num_markets, dtype=bool),
+            "feasible": np.empty(num_markets, dtype=bool),
+        }
+        scratch = _ChunkScratch(size, n_max)
+        for start in range(0, num_markets, size):
+            sl = slice(start, min(start + size, num_markets))
+            chunk = self._solve_rows(sl, refine, scratch)
+            for key, values in chunk.items():
+                out[key][sl] = values
+        result = StackedEquilibria(
+            mask=self._mask.copy(),
+            counts=self._counts.copy(),
+            unit_costs=self._unit_costs.copy(),
+            **out,
+        )
+        return self._memoise(refine, result)
+
+    def _memoise(self, refine: bool, result: StackedEquilibria) -> StackedEquilibria:
+        """Freeze a solved result's arrays and store it in the per-refine
+        memo.
+
+        The result is memoised, so its backing arrays are frozen: a caller
+        writing through them would silently poison every later
+        equilibrium() solve of this stack. equilibrium(m) hands out
+        read-only copies; whole-array consumers get read-only views.
+        """
+        for values in (
             result.prices,
             result.demands,
             result.msp_utilities,
@@ -618,6 +1040,6 @@ class MarketStack:
             result.counts,
             result.unit_costs,
         ):
-            field.setflags(write=False)
+            values.setflags(write=False)
         self._equilibria[refine] = result
         return result

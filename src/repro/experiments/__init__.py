@@ -28,6 +28,7 @@ from repro.experiments.api import (
     run_experiment,
     schedule,
 )
+from repro.experiments.cityscale import CityScaleResult, run_city_sweep
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig3_cost import CostSweepResult, run_fig3_cost
@@ -84,6 +85,8 @@ __all__ = [
     "ExperimentConfig",
     "Fig2Result",
     "run_fig2",
+    "CityScaleResult",
+    "run_city_sweep",
     "CostSweepResult",
     "run_fig3_cost",
     "VmuSweepResult",

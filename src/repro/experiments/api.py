@@ -80,6 +80,7 @@ __all__ = [
     "result_from_payload",
     "resolve_config",
     "resolve_market",
+    "CHUNK_PARAMS",
     "CONFIG_PARAMS",
     "MARKET_PARAM",
     "parse_int_tuple",
@@ -381,6 +382,20 @@ MARKET_PARAM = ParamSpec(
     "market", "market?", None,
     "market payload (default: the paper's 2-VMU Fig. 2 market)",
 )
+
+CHUNK_PARAMS: tuple[ParamSpec, ...] = (
+    ParamSpec(
+        "chunk_size", "int?", None,
+        "markets per chunk of the stacked solve (wins over chunk_bytes)",
+    ),
+    ParamSpec(
+        "chunk_bytes", "int?", None,
+        "scratch-memory budget per solve chunk in bytes (default 64 MiB)",
+    ),
+)
+"""The memory-bounding knobs of every stacked-solve experiment: forwarded
+to :meth:`repro.core.marketstack.MarketStack.equilibria_stacked_chunked`,
+which is bitwise-equal to the unchunked solve at every setting."""
 
 _PRESETS: dict[str, Callable[..., ExperimentConfig]] = {
     "quick": ExperimentConfig.quick,

@@ -52,18 +52,38 @@ __all__ = [
 
 def _solve_grid(
     markets: list[StackelbergMarket],
+    *,
+    chunk_size: int | None = None,
+    chunk_bytes: int | None = None,
 ) -> list[tuple[float, float]]:
     """Per-market ``(price, msp_utility)`` equilibria for one sweep grid:
     one stacked solve over the whole grid (the specs' direct path; the
     scheduled path runs one ``equilibrium_cell`` job per market instead —
     same numbers, scalar equilibrium == ``M = 1`` stacked solve, pinned
-    in ``tests/test_core_equilibria_stacked.py``)."""
-    solved = MarketStack(markets).equilibria_stacked()
+    in ``tests/test_core_equilibria_stacked.py``). With either chunk knob
+    set, the solve streams through ``equilibria_stacked_chunked`` — same
+    bits, memory bounded by the chunk instead of the grid."""
+    stack = MarketStack(markets)
+    if chunk_size is not None or chunk_bytes is not None:
+        solved = stack.equilibria_stacked_chunked(
+            chunk_size=chunk_size, chunk_bytes=chunk_bytes
+        )
+    else:
+        solved = stack.equilibria_stacked()
     cells = []
     for m in range(len(markets)):
         equilibrium = solved.equilibrium(m)
         cells.append((equilibrium.price, equilibrium.msp_utility))
     return cells
+
+
+def _solve_grid_params(params, markets) -> list[tuple[float, float]]:
+    """The direct path of a sweep spec carrying :data:`api.CHUNK_PARAMS`."""
+    return _solve_grid(
+        markets,
+        chunk_size=params["chunk_size"],
+        chunk_bytes=params["chunk_bytes"],
+    )
 
 
 def _grid_jobs(markets: list[StackelbergMarket]) -> list[Job]:
@@ -142,7 +162,7 @@ def _distance_assemble(plan: ExperimentPlan, results: list) -> DistanceSweepResu
 
 def _distance_direct(params) -> DistanceSweepResult:
     markets = _distance_markets(params)
-    return _distance_pack(params, markets, _solve_grid(markets))
+    return _distance_pack(params, markets, _solve_grid_params(params, markets))
 
 
 DISTANCE_SWEEP = api.register(
@@ -154,7 +174,7 @@ DISTANCE_SWEEP = api.register(
         ),
         params=(
             ParamSpec("distances_m", "floats", DEFAULT_DISTANCES, "RSU separations to sweep (m)"),
-        ),
+        ) + api.CHUNK_PARAMS,
         result_type=DistanceSweepResult,
         plan=_distance_plan,
         assemble=_distance_assemble,
@@ -166,6 +186,8 @@ DISTANCE_SWEEP = api.register(
 def run_distance_sweep(
     distances_m: tuple[float, ...] = DEFAULT_DISTANCES,
     *,
+    chunk_size: int | None = None,
+    chunk_bytes: int | None = None,
     scheduler: JobScheduler | None = None,
 ) -> DistanceSweepResult:
     """Solve the paper's 2-VMU market across RSU separations.
@@ -176,7 +198,13 @@ def run_distance_sweep(
     separation is one cached ``equilibrium_cell`` job.
     """
     return api.run_experiment(
-        DISTANCE_SWEEP, {"distances_m": distances_m}, scheduler=scheduler
+        DISTANCE_SWEEP,
+        {
+            "distances_m": distances_m,
+            "chunk_size": chunk_size,
+            "chunk_bytes": chunk_bytes,
+        },
+        scheduler=scheduler,
     )
 
 
@@ -249,7 +277,7 @@ def _fading_assemble(plan: ExperimentPlan, results: list) -> FadingSweepResult:
 
 
 def _fading_direct(params) -> FadingSweepResult:
-    return _fading_pack(_solve_grid(_fading_markets(params)))
+    return _fading_pack(_solve_grid_params(params, _fading_markets(params)))
 
 
 FADING_SWEEP = api.register(
@@ -264,7 +292,7 @@ FADING_SWEEP = api.register(
             ParamSpec("fading", "fading?", None, 'fading model: rayleigh (default) | nofading | JSON payload for parameterised models, e.g. {"model": "rician", "k_factor": 3} or {"model": "shadowing", "sigma_db": 4}'),
             ParamSpec("draws", "int", 50, "Monte-Carlo fading draws (>= 2)"),
             ParamSpec("seed", "seed", 0, "RNG seed for the fading draws"),
-        ),
+        ) + api.CHUNK_PARAMS,
         result_type=FadingSweepResult,
         plan=_fading_plan,
         assemble=_fading_assemble,
@@ -278,6 +306,8 @@ def run_fading_sweep(
     fading: FadingModel | None = None,
     draws: int = 50,
     seed: SeedLike = 0,
+    chunk_size: int | None = None,
+    chunk_bytes: int | None = None,
     scheduler: JobScheduler | None = None,
 ) -> FadingSweepResult:
     """Monte-Carlo the equilibrium over fading realisations.
@@ -289,7 +319,13 @@ def run_fading_sweep(
     """
     return api.run_experiment(
         FADING_SWEEP,
-        {"fading": fading, "draws": draws, "seed": seed},
+        {
+            "fading": fading,
+            "draws": draws,
+            "seed": seed,
+            "chunk_size": chunk_size,
+            "chunk_bytes": chunk_bytes,
+        },
         scheduler=scheduler,
     )
 
@@ -356,7 +392,7 @@ def _population_assemble(
 
 
 def _population_direct(params) -> PopulationSweepResult:
-    return _population_pack(_solve_grid(_population_markets(params)))
+    return _population_pack(_solve_grid_params(params, _population_markets(params)))
 
 
 POPULATION_SWEEP = api.register(
@@ -370,7 +406,7 @@ POPULATION_SWEEP = api.register(
             ParamSpec("num_vmus", "int", 4, "VMUs per drawn population"),
             ParamSpec("draws", "int", 20, "random population draws (>= 2)"),
             ParamSpec("seed", "seed", 0, "RNG seed for the population draws"),
-        ),
+        ) + api.CHUNK_PARAMS,
         result_type=PopulationSweepResult,
         plan=_population_plan,
         assemble=_population_assemble,
@@ -384,6 +420,8 @@ def run_population_sweep(
     num_vmus: int = 4,
     draws: int = 20,
     seed: SeedLike = 0,
+    chunk_size: int | None = None,
+    chunk_bytes: int | None = None,
     scheduler: JobScheduler | None = None,
 ) -> PopulationSweepResult:
     """Solve the market for many random populations from the paper ranges.
@@ -395,6 +433,12 @@ def run_population_sweep(
     """
     return api.run_experiment(
         POPULATION_SWEEP,
-        {"num_vmus": num_vmus, "draws": draws, "seed": seed},
+        {
+            "num_vmus": num_vmus,
+            "draws": draws,
+            "seed": seed,
+            "chunk_size": chunk_size,
+            "chunk_bytes": chunk_bytes,
+        },
         scheduler=scheduler,
     )

@@ -95,6 +95,7 @@ _BUILTIN_JOB_KINDS: dict[str, str] = {
     "multiseed_shard": "repro.experiments.multiseed:run_shard_job",
     "market_scheme": "repro.experiments.runner:run_market_scheme_job",
     "equilibrium_cell": "repro.experiments.scheduler:run_equilibrium_cell_job",
+    "city_chunk": "repro.experiments.cityscale:run_city_chunk_job",
     "training_run": "repro.experiments.runner:run_training_job",
     "welfare_report": "repro.experiments.welfare:run_welfare_report_job",
 }

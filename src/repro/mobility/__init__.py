@@ -1,5 +1,6 @@
 """Vehicular mobility substrate: roads, mobility models, coverage, traces."""
 
+from repro.mobility.citygrid import CityGridSpec, city_coverage, city_markets
 from repro.mobility.coverage import CoverageMap, HandoverDetector, HandoverEvent
 from repro.mobility.demand import DemandProfile, analyze_demand, capacity_for_demand
 from repro.mobility.models import RandomWaypoint, RouteFollower, VehicleState
@@ -13,6 +14,9 @@ from repro.mobility.trace import (
 )
 
 __all__ = [
+    "CityGridSpec",
+    "city_coverage",
+    "city_markets",
     "DemandProfile",
     "analyze_demand",
     "capacity_for_demand",

@@ -250,3 +250,180 @@ class TestReroutedCallers:
         sequential = VectorMigrationEnv.from_markets(fleet, seed=123)
         reference = np.stack([env.reset() for env in sequential.envs])
         assert (observations == reference).all()
+
+
+def assert_stacks_bitwise_equal(reference, solved):
+    """Every field of two StackedEquilibria equal bitwise (NaN == NaN)."""
+    for name in ("prices", "demands", "msp_utilities", "vmu_utilities"):
+        assert np.array_equal(
+            getattr(reference, name), getattr(solved, name), equal_nan=True
+        ), name
+    for name in (
+        "capacity_binding",
+        "price_cap_binding",
+        "feasible",
+        "mask",
+        "counts",
+        "unit_costs",
+    ):
+        assert (getattr(reference, name) == getattr(solved, name)).all(), name
+
+
+class TestChunkedEqualsUnchunked:
+    """Tentpole acceptance: ``equilibria_stacked_chunked`` is bitwise-equal
+    to ``equilibria_stacked`` for every chunk size. Reference and chunked
+    runs always use *fresh* stacks — the two entry points share a memo, so
+    reusing one stack would make the comparison vacuous."""
+
+    def test_50_ragged_stacks_across_all_chunk_sizes(self):
+        """Property: 50 random ragged stacks (every third with an
+        infeasible member, alternating refine) × chunk sizes
+        {1, 3, 7, M, M + 13} — all bitwise-equal to the unchunked solve."""
+        rng = np.random.default_rng(2024)
+        for trial in range(50):
+            markets = random_markets(
+                int(rng.integers(2, 9)),
+                root_seed=1000 + trial,
+                max_vmus=7,
+            )
+            if trial % 3 == 0:
+                markets.insert(
+                    int(rng.integers(0, len(markets) + 1)),
+                    infeasible_market(),
+                )
+            refine = trial % 2 == 0
+            num_markets = len(markets)
+            reference = MarketStack(markets).equilibria_stacked(refine=refine)
+            for chunk_size in (1, 3, 7, num_markets, num_markets + 13):
+                solved = MarketStack(markets).equilibria_stacked_chunked(
+                    refine=refine, chunk_size=chunk_size
+                )
+                assert_stacks_bitwise_equal(reference, solved)
+
+    def test_infeasible_markets_masked_across_chunk_boundaries(self):
+        """Infeasible members at indices 1 and 4 with chunk_size=3: one
+        masked row per chunk, masking identical to the unchunked solve."""
+        markets = random_markets(6, root_seed=77)
+        markets.insert(1, infeasible_market())
+        markets.insert(4, infeasible_market())
+        reference = MarketStack(markets).equilibria_stacked()
+        solved = MarketStack(markets).equilibria_stacked_chunked(chunk_size=3)
+        assert not solved.feasible[1] and not solved.feasible[4]
+        assert solved.feasible.sum() == 6
+        assert_stacks_bitwise_equal(reference, solved)
+        with pytest.raises(InfeasibleMarketError, match="no profitable trade"):
+            solved.equilibrium(4)
+
+    def test_chunk_bytes_budget_path(self):
+        markets = random_markets(9, root_seed=41)
+        reference = MarketStack(markets).equilibria_stacked()
+        solved = MarketStack(markets).equilibria_stacked_chunked(
+            chunk_bytes=1 << 20
+        )
+        assert_stacks_bitwise_equal(reference, solved)
+
+    def test_per_market_accessors_match_per_market_solves(self):
+        markets = random_markets(8, root_seed=55)
+        solved = MarketStack(markets).equilibria_stacked_chunked(chunk_size=3)
+        assert_equilibria_match(solved, markets, refine=True)
+
+    def test_chunked_and_unchunked_share_the_memo(self):
+        stack = MarketStack(random_markets(5, root_seed=13))
+        chunked = stack.equilibria_stacked_chunked(chunk_size=2)
+        assert stack.equilibria_stacked() is chunked
+        assert stack.equilibria_stacked_chunked(chunk_size=1) is chunked
+
+    def test_resolve_chunk_size_semantics(self):
+        from repro.core.marketstack import (
+            DEFAULT_CHUNK_BYTES,
+            resolve_chunk_size,
+            solve_scratch_bytes_per_market,
+        )
+        from repro.errors import ConfigurationError
+
+        per_market = solve_scratch_bytes_per_market(6)
+        # explicit chunk_size wins over any byte budget, clamped to M
+        assert resolve_chunk_size(10, 6, chunk_size=3, chunk_bytes=1) == 3
+        assert resolve_chunk_size(10, 6, chunk_size=99) == 10
+        # byte budgets floor-divide, never below one market per chunk
+        assert resolve_chunk_size(10_000, 6, chunk_bytes=1) == 1
+        assert (
+            resolve_chunk_size(10_000, 6, chunk_bytes=7 * per_market) == 7
+        )
+        assert resolve_chunk_size(10_000, 6) == min(
+            10_000, DEFAULT_CHUNK_BYTES // per_market
+        )
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            resolve_chunk_size(10, 6, chunk_size=0)
+        with pytest.raises(ConfigurationError, match="chunk_bytes"):
+            resolve_chunk_size(10, 6, chunk_bytes=0)
+
+
+class TestScalarAccessorCache:
+    def test_equilibrium_returns_cached_object(self):
+        solved = MarketStack(random_markets(4, root_seed=19)).equilibria_stacked()
+        first = solved.equilibrium(2)
+        assert solved.equilibrium(2) is first  # O(1) repeated access
+
+    def test_cached_equilibrium_arrays_are_read_only(self):
+        solved = MarketStack(random_markets(3, root_seed=23)).equilibria_stacked()
+        equilibrium = solved.equilibrium(0)
+        with pytest.raises(ValueError):
+            equilibrium.demands[0] = 0.0
+        with pytest.raises(ValueError):
+            solved.prices[0] = 1.0  # stacked backing arrays frozen too
+
+
+class TestVectorisedInternalsMatchLoops:
+    """Satellite acceptance: the vectorised construction / totals /
+    landscape paths equal their per-market loop references bitwise."""
+
+    def test_construction_matches_per_market_fill_loop(self):
+        markets = random_markets(20, root_seed=31, max_vmus=9)
+        stack = MarketStack(markets)
+        n_max = stack.max_vmus
+        alphas = np.ones((len(markets), n_max))
+        data = np.ones((len(markets), n_max))
+        for m, market in enumerate(markets):
+            alphas[m, : market.num_vmus] = market.immersion_coefs
+            data[m, : market.num_vmus] = market.data_units
+        assert (stack.immersion_coefs == alphas).all()
+        assert (stack.data_units == data).all()
+        assert (
+            stack.counts == np.array([m.num_vmus for m in markets])
+        ).all()
+
+    def test_ragged_totals_match_per_market_sums(self):
+        markets = random_markets(20, root_seed=37, max_vmus=9)
+        stack = MarketStack(markets)
+        outcome = stack.outcomes_stacked(
+            np.linspace(10.0, 30.0, len(markets))
+        )
+        totals = outcome.total_vmu_utilities()
+        for m, market in enumerate(markets):
+            expected = outcome.vmu_utilities[m, : market.num_vmus].sum()
+            assert totals[m] == expected
+
+    def test_leader_landscapes_match_per_market_grids(self):
+        from repro.game.solvers import uniform_price_grid
+
+        markets = random_markets(6, root_seed=43)
+        stack = MarketStack(markets)
+        landscape = stack.leader_landscapes(grid_points=64)
+        for m, market in enumerate(markets):
+            grid = uniform_price_grid(
+                market.config.unit_cost, market.config.max_price, 64
+            )
+            assert (landscape.prices[m] == grid).all()
+            reference = market.outcomes_batch(grid)
+            assert (
+                landscape.market_rows(m).msp_utilities
+                == reference.msp_utilities
+            ).all()
+
+    def test_leader_landscapes_validates_grid_points(self):
+        from repro.errors import ConfigurationError
+
+        stack = MarketStack(random_markets(2, root_seed=47))
+        with pytest.raises(ConfigurationError, match="grid_points"):
+            stack.leader_landscapes(grid_points=1)

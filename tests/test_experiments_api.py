@@ -47,6 +47,7 @@ TINY_PARAMS = {
     "reward_ablation": {"config": SMOKE, "modes": ("utility",)},
     "history_ablation": {"config": SMOKE, "lengths": (1, 2)},
     "capacity_ablation": {"capacities": (10.0, 50.0)},
+    "city_sweep": {"m": 6, "chunk_size": 2},
     "welfare": {},
     "multiseed": {
         "config": SMOKE,

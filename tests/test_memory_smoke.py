@@ -1,0 +1,38 @@
+"""Memory smoke: chunked city-scale solve stays inside its byte budget.
+
+Builds a 1024-market RSU grid and solves it with a 4 MiB scratch budget.
+``tracemalloc`` (which sees numpy's allocations) must report a traced
+peak within the budget during the solve: the chunked path allocates one
+scratch set of ``chunk_size`` rows and streams, so its peak is ~1.2 MB
+here, while any regression that materialises full-stack ``(M, grid, N)``
+temporaries (~12.6 MB at this size) blows straight through the 4 MiB
+assertion. Run by the dedicated CI memory-smoke step, excluded from the
+main tier-1 step.
+"""
+
+import tracemalloc
+
+from repro.core import MarketStack
+
+NUM_MARKETS = 1024
+CHUNK_BYTES = 4 * 1024 * 1024
+
+
+def test_chunked_solve_peak_memory_within_budget():
+    stack = MarketStack.from_grid(NUM_MARKETS, seed=7)
+    chunk = stack.resolve_chunk_size(chunk_bytes=CHUNK_BYTES)
+    assert 1 <= chunk < NUM_MARKETS, "budget must force real chunking"
+
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        solved = stack.equilibria_stacked_chunked(chunk_bytes=CHUNK_BYTES)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    assert int(solved.feasible.sum()) > 0
+    assert peak <= CHUNK_BYTES, (
+        f"solve traced peak {peak / 1e6:.1f} MB exceeds the "
+        f"{CHUNK_BYTES / 1e6:.1f} MB chunk budget"
+    )
