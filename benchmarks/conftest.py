@@ -3,11 +3,16 @@
 Each figure bench runs its experiment exactly once (``benchmark.pedantic``
 with one round — the experiments are minutes-scale, not microseconds), then
 prints the paper-style table and writes it to ``benchmarks/results/`` so
-the series survive pytest's output capture.
+the series survive pytest's output capture. Every recorded table is also
+mirrored to ``<name>.json`` (title/headers/rows per table) so dashboards
+and regression tooling read the numbers without parsing the text layout;
+``record_json`` writes richer structured payloads (latency percentiles,
+throughput, peak RSS) for benches whose evidence is not purely tabular.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -15,14 +20,46 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _table_payload(table) -> dict:
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
 @pytest.fixture
 def record_table():
-    """Returns a function that prints a table and persists it to disk."""
+    """Returns a function that prints tables and persists them to disk —
+    the text form to ``<name>.txt`` plus a machine-readable mirror
+    (title/headers/rows per table) to ``<name>.json``."""
 
     def _record(name: str, *tables) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         text = "\n\n".join(str(t) for t in tables)
         print(f"\n{text}")
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        payload = {
+            "benchmark": name,
+            "tables": [_table_payload(t) for t in tables],
+        }
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    return _record
+
+
+@pytest.fixture
+def record_json():
+    """Returns a function that persists a structured (JSON-serialisable)
+    payload to ``benchmarks/results/<name>.json`` — for benches reporting
+    non-tabular evidence (markets/s, p50/p99 latency, peak RSS)."""
+
+    def _record(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     return _record

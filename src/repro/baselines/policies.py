@@ -141,6 +141,7 @@ class OraclePricing:
         *,
         chunk_size: int | None = None,
         chunk_bytes: int | None = None,
+        cache=None,
     ) -> list["OraclePricing"]:
         """One oracle per market of a stack, solved in a single pass.
 
@@ -150,7 +151,10 @@ class OraclePricing:
         ``[OraclePricing(m) for m in markets]``, which solves per market.
         With either chunk knob set, the solve streams through
         :meth:`MarketStack.equilibria_stacked_chunked` (same bits, memory
-        bounded by the chunk — for city-scale oracle grids).
+        bounded by the chunk — for city-scale oracle grids). With a
+        ``cache`` (a :class:`repro.service.EquilibriumCache`), rows are
+        served by market content — rebuilding an oracle grid after a few
+        cells changed re-solves only the changed cells, same bits.
 
         Raises:
             InfeasibleMarketError: if any member market admits no
@@ -163,6 +167,14 @@ class OraclePricing:
             if isinstance(stack_or_markets, MarketStack)
             else MarketStack(stack_or_markets)
         )
+        if cache is not None:
+            rows = cache.equilibria(
+                stack.markets, chunk_size=chunk_size, chunk_bytes=chunk_bytes
+            )
+            return [
+                cls(market, price=row.price)
+                for market, row in zip(stack.markets, rows)
+            ]
         if chunk_size is not None or chunk_bytes is not None:
             solved = stack.equilibria_stacked_chunked(
                 chunk_size=chunk_size, chunk_bytes=chunk_bytes

@@ -24,7 +24,12 @@ from repro.core.metrics import (
     deadline_violation_probability,
     peak_aoi,
 )
-from repro.core.marketstack import MarketStack, StackedEquilibria, StackedOutcome
+from repro.core.marketstack import (
+    MarketStack,
+    MutableMarketStack,
+    StackedEquilibria,
+    StackedOutcome,
+)
 from repro.core.multimsp import MspSpec, MultiMspMarket, OligopolyOutcome
 from repro.core.welfare import (
     WelfareReport,
@@ -65,6 +70,7 @@ __all__ = [
     "deadline_violation_probability",
     "peak_aoi",
     "MarketStack",
+    "MutableMarketStack",
     "StackedEquilibria",
     "StackedOutcome",
     "MspSpec",

@@ -62,10 +62,14 @@ from repro.core.utilities import (
     vmu_utilities_stacked,
 )
 from repro.errors import ConfigurationError, InfeasibleMarketError
-from repro.game.solvers import grid_then_golden_batch
+from repro.game.solvers import (
+    golden_section_maximize,
+    grid_then_golden_batch,
+)
 
 __all__ = [
     "MarketStack",
+    "MutableMarketStack",
     "StackedOutcome",
     "StackedEquilibria",
     "DEFAULT_CHUNK_BYTES",
@@ -80,6 +84,14 @@ _REFINE_GRID_POINTS = 256
 """Coarse-scan width of ``grid_then_golden_batch`` — the widest per-market
 price batch the equilibrium solve evaluates (together with the
 ``3·N_max + 4``-wide candidate matrix)."""
+
+_SCALAR_REFINE_MAX_ROWS = 8
+"""Row-count ceiling for the scalar refinement fast path. The batched
+golden loop costs a fixed ~50 sequential rounds of numpy dispatch no
+matter how few rows it refines, so chunks at or below this many rows
+(dirty-row re-solves, mostly) refine row by row through the scalar
+:func:`golden_section_maximize` instead — linear in rows, and bitwise
+the same sequence (see :meth:`MarketStack._refine_rows_scalar`)."""
 
 
 def solve_scratch_bytes_per_market(n_max: int) -> int:
@@ -146,6 +158,71 @@ def _per_market_totals(
         members = np.flatnonzero(counts == n)
         totals[members] = values[members, ..., : int(n)].sum(axis=-1)
     return totals
+
+
+class _ProbeContext:
+    """Price-independent invariants of one row range's probe evaluations.
+
+    The golden refinement evaluates the leader utility at ~50 sequential
+    per-market price vectors; every quantity here is constant across those
+    probes — sliced parameter views, the ``D/SE`` ratio matrix, effective
+    capacities, and the ragged-reduction grouping (which
+    :func:`_per_market_totals` would otherwise rebuild per probe via
+    ``np.unique``). Built once per ``(start, stop)`` row range and cached
+    on the (immutable) stack, it makes each probe a handful of elementwise
+    numpy ops — the fixed-overhead floor of a small dirty-row sub-solve.
+    """
+
+    def __init__(self, stack: "MarketStack", sl: slice) -> None:
+        self.alphas = stack._alphas[sl]
+        self.mask = stack._mask[sl]
+        self.unit_costs = stack._unit_costs[sl]
+        se = stack._se[sl]
+        # Same division the per-probe kernel performed — computing it once
+        # yields the identical bits every probe.
+        self.ratio = stack._data[sl] / se[:, np.newaxis]
+        self.effective_caps = np.where(
+            stack._enforce[sl], stack._caps[sl], np.inf
+        )
+        counts = stack._counts[sl]
+        self.ragged = stack._ragged
+        # Full-width row sums are bitwise-equal to the per-market ``[:n]``
+        # reductions when the row holds non-negative values with trailing
+        # ``+0.0`` padding AND both widths reduce in numpy's sequential
+        # regime (width < 8): each padded add is then an exact identity
+        # (no partial sum is ``-0.0`` — demands are ``maximum(0, a-b)``
+        # with ``a, b >= 0``, which never rounds to ``-0.0``). At width 8
+        # numpy switches to an 8-accumulator pairwise kernel that
+        # associates differently, so wider ragged stacks keep the grouped
+        # reduction. ``tests/test_core_equilibria_stacked.py`` pins the
+        # stacked-vs-scalar bits that would drift if numpy moved this
+        # regime boundary.
+        self.flat = not stack._ragged or stack._alphas.shape[1] < 8
+        # np.unique is sorted, so the group order (and therefore every
+        # grouped reduction) matches _per_market_totals exactly.
+        self.groups = (
+            []
+            if self.flat
+            else [
+                (int(n), np.flatnonzero(counts == n))
+                for n in np.unique(counts)
+            ]
+        )
+        self.pad = ~self.mask
+        # Per-probe scratch, overwritten (and fully consumed) every call.
+        self.band = np.empty(self.alphas.shape, dtype=np.float64)
+        self.scales = np.empty(self.alphas.shape[0], dtype=np.float64)
+
+    def totals(self, values: np.ndarray) -> np.ndarray:
+        """Row sums — bitwise :func:`_per_market_totals` with the ragged
+        grouping precomputed (or skipped entirely when the full-width
+        reduction provably returns the same bits)."""
+        if self.flat:
+            return values.sum(axis=-1)
+        out = np.empty(values.shape[:-1], dtype=np.float64)
+        for n, members in self.groups:
+            out[members] = values[members, ..., :n].sum(axis=-1)
+        return out
 
 
 class _ChunkScratch:
@@ -436,6 +513,10 @@ class MarketStack:
         # bitwise-equal, so they share the memo.
         self._candidates: tuple[np.ndarray, np.ndarray] | None = None
         self._equilibria: dict[bool, StackedEquilibria] = {}
+        # Per-row-range probe contexts for the golden-refinement loop
+        # (price-independent invariants hoisted out of the ~50 sequential
+        # probe evaluations every refined solve performs).
+        self._probe_contexts: dict[tuple[int, int], _ProbeContext] = {}
 
     @classmethod
     def from_markets(
@@ -660,8 +741,18 @@ class MarketStack:
     # the stacked equilibrium solve
     # ------------------------------------------------------------------ #
     def _msp_objective(self, prices: np.ndarray) -> np.ndarray:
-        """Leader utilities at per-market prices ``(M,)`` or grids ``(M, R)``."""
-        return self.outcomes_stacked(prices).msp_utilities
+        """Leader utilities at per-market prices ``(M,)`` or grids ``(M, R)``.
+
+        The 1-D case is the golden-refinement probe: it runs through
+        :meth:`_vector_utilities`' cached probe context rather than
+        materialising a full :class:`StackedOutcome` per probe (same
+        utility chain, same bits — the chunked-vs-unchunked tests pin
+        this equivalence).
+        """
+        p = np.asarray(prices, dtype=np.float64)
+        if p.ndim == 1:
+            return self._vector_utilities(slice(0, self.num_markets), p)
+        return self.outcomes_stacked(p).msp_utilities
 
     def _candidate_rows(self, sl: slice) -> tuple[np.ndarray, np.ndarray]:
         """Theorem 2's closed-form candidate prices for rows ``sl``.
@@ -750,7 +841,13 @@ class MarketStack:
             self._candidates = self._candidate_rows(slice(None))
         return self._candidates
 
-    def equilibria_stacked(self, *, refine: bool = True) -> StackedEquilibria:
+    def equilibria_stacked(
+        self,
+        *,
+        refine: bool = True,
+        warm_lows: np.ndarray | None = None,
+        warm_highs: np.ndarray | None = None,
+    ) -> StackedEquilibria:
         """Solve every market's Stackelberg equilibrium in one stacked pass.
 
         The market-axis form of :meth:`StackelbergMarket.equilibrium`
@@ -768,10 +865,24 @@ class MarketStack:
         so repeated solves of one stack are free. For stacks too wide to
         materialise the full candidate evaluation, use
         :meth:`equilibria_stacked_chunked` (bitwise-equal).
+
+        ``warm_lows``/``warm_highs`` (given together, shape ``(M,)``,
+        ``refine`` only) warm-start the golden refinement per row — see
+        :func:`repro.game.solvers.grid_then_golden_batch`. Warm results
+        agree with the cold solve to refinement tolerance (not bitwise),
+        so they are returned frozen but **never memoised**; rows with
+        non-finite warm endpoints take the cold refinement path.
         """
-        cached = self._equilibria.get(refine)
-        if cached is not None:
-            return cached
+        warm = warm_lows is not None or warm_highs is not None
+        if warm and not refine:
+            raise ConfigurationError(
+                "warm brackets only apply to the refined solve "
+                "(refine=True)"
+            )
+        if not warm:
+            cached = self._equilibria.get(refine)
+            if cached is not None:
+                return cached
         candidates, feasible = self._candidate_matrix()
         candidate_values = self.outcomes_stacked(candidates).msp_utilities
         best_idx = np.argmax(candidate_values, axis=1)[:, np.newaxis]
@@ -779,7 +890,11 @@ class MarketStack:
         best_values = np.take_along_axis(candidate_values, best_idx, axis=1)[:, 0]
         if refine:
             refined_prices, refined_values = grid_then_golden_batch(
-                self._msp_objective, self._unit_costs, self._max_prices
+                self._msp_objective,
+                self._unit_costs,
+                self._max_prices,
+                bracket_lows=warm_lows,
+                bracket_highs=warm_highs,
             )
             best_prices = np.where(
                 refined_values > best_values, refined_prices, best_prices
@@ -799,6 +914,8 @@ class MarketStack:
             counts=self._counts.copy(),
             unit_costs=self._unit_costs.copy(),
         )
+        if warm:
+            return _freeze_result(result)
         return self._memoise(refine, result)
 
     # ------------------------------------------------------------------ #
@@ -847,7 +964,15 @@ class MarketStack:
         np.subtract(band, ratio[:, np.newaxis, :], out=band)
         np.maximum(band, 0.0, out=band)
         np.copyto(band, 0.0, where=scratch.pad[:m, np.newaxis, :])
-        demand_totals = _per_market_totals(band, counts, ragged=self._ragged)
+        # Same flat-reduction shortcut as _ProbeContext: the band holds
+        # non-negative values with +0.0 padding, so below numpy's width-8
+        # pairwise regime the full-width sum returns the grouped bits.
+        flat = not self._ragged or self._alphas.shape[1] < 8
+        demand_totals = (
+            band.sum(axis=-1)
+            if flat
+            else _per_market_totals(band, counts, ragged=self._ragged)
+        )
         # Proportional rationing in place (demands are not needed after
         # their totals): the same where-guarded scale expression as
         # proportional_rationing_stacked, rows within capacity scaled by
@@ -863,29 +988,129 @@ class MarketStack:
         return msp_utilities_stacked(
             prices,
             self._unit_costs[sl],
-            _per_market_totals(band, counts, ragged=self._ragged),
+            band.sum(axis=-1)
+            if flat
+            else _per_market_totals(band, counts, ragged=self._ragged),
         )
 
     def _vector_utilities(self, sl: slice, prices: np.ndarray) -> np.ndarray:
         """Leader utilities of rows ``sl`` at one price per market — the
         row-sliced replica of the ``(M,)``-priced ``outcomes_stacked``
-        utility chain (small arrays; no scratch needed)."""
-        mask = self._mask[sl]
+        utility chain.
+
+        This is the golden-refinement probe, called ~50 times sequentially
+        per solve, so it runs on a cached :class:`_ProbeContext` instead of
+        the validating kernels: every expression below is elementwise
+        identical to the ``follower_best_response_stacked`` →
+        ``proportional_rationing_stacked`` → ``msp_utilities_stacked``
+        chain (the context pre-divides ``D/SE`` and pre-groups the ragged
+        reduction; neither changes a bit), with the per-probe input
+        re-validation dropped — the stack validated its parameters at
+        construction and ``prices`` lie inside ``[C, p_max]`` by the
+        solver's bracket contract.
+        """
+        key = (sl.start, sl.stop)
+        ctx = self._probe_contexts.get(key)
+        if ctx is None:
+            ctx = self._probe_contexts[key] = _ProbeContext(self, sl)
+        band = ctx.band
+        np.divide(ctx.alphas, prices[:, np.newaxis], out=band)
+        np.subtract(band, ctx.ratio, out=band)
+        np.maximum(band, 0.0, out=band)
+        np.copyto(band, 0.0, where=ctx.pad)
+        demand_totals = ctx.totals(band)
+        # Guarded division replica of proportional_rationing_stacked's
+        # np.where(totals > caps, caps / totals, 1.0): the quotient is
+        # evaluated only where the condition holds (same bits, no errstate
+        # round-trip per probe). The ``1.0``-filled output buffer lives on
+        # the context — it is fully consumed by the multiply below, so
+        # reuse across probes is invisible.
+        out = ctx.scales
+        out.fill(1.0)
+        scales = np.divide(
+            ctx.effective_caps,
+            demand_totals,
+            out=out,
+            where=demand_totals > ctx.effective_caps,
+        )
+        np.multiply(band, scales[:, np.newaxis], out=band)
+        return (prices - ctx.unit_costs) * ctx.totals(band)
+
+    def _refine_rows_scalar(
+        self, sl: slice, scratch: _ChunkScratch
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Golden refinement of a tiny row range, one scalar search per row.
+
+        Bitwise replica of the cold ``grid_then_golden_batch`` call in
+        :meth:`_solve_rows`, restructured for latency: the batched golden
+        loop pays ~50 sequential rounds of numpy dispatch regardless of
+        row count, which is the latency floor of a dirty-row re-solve.
+        Here the coarse scan stays vectorised (same grid, argmax, and
+        bracket expressions as ``scan_brackets``), then each row refines
+        through the scalar :func:`golden_section_maximize` — the reference
+        the batch is pinned against — with a pure-Python objective.
+
+        Why the bits match: IEEE-754 arithmetic is identical between
+        Python floats and numpy float64 scalars, the clamp ``d = 0.0 if
+        d < 0.0`` matches ``np.maximum(0.0, ·)`` (a ``-0.0`` demand is
+        impossible: ``a - b`` with ``a, b >= 0`` never rounds to it), and
+        the sequential Python sums match numpy's sequential reduction
+        regime, which is why this path is gated on stack width < 8 —
+        the same boundary :class:`_ProbeContext` documents. The caller
+        gates on ``_SCALAR_REFINE_MAX_ROWS``;
+        ``tests/test_core_equilibria_stacked.py`` pins chunked-vs-unchunked
+        equality across this threshold.
+        """
+        low_v = self._unit_costs[sl]
+        high_v = self._max_prices[sl]
+        steps = (high_v - low_v) / (_REFINE_GRID_POINTS - 1)
+        grids = (
+            low_v[:, np.newaxis]
+            + steps[:, np.newaxis] * np.arange(_REFINE_GRID_POINTS)
+        )
+        values = self._grid_utilities(sl, grids, scratch)
+        best_idx = np.argmax(values, axis=1)
+        bracket_lows = low_v + np.maximum(0, best_idx - 1) * steps
+        bracket_highs = (
+            low_v + np.minimum(_REFINE_GRID_POINTS - 1, best_idx + 1) * steps
+        )
+
+        key = (sl.start, sl.stop)
+        ctx = self._probe_contexts.get(key)
+        if ctx is None:
+            ctx = self._probe_contexts[key] = _ProbeContext(self, sl)
+        num_rows = bracket_lows.shape[0]
+        prices = np.empty(num_rows, dtype=np.float64)
+        utilities = np.empty(num_rows, dtype=np.float64)
         counts = self._counts[sl]
-        raw = follower_best_response_stacked(
-            self._alphas[sl], self._data[sl], prices, self._se[sl]
-        )
-        demands = np.where(mask, raw, 0.0)
-        demand_totals = _per_market_totals(demands, counts, ragged=self._ragged)
-        effective_caps = np.where(self._enforce[sl], self._caps[sl], np.inf)
-        allocations = proportional_rationing_stacked(
-            demands, effective_caps, totals=demand_totals
-        )
-        return msp_utilities_stacked(
-            prices,
-            self._unit_costs[sl],
-            _per_market_totals(allocations, counts, ragged=self._ragged),
-        )
+        for i in range(num_rows):
+            n = int(counts[i])
+            pairs = list(zip(ctx.alphas[i, :n].tolist(), ctx.ratio[i, :n].tolist()))
+            cap = float(ctx.effective_caps[i])
+            cost = float(ctx.unit_costs[i])
+
+            def objective(
+                p: float, pairs=pairs, cap=cap, cost=cost
+            ) -> float:
+                total = 0.0
+                demands = []
+                append = demands.append
+                for alpha, ratio in pairs:
+                    d = alpha / p - ratio
+                    if d < 0.0:
+                        d = 0.0
+                    append(d)
+                    total += d
+                scale = cap / total if total > cap else 1.0
+                served = 0.0
+                for d in demands:
+                    served += d * scale
+                return (p - cost) * served
+
+            prices[i], utilities[i] = golden_section_maximize(
+                objective, float(bracket_lows[i]), float(bracket_highs[i])
+            )
+        return prices, utilities
 
     def _solve_rows(
         self, sl: slice, refine: bool, scratch: _ChunkScratch
@@ -908,16 +1133,24 @@ class MarketStack:
             :, 0
         ]
         if refine:
+            if (
+                num_rows <= _SCALAR_REFINE_MAX_ROWS
+                and self._alphas.shape[1] < 8
+            ):
+                refined_prices, refined_values = self._refine_rows_scalar(
+                    sl, scratch
+                )
+            else:
 
-            def objective(prices: np.ndarray) -> np.ndarray:
-                p = np.asarray(prices, dtype=np.float64)
-                if p.ndim == 2:
-                    return self._grid_utilities(sl, p, scratch)
-                return self._vector_utilities(sl, p)
+                def objective(prices: np.ndarray) -> np.ndarray:
+                    p = np.asarray(prices, dtype=np.float64)
+                    if p.ndim == 2:
+                        return self._grid_utilities(sl, p, scratch)
+                    return self._vector_utilities(sl, p)
 
-            refined_prices, refined_values = grid_then_golden_batch(
-                objective, self._unit_costs[sl], self._max_prices[sl]
-            )
+                refined_prices, refined_values = grid_then_golden_batch(
+                    objective, self._unit_costs[sl], self._max_prices[sl]
+                )
             best_prices = np.where(
                 refined_values > best_values, refined_prices, best_prices
             )
@@ -1028,18 +1261,359 @@ class MarketStack:
         equilibrium() solve of this stack. equilibrium(m) hands out
         read-only copies; whole-array consumers get read-only views.
         """
-        for values in (
-            result.prices,
-            result.demands,
-            result.msp_utilities,
-            result.vmu_utilities,
-            result.capacity_binding,
-            result.price_cap_binding,
-            result.feasible,
-            result.mask,
-            result.counts,
-            result.unit_costs,
-        ):
-            values.setflags(write=False)
-        self._equilibria[refine] = result
+        self._equilibria[refine] = _freeze_result(result)
         return result
+
+
+def _freeze_result(result: StackedEquilibria) -> StackedEquilibria:
+    """Mark every backing array of a solved result read-only (in place).
+
+    Shared by the immutable stack's memo and the live splice path — all
+    handed-out :class:`StackedEquilibria` are frozen, so stale writes
+    through a cached result are impossible anywhere.
+    """
+    for values in (
+        result.prices,
+        result.demands,
+        result.msp_utilities,
+        result.vmu_utilities,
+        result.capacity_binding,
+        result.price_cap_binding,
+        result.feasible,
+        result.mask,
+        result.counts,
+        result.unit_costs,
+    ):
+        values.setflags(write=False)
+    return result
+
+
+class MutableMarketStack:
+    """A dirty-set wrapper over :class:`MarketStack` for *live* market state.
+
+    The immutable stack memoises its equilibria forever — correct because
+    its markets can never change. A live pricing service mutates markets
+    continuously (a VMU joins, fading drifts, demand shifts), and paying a
+    full ``M``-row re-solve for every point update is what makes the memo
+    useless there. This wrapper turns the memo into an invalidation-aware
+    cache: point updates mark exactly their row dirty, and
+    :meth:`equilibria_live` re-solves *only* the dirty rows — as their own
+    sub-stack through the existing chunked candidate-matrix path — then
+    splices them into the cached :class:`StackedEquilibria`.
+
+    Exactness: every operation of the stacked solve is row-local and
+    padding-width invariant (the chunking contract in the module
+    docstring), so a dirty row solved inside the small sub-stack gets
+    bitwise the same numbers it would get inside a cold full solve of the
+    mutated stack — :meth:`equilibria_live` is **bitwise-equal to a cold
+    :meth:`MarketStack.equilibria_stacked` at every step**. The one
+    exception is opt-in: ``warm_start=True`` restarts each dirty row's
+    golden refinement from a one-grid-cell bracket around its previous
+    equilibrium price (falling back to the cold scan when the old optimum
+    is stale), which agrees to refinement tolerance instead of bitwise.
+
+    Mutation contract (what dirties what):
+
+    - :meth:`update_market` / :meth:`join` / :meth:`leave` /
+      :meth:`set_fading_gain` dirty exactly the one row they touch, under
+      *both* refine flags (a mutation invalidates every cached view of
+      that row).
+    - Clean rows are never re-solved, and their cached per-row scalar
+      equilibria (:meth:`StackedEquilibria.equilibrium`) are carried over
+      by object identity; a dirty row's entry is dropped and lazily
+      rebuilt from the spliced arrays.
+    - All handed-out results are frozen (read-only arrays), like the
+      immutable stack's memo.
+    """
+
+    def __init__(
+        self,
+        markets: Sequence[StackelbergMarket],
+        *,
+        chunk_size: int | None = None,
+        chunk_bytes: int | None = None,
+    ) -> None:
+        markets = list(markets)
+        if len(markets) == 0:
+            raise ConfigurationError("market stack needs at least one market")
+        self._markets = markets
+        self._counts = np.fromiter(
+            (m.num_vmus for m in markets), dtype=np.int64, count=len(markets)
+        )
+        self._chunk_size = chunk_size
+        self._chunk_bytes = chunk_bytes
+        # Dirty rows per refine flag: a mutation invalidates the row under
+        # both flags; each flag's solve clears only its own pending set.
+        self._dirty: dict[bool, set[int]] = {True: set(), False: set()}
+        self._solved: dict[bool, StackedEquilibria] = {}
+        self._stack: MarketStack | None = None
+        self._solve_count = 0
+        self._rows_resolved = 0
+
+    @classmethod
+    def from_grid(cls, num_markets: int, **kwargs) -> "MutableMarketStack":
+        """A live wrapper over a city-grid stack (see
+        :meth:`MarketStack.from_grid` for the parameters)."""
+        chunk_size = kwargs.pop("chunk_size", None)
+        chunk_bytes = kwargs.pop("chunk_bytes", None)
+        base = MarketStack.from_grid(num_markets, **kwargs)
+        return cls(
+            base.markets, chunk_size=chunk_size, chunk_bytes=chunk_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._markets)
+
+    @property
+    def num_markets(self) -> int:
+        """Stack width ``M`` (fixed; rows mutate, the set of rows doesn't)."""
+        return len(self._markets)
+
+    @property
+    def markets(self) -> tuple[StackelbergMarket, ...]:
+        """The current member markets (snapshot tuple)."""
+        return tuple(self._markets)
+
+    def market(self, market_index: int) -> StackelbergMarket:
+        """The current ``market_index``-th member market."""
+        return self._markets[market_index]
+
+    @property
+    def stack(self) -> MarketStack:
+        """An immutable :class:`MarketStack` over the *current* markets.
+
+        Rebuilt lazily after any mutation — the cold-solve reference the
+        live path is pinned against, and the full-stack backing of the
+        first :meth:`equilibria_live` call.
+        """
+        if self._stack is None:
+            self._stack = MarketStack(self._markets)
+        return self._stack
+
+    def dirty_indices(self, *, refine: bool = True) -> tuple[int, ...]:
+        """Rows awaiting re-solve under ``refine`` (sorted)."""
+        return tuple(sorted(self._dirty[refine]))
+
+    @property
+    def solve_count(self) -> int:
+        """Stacked solves performed so far (full or sub-stack)."""
+        return self._solve_count
+
+    @property
+    def rows_resolved(self) -> int:
+        """Total market rows solved across all solves — the work an
+        incremental path actually did (a cold path would pay
+        ``solve_count · M``)."""
+        return self._rows_resolved
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def _touch(self, index: int) -> None:
+        for pending in self._dirty.values():
+            pending.add(index)
+        self._stack = None
+
+    def _market_at(self, index: int) -> StackelbergMarket:
+        index = int(index)
+        if not 0 <= index < len(self._markets):
+            raise ConfigurationError(
+                f"market index {index} out of range for stack of "
+                f"{len(self._markets)}"
+            )
+        return self._markets[index]
+
+    def update_market(self, index: int, market: StackelbergMarket) -> None:
+        """Replace row ``index`` with ``market`` (dirties exactly that row)."""
+        index = int(index)
+        self._market_at(index)
+        if not isinstance(market, StackelbergMarket):
+            raise ConfigurationError(
+                f"expected a StackelbergMarket, got {type(market).__name__}"
+            )
+        self._markets[index] = market
+        self._counts[index] = market.num_vmus
+        self._touch(index)
+
+    def join(self, index: int, vmu) -> None:
+        """A VMU joins market ``index`` (dirties that row)."""
+        market = self._market_at(index)
+        self.update_market(index, market.with_vmus((*market.vmus, vmu)))
+
+    def leave(self, index: int, vmu_id: str) -> None:
+        """VMU ``vmu_id`` leaves market ``index`` (dirties that row).
+
+        Raises:
+            ConfigurationError: if no such VMU is in the market, or it is
+                the market's last one (a market needs ≥ 1 VMU).
+        """
+        market = self._market_at(index)
+        kept = tuple(v for v in market.vmus if v.vmu_id != vmu_id)
+        if len(kept) == len(market.vmus):
+            raise ConfigurationError(
+                f"no VMU {vmu_id!r} in market {index}"
+            )
+        if len(kept) == 0:
+            raise ConfigurationError(
+                f"VMU {vmu_id!r} is the last member of market {index}; "
+                "markets need at least one VMU"
+            )
+        self.update_market(index, market.with_vmus(kept))
+
+    def set_fading_gain(self, index: int, fading_gain: float) -> None:
+        """Channel-fading drift on market ``index``'s RSU link (dirties
+        that row)."""
+        market = self._market_at(index)
+        self.update_market(
+            index, market.with_link(market.link.with_fading_gain(fading_gain))
+        )
+
+    # ------------------------------------------------------------------ #
+    # the incremental solve
+    # ------------------------------------------------------------------ #
+    def equilibria_live(
+        self, *, refine: bool = True, warm_start: bool = False
+    ) -> StackedEquilibria:
+        """Current equilibria of the stack, re-solving only dirty rows.
+
+        First call (or after every row was dirtied): a cold full solve
+        through :meth:`MarketStack.equilibria_stacked_chunked` with the
+        wrapper's chunk knobs. Later calls solve the dirty rows as their
+        own sub-stack and splice the rows into the cached result —
+        bitwise-equal to a cold solve of the mutated stack (see the class
+        docstring; ``warm_start=True`` trades that for
+        tolerance-level agreement and a scan-free refinement, and is
+        ignored when ``refine=False`` — there is no refinement to warm).
+        """
+        dirty = self._dirty[refine]
+        cached = self._solved.get(refine)
+        if cached is not None and not dirty:
+            return cached
+        if cached is None or len(dirty) == len(self._markets):
+            result = self.stack.equilibria_stacked_chunked(
+                refine=refine,
+                chunk_size=self._chunk_size,
+                chunk_bytes=self._chunk_bytes,
+            )
+            self._rows_resolved += len(self._markets)
+        else:
+            indices = sorted(dirty)
+            sub = MarketStack([self._markets[i] for i in indices])
+            if warm_start and refine:
+                warm_lows, warm_highs = self._warm_brackets(
+                    cached, indices, sub
+                )
+                rows = sub.equilibria_stacked(
+                    refine=True, warm_lows=warm_lows, warm_highs=warm_highs
+                )
+            else:
+                rows = sub.equilibria_stacked_chunked(
+                    refine=refine,
+                    chunk_size=self._chunk_size,
+                    chunk_bytes=self._chunk_bytes,
+                )
+            result = self._splice(cached, indices, rows)
+            self._rows_resolved += len(indices)
+        self._solve_count += 1
+        dirty.clear()
+        self._solved[refine] = result
+        return result
+
+    @staticmethod
+    def _warm_brackets(
+        cached: StackedEquilibria, indices: list[int], sub: MarketStack
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Warm refinement brackets for the dirty rows: ± one coarse-grid
+        cell around each row's previous equilibrium price.
+
+        One cell matches the width of the bracket a cold scan hands the
+        golden refinement, so a warm row that stayed near its old optimum
+        refines with the same resolution at none of the scan cost. Rows
+        that were previously infeasible carry ``nan`` prices, which the
+        solver treats as "no warm bracket" (cold path).
+        """
+        previous = cached.prices[np.asarray(indices, dtype=np.intp)]
+        steps = (sub._max_prices - sub._unit_costs) / (
+            _REFINE_GRID_POINTS - 1
+        )
+        return previous - steps, previous + steps
+
+    def _splice(
+        self,
+        cached: StackedEquilibria,
+        indices: list[int],
+        rows: StackedEquilibria,
+    ) -> StackedEquilibria:
+        """A new frozen result: ``cached`` with ``indices`` replaced by the
+        sub-stack solution ``rows``.
+
+        Clean rows are copied bit for bit; if the stack's padded width
+        ``N_max`` changed (a join/leave moved the widest population), clean
+        rows are re-padded to the new width with exactly the values a cold
+        solve writes there — ``0.0`` on feasible rows, ``nan`` on
+        infeasible ones — so the splice stays bitwise-indistinguishable
+        from the cold solve.
+        """
+        counts = self._counts.copy()
+        num_markets = len(self._markets)
+        n_max = int(counts.max())
+        old_n_max = cached.demands.shape[1]
+        prices = cached.prices.copy()
+        msp_utilities = cached.msp_utilities.copy()
+        capacity_binding = cached.capacity_binding.copy()
+        price_cap_binding = cached.price_cap_binding.copy()
+        feasible = cached.feasible.copy()
+        unit_costs = cached.unit_costs.copy()
+        if n_max == old_n_max:
+            demands = cached.demands.copy()
+            vmu_utilities = cached.vmu_utilities.copy()
+        else:
+            demands = np.zeros((num_markets, n_max), dtype=np.float64)
+            vmu_utilities = np.zeros((num_markets, n_max), dtype=np.float64)
+            keep = min(n_max, old_n_max)
+            demands[:, :keep] = cached.demands[:, :keep]
+            vmu_utilities[:, :keep] = cached.vmu_utilities[:, :keep]
+            if n_max > old_n_max:
+                # Widened columns of infeasible rows hold nan, not 0.0.
+                demands[~feasible, old_n_max:] = np.nan
+                vmu_utilities[~feasible, old_n_max:] = np.nan
+        idx = np.asarray(indices, dtype=np.intp)
+        sub_width = rows.demands.shape[1]
+        prices[idx] = rows.prices
+        msp_utilities[idx] = rows.msp_utilities
+        capacity_binding[idx] = rows.capacity_binding
+        price_cap_binding[idx] = rows.price_cap_binding
+        feasible[idx] = rows.feasible
+        unit_costs[idx] = rows.unit_costs
+        demands[idx[:, np.newaxis], np.arange(sub_width)] = rows.demands
+        vmu_utilities[idx[:, np.newaxis], np.arange(sub_width)] = (
+            rows.vmu_utilities
+        )
+        if sub_width < n_max:
+            tail = np.where(rows.feasible[:, np.newaxis], 0.0, np.nan)
+            demands[idx[:, np.newaxis], np.arange(sub_width, n_max)] = tail
+            vmu_utilities[idx[:, np.newaxis], np.arange(sub_width, n_max)] = (
+                tail
+            )
+        result = StackedEquilibria(
+            prices=prices,
+            demands=demands,
+            msp_utilities=msp_utilities,
+            vmu_utilities=vmu_utilities,
+            capacity_binding=capacity_binding,
+            price_cap_binding=price_cap_binding,
+            feasible=feasible,
+            mask=np.arange(n_max) < counts[:, np.newaxis],
+            counts=counts,
+            unit_costs=unit_costs,
+        )
+        # Clean rows keep their scalar-equilibrium cache entries by object
+        # identity; dirty rows' entries are dropped (rebuilt lazily).
+        dirty = set(indices)
+        for m, equilibrium in cached._scalar_cache.items():
+            if m not in dirty:
+                result._scalar_cache[m] = equilibrium
+        return _freeze_result(result)

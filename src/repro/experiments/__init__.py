@@ -34,6 +34,10 @@ from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig3_cost import CostSweepResult, run_fig3_cost
 from repro.experiments.fig3_vmus import VmuSweepResult, run_fig3_vmus
 from repro.experiments.multiseed import MultiSeedResult, run_multiseed_comparison
+from repro.experiments.pricing_service import (
+    PricingServiceResult,
+    run_pricing_service,
+)
 from repro.experiments.robustness import (
     DistanceSweepResult,
     FadingSweepResult,
@@ -93,6 +97,8 @@ __all__ = [
     "run_fig3_vmus",
     "MultiSeedResult",
     "run_multiseed_comparison",
+    "PricingServiceResult",
+    "run_pricing_service",
     "DistanceSweepResult",
     "FadingSweepResult",
     "PopulationSweepResult",

@@ -33,6 +33,7 @@ from repro.entities.vmu import paper_fig2_population, sample_population
 from repro.experiments import api
 from repro.experiments.api import ExperimentPlan, ParamSpec
 from repro.experiments.scheduler import Job, JobScheduler, market_to_payload
+from repro.service.cache import EquilibriumCache, shared_cache
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.stats import SummaryStats, summarize
 from repro.utils.tables import Table
@@ -55,6 +56,7 @@ def _solve_grid(
     *,
     chunk_size: int | None = None,
     chunk_bytes: int | None = None,
+    cache: "EquilibriumCache | None" = None,
 ) -> list[tuple[float, float]]:
     """Per-market ``(price, msp_utility)`` equilibria for one sweep grid:
     one stacked solve over the whole grid (the specs' direct path; the
@@ -62,7 +64,18 @@ def _solve_grid(
     same numbers, scalar equilibrium == ``M = 1`` stacked solve, pinned
     in ``tests/test_core_equilibria_stacked.py``). With either chunk knob
     set, the solve streams through ``equilibria_stacked_chunked`` — same
-    bits, memory bounded by the chunk instead of the grid."""
+    bits, memory bounded by the chunk instead of the grid. With ``cache``
+    set, rows come from the content-keyed
+    :class:`~repro.service.cache.EquilibriumCache` instead: only markets
+    the cache has never seen are solved (as one sub-stack), so repeated
+    sweeps over overlapping grids reuse every clean row — still the same
+    bits, because per-market equilibria are invariant to which stack a
+    market is solved inside."""
+    if cache is not None:
+        rows = cache.equilibria(
+            markets, chunk_size=chunk_size, chunk_bytes=chunk_bytes
+        )
+        return [(row.price, row.msp_utility) for row in rows]
     stack = MarketStack(markets)
     if chunk_size is not None or chunk_bytes is not None:
         solved = stack.equilibria_stacked_chunked(
@@ -78,12 +91,27 @@ def _solve_grid(
 
 
 def _solve_grid_params(params, markets) -> list[tuple[float, float]]:
-    """The direct path of a sweep spec carrying :data:`api.CHUNK_PARAMS`."""
+    """The direct path of a sweep spec carrying :data:`api.CHUNK_PARAMS`
+    and the ``reuse_cache`` flag (rows via the process-wide
+    :func:`repro.service.cache.shared_cache` when set)."""
     return _solve_grid(
         markets,
         chunk_size=params["chunk_size"],
         chunk_bytes=params["chunk_bytes"],
+        cache=shared_cache() if params.get("reuse_cache") else None,
     )
+
+
+CACHE_PARAMS: tuple[ParamSpec, ...] = (
+    ParamSpec(
+        "reuse_cache",
+        "bool",
+        False,
+        "serve grid cells from the process-wide content-keyed equilibrium "
+        "cache (direct path; repeated overlapping sweeps skip every "
+        "already-solved market — same bits)",
+    ),
+)
 
 
 def _grid_jobs(markets: list[StackelbergMarket]) -> list[Job]:
@@ -174,7 +202,7 @@ DISTANCE_SWEEP = api.register(
         ),
         params=(
             ParamSpec("distances_m", "floats", DEFAULT_DISTANCES, "RSU separations to sweep (m)"),
-        ) + api.CHUNK_PARAMS,
+        ) + api.CHUNK_PARAMS + CACHE_PARAMS,
         result_type=DistanceSweepResult,
         plan=_distance_plan,
         assemble=_distance_assemble,
@@ -188,6 +216,7 @@ def run_distance_sweep(
     *,
     chunk_size: int | None = None,
     chunk_bytes: int | None = None,
+    reuse_cache: bool = False,
     scheduler: JobScheduler | None = None,
 ) -> DistanceSweepResult:
     """Solve the paper's 2-VMU market across RSU separations.
@@ -203,6 +232,7 @@ def run_distance_sweep(
             "distances_m": distances_m,
             "chunk_size": chunk_size,
             "chunk_bytes": chunk_bytes,
+            "reuse_cache": reuse_cache,
         },
         scheduler=scheduler,
     )
@@ -292,7 +322,7 @@ FADING_SWEEP = api.register(
             ParamSpec("fading", "fading?", None, 'fading model: rayleigh (default) | nofading | JSON payload for parameterised models, e.g. {"model": "rician", "k_factor": 3} or {"model": "shadowing", "sigma_db": 4}'),
             ParamSpec("draws", "int", 50, "Monte-Carlo fading draws (>= 2)"),
             ParamSpec("seed", "seed", 0, "RNG seed for the fading draws"),
-        ) + api.CHUNK_PARAMS,
+        ) + api.CHUNK_PARAMS + CACHE_PARAMS,
         result_type=FadingSweepResult,
         plan=_fading_plan,
         assemble=_fading_assemble,
@@ -308,6 +338,7 @@ def run_fading_sweep(
     seed: SeedLike = 0,
     chunk_size: int | None = None,
     chunk_bytes: int | None = None,
+    reuse_cache: bool = False,
     scheduler: JobScheduler | None = None,
 ) -> FadingSweepResult:
     """Monte-Carlo the equilibrium over fading realisations.
@@ -325,6 +356,7 @@ def run_fading_sweep(
             "seed": seed,
             "chunk_size": chunk_size,
             "chunk_bytes": chunk_bytes,
+            "reuse_cache": reuse_cache,
         },
         scheduler=scheduler,
     )
@@ -406,7 +438,7 @@ POPULATION_SWEEP = api.register(
             ParamSpec("num_vmus", "int", 4, "VMUs per drawn population"),
             ParamSpec("draws", "int", 20, "random population draws (>= 2)"),
             ParamSpec("seed", "seed", 0, "RNG seed for the population draws"),
-        ) + api.CHUNK_PARAMS,
+        ) + api.CHUNK_PARAMS + CACHE_PARAMS,
         result_type=PopulationSweepResult,
         plan=_population_plan,
         assemble=_population_assemble,
@@ -422,6 +454,7 @@ def run_population_sweep(
     seed: SeedLike = 0,
     chunk_size: int | None = None,
     chunk_bytes: int | None = None,
+    reuse_cache: bool = False,
     scheduler: JobScheduler | None = None,
 ) -> PopulationSweepResult:
     """Solve the market for many random populations from the paper ranges.
@@ -439,6 +472,7 @@ def run_population_sweep(
             "seed": seed,
             "chunk_size": chunk_size,
             "chunk_bytes": chunk_bytes,
+            "reuse_cache": reuse_cache,
         },
         scheduler=scheduler,
     )

@@ -98,6 +98,7 @@ _BUILTIN_JOB_KINDS: dict[str, str] = {
     "city_chunk": "repro.experiments.cityscale:run_city_chunk_job",
     "training_run": "repro.experiments.runner:run_training_job",
     "welfare_report": "repro.experiments.welfare:run_welfare_report_job",
+    "pricing_service": "repro.experiments.pricing_service:run_pricing_service_job",
 }
 
 _REGISTERED_JOB_KINDS: dict[str, str | Callable[[Mapping], object]] = {}

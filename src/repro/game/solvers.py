@@ -135,16 +135,37 @@ def golden_section_maximize_batch(
     d = a + _INV_PHI * (b - a)
     fc = np.asarray(objective(np.where(degenerate, mid, c)), dtype=float)
     fd = np.asarray(objective(np.where(degenerate, mid, d)), dtype=float)
+    size = a.shape[0]
     active = ~degenerate
     for _ in range(max_iterations):
         active = active & ((b - a) > tolerance)
-        if not active.any():
+        open_count = int(active.sum())
+        if not open_count:
             break
-        left = active & (fc >= fd)
-        right = active & ~(fc >= fd)
+        ge = fc >= fd
         old_c, old_d, old_fc, old_fd = c, d, fc, fd
         # left:  b, d, fd = d, c, fc; then c = b - 1/φ·(b-a), eval fc
         # right: a, c, fc = c, d, fd; then d = a + 1/φ·(b-a), eval fd
+        if open_count == size:
+            # Brackets of similar width converge in lockstep, so most
+            # iterations have every row open: with ``right == ~left`` each
+            # three-way select below collapses to one ``np.where`` — the
+            # same elementwise values, about half the dispatches. This
+            # loop's fixed ~50 sequential rounds are the latency floor of
+            # a small dirty-row re-solve, so the overhead matters.
+            left = ge
+            b = np.where(left, old_d, b)
+            a = np.where(left, a, old_c)
+            step = _INV_PHI * (b - a)
+            c = np.where(left, b - step, old_d)
+            d = np.where(left, old_c, a + step)
+            probe = np.where(left, c, d)
+            values = np.asarray(objective(probe), dtype=float)
+            fc = np.where(left, values, old_fd)
+            fd = np.where(left, old_fc, values)
+            continue
+        left = active & ge
+        right = active & ~ge
         b = np.where(left, old_d, b)
         a = np.where(right, old_c, a)
         new_c = b - _INV_PHI * (b - a)
@@ -206,6 +227,8 @@ def grid_then_golden(
     grid_points: int = 256,
     tolerance: float = 1e-10,
     vector_objective: Callable[[np.ndarray], np.ndarray] | None = None,
+    bracket_low: float | None = None,
+    bracket_high: float | None = None,
 ) -> tuple[float, float]:
     """Global maximisation of a (possibly piecewise) continuous objective.
 
@@ -220,11 +243,48 @@ def grid_then_golden(
     golden refinement stays scalar (it brackets three points at a time), so
     the two entry points return identical results whenever the batched form
     agrees with ``objective`` pointwise.
+
+    ``bracket_low``/``bracket_high`` (given together) warm-start the
+    search: the coarse scan is skipped and golden refinement runs directly
+    on the warm bracket, clipped to ``[low, high]``. The warm optimum is
+    trusted unless it is *stale* — the refined argmax lands within
+    ``tolerance`` of a warm-bracket endpoint that is strictly inside the
+    full interval (the true optimum may have escaped the bracket) — in
+    which case the full scan-then-refine path runs as if no warm bracket
+    had been given. Non-finite warm endpoints disable the warm start for
+    this call (callers batch them as "no previous optimum"). With a warm
+    bracket the result agrees with the cold path to refinement tolerance,
+    not bitwise.
     """
     if grid_points < 3:
         raise GameError(f"grid_points must be >= 3, got {grid_points}")
     if low > high:
         raise GameError(f"invalid bracket: low={low} > high={high}")
+    if (bracket_low is None) != (bracket_high is None):
+        raise GameError(
+            "bracket_low and bracket_high must be given together"
+        )
+    if (
+        bracket_low is not None
+        and math.isfinite(bracket_low)
+        and math.isfinite(bracket_high)
+    ):
+        if bracket_low > bracket_high:
+            raise GameError(
+                f"invalid warm bracket: low={bracket_low} > "
+                f"high={bracket_high}"
+            )
+        warm_low = min(max(float(bracket_low), low), high)
+        warm_high = min(max(float(bracket_high), low), high)
+        price, value = golden_section_maximize(
+            objective, warm_low, warm_high, tolerance=tolerance
+        )
+        stale = (
+            (price - warm_low <= tolerance and warm_low > low)
+            or (warm_high - price <= tolerance and warm_high < high)
+        )
+        if not stale:
+            return price, value
     if high == low:
         return low, objective(low)
     step = (high - low) / (grid_points - 1)
@@ -254,6 +314,8 @@ def grid_then_golden_batch(
     *,
     grid_points: int = 256,
     tolerance: float = 1e-10,
+    bracket_lows: np.ndarray | None = None,
+    bracket_highs: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Global maximisation of ``M`` objectives on ``M`` intervals, stacked.
 
@@ -269,6 +331,20 @@ def grid_then_golden_batch(
     highs[m], ...)`` bitwise whenever the batched objective agrees with the
     scalar one row for row; degenerate intervals (``lows[m] == highs[m]``)
     resolve to their single point like the scalar early return.
+
+    ``bracket_lows``/``bracket_highs`` (given together, shape ``(M,)``)
+    warm-start individual rows: a row whose warm endpoints are both finite
+    skips the coarse scan and refines directly inside its warm bracket
+    (clipped to the row's interval); rows with a non-finite endpoint take
+    the cold scan-then-refine path. A warm row whose refined argmax lands
+    within ``tolerance`` of a warm endpoint strictly inside its full
+    interval is *stale*: it is re-solved through the cold path (the warm
+    bracket no longer contains the optimum). Row for row this is the exact
+    elementwise replica of the scalar warm-start rule, so the batch stays
+    bitwise-equal to a loop of :func:`grid_then_golden` calls with the
+    matching scalar warm brackets. When every row is warm and none comes
+    back stale, the ``(M, grid_points)`` scan is never evaluated — the
+    whole point of warm-starting a dirty-row re-solve.
     """
     if grid_points < 3:
         raise GameError(f"grid_points must be >= 3, got {grid_points}")
@@ -281,16 +357,75 @@ def grid_then_golden_batch(
         )
     if np.any(low_v > high_v):
         raise GameError("invalid bracket: low > high")
-    steps = (high_v - low_v) / (grid_points - 1)
-    grids = low_v[:, np.newaxis] + steps[:, np.newaxis] * np.arange(grid_points)
-    values = np.asarray(objective(grids), dtype=float)
-    if values.shape != grids.shape:
+    if (bracket_lows is None) != (bracket_highs is None):
         raise GameError(
-            f"objective returned shape {values.shape}, expected {grids.shape}"
+            "bracket_lows and bracket_highs must be given together"
         )
-    best_idx = np.argmax(values, axis=1)
-    bracket_lows = low_v + np.maximum(0, best_idx - 1) * steps
-    bracket_highs = low_v + np.minimum(grid_points - 1, best_idx + 1) * steps
-    return golden_section_maximize_batch(
-        objective, bracket_lows, bracket_highs, tolerance=tolerance
+    steps = (high_v - low_v) / (grid_points - 1)
+    scan_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def scan_brackets() -> tuple[np.ndarray, np.ndarray]:
+        """Cold coarse scan: each row's best grid bracket (computed once)."""
+        nonlocal scan_cache
+        if scan_cache is None:
+            grids = (
+                low_v[:, np.newaxis]
+                + steps[:, np.newaxis] * np.arange(grid_points)
+            )
+            values = np.asarray(objective(grids), dtype=float)
+            if values.shape != grids.shape:
+                raise GameError(
+                    f"objective returned shape {values.shape}, expected "
+                    f"{grids.shape}"
+                )
+            best_idx = np.argmax(values, axis=1)
+            scan_cache = (
+                low_v + np.maximum(0, best_idx - 1) * steps,
+                low_v + np.minimum(grid_points - 1, best_idx + 1) * steps,
+            )
+        return scan_cache
+
+    if bracket_lows is None:
+        cold_lows, cold_highs = scan_brackets()
+        return golden_section_maximize_batch(
+            objective, cold_lows, cold_highs, tolerance=tolerance
+        )
+
+    warm_low_v = np.asarray(bracket_lows, dtype=float)
+    warm_high_v = np.asarray(bracket_highs, dtype=float)
+    if warm_low_v.shape != low_v.shape or warm_high_v.shape != low_v.shape:
+        raise GameError(
+            f"warm brackets must share the (M,) shape {low_v.shape}, got "
+            f"{warm_low_v.shape} and {warm_high_v.shape}"
+        )
+    warm = np.isfinite(warm_low_v) & np.isfinite(warm_high_v)
+    if np.any(warm & (warm_low_v > warm_high_v)):
+        raise GameError("invalid warm bracket: low > high")
+    clipped_low = np.where(warm, np.clip(warm_low_v, low_v, high_v), low_v)
+    clipped_high = np.where(warm, np.clip(warm_high_v, low_v, high_v), high_v)
+    if bool(np.all(warm)):
+        refine_lows, refine_highs = clipped_low, clipped_high
+    else:
+        cold_lows, cold_highs = scan_brackets()
+        refine_lows = np.where(warm, clipped_low, cold_lows)
+        refine_highs = np.where(warm, clipped_high, cold_highs)
+    prices, values = golden_section_maximize_batch(
+        objective, refine_lows, refine_highs, tolerance=tolerance
     )
+    stale = warm & (
+        ((prices - clipped_low <= tolerance) & (clipped_low > low_v))
+        | ((clipped_high - prices <= tolerance) & (clipped_high < high_v))
+    )
+    if bool(np.any(stale)):
+        cold_lows, cold_highs = scan_brackets()
+        # Non-stale rows ride along frozen on a degenerate [p, p] bracket
+        # (resolving back to p bitwise); only stale rows re-refine.
+        redo_prices, redo_values = golden_section_maximize_batch(
+            objective,
+            np.where(stale, cold_lows, prices),
+            np.where(stale, cold_highs, prices),
+            tolerance=tolerance,
+        )
+        prices = np.where(stale, redo_prices, prices)
+        values = np.where(stale, redo_values, values)
+    return prices, values

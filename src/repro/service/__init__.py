@@ -1,0 +1,39 @@
+"""``repro.service`` — the low-latency live pricing service.
+
+The "millions of users" workload in miniature: a long-running
+:class:`LivePricingService` holds a mutable stack of markets, applies
+point updates (VMU churn, fading drift, demand shifts) by dirtying
+exactly the touched rows, and answers price queries from an
+incrementally maintained :class:`~repro.core.marketstack.StackedEquilibria`
+— bitwise-equal to a cold full solve at every step, at a fraction of the
+work. :class:`EquilibriumCache` is the cross-stack face of the same idea:
+equilibrium rows keyed by market *content*, reused across overlapping
+stacks (robustness sweeps, oracle grids).
+"""
+
+from repro.service.cache import EquilibriumCache, shared_cache
+from repro.service.pricing import (
+    FadingDrift,
+    LivePricingService,
+    PriceQuote,
+    Query,
+    ServiceStats,
+    UpdateMarket,
+    VmuJoin,
+    VmuLeave,
+    latency_percentile,
+)
+
+__all__ = [
+    "EquilibriumCache",
+    "FadingDrift",
+    "LivePricingService",
+    "PriceQuote",
+    "Query",
+    "ServiceStats",
+    "UpdateMarket",
+    "VmuJoin",
+    "VmuLeave",
+    "latency_percentile",
+    "shared_cache",
+]

@@ -15,7 +15,7 @@ from repro.core import MarketStack, welfare_report, welfare_reports_stacked
 from repro.core.stackelberg import MarketConfig, StackelbergMarket
 from repro.entities.vmu import VmuProfile, paper_fig2_population, sample_population
 from repro.env.vector import VectorMigrationEnv
-from repro.errors import InfeasibleMarketError
+from repro.errors import GameError, InfeasibleMarketError
 from repro.game.solvers import (
     golden_section_maximize,
     golden_section_maximize_batch,
@@ -199,6 +199,105 @@ class TestBatchedSolvers:
             )
             assert best[m] == ref_best
             assert values[m] == ref_value
+
+
+class TestWarmBrackets:
+    """Per-row warm brackets: the batch replicates a loop of scalar
+    warm-started searches bitwise, including the stale fallback."""
+
+    peaks = np.array([2.0, 9.0, 4.5, 7.25])
+    lows = np.array([0.0, 0.0, 0.0, 0.0])
+    highs = np.array([12.0, 12.0, 12.0, 12.0])
+
+    def objective(self, x):
+        x = np.asarray(x)
+        p = self.peaks[:, np.newaxis] if x.ndim == 2 else self.peaks
+        return -((x - p) ** 2)
+
+    def scalar_reference(self, m, bracket_low, bracket_high):
+        peak = float(self.peaks[m])
+        return grid_then_golden(
+            lambda x: -((x - peak) ** 2),
+            float(self.lows[m]),
+            float(self.highs[m]),
+            vector_objective=lambda x: -((np.asarray(x) - peak) ** 2),
+            bracket_low=bracket_low,
+            bracket_high=bracket_high,
+        )
+
+    def assert_batch_matches_loop(self, bracket_lows, bracket_highs):
+        best, values = grid_then_golden_batch(
+            self.objective,
+            self.lows,
+            self.highs,
+            bracket_lows=bracket_lows,
+            bracket_highs=bracket_highs,
+        )
+        for m in range(self.peaks.size):
+            warm = bracket_lows is not None and np.isfinite(
+                bracket_lows[m]
+            ) and np.isfinite(bracket_highs[m])
+            ref_best, ref_value = self.scalar_reference(
+                m,
+                float(bracket_lows[m]) if warm else None,
+                float(bracket_highs[m]) if warm else None,
+            )
+            assert best[m] == ref_best, m
+            assert values[m] == ref_value, m
+
+    def test_tight_warm_brackets_match_scalar_bitwise(self):
+        self.assert_batch_matches_loop(self.peaks - 0.3, self.peaks + 0.3)
+
+    def test_stale_brackets_fall_back_to_cold_path(self):
+        # Brackets nowhere near the optima: every row refines to a warm
+        # endpoint strictly inside its interval, triggers the stale rule,
+        # and must equal the cold batch bitwise.
+        stale_lows = self.lows + 0.5
+        stale_highs = self.lows + 1.0
+        self.assert_batch_matches_loop(stale_lows, stale_highs)
+        best, _ = grid_then_golden_batch(
+            self.objective,
+            self.lows,
+            self.highs,
+            bracket_lows=stale_lows,
+            bracket_highs=stale_highs,
+        )
+        cold_best, _ = grid_then_golden_batch(
+            self.objective, self.lows, self.highs
+        )
+        assert (best == cold_best).all()
+
+    def test_mixed_warm_and_cold_rows(self):
+        bracket_lows = self.peaks - 0.3
+        bracket_highs = self.peaks + 0.3
+        bracket_lows[1] = np.nan  # rows 1 and 3 take the cold path
+        bracket_highs[3] = np.nan
+        self.assert_batch_matches_loop(bracket_lows, bracket_highs)
+
+    def test_brackets_clip_to_the_interval(self):
+        # Warm brackets poking outside [low, high] clip — never probe out.
+        self.assert_batch_matches_loop(self.peaks - 100.0, self.peaks + 100.0)
+
+    def test_lonely_bracket_rejected(self):
+        with pytest.raises(GameError, match="together"):
+            grid_then_golden(
+                lambda x: -(x**2), 0.0, 1.0, bracket_low=0.2
+            )
+        with pytest.raises(GameError, match="together"):
+            grid_then_golden_batch(
+                self.objective, self.lows, self.highs,
+                bracket_lows=self.peaks,
+            )
+
+    def test_inverted_warm_bracket_rejected(self):
+        with pytest.raises(GameError):
+            grid_then_golden_batch(
+                self.objective,
+                self.lows,
+                self.highs,
+                bracket_lows=self.peaks + 1.0,
+                bracket_highs=self.peaks - 1.0,
+            )
 
 
 class TestReroutedCallers:

@@ -1,0 +1,308 @@
+"""MutableMarketStack: incremental dirty-row re-solve invariants.
+
+Acceptance for the live pricing layer: after *any* sequence of point
+updates, ``equilibria_live()`` — which re-solves only the dirty rows and
+splices them into the cached stack — is bitwise-equal to a cold
+``equilibria_stacked()`` over the current markets, in both refine modes
+and at every dirty fraction (one row, ~10 %, all rows). Plus the
+scalar-accessor cache contract under splicing: clean rows keep their
+cached scalar objects (identity), a dirty row's entry is dropped, and
+infeasible↔feasible transitions round-trip.
+"""
+
+import numpy as np
+import pytest
+from test_core_equilibria_stacked import infeasible_market, random_markets
+
+from repro.core import MarketStack, MutableMarketStack
+from repro.core.stackelberg import MarketConfig, StackelbergMarket
+from repro.entities.vmu import VmuProfile
+from repro.errors import ConfigurationError, InfeasibleMarketError
+
+ARRAY_FIELDS = (
+    "prices",
+    "demands",
+    "msp_utilities",
+    "vmu_utilities",
+    "capacity_binding",
+    "price_cap_binding",
+    "feasible",
+    "mask",
+    "counts",
+    "unit_costs",
+)
+
+
+def assert_bitwise_equal(live, cold):
+    for name in ARRAY_FIELDS:
+        a, b = getattr(live, name), getattr(cold, name)
+        assert a.shape == b.shape, name
+        assert np.array_equal(a, b, equal_nan=True), name
+
+
+def apply_random_update(mutable, rng, index):
+    """One random point update on market ``index`` (join/leave/fading/replace)."""
+    market = mutable.market(index)
+    move = int(rng.integers(4))
+    if move == 0:  # join
+        vmu = VmuProfile(
+            vmu_id=f"joined-{int(rng.integers(1 << 30))}",
+            data_size_mb=float(rng.uniform(50.0, 500.0)),
+            immersion_coef=float(rng.uniform(1.0, 10.0)),
+        )
+        mutable.join(index, vmu)
+    elif move == 1 and len(market.vmus) > 1:  # leave
+        victim = market.vmus[int(rng.integers(len(market.vmus)))]
+        mutable.leave(index, victim.vmu_id)
+    elif move == 2:  # fading drift
+        mutable.set_fading_gain(index, float(rng.uniform(0.05, 3.0)))
+    else:  # wholesale replacement (new cost/cap too)
+        replacement = random_markets(
+            1, root_seed=int(rng.integers(1 << 30)), max_vmus=9
+        )[0]
+        mutable.update_market(index, replacement)
+
+
+class TestIncrementalBitwise:
+    """The tentpole property: live == cold, bitwise, after every update."""
+
+    @pytest.mark.parametrize("refine", [True, False])
+    @pytest.mark.parametrize(
+        "dirty_fraction", ["one", "tenth", "all"], ids=["1row", "10pct", "all"]
+    )
+    def test_random_update_sequences(self, refine, dirty_fraction):
+        rng = np.random.default_rng([61, refine, len(dirty_fraction)])
+        mutable = MutableMarketStack(random_markets(50, root_seed=7))
+        num = mutable.num_markets
+        per_step = {"one": 1, "tenth": max(1, num // 10), "all": num}[
+            dirty_fraction
+        ]
+        for _ in range(4):
+            targets = rng.choice(num, size=per_step, replace=False)
+            for index in targets:
+                apply_random_update(mutable, rng, int(index))
+            assert set(mutable.dirty_indices(refine=refine)) == {
+                int(t) for t in targets
+            }
+            live = mutable.equilibria_live(refine=refine)
+            cold = MarketStack(list(mutable.markets)).equilibria_stacked(
+                refine=refine
+            )
+            assert_bitwise_equal(live, cold)
+            assert not mutable.dirty_indices(refine=refine)
+
+    def test_ragged_width_changes_stay_bitwise(self):
+        """Joins/leaves that change N_max (wider and narrower) re-pad
+        correctly, including NaN tails of infeasible rows."""
+        markets = random_markets(6, root_seed=13, max_vmus=3)
+        markets[2] = infeasible_market()  # N=1, all-NaN row
+        mutable = MutableMarketStack(markets)
+        mutable.equilibria_live()
+        # Widen N_max: grow market 4 well past the current max.
+        for j in range(6):
+            mutable.join(
+                4, VmuProfile(f"w{j}", data_size_mb=120.0, immersion_coef=4.0)
+            )
+        live = mutable.equilibria_live()
+        assert_bitwise_equal(
+            live, MarketStack(list(mutable.markets)).equilibria_stacked()
+        )
+        # Narrow N_max back down: replace the wide market with a 1-VMU one.
+        mutable.update_market(
+            4,
+            StackelbergMarket(
+                [VmuProfile("solo", data_size_mb=150.0, immersion_coef=5.0)]
+            ),
+        )
+        live = mutable.equilibria_live()
+        assert_bitwise_equal(
+            live, MarketStack(list(mutable.markets)).equilibria_stacked()
+        )
+
+    def test_infeasible_feasible_transitions(self):
+        markets = random_markets(5, root_seed=3)
+        mutable = MutableMarketStack(markets)
+        mutable.equilibria_live()
+        # feasible -> infeasible
+        mutable.update_market(1, infeasible_market())
+        live = mutable.equilibria_live()
+        assert not live.feasible[1]
+        assert np.isnan(live.prices[1])
+        with pytest.raises(InfeasibleMarketError, match="no profitable trade"):
+            live.equilibrium(1)
+        assert_bitwise_equal(
+            live, MarketStack(list(mutable.markets)).equilibria_stacked()
+        )
+        # infeasible -> feasible
+        mutable.update_market(1, random_markets(1, root_seed=99)[0])
+        live = mutable.equilibria_live()
+        assert live.feasible[1]
+        assert live.equilibrium(1).price == live.prices[1]
+        assert_bitwise_equal(
+            live, MarketStack(list(mutable.markets)).equilibria_stacked()
+        )
+
+    def test_first_solve_and_all_dirty_take_cold_path(self):
+        mutable = MutableMarketStack(random_markets(8, root_seed=5))
+        mutable.equilibria_live()
+        assert mutable.solve_count == 1
+        assert mutable.rows_resolved == 8
+        for index in range(8):
+            mutable.set_fading_gain(index, 0.5)
+        mutable.equilibria_live()
+        assert mutable.solve_count == 2
+        assert mutable.rows_resolved == 16  # full cold solve again
+
+    def test_incremental_work_is_proportional_to_dirty_rows(self):
+        mutable = MutableMarketStack(random_markets(40, root_seed=11))
+        mutable.equilibria_live()
+        mutable.set_fading_gain(17, 0.8)
+        mutable.equilibria_live()
+        assert mutable.rows_resolved == 41  # 40 cold + 1 dirty
+
+    def test_clean_repeat_solves_nothing(self):
+        mutable = MutableMarketStack(random_markets(6, root_seed=29))
+        first = mutable.equilibria_live()
+        assert mutable.equilibria_live() is first
+        assert mutable.solve_count == 1
+
+
+class TestSplicedScalarCache:
+    """StackedEquilibria.equilibrium() cache invariants under splicing."""
+
+    def test_clean_rows_keep_cached_scalars_by_identity(self):
+        mutable = MutableMarketStack(random_markets(8, root_seed=17))
+        before = mutable.equilibria_live()
+        kept = {m: before.equilibrium(m) for m in (0, 3, 6)}
+        mutable.set_fading_gain(4, 0.6)
+        after = mutable.equilibria_live()
+        for m, scalar in kept.items():
+            assert after.equilibrium(m) is scalar
+
+    def test_dirty_row_cache_entry_is_invalidated_alone(self):
+        mutable = MutableMarketStack(random_markets(8, root_seed=17))
+        before = mutable.equilibria_live()
+        stale_scalar = before.equilibrium(4)
+        clean_scalar = before.equilibrium(5)
+        mutable.set_fading_gain(4, 0.6)
+        after = mutable.equilibria_live()
+        fresh = after.equilibrium(4)
+        assert fresh is not stale_scalar
+        assert fresh.price != stale_scalar.price or not np.array_equal(
+            fresh.demands, stale_scalar.demands
+        )
+        assert after.equilibrium(5) is clean_scalar
+
+    def test_spliced_result_is_frozen_and_cached_rows_read_only(self):
+        mutable = MutableMarketStack(random_markets(4, root_seed=31))
+        mutable.equilibria_live()
+        mutable.set_fading_gain(2, 0.4)
+        live = mutable.equilibria_live()
+        with pytest.raises(ValueError):
+            live.prices[0] = 1.0
+        with pytest.raises(ValueError):
+            live.equilibrium(0).demands[0] = 0.0
+
+    def test_old_snapshot_untouched_by_splice(self):
+        """Splicing builds a new result; the previous snapshot's arrays
+        and cache still describe the pre-update state."""
+        mutable = MutableMarketStack(random_markets(5, root_seed=41))
+        before = mutable.equilibria_live()
+        old_price = float(before.prices[2])
+        mutable.set_fading_gain(2, 0.3)
+        after = mutable.equilibria_live()
+        assert before.prices[2] == old_price
+        assert after is not before
+
+
+class TestMutationApi:
+    def test_leave_unknown_vmu_rejected(self):
+        mutable = MutableMarketStack(random_markets(3, root_seed=2))
+        with pytest.raises(ConfigurationError, match="no VMU"):
+            mutable.leave(0, "nobody")
+
+    def test_leave_last_member_rejected(self):
+        market = StackelbergMarket(
+            [VmuProfile("only", data_size_mb=100.0, immersion_coef=5.0)]
+        )
+        mutable = MutableMarketStack([market])
+        with pytest.raises(ConfigurationError, match="last"):
+            mutable.leave(0, "only")
+
+    def test_out_of_range_index_rejected(self):
+        mutable = MutableMarketStack(random_markets(3, root_seed=2))
+        with pytest.raises(ConfigurationError):
+            mutable.set_fading_gain(3, 1.0)
+
+    def test_update_requires_market_instance(self):
+        mutable = MutableMarketStack(random_markets(3, root_seed=2))
+        with pytest.raises(ConfigurationError):
+            mutable.update_market(0, "not a market")
+
+
+class TestWarmStart:
+    """Opt-in warm-started refinement: tolerance-level agreement, and the
+    stale fallback keeps large jumps correct."""
+
+    def test_small_drift_matches_cold_within_tolerance(self):
+        mutable = MutableMarketStack(random_markets(20, root_seed=47))
+        mutable.equilibria_live()
+        rng = np.random.default_rng(5)
+        for index in rng.choice(20, size=4, replace=False):
+            market = mutable.market(int(index))
+            gain = market.link.budget.fading_gain * float(
+                rng.uniform(0.97, 1.03)
+            )
+            mutable.set_fading_gain(int(index), gain)
+        warm = mutable.equilibria_live(warm_start=True)
+        cold = MarketStack(list(mutable.markets)).equilibria_stacked()
+        np.testing.assert_allclose(
+            warm.prices, cold.prices, rtol=0.0, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            warm.msp_utilities, cold.msp_utilities, rtol=1e-6
+        )
+
+    def test_large_jump_falls_back_to_full_scan(self):
+        """A replacement that moves the optimum far outside the warm
+        bracket must still land on the cold answer (stale rule)."""
+        mutable = MutableMarketStack(random_markets(10, root_seed=53))
+        mutable.equilibria_live()
+        jolt = random_markets(1, root_seed=1234, max_vmus=9)[0]
+        jolt = jolt.with_unit_cost(jolt.config.unit_cost * 0.5)
+        mutable.update_market(3, jolt)
+        warm = mutable.equilibria_live(warm_start=True)
+        cold = MarketStack(list(mutable.markets)).equilibria_stacked()
+        np.testing.assert_allclose(
+            warm.prices, cold.prices, rtol=0.0, atol=1e-6
+        )
+
+    def test_previously_infeasible_row_takes_cold_path(self):
+        markets = random_markets(4, root_seed=59)
+        markets[1] = infeasible_market()
+        mutable = MutableMarketStack(markets)
+        mutable.equilibria_live()
+        mutable.update_market(1, random_markets(1, root_seed=60)[0])
+        warm = mutable.equilibria_live(warm_start=True)
+        cold = MarketStack(list(mutable.markets)).equilibria_stacked()
+        assert warm.feasible[1]
+        np.testing.assert_allclose(
+            warm.prices, cold.prices, rtol=0.0, atol=1e-6
+        )
+
+    def test_warm_results_never_memoised(self):
+        mutable = MutableMarketStack(random_markets(6, root_seed=67))
+        mutable.equilibria_live()
+        mutable.set_fading_gain(0, 0.7)
+        warm = mutable.equilibria_live(warm_start=True)
+        again = mutable.equilibria_live(warm_start=True)
+        assert again is warm  # cached at the mutable layer (no dirt)
+
+    def test_warm_without_refine_rejected(self):
+        stack = MarketStack(random_markets(3, root_seed=71))
+        with pytest.raises(ConfigurationError, match="refine"):
+            stack.equilibria_stacked(
+                refine=False,
+                warm_lows=np.zeros(3),
+                warm_highs=np.ones(3),
+            )

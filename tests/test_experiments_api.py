@@ -48,6 +48,12 @@ TINY_PARAMS = {
     "history_ablation": {"config": SMOKE, "lengths": (1, 2)},
     "capacity_ablation": {"capacities": (10.0, 50.0)},
     "city_sweep": {"m": 6, "chunk_size": 2},
+    "pricing_service": {
+        "m": 6,
+        "windows": 3,
+        "queries_per_window": 4,
+        "churn": 0.34,
+    },
     "welfare": {},
     "multiseed": {
         "config": SMOKE,

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.env",
     "repro.baselines",
     "repro.experiments",
+    "repro.service",
 ]
 
 

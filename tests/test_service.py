@@ -1,0 +1,232 @@
+"""repro.service: the live pricing service and the content-keyed cache."""
+
+import numpy as np
+import pytest
+from test_core_equilibria_stacked import infeasible_market, random_markets
+
+from repro.baselines import OraclePricing
+from repro.core import MarketStack, MutableMarketStack
+from repro.entities.vmu import VmuProfile
+from repro.errors import ConfigurationError, InfeasibleMarketError
+from repro.experiments import run_distance_sweep, run_fading_sweep
+from repro.service import (
+    EquilibriumCache,
+    FadingDrift,
+    LivePricingService,
+    PriceQuote,
+    Query,
+    ServiceStats,
+    UpdateMarket,
+    VmuJoin,
+    VmuLeave,
+    latency_percentile,
+)
+
+
+class TestLatencyPercentile:
+    def test_nearest_rank(self):
+        sample = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert latency_percentile(sample, 50.0) == 3.0
+        assert latency_percentile(sample, 99.0) == 5.0
+        assert latency_percentile(sample, 0.0) == 1.0
+        assert latency_percentile(sample, 100.0) == 5.0
+
+    def test_empty_sample(self):
+        assert latency_percentile([], 99.0) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_percentile([1.0], 101.0)
+
+
+class TestLivePricingService:
+    def test_query_matches_cold_solve(self):
+        markets = random_markets(8, root_seed=3)
+        service = LivePricingService(markets)
+        cold = MarketStack(markets).equilibria_stacked()
+        quote = service.query(5)
+        assert quote.feasible
+        assert quote.price == cold.prices[5]
+        assert quote.msp_utility == cold.msp_utilities[5]
+
+    def test_serve_interleaved_updates_and_queries(self):
+        markets = random_markets(6, root_seed=9)
+        service = LivePricingService(markets)
+        events = [
+            Query(0),
+            FadingDrift(2, 0.5),
+            Query(2),
+            VmuJoin(1, VmuProfile("new", data_size_mb=150.0, immersion_coef=4.0)),
+            Query(1),
+            Query(2),
+        ]
+        quotes = service.serve(events)
+        assert [q.market_index for q in quotes] == [0, 2, 1, 2]
+        cold = MarketStack(list(service.stack.markets)).equilibria_stacked()
+        assert quotes[-1].price == cold.prices[2]
+        stats = service.stats()
+        assert stats.queries == 4
+        assert stats.updates == 2
+        # 1 cold solve + 1 per dirty window = 3; never 1 solve per query.
+        assert stats.solves == 3
+        assert stats.rows_resolved == 6 + 1 + 1
+
+    def test_micro_window_batches_queries_onto_one_solve(self):
+        service = LivePricingService(random_markets(5, root_seed=13))
+        service.serve([Query(i % 5) for i in range(20)])
+        assert service.stack.solve_count == 1
+
+    def test_infeasible_market_quotes_nan_without_raising(self):
+        markets = random_markets(3, root_seed=7)
+        markets[1] = infeasible_market()
+        service = LivePricingService(markets)
+        quote = service.query(1)
+        assert not quote.feasible
+        assert np.isnan(quote.price) and np.isnan(quote.msp_utility)
+        assert not quote.capacity_binding and not quote.price_cap_binding
+
+    def test_leave_event(self):
+        markets = random_markets(4, root_seed=15)
+        victim = markets[2].vmus[0].vmu_id
+        service = LivePricingService(markets)
+        service.query(2)
+        service.apply(VmuLeave(2, victim))
+        assert len(service.stack.market(2).vmus) == len(markets[2].vmus) - 1
+        cold = MarketStack(list(service.stack.markets)).equilibria_stacked()
+        assert service.query(2).price == cold.prices[2]
+
+    def test_update_market_event(self):
+        service = LivePricingService(random_markets(4, root_seed=19))
+        replacement = random_markets(1, root_seed=77)[0]
+        service.apply(UpdateMarket(0, replacement))
+        assert service.stack.market(0) is replacement
+
+    def test_unknown_event_rejected(self):
+        service = LivePricingService(random_markets(2, root_seed=1))
+        with pytest.raises(ConfigurationError, match="unknown service event"):
+            service.apply(object())
+
+    def test_stats_and_reset(self):
+        service = LivePricingService(random_markets(3, root_seed=21))
+        service.serve([Query(0), FadingDrift(1, 0.9), Query(1)])
+        stats = service.stats()
+        assert isinstance(stats, ServiceStats)
+        assert stats.queries == 2 and stats.updates == 1
+        assert stats.p99_ms >= stats.p50_ms >= 0.0
+        assert stats.qps > 0.0
+        service.reset_stats()
+        fresh = service.stats()
+        assert fresh.queries == 0 and fresh.updates == 0
+        assert fresh.solves == stats.solves  # stack counters persist
+
+    def test_accepts_existing_mutable_stack(self):
+        mutable = MutableMarketStack(random_markets(3, root_seed=23))
+        service = LivePricingService(mutable)
+        assert service.stack is mutable
+        assert service.num_markets == 3
+
+    def test_refine_false_mode(self):
+        markets = random_markets(4, root_seed=25)
+        service = LivePricingService(markets, refine=False)
+        cold = MarketStack(markets).equilibria_stacked(refine=False)
+        assert service.query(2).price == cold.prices[2]
+
+
+class TestEquilibriumCache:
+    def test_rows_bitwise_equal_stacked_solve(self):
+        markets = random_markets(6, root_seed=33)
+        cache = EquilibriumCache()
+        rows = cache.equilibria(markets)
+        solved = MarketStack(markets).equilibria_stacked()
+        for m, row in enumerate(rows):
+            assert row.price == solved.prices[m]
+            assert (row.demands == solved.equilibrium(m).demands).all()
+
+    def test_hits_and_misses_across_overlapping_stacks(self):
+        markets = random_markets(6, root_seed=35)
+        cache = EquilibriumCache()
+        cache.equilibria(markets[:4])
+        assert cache.misses == 4 and cache.hits == 0
+        rows = cache.equilibria(markets[2:])  # 2 cached + 2 new
+        assert cache.misses == 6 and cache.hits == 2
+        assert len(cache) == 6
+        solved = MarketStack(markets).equilibria_stacked()
+        for row, m in zip(rows, range(2, 6)):
+            assert row.price == solved.prices[m]
+
+    def test_repeat_lookup_is_identical_object(self):
+        market = random_markets(1, root_seed=37)[0]
+        cache = EquilibriumCache()
+        assert cache.equilibrium(market) is cache.equilibrium(market)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_equal_content_shares_a_row(self):
+        market = random_markets(1, root_seed=39)[0]
+        twin = market.with_unit_cost(market.config.unit_cost)
+        cache = EquilibriumCache()
+        assert cache.equilibrium(market) is cache.equilibrium(twin)
+
+    def test_infeasible_cached_and_reraised(self):
+        cache = EquilibriumCache()
+        bad = infeasible_market()
+        with pytest.raises(InfeasibleMarketError, match="no profitable trade"):
+            cache.equilibrium(bad)
+        with pytest.raises(InfeasibleMarketError):
+            cache.equilibrium(bad)
+        assert cache.misses == 1 and cache.hits == 1  # negative row reused
+
+    def test_invalidate_forces_resolve(self):
+        market = random_markets(1, root_seed=41)[0]
+        cache = EquilibriumCache()
+        first = cache.equilibrium(market)
+        assert cache.invalidate(market)
+        assert not cache.invalidate(market)  # already gone
+        second = cache.equilibrium(market)
+        assert second is not first
+        assert second.price == first.price  # same bits, fresh solve
+        assert cache.misses == 2
+
+    def test_clear_resets_counters(self):
+        cache = EquilibriumCache()
+        cache.equilibria(random_markets(3, root_seed=43))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_chunked_solve_same_bits(self):
+        markets = random_markets(7, root_seed=45)
+        chunked = EquilibriumCache()
+        plain = EquilibriumCache()
+        for a, b in zip(
+            chunked.equilibria(markets, chunk_size=2),
+            plain.equilibria(markets),
+        ):
+            assert a.price == b.price
+
+
+class TestCacheRoutedCallers:
+    def test_oracle_from_stack_with_cache_same_bits(self):
+        markets = random_markets(6, root_seed=47)
+        cache = EquilibriumCache()
+        cached = OraclePricing.from_stack(markets, cache=cache)
+        direct = OraclePricing.from_stack(markets)
+        for a, b in zip(cached, direct):
+            assert a.equilibrium_price == b.equilibrium_price
+        # The rebuild after one change re-solves only that cell.
+        markets[3] = random_markets(1, root_seed=48)[0]
+        OraclePricing.from_stack(markets, cache=cache)
+        assert cache.misses == 7
+
+    def test_robustness_sweeps_reuse_cache_same_bits(self):
+        base = run_distance_sweep(distances_m=(400.0, 800.0))
+        cached = run_distance_sweep(
+            distances_m=(400.0, 800.0), reuse_cache=True
+        )
+        rerun = run_distance_sweep(
+            distances_m=(400.0, 800.0), reuse_cache=True
+        )
+        assert cached == base
+        assert rerun == base
+
+    def test_fading_sweep_reuse_cache_same_bits(self):
+        base = run_fading_sweep(draws=3)
+        assert run_fading_sweep(draws=3, reuse_cache=True) == base

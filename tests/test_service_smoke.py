@@ -1,0 +1,68 @@
+"""Latency smoke: the live service under a sustained query/update mix.
+
+CI runs this file as its own timeout-guarded step: ≥ 1 000 queries with
+≥ 100 interleaved updates over a small stack must finish with a sane p99
+(micro-window batching keeps the per-query cost at a cached-row read —
+only the first query after an update burst pays a dirty-row solve), and
+the final live state must be bitwise-equal to a cold solve.
+"""
+
+import numpy as np
+from test_core_equilibria_stacked import random_markets
+from test_core_marketstack_live import assert_bitwise_equal
+
+from repro.core import MarketStack
+from repro.entities.vmu import VmuProfile
+from repro.service import FadingDrift, LivePricingService, Query, VmuJoin
+
+P99_BUDGET_MS = 250.0
+"""Generous CI budget: the dirty-row solves of a 32-market stack are
+single-digit milliseconds on any hardware; a p99 near this bound means
+the incremental path degraded to cold full solves."""
+
+
+def test_sustained_load_meets_latency_budget():
+    markets = random_markets(32, root_seed=101, max_vmus=6)
+    service = LivePricingService(markets)
+    rng = np.random.default_rng(2026)
+
+    events = []
+    updates = 0
+    for window in range(125):  # 125 windows × 1 update × 8 queries
+        target = int(rng.integers(32))
+        if window % 3 == 0:
+            events.append(
+                VmuJoin(
+                    target,
+                    VmuProfile(
+                        f"smoke-{window}",
+                        data_size_mb=float(rng.uniform(50.0, 400.0)),
+                        immersion_coef=float(rng.uniform(1.0, 9.0)),
+                    ),
+                )
+            )
+        else:
+            events.append(
+                FadingDrift(target, float(rng.uniform(0.2, 2.0)))
+            )
+        updates += 1
+        for index in rng.integers(0, 32, size=8):
+            events.append(Query(int(index)))
+
+    quotes = service.serve(events)
+    stats = service.stats()
+
+    assert stats.queries == len(quotes) >= 1000
+    assert stats.updates == updates >= 100
+    # Incremental accounting: one cold solve (absorbing the first update,
+    # which precedes any query), then one sub-stack row per update window
+    # — nowhere near queries × M.
+    assert stats.solves == updates
+    assert stats.rows_resolved == 32 + updates - 1
+    assert 0.0 < stats.p50_ms <= stats.p99_ms < P99_BUDGET_MS
+    assert stats.qps > 0.0
+
+    # The served state never drifted from the cold truth.
+    live = service.equilibria()
+    cold = MarketStack(list(service.stack.markets)).equilibria_stacked()
+    assert_bitwise_equal(live, cold)
