@@ -1,0 +1,196 @@
+"""Training hot path: fused-update speedup evidence.
+
+Times fig2-cadence PPO training (update every 20 rounds, 10 epochs of
+20-sample mini-batches per update) over an ``E = 4`` vector env, twice:
+
+- **seed path** — per-parameter Adam stepping each tensor through the
+  autograd graph, scalar (per-step Python loop) GAE;
+- **fused path** — the graph-free :class:`repro.drl.fused.FusedActorCritic`
+  update writing gradients into the :class:`repro.nn.optim.FlatOptimizer`'s
+  contiguous buffer, vectorised GAE, and preallocated rollout scratch.
+
+The two paths are bitwise-identical by construction (``tests/test_drl_fused.py``
+and the backend conformance suite pin every stat and every post-step
+parameter), so the ratio is pure overhead removed — graph construction,
+per-node closures, and per-parameter optimizer dispatch.
+
+Runs are interleaved seed/fused and scored best-of-``REPEATS``: scheduler
+noise only ever *lengthens* a run, so the minimum of several interleaved
+runs converges to each path's true cost even on a loaded machine.
+
+Evidence lands in ``benchmarks/results/training_speedup.txt`` (table) and
+``training_speedup.json`` (structured payload with the asserted floor).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.stackelberg import StackelbergMarket
+from repro.drl.buffer import MiniBatch
+from repro.drl.policy import ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig
+from repro.drl.trainer import TrainerConfig, train_pricing_agent
+from repro.entities.vmu import paper_fig2_population
+from repro.env import VectorMigrationEnv
+from repro.utils.tables import Table
+
+pytestmark = pytest.mark.slow
+
+NUM_ENVS = 4
+ROUNDS_PER_EPISODE = 50
+NUM_EPISODES = 10
+REPEATS = 6
+SPEEDUP_FLOOR = 2.0
+
+
+def run_training(*, fused: bool) -> float:
+    """One full training run; returns wall-clock seconds."""
+    market = StackelbergMarket(paper_fig2_population())
+    venv = VectorMigrationEnv.from_market(
+        market,
+        NUM_ENVS,
+        seed=0,
+        history_length=2,
+        rounds_per_episode=ROUNDS_PER_EPISODE,
+        reward_mode="utility",
+    )
+    trainer_config = TrainerConfig(
+        num_episodes=NUM_EPISODES,
+        update_interval=20,
+        update_epochs=10,
+        batch_size=20,
+        gamma=0.0,
+    )
+    start = time.perf_counter()
+    train_pricing_agent(
+        venv,
+        trainer_config=trainer_config,
+        ppo_config=PPOConfig(learning_rate=1e-3),
+        seed=11,
+        fused=fused,
+        preallocate=fused,
+    )
+    return time.perf_counter() - start
+
+
+def interleaved_best_of(repeats=REPEATS):
+    """Best wall-clock per path from ``repeats`` interleaved runs."""
+    # Warm-up: first runs pay import/JIT-free numpy warmup and page faults.
+    run_training(fused=False)
+    run_training(fused=True)
+    seed_best, fused_best = float("inf"), float("inf")
+    for _ in range(repeats):
+        seed_best = min(seed_best, run_training(fused=False))
+        fused_best = min(fused_best, run_training(fused=True))
+    return seed_best, fused_best
+
+
+def update_latency(*, fused: bool, calls: int = 100, trials: int = 5) -> float:
+    """Best mean seconds per ``agent.update`` on a fig2-sized mini-batch.
+
+    Isolates the PPO-update stage the fused path rewrites (forward,
+    backward, optimizer step) from the env/rollout stages the two paths
+    share. A tiny learning rate keeps the repeatedly-updated parameters in
+    a numerically ordinary regime so every timed call does the same work.
+    """
+    batch_size, obs_dim, action_dim = 20, 12, 1
+    rng = np.random.default_rng(5)
+    batch = MiniBatch(
+        observations=rng.normal(size=(batch_size, obs_dim)),
+        actions=rng.normal(size=(batch_size, action_dim)),
+        old_log_probs=rng.normal(size=batch_size),
+        advantages=rng.normal(size=batch_size),
+        returns=rng.normal(size=batch_size),
+    )
+    best = float("inf")
+    for _ in range(trials):
+        network = ActorCritic(obs_dim, (64, 64), seed=np.random.default_rng(3))
+        agent = PPOAgent(network, PPOConfig(learning_rate=1e-8), fused=fused)
+        agent.update(batch)  # warm-up: lazy compiles and first allocations
+        start = time.perf_counter()
+        for _ in range(calls):
+            agent.update(batch)
+        best = min(best, (time.perf_counter() - start) / calls)
+    return best
+
+
+def test_training_speedup(record_table, record_json):
+    seed_s, fused_s = interleaved_best_of()
+    steps = NUM_EPISODES * NUM_ENVS * ROUNDS_PER_EPISODE
+    speedup = seed_s / fused_s
+    seed_update_s = update_latency(fused=False)
+    fused_update_s = update_latency(fused=True)
+
+    table = Table(
+        headers=(
+            "path",
+            "best_millis",
+            "env_steps_per_s",
+            "update_micros",
+            "speedup",
+        ),
+        title=(
+            "PPO training, fig2 cadence "
+            f"(E={NUM_ENVS}, {NUM_EPISODES}x{ROUNDS_PER_EPISODE} rounds)"
+        ),
+    )
+    table.add_row(
+        "per-parameter + scalar GAE",
+        seed_s * 1e3,
+        steps / seed_s,
+        seed_update_s * 1e6,
+        1.0,
+    )
+    table.add_row(
+        "fused + preallocated",
+        fused_s * 1e3,
+        steps / fused_s,
+        fused_update_s * 1e6,
+        speedup,
+    )
+    record_table("training_speedup", table)
+    # Overwrite the table mirror with the richer structured payload —
+    # dashboards read the numbers without re-parsing the table rows.
+    record_json(
+        "training_speedup",
+        {
+            "benchmark": "training_speedup",
+            "config": {
+                "num_envs": NUM_ENVS,
+                "num_episodes": NUM_EPISODES,
+                "rounds_per_episode": ROUNDS_PER_EPISODE,
+                "update_interval": 20,
+                "update_epochs": 10,
+                "batch_size": 20,
+                "history_length": 2,
+                "reward_mode": "utility",
+                "repeats": REPEATS,
+            },
+            "env_steps": steps,
+            "seed_path": {
+                "best_seconds": seed_s,
+                "env_steps_per_s": steps / seed_s,
+                "ppo_update_seconds": seed_update_s,
+            },
+            "fused_path": {
+                "best_seconds": fused_s,
+                "env_steps_per_s": steps / fused_s,
+                "ppo_update_seconds": fused_update_s,
+            },
+            "speedup": speedup,
+            "ppo_update_speedup": seed_update_s / fused_update_s,
+            "asserted_floor": SPEEDUP_FLOOR,
+        },
+    )
+
+    # Acceptance floor: the fused path must at least double fig2-config
+    # env-steps/s over the seed per-parameter/scalar-GAE path. Measured
+    # headroom sits around 2.2x on an otherwise-idle runner; interleaved
+    # best-of keeps the ratio stable on noisy ones.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fused training speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR:.1f}x floor (seed {seed_s * 1e3:.1f} ms, "
+        f"fused {fused_s * 1e3:.1f} ms)"
+    )

@@ -1,0 +1,250 @@
+"""Pluggable array backend for the numerical hot path.
+
+Every hot-path module (the stacked equilibrium solve, the batched
+utilities, the DRL tensor/optimiser/GAE stack) routes its array operations
+through the :data:`xp` namespace proxy defined here instead of importing
+numpy directly.  Under the default numpy backend ``xp.<op>`` resolves to
+the *identical* numpy function, so results are bitwise-unchanged and the
+seam's only cost is one attribute dispatch per call site (measured at ~0
+by ``benchmarks/test_bench_equilibrium.py``).  A GPU / array-API backend
+(cupy, an array-API namespace, ...) slots in by name without touching any
+caller.
+
+Selection, in priority order:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call,
+2. the ``REPRO_BACKEND`` environment variable (read once, lazily, at the
+   first array operation),
+3. the built-in default: ``numpy``.
+
+``REPRO_BACKEND=numpy`` is always available; any other value is treated
+as an importable module name exposing an array namespace (e.g. ``cupy``).
+Unknown or unimportable names raise :class:`ConfigurationError` naming
+the backend, rather than silently falling back.
+
+The contract every backend must honour is :data:`SEAM_ATTRS` — the exact
+set of namespace attributes the hot path calls.  The conformance suite
+(``tests/test_backend_conformance.py``) pins both the attribute set and
+bitwise equality of the numpy-backend results against direct-numpy
+references.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ArrayBackend",
+    "SEAM_ATTRS",
+    "active_backend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "xp",
+]
+
+_ENV_VAR = "REPRO_BACKEND"
+_DEFAULT_NAME = "numpy"
+
+SEAM_ATTRS: tuple[str, ...] = (
+    # array construction / conversion
+    "asarray",
+    "array",
+    "zeros",
+    "zeros_like",
+    "ones",
+    "ones_like",
+    "empty",
+    "empty_like",
+    "full",
+    "arange",
+    "concatenate",
+    "stack",
+    "broadcast_to",
+    "expand_dims",
+    "squeeze",
+    "copyto",
+    "append",
+    "reshape",
+    # dtypes / scalars
+    "float64",
+    "ndarray",
+    "newaxis",
+    "isfinite",
+    "isnan",
+    # elementwise math
+    "maximum",
+    "minimum",
+    "clip",
+    "abs",
+    "sqrt",
+    "exp",
+    "log",
+    "log1p",
+    "tanh",
+    "sign",
+    "where",
+    # reductions / scans
+    "sum",
+    "cumsum",
+    "mean",
+    "argmax",
+    "any",
+    "all",
+    "max",
+    "min",
+    # misc used by the solvers / stack
+    "errstate",
+    "diag",
+    "add",
+    "multiply",
+    "subtract",
+    "divide",
+)
+"""Namespace attributes the seam-covered hot path dispatches through
+:data:`xp`.  A candidate backend must expose every one of these (checked
+by the conformance suite for the active backend)."""
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """A named array namespace the hot path can run on.
+
+    Attributes:
+        name: the backend's selection name (``"numpy"``, a module path,
+            or a caller-chosen label for hand-built namespaces).
+        module: the namespace object whose attributes :data:`xp`
+            forwards to (numpy itself for the default backend).
+    """
+
+    name: str
+    module: Any
+
+    @property
+    def is_numpy(self) -> bool:
+        """Whether this backend dispatches straight to numpy."""
+        import numpy
+
+        return self.module is numpy
+
+    def missing_seam_attrs(self) -> list[str]:
+        """Seam attributes this backend's namespace does not provide."""
+        return [a for a in SEAM_ATTRS if not hasattr(self.module, a)]
+
+
+def _load(name: str) -> ArrayBackend:
+    if name == _DEFAULT_NAME:
+        import numpy
+
+        return ArrayBackend(_DEFAULT_NAME, numpy)
+    try:
+        module = importlib.import_module(name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"array backend {name!r} is not importable: {exc}. "
+            f"Set {_ENV_VAR} to 'numpy' or to an importable array "
+            f"namespace module."
+        ) from exc
+    backend = ArrayBackend(name, module)
+    missing = backend.missing_seam_attrs()
+    if missing:
+        raise ConfigurationError(
+            f"array backend {name!r} is missing required namespace "
+            f"attributes: {missing}"
+        )
+    return backend
+
+
+# The active backend; None until first resolution so the environment
+# variable is honoured however late it is set before first array use.
+_ACTIVE: ArrayBackend | None = None
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve a backend by ``name`` (or the environment / default).
+
+    Does not change the active backend; use :func:`set_backend` or
+    :func:`use_backend` for that.
+    """
+    if name is None:
+        name = os.environ.get(_ENV_VAR, _DEFAULT_NAME)
+    return _load(name)
+
+
+def active_backend() -> ArrayBackend:
+    """The backend :data:`xp` currently dispatches to (resolving the
+    ``REPRO_BACKEND`` environment variable on first use)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend()
+    return _ACTIVE
+
+
+def set_backend(backend: ArrayBackend | str | None) -> ArrayBackend:
+    """Select the active backend by name or instance.
+
+    ``None`` resets to the environment/default resolution on next use.
+    Returns the newly active backend (resolving immediately unless
+    resetting).
+    """
+    global _ACTIVE
+    xp.__dict__.clear()
+    if backend is None:
+        _ACTIVE = None
+        return active_backend()
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    _ACTIVE = backend
+    return backend
+
+
+class use_backend:
+    """Context manager pinning the active backend for a ``with`` block.
+
+    Accepts a name or a prebuilt :class:`ArrayBackend` (the benchmark
+    suite uses a counting wrapper around numpy to measure seam
+    dispatches).  Restores the previous selection state on exit.
+    """
+
+    def __init__(self, backend: ArrayBackend | str) -> None:
+        self._backend = backend
+        self._previous: ArrayBackend | None = None
+
+    def __enter__(self) -> ArrayBackend:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        return set_backend(self._backend)
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        xp.__dict__.clear()
+        _ACTIVE = self._previous
+
+
+class _NamespaceProxy:
+    """Forwards attribute access to the active backend's namespace.
+
+    ``xp.maximum`` *is* ``numpy.maximum`` under the default backend — the
+    same function object — so every downstream result stays
+    bitwise-identical.  Resolved attributes are memoised in the instance
+    ``__dict__`` (cleared by :func:`set_backend` / :class:`use_backend` on
+    every switch), so steady-state dispatch is a plain attribute hit with
+    no ``__getattr__`` overhead at all.
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(active_backend().module, name)
+        self.__dict__[name] = value
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<xp -> {active_backend().name}>"
+
+
+xp = _NamespaceProxy()
+"""The array namespace of the active backend (numpy by default)."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from repro.backend import xp
 
 from repro.errors import AllocationError
 from repro.utils.validation import require_positive, require_positive_int
@@ -125,8 +125,8 @@ class OfdmaPool:
 
 
 def proportional_rationing(
-    demands: list[float] | np.ndarray, capacity: float
-) -> list[float] | np.ndarray:
+    demands: list[float] | xp.ndarray, capacity: float
+) -> list[float] | xp.ndarray:
     """Scale ``demands`` down proportionally so their sum fits ``capacity``.
 
     This is the rule the environment applies when total VMU demand exceeds
@@ -142,31 +142,31 @@ def proportional_rationing(
     vector environment drive on every grid scan.
     """
     require_positive("capacity", capacity)
-    array_in = isinstance(demands, np.ndarray)
-    rows = np.asarray(demands, dtype=float)
+    array_in = isinstance(demands, xp.ndarray)
+    rows = xp.asarray(demands, dtype=float)
     if rows.ndim not in (1, 2):
         raise AllocationError(
             f"demands must be 1-D (N,) or batched (P, N), got shape {rows.shape}"
         )
-    if np.any(rows < 0.0):
+    if xp.any(rows < 0.0):
         raise AllocationError(f"demands must be >= 0, got {demands!r}")
     totals = rows.sum(axis=-1)
-    # np.where evaluates both branches, so guard the division against the
+    # xp.where evaluates both branches, so guard the division against the
     # rows it will discard (zero or subnormal totals divide to inf/nan).
-    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-        scales = np.where(totals > capacity, capacity / totals, 1.0)
-    granted = rows * (scales if rows.ndim == 1 else scales[:, np.newaxis])
+    with xp.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        scales = xp.where(totals > capacity, capacity / totals, 1.0)
+    granted = rows * (scales if rows.ndim == 1 else scales[:, xp.newaxis])
     if array_in:
         return granted
     return [float(g) for g in granted]
 
 
 def proportional_rationing_stacked(
-    demands: np.ndarray,
-    capacities: np.ndarray,
+    demands: xp.ndarray,
+    capacities: xp.ndarray,
     *,
-    totals: np.ndarray | None = None,
-) -> np.ndarray:
+    totals: xp.ndarray | None = None,
+) -> xp.ndarray:
     """Proportional rationing across a stack of markets with *different*
     capacities.
 
@@ -187,8 +187,8 @@ def proportional_rationing_stacked(
         stacked call agrees bitwise with ``M`` separate
         :func:`proportional_rationing` calls.
     """
-    rows = np.asarray(demands, dtype=float)
-    caps = np.asarray(capacities, dtype=float)
+    rows = xp.asarray(demands, dtype=float)
+    caps = xp.asarray(capacities, dtype=float)
     if rows.ndim not in (2, 3):
         raise AllocationError(
             f"stacked demands must be (M, N) or (M, R, N), got {rows.shape}"
@@ -197,20 +197,34 @@ def proportional_rationing_stacked(
         raise AllocationError(
             f"capacities must have shape (M,), got {caps.shape}"
         )
-    if np.any(caps <= 0.0):
+    if xp.any(caps <= 0.0):
         raise AllocationError(f"capacities must be > 0, got {capacities!r}")
-    if np.any(rows < 0.0):
+    if xp.any(rows < 0.0):
         raise AllocationError("demands must be >= 0")
     if totals is None:
         totals = rows.sum(axis=-1)
-    totals = np.asarray(totals, dtype=float)
+    totals = xp.asarray(totals, dtype=float)
     if totals.shape != rows.shape[:-1]:
         raise AllocationError(
             f"totals must have shape {rows.shape[:-1]}, got {totals.shape}"
         )
-    caps_rows = caps if totals.ndim == 1 else caps[:, np.newaxis]
-    # np.where evaluates both branches; guard the division like the
+    return _rationing_rows(rows, caps, totals)
+
+
+def _rationing_rows(
+    rows: xp.ndarray, caps: xp.ndarray, totals: xp.ndarray
+) -> xp.ndarray:
+    """Trusted-input kernel of :func:`proportional_rationing_stacked`.
+
+    Callers guarantee validated float arrays (``rows`` ``(M, N)`` or
+    ``(M, R, N)``, ``caps`` ``(M,)``, ``totals`` matching ``rows`` minus
+    the trailing axis); :class:`repro.core.marketstack.MarketStack`
+    validates once at construction and drives this every environment
+    round. Same expressions as the public function, bitwise-identical.
+    """
+    caps_rows = caps if totals.ndim == 1 else caps[:, xp.newaxis]
+    # xp.where evaluates both branches; guard the division like the
     # single-market path does.
-    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-        scales = np.where(totals > caps_rows, caps_rows / totals, 1.0)
-    return rows * scales[..., np.newaxis]
+    with xp.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        scales = xp.where(totals > caps_rows, caps_rows / totals, 1.0)
+    return rows * scales[..., xp.newaxis]

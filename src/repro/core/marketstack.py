@@ -47,9 +47,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-import numpy as np
+from repro.backend import xp
 
-from repro.channel.ofdma import proportional_rationing_stacked
+from repro.channel.ofdma import _rationing_rows, proportional_rationing_stacked
 from repro.core.stackelberg import (
     MarketOutcome,
     PriceBatchOutcome,
@@ -57,6 +57,9 @@ from repro.core.stackelberg import (
     StackelbergMarket,
 )
 from repro.core.utilities import (
+    _follower_best_response_rows,
+    _msp_utilities_rows,
+    _vmu_utilities_rows,
     follower_best_response_stacked,
     msp_utilities_stacked,
     vmu_utilities_stacked,
@@ -137,8 +140,8 @@ def resolve_chunk_size(
 
 
 def _per_market_totals(
-    values: np.ndarray, counts: np.ndarray, *, ragged: bool
-) -> np.ndarray:
+    values: xp.ndarray, counts: xp.ndarray, *, ragged: bool
+) -> xp.ndarray:
     """Row sums over the trailing population axis, one per market.
 
     Ragged stacks reduce each market over its *own* ``N`` so the summation
@@ -153,9 +156,9 @@ def _per_market_totals(
     """
     if not ragged:
         return values.sum(axis=-1)
-    totals = np.empty(values.shape[:-1], dtype=np.float64)
-    for n in np.unique(counts):
-        members = np.flatnonzero(counts == n)
+    totals = xp.empty(values.shape[:-1], dtype=xp.float64)
+    for n in xp.unique(counts):
+        members = xp.flatnonzero(counts == n)
         totals[members] = values[members, ..., : int(n)].sum(axis=-1)
     return totals
 
@@ -168,7 +171,7 @@ class _ProbeContext:
     probes — sliced parameter views, the ``D/SE`` ratio matrix, effective
     capacities, and the ragged-reduction grouping (which
     :func:`_per_market_totals` would otherwise rebuild per probe via
-    ``np.unique``). Built once per ``(start, stop)`` row range and cached
+    ``xp.unique``). Built once per ``(start, stop)`` row range and cached
     on the (immutable) stack, it makes each probe a handful of elementwise
     numpy ops — the fixed-overhead floor of a small dirty-row sub-solve.
     """
@@ -180,9 +183,9 @@ class _ProbeContext:
         se = stack._se[sl]
         # Same division the per-probe kernel performed — computing it once
         # yields the identical bits every probe.
-        self.ratio = stack._data[sl] / se[:, np.newaxis]
-        self.effective_caps = np.where(
-            stack._enforce[sl], stack._caps[sl], np.inf
+        self.ratio = stack._data[sl] / se[:, xp.newaxis]
+        self.effective_caps = xp.where(
+            stack._enforce[sl], stack._caps[sl], xp.inf
         )
         counts = stack._counts[sl]
         self.ragged = stack._ragged
@@ -198,28 +201,28 @@ class _ProbeContext:
         # stacked-vs-scalar bits that would drift if numpy moved this
         # regime boundary.
         self.flat = not stack._ragged or stack._alphas.shape[1] < 8
-        # np.unique is sorted, so the group order (and therefore every
+        # xp.unique is sorted, so the group order (and therefore every
         # grouped reduction) matches _per_market_totals exactly.
         self.groups = (
             []
             if self.flat
             else [
-                (int(n), np.flatnonzero(counts == n))
-                for n in np.unique(counts)
+                (int(n), xp.flatnonzero(counts == n))
+                for n in xp.unique(counts)
             ]
         )
         self.pad = ~self.mask
         # Per-probe scratch, overwritten (and fully consumed) every call.
-        self.band = np.empty(self.alphas.shape, dtype=np.float64)
-        self.scales = np.empty(self.alphas.shape[0], dtype=np.float64)
+        self.band = xp.empty(self.alphas.shape, dtype=xp.float64)
+        self.scales = xp.empty(self.alphas.shape[0], dtype=xp.float64)
 
-    def totals(self, values: np.ndarray) -> np.ndarray:
+    def totals(self, values: xp.ndarray) -> xp.ndarray:
         """Row sums — bitwise :func:`_per_market_totals` with the ragged
         grouping precomputed (or skipped entirely when the full-width
         reduction provably returns the same bits)."""
         if self.flat:
             return values.sum(axis=-1)
-        out = np.empty(values.shape[:-1], dtype=np.float64)
+        out = xp.empty(values.shape[:-1], dtype=xp.float64)
         for n, members in self.groups:
             out[members] = values[members, ..., :n].sum(axis=-1)
         return out
@@ -237,9 +240,9 @@ class _ChunkScratch:
 
     def __init__(self, chunk_size: int, n_max: int) -> None:
         width = max(_REFINE_GRID_POINTS, 3 * n_max + 4)
-        self.band = np.empty((chunk_size, width, n_max), dtype=np.float64)
-        self.ratio = np.empty((chunk_size, n_max), dtype=np.float64)
-        self.pad = np.empty((chunk_size, n_max), dtype=bool)
+        self.band = xp.empty((chunk_size, width, n_max), dtype=xp.float64)
+        self.ratio = xp.empty((chunk_size, n_max), dtype=xp.float64)
+        self.pad = xp.empty((chunk_size, n_max), dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -251,21 +254,21 @@ class StackedOutcome:
     market axis. Padded population slots (``mask == False``) hold zeros.
     """
 
-    prices: np.ndarray
+    prices: xp.ndarray
     """Posted prices, shape ``(M,)`` or ``(M, R)``."""
-    demands: np.ndarray
+    demands: xp.ndarray
     """Requested bandwidth, shape ``(M, N_max)`` or ``(M, R, N_max)``."""
-    allocations: np.ndarray
+    allocations: xp.ndarray
     """Granted bandwidth after per-market rationing (same shape)."""
-    msp_utilities: np.ndarray
+    msp_utilities: xp.ndarray
     """Leader utility per market (and round), shape ``(M,)`` or ``(M, R)``."""
-    vmu_utilities: np.ndarray
+    vmu_utilities: xp.ndarray
     """Follower utilities (same shape as ``demands``)."""
-    capacity_binding: np.ndarray
+    capacity_binding: xp.ndarray
     """Whether Σ demand hit the market's ``B_max`` (prices' shape, bool)."""
-    mask: np.ndarray
+    mask: xp.ndarray
     """Valid-population mask, boolean shape ``(M, N_max)``."""
-    counts: np.ndarray
+    counts: xp.ndarray
     """True population size per market, shape ``(M,)``."""
 
     def __len__(self) -> int:
@@ -282,11 +285,11 @@ class StackedOutcome:
         return self.prices.ndim == 2
 
     @property
-    def total_allocated(self) -> np.ndarray:
+    def total_allocated(self) -> xp.ndarray:
         """Σ granted bandwidth per market (and round), prices' shape."""
         return self.allocations.sum(axis=-1)
 
-    def total_vmu_utilities(self) -> np.ndarray:
+    def total_vmu_utilities(self) -> xp.ndarray:
         """Σ U_n per market (and round), prices' shape.
 
         Reduces each market over its *own* population (not the padded row),
@@ -355,25 +358,25 @@ class StackedEquilibria:
     solve never aborts a whole grid for one degenerate member.
     """
 
-    prices: np.ndarray
+    prices: xp.ndarray
     """Equilibrium price per market, shape ``(M,)`` (``nan`` if infeasible)."""
-    demands: np.ndarray
+    demands: xp.ndarray
     """Equilibrium bandwidth per VMU (natural units), shape ``(M, N_max)``."""
-    msp_utilities: np.ndarray
+    msp_utilities: xp.ndarray
     """Leader utility at equilibrium, shape ``(M,)``."""
-    vmu_utilities: np.ndarray
+    vmu_utilities: xp.ndarray
     """Follower utilities at equilibrium, shape ``(M, N_max)``."""
-    capacity_binding: np.ndarray
+    capacity_binding: xp.ndarray
     """Whether Σ demand hit the market's ``B_max``, boolean ``(M,)``."""
-    price_cap_binding: np.ndarray
+    price_cap_binding: xp.ndarray
     """Whether the equilibrium sits at ``p_max``, boolean ``(M,)``."""
-    feasible: np.ndarray
+    feasible: xp.ndarray
     """Whether the market admits profitable trade, boolean ``(M,)``."""
-    mask: np.ndarray
+    mask: xp.ndarray
     """Valid-population mask, boolean shape ``(M, N_max)``."""
-    counts: np.ndarray
+    counts: xp.ndarray
     """True population size per market, shape ``(M,)``."""
-    unit_costs: np.ndarray
+    unit_costs: xp.ndarray
     """Per-market unit cost ``C``, shape ``(M,)`` (for error reporting)."""
     _scalar_cache: dict[int, StackelbergEquilibrium] = field(
         default_factory=dict, init=False, repr=False, compare=False
@@ -389,7 +392,7 @@ class StackedEquilibria:
         return int(self.prices.shape[0])
 
     @property
-    def total_bandwidths(self) -> np.ndarray:
+    def total_bandwidths(self) -> xp.ndarray:
         """Σ b*_n per market in natural units, shape ``(M,)``.
 
         Always reduces each market over its own population — the same sum
@@ -460,9 +463,9 @@ class MarketStack:
             raise ConfigurationError("market stack needs at least one market")
         self._markets = tuple(markets)
         num_markets = len(self._markets)
-        counts = np.fromiter(
+        counts = xp.fromiter(
             (m.num_vmus for m in self._markets),
-            dtype=np.int64,
+            dtype=xp.int64,
             count=num_markets,
         )
         n_max = int(counts.max())
@@ -471,47 +474,55 @@ class MarketStack:
         # The mask's True slots are each row's leading prefix, so boolean
         # assignment (row-major) scatters the concatenated per-market
         # vectors into exactly the slots the per-market fill loop wrote.
-        alphas = np.ones((num_markets, n_max), dtype=np.float64)
-        data = np.ones((num_markets, n_max), dtype=np.float64)
-        mask = np.arange(n_max) < counts[:, np.newaxis]
-        alphas[mask] = np.concatenate([m._alphas for m in self._markets])
-        data[mask] = np.concatenate([m._data_units for m in self._markets])
+        alphas = xp.ones((num_markets, n_max), dtype=xp.float64)
+        data = xp.ones((num_markets, n_max), dtype=xp.float64)
+        mask = xp.arange(n_max) < counts[:, xp.newaxis]
+        alphas[mask] = xp.concatenate([m._alphas for m in self._markets])
+        data[mask] = xp.concatenate([m._data_units for m in self._markets])
         self._counts = counts
         self._mask = mask
         self._alphas = alphas
         self._data = data
         self._ragged = bool((counts != n_max).any())
-        self._se = np.fromiter(
+        # An all-valid mask (every market at full width N_max) lets the
+        # stacked round skip its two masking ``xp.where`` passes — with no
+        # padded slots they return the input values bit for bit.
+        self._fullmask = bool(mask.all())
+        self._se = xp.fromiter(
             (m.spectral_efficiency for m in self._markets),
-            dtype=np.float64,
+            dtype=xp.float64,
             count=num_markets,
         )
-        self._unit_costs = np.fromiter(
+        self._unit_costs = xp.fromiter(
             (m.config.unit_cost for m in self._markets),
-            dtype=np.float64,
+            dtype=xp.float64,
             count=num_markets,
         )
-        self._max_prices = np.fromiter(
+        self._max_prices = xp.fromiter(
             (m.config.max_price for m in self._markets),
-            dtype=np.float64,
+            dtype=xp.float64,
             count=num_markets,
         )
-        self._caps = np.fromiter(
+        self._caps = xp.fromiter(
             (m.config.capacity_natural for m in self._markets),
-            dtype=np.float64,
+            dtype=xp.float64,
             count=num_markets,
         )
-        self._enforce = np.fromiter(
+        self._enforce = xp.fromiter(
             (m.config.enforce_capacity for m in self._markets),
             dtype=bool,
             count=num_markets,
         )
+        # Non-enforcing markets ration against an infinite capacity, which
+        # leaves their rows scaled by exactly 1.0 (bitwise unchanged).
+        # Static, so built once — outcomes_stacked runs every env round.
+        self._effective_caps = xp.where(self._enforce, self._caps, xp.inf)
         # Lazy equilibrium-solve caches: the candidate matrix depends only
         # on the (immutable) stacked parameters, and solved equilibria are
         # memoised per refine flag (markets and configs are frozen, so the
         # solve can never go stale). Chunked and unchunked solves are
         # bitwise-equal, so they share the memo.
-        self._candidates: tuple[np.ndarray, np.ndarray] | None = None
+        self._candidates: tuple[xp.ndarray, xp.ndarray] | None = None
         self._equilibria: dict[bool, StackedEquilibria] = {}
         # Per-row-range probe contexts for the golden-refinement loop
         # (price-independent invariants hoisted out of the ~50 sequential
@@ -601,50 +612,50 @@ class MarketStack:
         return int(self._mask.shape[1])
 
     @property
-    def counts(self) -> np.ndarray:
+    def counts(self) -> xp.ndarray:
         """True population size per market, shape ``(M,)`` (copy)."""
         return self._counts.copy()
 
     @property
-    def mask(self) -> np.ndarray:
+    def mask(self) -> xp.ndarray:
         """Valid-population mask ``(M, N_max)`` (copy)."""
         return self._mask.copy()
 
     @property
-    def immersion_coefs(self) -> np.ndarray:
+    def immersion_coefs(self) -> xp.ndarray:
         """Padded ``α`` matrix ``(M, N_max)`` (copy)."""
         return self._alphas.copy()
 
     @property
-    def data_units(self) -> np.ndarray:
+    def data_units(self) -> xp.ndarray:
         """Padded ``D`` matrix ``(M, N_max)`` in natural units (copy)."""
         return self._data.copy()
 
     @property
-    def spectral_efficiencies(self) -> np.ndarray:
+    def spectral_efficiencies(self) -> xp.ndarray:
         """Per-market link SE ``(M,)`` (copy)."""
         return self._se.copy()
 
     @property
-    def unit_costs(self) -> np.ndarray:
+    def unit_costs(self) -> xp.ndarray:
         """Per-market transmission cost ``C`` ``(M,)`` (copy)."""
         return self._unit_costs.copy()
 
     @property
-    def max_prices(self) -> np.ndarray:
+    def max_prices(self) -> xp.ndarray:
         """Per-market price ceiling ``p_max`` ``(M,)`` (copy)."""
         return self._max_prices.copy()
 
     @property
-    def capacities_natural(self) -> np.ndarray:
+    def capacities_natural(self) -> xp.ndarray:
         """Per-market ``B_max`` in natural units ``(M,)`` (copy)."""
         return self._caps.copy()
 
     # ------------------------------------------------------------------ #
     # the stacked solve
     # ------------------------------------------------------------------ #
-    def _validate_prices(self, prices: np.ndarray) -> np.ndarray:
-        p = np.asarray(prices, dtype=float)
+    def _validate_prices(self, prices: xp.ndarray) -> xp.ndarray:
+        p = xp.asarray(prices, dtype=float)
         if p.ndim not in (1, 2) or p.shape[0] != self.num_markets:
             raise ConfigurationError(
                 f"expected prices of shape (M,) or (M, R) with M = "
@@ -652,18 +663,18 @@ class MarketStack:
             )
         if p.size == 0:
             raise ConfigurationError("price array must not be empty")
-        if np.any(~np.isfinite(p)) or np.any(p <= 0.0):
+        if xp.any(~xp.isfinite(p)) or xp.any(p <= 0.0):
             raise ConfigurationError(
                 f"prices must be finite and > 0, got {p!r}"
             )
         return p
 
-    def _row_totals(self, values: np.ndarray) -> np.ndarray:
+    def _row_totals(self, values: xp.ndarray) -> xp.ndarray:
         """Per-market row sums over the trailing population axis
         (see :func:`_per_market_totals` for the ragged-summation contract)."""
         return _per_market_totals(values, self._counts, ragged=self._ragged)
 
-    def outcomes_stacked(self, prices: np.ndarray) -> StackedOutcome:
+    def outcomes_stacked(self, prices: xp.ndarray) -> StackedOutcome:
         """Play one trading round in every market of the stack, vectorised.
 
         Args:
@@ -678,31 +689,42 @@ class MarketStack:
             ``markets[m].outcomes_batch(prices[m])`` (grid form).
         """
         p = self._validate_prices(prices)
+        return self._outcomes_trusted(p)
+
+    def _outcomes_trusted(self, p: xp.ndarray) -> StackedOutcome:
+        """Body of :meth:`outcomes_stacked` for already-validated prices.
+
+        The vector environment calls this directly each round: its prices
+        come out of its own ``[C, p_max]`` clamp, so they are finite and
+        positive by construction and re-validating them every step is pure
+        overhead on the training hot path.
+        """
         grid = p.ndim == 2
-        mask = self._mask[:, np.newaxis, :] if grid else self._mask
-        raw = follower_best_response_stacked(
+        mask = self._mask[:, xp.newaxis, :] if grid else self._mask
+        # Trusted-input kernels: the stack's static parameters were
+        # validated once at construction, and ``p`` by the caller —
+        # re-running the public wrappers' input checks every round is pure
+        # overhead on this path (the vector env steps through here each
+        # round).
+        raw = _follower_best_response_rows(
             self._alphas, self._data, p, self._se
         )
-        demands = np.where(mask, raw, 0.0)
+        demands = raw if self._fullmask else xp.where(mask, raw, 0.0)
         demand_totals = self._row_totals(demands)
-        # Non-enforcing markets ration against an infinite capacity, which
-        # leaves their rows scaled by exactly 1.0 (bitwise unchanged).
-        effective_caps = np.where(self._enforce, self._caps, np.inf)
-        allocations = proportional_rationing_stacked(
-            demands, effective_caps, totals=demand_totals
+        allocations = _rationing_rows(
+            demands, self._effective_caps, demand_totals
         )
-        caps_rows = self._caps[:, np.newaxis] if grid else self._caps
-        enforce_rows = self._enforce[:, np.newaxis] if grid else self._enforce
+        caps_rows = self._caps[:, xp.newaxis] if grid else self._caps
+        enforce_rows = self._enforce[:, xp.newaxis] if grid else self._enforce
         binding = enforce_rows & (demand_totals >= caps_rows * (1.0 - 1e-9))
-        utilities = msp_utilities_stacked(
+        utilities = _msp_utilities_rows(
             p, self._unit_costs, self._row_totals(allocations)
         )
-        follower_utilities = np.where(
-            mask,
-            vmu_utilities_stacked(
-                self._alphas, self._data, allocations, p, self._se
-            ),
-            0.0,
+        vmu_raw = _vmu_utilities_rows(
+            self._alphas, self._data, allocations, p, self._se
+        )
+        follower_utilities = (
+            vmu_raw if self._fullmask else xp.where(mask, vmu_raw, 0.0)
         )
         return StackedOutcome(
             prices=p,
@@ -732,15 +754,15 @@ class MarketStack:
             )
         steps = (self._max_prices - self._unit_costs) / (grid_points - 1)
         grids = (
-            self._unit_costs[:, np.newaxis]
-            + steps[:, np.newaxis] * np.arange(grid_points)
+            self._unit_costs[:, xp.newaxis]
+            + steps[:, xp.newaxis] * xp.arange(grid_points)
         )
         return self.outcomes_stacked(grids)
 
     # ------------------------------------------------------------------ #
     # the stacked equilibrium solve
     # ------------------------------------------------------------------ #
-    def _msp_objective(self, prices: np.ndarray) -> np.ndarray:
+    def _msp_objective(self, prices: xp.ndarray) -> xp.ndarray:
         """Leader utilities at per-market prices ``(M,)`` or grids ``(M, R)``.
 
         The 1-D case is the golden-refinement probe: it runs through
@@ -749,12 +771,12 @@ class MarketStack:
         utility chain, same bits — the chunked-vs-unchunked tests pin
         this equivalence).
         """
-        p = np.asarray(prices, dtype=np.float64)
+        p = xp.asarray(prices, dtype=xp.float64)
         if p.ndim == 1:
             return self._vector_utilities(slice(0, self.num_markets), p)
         return self.outcomes_stacked(p).msp_utilities
 
-    def _candidate_rows(self, sl: slice) -> tuple[np.ndarray, np.ndarray]:
+    def _candidate_rows(self, sl: slice) -> tuple[xp.ndarray, xp.ndarray]:
         """Theorem 2's closed-form candidate prices for rows ``sl``.
 
         Vectorises :meth:`StackelbergMarket._segment_candidates` across the
@@ -782,59 +804,59 @@ class MarketStack:
         row_mask = self._mask[sl]
         row_alphas = self._alphas[sl]
         row_data = self._data[sl]
-        costs = self._unit_costs[sl][:, np.newaxis]
-        caps_price = self._max_prices[sl][:, np.newaxis]
-        se = self._se[sl][:, np.newaxis]
+        costs = self._unit_costs[sl][:, xp.newaxis]
+        caps_price = self._max_prices[sl][:, xp.newaxis]
+        se = self._se[sl][:, xp.newaxis]
         thresholds = row_alphas * se / row_data
-        masked_t = np.where(row_mask, thresholds, -np.inf)
+        masked_t = xp.where(row_mask, thresholds, -xp.inf)
         feasible = masked_t.max(axis=1) > self._unit_costs[sl]
 
         # Prefix sums over (α, D) sorted by descending threshold: the
         # active set of any probe price is a prefix of this order.
-        order = np.argsort(-masked_t, axis=1, kind="stable")
-        t_desc = np.take_along_axis(masked_t, order, axis=1)
-        alpha_prefix = np.cumsum(
-            np.take_along_axis(
-                np.where(row_mask, row_alphas, 0.0), order, axis=1
+        order = xp.argsort(-masked_t, axis=1, kind="stable")
+        t_desc = xp.take_along_axis(masked_t, order, axis=1)
+        alpha_prefix = xp.cumsum(
+            xp.take_along_axis(
+                xp.where(row_mask, row_alphas, 0.0), order, axis=1
             ),
             axis=1,
         )
-        data_prefix = np.cumsum(
-            np.take_along_axis(
-                np.where(row_mask, row_data, 0.0), order, axis=1
+        data_prefix = xp.cumsum(
+            xp.take_along_axis(
+                xp.where(row_mask, row_data, 0.0), order, axis=1
             ),
             axis=1,
         )
 
         inside = row_mask & (thresholds > costs) & (thresholds < caps_price)
-        inner = np.sort(np.where(inside, thresholds, caps_price), axis=1)
-        boundaries = np.concatenate([costs, inner, caps_price], axis=1)
+        inner = xp.sort(xp.where(inside, thresholds, caps_price), axis=1)
+        boundaries = xp.concatenate([costs, inner, caps_price], axis=1)
         low = boundaries[:, :-1]
         high = boundaries[:, 1:]
         probe = 0.5 * (low + high)
-        active_counts = (t_desc[:, np.newaxis, :] > probe[:, :, np.newaxis]).sum(
+        active_counts = (t_desc[:, xp.newaxis, :] > probe[:, :, xp.newaxis]).sum(
             axis=2
         )
         has_active = active_counts > 0
-        prefix_idx = np.maximum(active_counts - 1, 0)
-        alpha_sums = np.take_along_axis(alpha_prefix, prefix_idx, axis=1)
-        data_sums = np.take_along_axis(data_prefix, prefix_idx, axis=1)
-        p_unconstrained = np.sqrt(costs * se * alpha_sums / data_sums)
-        p_cap = alpha_sums / (self._caps[sl][:, np.newaxis] + data_sums / se)
-        unconstrained = np.where(
-            has_active, np.clip(p_unconstrained, low, high), low
+        prefix_idx = xp.maximum(active_counts - 1, 0)
+        alpha_sums = xp.take_along_axis(alpha_prefix, prefix_idx, axis=1)
+        data_sums = xp.take_along_axis(data_prefix, prefix_idx, axis=1)
+        p_unconstrained = xp.sqrt(costs * se * alpha_sums / data_sums)
+        p_cap = alpha_sums / (self._caps[sl][:, xp.newaxis] + data_sums / se)
+        unconstrained = xp.where(
+            has_active, xp.clip(p_unconstrained, low, high), low
         )
-        saturating = np.where(
-            has_active & self._enforce[sl][:, np.newaxis],
-            np.clip(p_cap, low, high),
+        saturating = xp.where(
+            has_active & self._enforce[sl][:, xp.newaxis],
+            xp.clip(p_cap, low, high),
             low,
         )
-        candidates = np.concatenate(
+        candidates = xp.concatenate(
             [boundaries, unconstrained, saturating], axis=1
         )
         return candidates, feasible
 
-    def _candidate_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+    def _candidate_matrix(self) -> tuple[xp.ndarray, xp.ndarray]:
         """The full-stack candidate matrix (cached; see
         :meth:`_candidate_rows` for the construction)."""
         if self._candidates is None:
@@ -845,8 +867,8 @@ class MarketStack:
         self,
         *,
         refine: bool = True,
-        warm_lows: np.ndarray | None = None,
-        warm_highs: np.ndarray | None = None,
+        warm_lows: xp.ndarray | None = None,
+        warm_highs: xp.ndarray | None = None,
     ) -> StackedEquilibria:
         """Solve every market's Stackelberg equilibrium in one stacked pass.
 
@@ -885,9 +907,9 @@ class MarketStack:
                 return cached
         candidates, feasible = self._candidate_matrix()
         candidate_values = self.outcomes_stacked(candidates).msp_utilities
-        best_idx = np.argmax(candidate_values, axis=1)[:, np.newaxis]
-        best_prices = np.take_along_axis(candidates, best_idx, axis=1)[:, 0]
-        best_values = np.take_along_axis(candidate_values, best_idx, axis=1)[:, 0]
+        best_idx = xp.argmax(candidate_values, axis=1)[:, xp.newaxis]
+        best_prices = xp.take_along_axis(candidates, best_idx, axis=1)[:, 0]
+        best_values = xp.take_along_axis(candidate_values, best_idx, axis=1)[:, 0]
         if refine:
             refined_prices, refined_values = grid_then_golden_batch(
                 self._msp_objective,
@@ -896,17 +918,17 @@ class MarketStack:
                 bracket_lows=warm_lows,
                 bracket_highs=warm_highs,
             )
-            best_prices = np.where(
+            best_prices = xp.where(
                 refined_values > best_values, refined_prices, best_prices
             )
         outcome = self.outcomes_stacked(best_prices)
-        price_cap_binding = np.abs(best_prices - self._max_prices) < 1e-9
-        rows = feasible[:, np.newaxis]
+        price_cap_binding = xp.abs(best_prices - self._max_prices) < 1e-9
+        rows = feasible[:, xp.newaxis]
         result = StackedEquilibria(
-            prices=np.where(feasible, best_prices, np.nan),
-            demands=np.where(rows, outcome.allocations, np.nan),
-            msp_utilities=np.where(feasible, outcome.msp_utilities, np.nan),
-            vmu_utilities=np.where(rows, outcome.vmu_utilities, np.nan),
+            prices=xp.where(feasible, best_prices, xp.nan),
+            demands=xp.where(rows, outcome.allocations, xp.nan),
+            msp_utilities=xp.where(feasible, outcome.msp_utilities, xp.nan),
+            vmu_utilities=xp.where(rows, outcome.vmu_utilities, xp.nan),
             capacity_binding=outcome.capacity_binding & feasible,
             price_cap_binding=price_cap_binding & feasible,
             feasible=feasible,
@@ -937,8 +959,8 @@ class MarketStack:
         )
 
     def _grid_utilities(
-        self, sl: slice, prices: np.ndarray, scratch: _ChunkScratch
-    ) -> np.ndarray:
+        self, sl: slice, prices: xp.ndarray, scratch: _ChunkScratch
+    ) -> xp.ndarray:
         """Leader utilities of rows ``sl`` at per-market price grids,
         evaluated into the chunk's scratch buffers.
 
@@ -957,13 +979,13 @@ class MarketStack:
         band = scratch.band[:m, :width]
         # b*_n = max(0, α_n/p − D_n/SE), padded slots zeroed — identical
         # operands (and therefore bits) to follower_best_response_stacked
-        # plus the np.where(mask, ·, 0.0) of outcomes_stacked.
-        np.divide(alphas[:, np.newaxis, :], prices[:, :, np.newaxis], out=band)
+        # plus the xp.where(mask, ·, 0.0) of outcomes_stacked.
+        xp.divide(alphas[:, xp.newaxis, :], prices[:, :, xp.newaxis], out=band)
         ratio = scratch.ratio[:m]
-        np.divide(data, se[:, np.newaxis], out=ratio)
-        np.subtract(band, ratio[:, np.newaxis, :], out=band)
-        np.maximum(band, 0.0, out=band)
-        np.copyto(band, 0.0, where=scratch.pad[:m, np.newaxis, :])
+        xp.divide(data, se[:, xp.newaxis], out=ratio)
+        xp.subtract(band, ratio[:, xp.newaxis, :], out=band)
+        xp.maximum(band, 0.0, out=band)
+        xp.copyto(band, 0.0, where=scratch.pad[:m, xp.newaxis, :])
         # Same flat-reduction shortcut as _ProbeContext: the band holds
         # non-negative values with +0.0 padding, so below numpy's width-8
         # pairwise regime the full-width sum returns the grouped bits.
@@ -977,14 +999,14 @@ class MarketStack:
         # their totals): the same where-guarded scale expression as
         # proportional_rationing_stacked, rows within capacity scaled by
         # exactly 1.0.
-        caps_rows = np.where(self._enforce[sl], self._caps[sl], np.inf)[
-            :, np.newaxis
+        caps_rows = xp.where(self._enforce[sl], self._caps[sl], xp.inf)[
+            :, xp.newaxis
         ]
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            scales = np.where(
+        with xp.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            scales = xp.where(
                 demand_totals > caps_rows, caps_rows / demand_totals, 1.0
             )
-        np.multiply(band, scales[:, :, np.newaxis], out=band)
+        xp.multiply(band, scales[:, :, xp.newaxis], out=band)
         return msp_utilities_stacked(
             prices,
             self._unit_costs[sl],
@@ -993,7 +1015,7 @@ class MarketStack:
             else _per_market_totals(band, counts, ragged=self._ragged),
         )
 
-    def _vector_utilities(self, sl: slice, prices: np.ndarray) -> np.ndarray:
+    def _vector_utilities(self, sl: slice, prices: xp.ndarray) -> xp.ndarray:
         """Leader utilities of rows ``sl`` at one price per market — the
         row-sliced replica of the ``(M,)``-priced ``outcomes_stacked``
         utility chain.
@@ -1014,31 +1036,31 @@ class MarketStack:
         if ctx is None:
             ctx = self._probe_contexts[key] = _ProbeContext(self, sl)
         band = ctx.band
-        np.divide(ctx.alphas, prices[:, np.newaxis], out=band)
-        np.subtract(band, ctx.ratio, out=band)
-        np.maximum(band, 0.0, out=band)
-        np.copyto(band, 0.0, where=ctx.pad)
+        xp.divide(ctx.alphas, prices[:, xp.newaxis], out=band)
+        xp.subtract(band, ctx.ratio, out=band)
+        xp.maximum(band, 0.0, out=band)
+        xp.copyto(band, 0.0, where=ctx.pad)
         demand_totals = ctx.totals(band)
         # Guarded division replica of proportional_rationing_stacked's
-        # np.where(totals > caps, caps / totals, 1.0): the quotient is
+        # xp.where(totals > caps, caps / totals, 1.0): the quotient is
         # evaluated only where the condition holds (same bits, no errstate
         # round-trip per probe). The ``1.0``-filled output buffer lives on
         # the context — it is fully consumed by the multiply below, so
         # reuse across probes is invisible.
         out = ctx.scales
         out.fill(1.0)
-        scales = np.divide(
+        scales = xp.divide(
             ctx.effective_caps,
             demand_totals,
             out=out,
             where=demand_totals > ctx.effective_caps,
         )
-        np.multiply(band, scales[:, np.newaxis], out=band)
+        xp.multiply(band, scales[:, xp.newaxis], out=band)
         return (prices - ctx.unit_costs) * ctx.totals(band)
 
     def _refine_rows_scalar(
         self, sl: slice, scratch: _ChunkScratch
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Golden refinement of a tiny row range, one scalar search per row.
 
         Bitwise replica of the cold ``grid_then_golden_batch`` call in
@@ -1052,7 +1074,7 @@ class MarketStack:
 
         Why the bits match: IEEE-754 arithmetic is identical between
         Python floats and numpy float64 scalars, the clamp ``d = 0.0 if
-        d < 0.0`` matches ``np.maximum(0.0, ·)`` (a ``-0.0`` demand is
+        d < 0.0`` matches ``xp.maximum(0.0, ·)`` (a ``-0.0`` demand is
         impossible: ``a - b`` with ``a, b >= 0`` never rounds to it), and
         the sequential Python sums match numpy's sequential reduction
         regime, which is why this path is gated on stack width < 8 —
@@ -1065,14 +1087,14 @@ class MarketStack:
         high_v = self._max_prices[sl]
         steps = (high_v - low_v) / (_REFINE_GRID_POINTS - 1)
         grids = (
-            low_v[:, np.newaxis]
-            + steps[:, np.newaxis] * np.arange(_REFINE_GRID_POINTS)
+            low_v[:, xp.newaxis]
+            + steps[:, xp.newaxis] * xp.arange(_REFINE_GRID_POINTS)
         )
         values = self._grid_utilities(sl, grids, scratch)
-        best_idx = np.argmax(values, axis=1)
-        bracket_lows = low_v + np.maximum(0, best_idx - 1) * steps
+        best_idx = xp.argmax(values, axis=1)
+        bracket_lows = low_v + xp.maximum(0, best_idx - 1) * steps
         bracket_highs = (
-            low_v + np.minimum(_REFINE_GRID_POINTS - 1, best_idx + 1) * steps
+            low_v + xp.minimum(_REFINE_GRID_POINTS - 1, best_idx + 1) * steps
         )
 
         key = (sl.start, sl.stop)
@@ -1080,8 +1102,8 @@ class MarketStack:
         if ctx is None:
             ctx = self._probe_contexts[key] = _ProbeContext(self, sl)
         num_rows = bracket_lows.shape[0]
-        prices = np.empty(num_rows, dtype=np.float64)
-        utilities = np.empty(num_rows, dtype=np.float64)
+        prices = xp.empty(num_rows, dtype=xp.float64)
+        utilities = xp.empty(num_rows, dtype=xp.float64)
         counts = self._counts[sl]
         for i in range(num_rows):
             n = int(counts[i])
@@ -1114,7 +1136,7 @@ class MarketStack:
 
     def _solve_rows(
         self, sl: slice, refine: bool, scratch: _ChunkScratch
-    ) -> dict[str, np.ndarray]:
+    ) -> dict[str, xp.ndarray]:
         """Equilibrium arrays for rows ``sl`` — one chunk of the solve.
 
         Runs the identical candidate-argmax + golden-refinement sequence
@@ -1124,12 +1146,12 @@ class MarketStack:
         corresponding rows of the unchunked result.
         """
         num_rows = len(range(*sl.indices(self.num_markets)))
-        np.logical_not(self._mask[sl], out=scratch.pad[:num_rows])
+        xp.logical_not(self._mask[sl], out=scratch.pad[:num_rows])
         candidates, feasible = self._candidate_rows(sl)
         candidate_values = self._grid_utilities(sl, candidates, scratch)
-        best_idx = np.argmax(candidate_values, axis=1)[:, np.newaxis]
-        best_prices = np.take_along_axis(candidates, best_idx, axis=1)[:, 0]
-        best_values = np.take_along_axis(candidate_values, best_idx, axis=1)[
+        best_idx = xp.argmax(candidate_values, axis=1)[:, xp.newaxis]
+        best_prices = xp.take_along_axis(candidates, best_idx, axis=1)[:, 0]
+        best_values = xp.take_along_axis(candidate_values, best_idx, axis=1)[
             :, 0
         ]
         if refine:
@@ -1142,8 +1164,8 @@ class MarketStack:
                 )
             else:
 
-                def objective(prices: np.ndarray) -> np.ndarray:
-                    p = np.asarray(prices, dtype=np.float64)
+                def objective(prices: xp.ndarray) -> xp.ndarray:
+                    p = xp.asarray(prices, dtype=xp.float64)
                     if p.ndim == 2:
                         return self._grid_utilities(sl, p, scratch)
                     return self._vector_utilities(sl, p)
@@ -1151,7 +1173,7 @@ class MarketStack:
                 refined_prices, refined_values = grid_then_golden_batch(
                     objective, self._unit_costs[sl], self._max_prices[sl]
                 )
-            best_prices = np.where(
+            best_prices = xp.where(
                 refined_values > best_values, refined_prices, best_prices
             )
         # Full outcome fields at the winning prices — the row-sliced
@@ -1162,9 +1184,9 @@ class MarketStack:
         raw = follower_best_response_stacked(
             self._alphas[sl], self._data[sl], best_prices, self._se[sl]
         )
-        demands = np.where(mask, raw, 0.0)
+        demands = xp.where(mask, raw, 0.0)
         demand_totals = _per_market_totals(demands, counts, ragged=self._ragged)
-        effective_caps = np.where(self._enforce[sl], self._caps[sl], np.inf)
+        effective_caps = xp.where(self._enforce[sl], self._caps[sl], xp.inf)
         allocations = proportional_rationing_stacked(
             demands, effective_caps, totals=demand_totals
         )
@@ -1176,7 +1198,7 @@ class MarketStack:
             self._unit_costs[sl],
             _per_market_totals(allocations, counts, ragged=self._ragged),
         )
-        follower_utilities = np.where(
+        follower_utilities = xp.where(
             mask,
             vmu_utilities_stacked(
                 self._alphas[sl],
@@ -1187,13 +1209,13 @@ class MarketStack:
             ),
             0.0,
         )
-        price_cap_binding = np.abs(best_prices - self._max_prices[sl]) < 1e-9
-        rows = feasible[:, np.newaxis]
+        price_cap_binding = xp.abs(best_prices - self._max_prices[sl]) < 1e-9
+        rows = feasible[:, xp.newaxis]
         return {
-            "prices": np.where(feasible, best_prices, np.nan),
-            "demands": np.where(rows, allocations, np.nan),
-            "msp_utilities": np.where(feasible, utilities, np.nan),
-            "vmu_utilities": np.where(rows, follower_utilities, np.nan),
+            "prices": xp.where(feasible, best_prices, xp.nan),
+            "demands": xp.where(rows, allocations, xp.nan),
+            "msp_utilities": xp.where(feasible, utilities, xp.nan),
+            "vmu_utilities": xp.where(rows, follower_utilities, xp.nan),
             "capacity_binding": binding & feasible,
             "price_cap_binding": price_cap_binding & feasible,
             "feasible": feasible,
@@ -1230,13 +1252,13 @@ class MarketStack:
         )
         num_markets, n_max = self.num_markets, self.max_vmus
         out = {
-            "prices": np.empty(num_markets, dtype=np.float64),
-            "demands": np.empty((num_markets, n_max), dtype=np.float64),
-            "msp_utilities": np.empty(num_markets, dtype=np.float64),
-            "vmu_utilities": np.empty((num_markets, n_max), dtype=np.float64),
-            "capacity_binding": np.empty(num_markets, dtype=bool),
-            "price_cap_binding": np.empty(num_markets, dtype=bool),
-            "feasible": np.empty(num_markets, dtype=bool),
+            "prices": xp.empty(num_markets, dtype=xp.float64),
+            "demands": xp.empty((num_markets, n_max), dtype=xp.float64),
+            "msp_utilities": xp.empty(num_markets, dtype=xp.float64),
+            "vmu_utilities": xp.empty((num_markets, n_max), dtype=xp.float64),
+            "capacity_binding": xp.empty(num_markets, dtype=bool),
+            "price_cap_binding": xp.empty(num_markets, dtype=bool),
+            "feasible": xp.empty(num_markets, dtype=bool),
         }
         scratch = _ChunkScratch(size, n_max)
         for start in range(0, num_markets, size):
@@ -1337,8 +1359,8 @@ class MutableMarketStack:
         if len(markets) == 0:
             raise ConfigurationError("market stack needs at least one market")
         self._markets = markets
-        self._counts = np.fromiter(
-            (m.num_vmus for m in markets), dtype=np.int64, count=len(markets)
+        self._counts = xp.fromiter(
+            (m.num_vmus for m in markets), dtype=xp.int64, count=len(markets)
         )
         self._chunk_size = chunk_size
         self._chunk_bytes = chunk_bytes
@@ -1525,7 +1547,7 @@ class MutableMarketStack:
     @staticmethod
     def _warm_brackets(
         cached: StackedEquilibria, indices: list[int], sub: MarketStack
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Warm refinement brackets for the dirty rows: ± one coarse-grid
         cell around each row's previous equilibrium price.
 
@@ -1535,7 +1557,7 @@ class MutableMarketStack:
         that were previously infeasible carry ``nan`` prices, which the
         solver treats as "no warm bracket" (cold path).
         """
-        previous = cached.prices[np.asarray(indices, dtype=np.intp)]
+        previous = cached.prices[xp.asarray(indices, dtype=xp.intp)]
         steps = (sub._max_prices - sub._unit_costs) / (
             _REFINE_GRID_POINTS - 1
         )
@@ -1571,16 +1593,16 @@ class MutableMarketStack:
             demands = cached.demands.copy()
             vmu_utilities = cached.vmu_utilities.copy()
         else:
-            demands = np.zeros((num_markets, n_max), dtype=np.float64)
-            vmu_utilities = np.zeros((num_markets, n_max), dtype=np.float64)
+            demands = xp.zeros((num_markets, n_max), dtype=xp.float64)
+            vmu_utilities = xp.zeros((num_markets, n_max), dtype=xp.float64)
             keep = min(n_max, old_n_max)
             demands[:, :keep] = cached.demands[:, :keep]
             vmu_utilities[:, :keep] = cached.vmu_utilities[:, :keep]
             if n_max > old_n_max:
                 # Widened columns of infeasible rows hold nan, not 0.0.
-                demands[~feasible, old_n_max:] = np.nan
-                vmu_utilities[~feasible, old_n_max:] = np.nan
-        idx = np.asarray(indices, dtype=np.intp)
+                demands[~feasible, old_n_max:] = xp.nan
+                vmu_utilities[~feasible, old_n_max:] = xp.nan
+        idx = xp.asarray(indices, dtype=xp.intp)
         sub_width = rows.demands.shape[1]
         prices[idx] = rows.prices
         msp_utilities[idx] = rows.msp_utilities
@@ -1588,14 +1610,14 @@ class MutableMarketStack:
         price_cap_binding[idx] = rows.price_cap_binding
         feasible[idx] = rows.feasible
         unit_costs[idx] = rows.unit_costs
-        demands[idx[:, np.newaxis], np.arange(sub_width)] = rows.demands
-        vmu_utilities[idx[:, np.newaxis], np.arange(sub_width)] = (
+        demands[idx[:, xp.newaxis], xp.arange(sub_width)] = rows.demands
+        vmu_utilities[idx[:, xp.newaxis], xp.arange(sub_width)] = (
             rows.vmu_utilities
         )
         if sub_width < n_max:
-            tail = np.where(rows.feasible[:, np.newaxis], 0.0, np.nan)
-            demands[idx[:, np.newaxis], np.arange(sub_width, n_max)] = tail
-            vmu_utilities[idx[:, np.newaxis], np.arange(sub_width, n_max)] = (
+            tail = xp.where(rows.feasible[:, xp.newaxis], 0.0, xp.nan)
+            demands[idx[:, xp.newaxis], xp.arange(sub_width, n_max)] = tail
+            vmu_utilities[idx[:, xp.newaxis], xp.arange(sub_width, n_max)] = (
                 tail
             )
         result = StackedEquilibria(
@@ -1606,7 +1628,7 @@ class MutableMarketStack:
             capacity_binding=capacity_binding,
             price_cap_binding=price_cap_binding,
             feasible=feasible,
-            mask=np.arange(n_max) < counts[:, np.newaxis],
+            mask=xp.arange(n_max) < counts[:, xp.newaxis],
             counts=counts,
             unit_costs=unit_costs,
         )

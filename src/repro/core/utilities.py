@@ -24,7 +24,7 @@ bitwise with ``M`` separate solves.
 
 from __future__ import annotations
 
-import numpy as np
+from repro.backend import xp
 
 from repro.utils.validation import require_non_negative, require_positive
 
@@ -52,17 +52,17 @@ def vmu_utility(
     require_non_negative("bandwidth", bandwidth)
     require_non_negative("price", price)
     require_positive("spectral_efficiency", spectral_efficiency)
-    gain = immersion_coef * np.log1p(bandwidth * spectral_efficiency / data_units)
+    gain = immersion_coef * xp.log1p(bandwidth * spectral_efficiency / data_units)
     return float(gain - price * bandwidth)
 
 
 def vmu_utilities(
-    immersion_coefs: np.ndarray,
-    data_units: np.ndarray,
-    bandwidths: np.ndarray,
-    price: float | np.ndarray,
+    immersion_coefs: xp.ndarray,
+    data_units: xp.ndarray,
+    bandwidths: xp.ndarray,
+    price: float | xp.ndarray,
     spectral_efficiency: float,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Vectorised Eq. (2) over a population, optionally batched over prices.
 
     With a scalar ``price`` and ``bandwidths`` of shape ``(N,)`` this is the
@@ -70,38 +70,38 @@ def vmu_utilities(
     ``bandwidths`` of shape ``(P, N)`` it returns per-price utilities
     ``(P, N)`` in one pass.
     """
-    alphas = np.asarray(immersion_coefs, dtype=float)
-    data = np.asarray(data_units, dtype=float)
-    bands = np.asarray(bandwidths, dtype=float)
-    prices = np.asarray(price, dtype=float)
+    alphas = xp.asarray(immersion_coefs, dtype=float)
+    data = xp.asarray(data_units, dtype=float)
+    bands = xp.asarray(bandwidths, dtype=float)
+    prices = xp.asarray(price, dtype=float)
     if prices.ndim == 1:
         if bands.ndim != 2 or bands.shape[0] != prices.shape[0]:
             raise ValueError(
                 f"price batch of shape {prices.shape} needs bandwidths of "
                 f"shape (P, N), got {bands.shape}"
             )
-        prices = prices[:, np.newaxis]
-    gains = alphas * np.log1p(bands * spectral_efficiency / data)
+        prices = prices[:, xp.newaxis]
+    gains = alphas * xp.log1p(bands * spectral_efficiency / data)
     return gains - prices * bands
 
 
 def msp_utility(
-    price: float | np.ndarray, unit_cost: float, bandwidths: np.ndarray
-) -> float | np.ndarray:
+    price: float | xp.ndarray, unit_cost: float, bandwidths: xp.ndarray
+) -> float | xp.ndarray:
     """Leader utility ``Σ (p − C)·b_n`` (Eq. 4).
 
     Scalar ``price`` + ``(N,)`` bandwidths returns a float; a price batch
     ``(P,)`` + ``(P, N)`` bandwidths returns the per-price utilities ``(P,)``.
     """
     require_positive("unit_cost", unit_cost)
-    bands = np.asarray(bandwidths, dtype=float)
-    if np.any(bands < 0.0):
+    bands = xp.asarray(bandwidths, dtype=float)
+    if xp.any(bands < 0.0):
         raise ValueError("bandwidths must be >= 0")
-    prices = np.asarray(price, dtype=float)
+    prices = xp.asarray(price, dtype=float)
     if prices.ndim == 0:
         require_non_negative("price", float(prices))
         return float((float(prices) - unit_cost) * bands.sum())
-    if np.any(~np.isfinite(prices)) or np.any(prices < 0.0):
+    if xp.any(~xp.isfinite(prices)) or xp.any(prices < 0.0):
         raise ValueError(f"prices must be finite and >= 0, got {prices!r}")
     if bands.ndim != 2 or bands.shape[0] != prices.shape[0]:
         raise ValueError(
@@ -112,11 +112,11 @@ def msp_utility(
 
 
 def follower_best_response(
-    immersion_coefs: np.ndarray,
-    data_units: np.ndarray,
-    price: float | np.ndarray,
+    immersion_coefs: xp.ndarray,
+    data_units: xp.ndarray,
+    price: float | xp.ndarray,
     spectral_efficiency: float,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Vectorised best response of Eq. (8), truncated at zero.
 
     ``b*_n = max(0, α_n/p − D_n/SE)``. The truncation implements the
@@ -128,24 +128,24 @@ def follower_best_response(
     posted price).
     """
     require_positive("spectral_efficiency", spectral_efficiency)
-    alphas = np.asarray(immersion_coefs, dtype=float)
-    data = np.asarray(data_units, dtype=float)
-    if np.any(alphas <= 0.0) or np.any(data <= 0.0):
+    alphas = xp.asarray(immersion_coefs, dtype=float)
+    data = xp.asarray(data_units, dtype=float)
+    if xp.any(alphas <= 0.0) or xp.any(data <= 0.0):
         raise ValueError("immersion coefficients and data sizes must be > 0")
-    prices = np.asarray(price, dtype=float)
+    prices = xp.asarray(price, dtype=float)
     if prices.ndim == 0:
         require_positive("price", float(prices))
-        return np.maximum(0.0, alphas / float(prices) - data / spectral_efficiency)
-    if np.any(~np.isfinite(prices)) or np.any(prices <= 0.0):
+        return xp.maximum(0.0, alphas / float(prices) - data / spectral_efficiency)
+    if xp.any(~xp.isfinite(prices)) or xp.any(prices <= 0.0):
         raise ValueError(f"prices must be finite and > 0, got {prices!r}")
-    return np.maximum(
+    return xp.maximum(
         0.0,
-        alphas[np.newaxis, :] / prices[:, np.newaxis]
-        - data[np.newaxis, :] / spectral_efficiency,
+        alphas[xp.newaxis, :] / prices[:, xp.newaxis]
+        - data[xp.newaxis, :] / spectral_efficiency,
     )
 
 
-def _stacked_price_axes(prices: np.ndarray, num_markets: int) -> np.ndarray:
+def _stacked_price_axes(prices: xp.ndarray, num_markets: int) -> xp.ndarray:
     """Validate a stacked price array ``(M,)`` or ``(M, R)``."""
     if prices.ndim not in (1, 2) or prices.shape[0] != num_markets:
         raise ValueError(
@@ -156,11 +156,11 @@ def _stacked_price_axes(prices: np.ndarray, num_markets: int) -> np.ndarray:
 
 
 def follower_best_response_stacked(
-    immersion_coefs: np.ndarray,
-    data_units: np.ndarray,
-    prices: np.ndarray,
-    spectral_efficiencies: np.ndarray,
-) -> np.ndarray:
+    immersion_coefs: xp.ndarray,
+    data_units: xp.ndarray,
+    prices: xp.ndarray,
+    spectral_efficiencies: xp.ndarray,
+) -> xp.ndarray:
     """Eq. (8) best responses across a stack of *different* markets.
 
     Args:
@@ -176,9 +176,9 @@ def follower_best_response_stacked(
         the per-market :func:`follower_best_response` evaluates, so a
         stacked solve agrees bitwise with ``M`` separate solves.
     """
-    alphas = np.asarray(immersion_coefs, dtype=float)
-    data = np.asarray(data_units, dtype=float)
-    se = np.asarray(spectral_efficiencies, dtype=float)
+    alphas = xp.asarray(immersion_coefs, dtype=float)
+    data = xp.asarray(data_units, dtype=float)
+    se = xp.asarray(spectral_efficiencies, dtype=float)
     if alphas.ndim != 2 or data.shape != alphas.shape:
         raise ValueError(
             "immersion coefficients and data sizes must share one (M, N) "
@@ -188,67 +188,97 @@ def follower_best_response_stacked(
         raise ValueError(
             f"spectral efficiencies must have shape (M,), got {se.shape}"
         )
-    if np.any(alphas <= 0.0) or np.any(data <= 0.0) or np.any(se <= 0.0):
+    if xp.any(alphas <= 0.0) or xp.any(data <= 0.0) or xp.any(se <= 0.0):
         raise ValueError(
             "immersion coefficients, data sizes, and spectral efficiencies "
             "must be > 0"
         )
-    p = _stacked_price_axes(np.asarray(prices, dtype=float), alphas.shape[0])
-    if np.any(~np.isfinite(p)) or np.any(p <= 0.0):
+    p = _stacked_price_axes(xp.asarray(prices, dtype=float), alphas.shape[0])
+    if xp.any(~xp.isfinite(p)) or xp.any(p <= 0.0):
         raise ValueError(f"prices must be finite and > 0, got {p!r}")
+    return _follower_best_response_rows(alphas, data, p, se)
+
+
+def _follower_best_response_rows(
+    alphas: xp.ndarray,
+    data: xp.ndarray,
+    p: xp.ndarray,
+    se: xp.ndarray,
+) -> xp.ndarray:
+    """Trusted-input kernel of :func:`follower_best_response_stacked`.
+
+    Callers guarantee validated float arrays of matching shapes
+    (:class:`repro.core.marketstack.MarketStack` validates its static
+    parameters once at construction, then drives this kernel every
+    environment round). The arithmetic is the public function's, verbatim,
+    so results stay bitwise-identical.
+    """
     if p.ndim == 1:
-        return np.maximum(
-            0.0, alphas / p[:, np.newaxis] - data / se[:, np.newaxis]
+        return xp.maximum(
+            0.0, alphas / p[:, xp.newaxis] - data / se[:, xp.newaxis]
         )
-    return np.maximum(
+    return xp.maximum(
         0.0,
-        alphas[:, np.newaxis, :] / p[:, :, np.newaxis]
-        - data[:, np.newaxis, :] / se[:, np.newaxis, np.newaxis],
+        alphas[:, xp.newaxis, :] / p[:, :, xp.newaxis]
+        - data[:, xp.newaxis, :] / se[:, xp.newaxis, xp.newaxis],
     )
 
 
 def vmu_utilities_stacked(
-    immersion_coefs: np.ndarray,
-    data_units: np.ndarray,
-    bandwidths: np.ndarray,
-    prices: np.ndarray,
-    spectral_efficiencies: np.ndarray,
-) -> np.ndarray:
+    immersion_coefs: xp.ndarray,
+    data_units: xp.ndarray,
+    bandwidths: xp.ndarray,
+    prices: xp.ndarray,
+    spectral_efficiencies: xp.ndarray,
+) -> xp.ndarray:
     """Eq. (2) follower utilities across a stack of different markets.
 
     Shapes mirror :func:`follower_best_response_stacked`: ``bandwidths`` is
     ``(M, N)`` with prices ``(M,)``, or ``(M, R, N)`` with prices
     ``(M, R)``; the result has the bandwidths' shape.
     """
-    alphas = np.asarray(immersion_coefs, dtype=float)
-    data = np.asarray(data_units, dtype=float)
-    bands = np.asarray(bandwidths, dtype=float)
-    se = np.asarray(spectral_efficiencies, dtype=float)
-    p = _stacked_price_axes(np.asarray(prices, dtype=float), alphas.shape[0])
+    alphas = xp.asarray(immersion_coefs, dtype=float)
+    data = xp.asarray(data_units, dtype=float)
+    bands = xp.asarray(bandwidths, dtype=float)
+    se = xp.asarray(spectral_efficiencies, dtype=float)
+    p = _stacked_price_axes(xp.asarray(prices, dtype=float), alphas.shape[0])
     if p.ndim == 1:
         if bands.shape != alphas.shape:
             raise ValueError(
                 f"per-market prices (M,) need bandwidths of shape (M, N), "
                 f"got {bands.shape}"
             )
-        gains = alphas * np.log1p(bands * se[:, np.newaxis] / data)
-        return gains - p[:, np.newaxis] * bands
-    if bands.shape != (p.shape[0], p.shape[1], alphas.shape[1]):
+    elif bands.shape != (p.shape[0], p.shape[1], alphas.shape[1]):
         raise ValueError(
             f"price grids (M, R) need bandwidths of shape (M, R, N), "
             f"got {bands.shape}"
         )
-    gains = alphas[:, np.newaxis, :] * np.log1p(
-        bands * se[:, np.newaxis, np.newaxis] / data[:, np.newaxis, :]
+    return _vmu_utilities_rows(alphas, data, bands, p, se)
+
+
+def _vmu_utilities_rows(
+    alphas: xp.ndarray,
+    data: xp.ndarray,
+    bands: xp.ndarray,
+    p: xp.ndarray,
+    se: xp.ndarray,
+) -> xp.ndarray:
+    """Trusted-input kernel of :func:`vmu_utilities_stacked` (same
+    caller contract as :func:`_follower_best_response_rows`)."""
+    if p.ndim == 1:
+        gains = alphas * xp.log1p(bands * se[:, xp.newaxis] / data)
+        return gains - p[:, xp.newaxis] * bands
+    gains = alphas[:, xp.newaxis, :] * xp.log1p(
+        bands * se[:, xp.newaxis, xp.newaxis] / data[:, xp.newaxis, :]
     )
-    return gains - p[:, :, np.newaxis] * bands
+    return gains - p[:, :, xp.newaxis] * bands
 
 
 def msp_utilities_stacked(
-    prices: np.ndarray,
-    unit_costs: np.ndarray,
-    total_bandwidths: np.ndarray,
-) -> np.ndarray:
+    prices: xp.ndarray,
+    unit_costs: xp.ndarray,
+    total_bandwidths: xp.ndarray,
+) -> xp.ndarray:
     """Eq. (4) leader utilities across a stack of different markets.
 
     Takes the already-reduced per-market demand totals (``Σ_n b_n``, shape
@@ -257,9 +287,9 @@ def msp_utilities_stacked(
     the per-market path, so the reduction lives with the caller that knows
     the population boundaries (:class:`repro.core.marketstack.MarketStack`).
     """
-    p = np.asarray(prices, dtype=float)
-    costs = np.asarray(unit_costs, dtype=float)
-    totals = np.asarray(total_bandwidths, dtype=float)
+    p = xp.asarray(prices, dtype=float)
+    costs = xp.asarray(unit_costs, dtype=float)
+    totals = xp.asarray(total_bandwidths, dtype=float)
     if costs.shape != (p.shape[0],):
         raise ValueError(f"unit costs must have shape (M,), got {costs.shape}")
     if totals.shape != p.shape:
@@ -267,8 +297,16 @@ def msp_utilities_stacked(
             f"total bandwidths must match prices' shape {p.shape}, "
             f"got {totals.shape}"
         )
-    if np.any(costs <= 0.0):
+    if xp.any(costs <= 0.0):
         raise ValueError("unit costs must be > 0")
+    return _msp_utilities_rows(p, costs, totals)
+
+
+def _msp_utilities_rows(
+    p: xp.ndarray, costs: xp.ndarray, totals: xp.ndarray
+) -> xp.ndarray:
+    """Trusted-input kernel of :func:`msp_utilities_stacked` (same
+    caller contract as :func:`_follower_best_response_rows`)."""
     if p.ndim == 1:
         return (p - costs) * totals
-    return (p - costs[:, np.newaxis]) * totals
+    return (p - costs[:, xp.newaxis]) * totals

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.drl.gae import discounted_returns, generalized_advantages
+from repro.drl.gae import (
+    discounted_returns,
+    discounted_returns_batch,
+    generalized_advantages,
+    generalized_advantages_batch,
+)
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
 
@@ -21,6 +26,7 @@ __all__ = [
     "Transition",
     "MiniBatch",
     "RolloutBuffer",
+    "VectorRolloutStorage",
     "concatenate_minibatches",
     "sample_minibatch",
 ]
@@ -165,6 +171,121 @@ class RolloutBuffer:
         return batches
 
 
+class VectorRolloutStorage:
+    """Preallocated ``(E, K, ·)`` rollout scratch for the vector trainer.
+
+    The per-env :class:`RolloutBuffer` path allocates a ``Transition``
+    (five array copies) per env per round and re-stacks everything at
+    finalize time. This storage instead writes each round's batched
+    arrays into fixed columns of preallocated buffers and computes
+    advantages/returns for all envs in one vectorised pass
+    (:func:`generalized_advantages_batch`). The pooled minibatch it
+    produces is bitwise-identical to
+    ``concatenate_minibatches([b.stacked() for b in buffers])`` over
+    per-env buffers fed the same rounds: C-order ``(E, K, ·) →
+    (E·K, ·)`` reshape reproduces the env-major concatenation order
+    exactly, and the batched GAE is bitwise the scalar recursion per row.
+
+    Lifecycle: ``add_round`` × K → ``pooled(bootstrap_values)`` →
+    ``clear``. The pooled batch may alias the internal buffers — consume
+    it before the next ``add_round``/``clear`` (the trainer's update
+    epochs sample copies out of it, so this holds by construction).
+    """
+
+    def __init__(
+        self,
+        num_envs: int,
+        capacity: int,
+        obs_dim: int,
+        action_dim: int,
+        *,
+        gamma: float,
+        lam: float = 1.0,
+    ) -> None:
+        if num_envs < 1 or capacity < 1 or obs_dim < 1 or action_dim < 1:
+            raise ConfigurationError(
+                "num_envs, capacity, obs_dim and action_dim must be >= 1, "
+                f"got {num_envs}, {capacity}, {obs_dim}, {action_dim}"
+            )
+        if not 0.0 <= gamma <= 1.0 or not 0.0 <= lam <= 1.0:
+            raise ConfigurationError(
+                f"gamma and lam must be in [0, 1], got {gamma}, {lam}"
+            )
+        self._gamma = gamma
+        self._lam = lam
+        self._observations = np.empty((num_envs, capacity, obs_dim))
+        self._actions = np.empty((num_envs, capacity, action_dim))
+        self._rewards = np.empty((num_envs, capacity))
+        self._log_probs = np.empty((num_envs, capacity))
+        self._values = np.empty((num_envs, capacity))
+        self._count = 0
+
+    @property
+    def num_envs(self) -> int:
+        """Number of concurrent env slots."""
+        return self._observations.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        """Maximum rounds per segment."""
+        return self._observations.shape[1]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def clear(self) -> None:
+        """Start a new segment (buffers are reused, not reallocated)."""
+        self._count = 0
+
+    def add_round(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        log_probs: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Store one lockstep round of ``(E, ·)`` batched arrays."""
+        if self._count >= self.capacity:
+            raise ConfigurationError(
+                f"storage full: capacity {self.capacity} rounds; pooled()/clear() first"
+            )
+        column = self._count
+        self._observations[:, column, :] = observations
+        self._actions[:, column, :] = actions
+        self._rewards[:, column] = rewards
+        self._log_probs[:, column] = log_probs
+        self._values[:, column] = values
+        self._count += 1
+
+    def pooled(self, bootstrap_values: np.ndarray) -> MiniBatch:
+        """The segment as one env-major pooled :class:`MiniBatch`."""
+        if self._count == 0:
+            raise ConfigurationError("cannot pool an empty storage")
+        count = self._count
+        num_envs = self.num_envs
+        rewards = self._rewards[:, :count]
+        values = self._values[:, :count]
+        advantages = generalized_advantages_batch(
+            rewards,
+            values,
+            self._gamma,
+            self._lam,
+            bootstrap_values=bootstrap_values,
+        )
+        returns = discounted_returns_batch(
+            rewards, self._gamma, bootstrap_values=bootstrap_values
+        )
+        pooled_rows = num_envs * count
+        return MiniBatch(
+            observations=self._observations[:, :count, :].reshape(pooled_rows, -1),
+            actions=self._actions[:, :count, :].reshape(pooled_rows, -1),
+            old_log_probs=self._log_probs[:, :count].reshape(pooled_rows),
+            advantages=advantages.reshape(pooled_rows),
+            returns=returns.reshape(pooled_rows),
+        )
+
+
 def concatenate_minibatches(batches: list[MiniBatch]) -> MiniBatch:
     """Concatenate stacked segments along the batch axis.
 
@@ -201,10 +322,12 @@ def sample_minibatch(
     count = len(full.observations)
     replace = batch_size > count
     idx = rng.choice(count, size=batch_size, replace=replace)
+    # np.take gathers the same rows as fancy indexing (identical values)
+    # with less per-call overhead — this runs once per PPO epoch.
     return MiniBatch(
-        observations=full.observations[idx],
-        actions=full.actions[idx],
-        old_log_probs=full.old_log_probs[idx],
-        advantages=full.advantages[idx],
-        returns=full.returns[idx],
+        observations=np.take(full.observations, idx, axis=0),
+        actions=np.take(full.actions, idx, axis=0),
+        old_log_probs=np.take(full.old_log_probs, idx, axis=0),
+        advantages=np.take(full.advantages, idx, axis=0),
+        returns=np.take(full.returns, idx, axis=0),
     )

@@ -8,24 +8,30 @@ expose the λ = 1 special case; tests verify the two coincide.
 
 from __future__ import annotations
 
-import numpy as np
+from repro.backend import xp
 
 from repro.utils.validation import require_in_range
 
-__all__ = ["discounted_returns", "paper_advantages", "generalized_advantages"]
+__all__ = [
+    "discounted_returns",
+    "paper_advantages",
+    "generalized_advantages",
+    "discounted_returns_batch",
+    "generalized_advantages_batch",
+]
 
 
 def discounted_returns(
-    rewards: np.ndarray, gamma: float, *, bootstrap_value: float = 0.0
-) -> np.ndarray:
+    rewards: xp.ndarray, gamma: float, *, bootstrap_value: float = 0.0
+) -> xp.ndarray:
     """Per-step discounted return-to-go ``V^targ_k`` (Eq. 16's target).
 
     ``G_k = Σ_{l=k}^{K-1} γ^{l-k} r_l + γ^{K-k} V(S_K)`` with
     ``bootstrap_value`` standing in for ``V(S_K)``.
     """
     require_in_range("gamma", gamma, 0.0, 1.0)
-    rewards = np.asarray(rewards, dtype=np.float64)
-    returns = np.empty_like(rewards)
+    rewards = xp.asarray(rewards, dtype=xp.float64)
+    returns = xp.empty_like(rewards)
     running = float(bootstrap_value)
     for k in range(len(rewards) - 1, -1, -1):
         running = rewards[k] + gamma * running
@@ -34,19 +40,19 @@ def discounted_returns(
 
 
 def paper_advantages(
-    rewards: np.ndarray,
-    values: np.ndarray,
+    rewards: xp.ndarray,
+    values: xp.ndarray,
     gamma: float,
     *,
     bootstrap_value: float = 0.0,
-) -> np.ndarray:
+) -> xp.ndarray:
     """The paper's Eq. (18): ``A(S_k) = -V(S_k) + G_k``.
 
     ``values`` are the critic's estimates along the trajectory (length K);
     ``bootstrap_value`` is ``V(S_K)`` at the terminal observation.
     """
-    rewards = np.asarray(rewards, dtype=np.float64)
-    values = np.asarray(values, dtype=np.float64)
+    rewards = xp.asarray(rewards, dtype=xp.float64)
+    values = xp.asarray(values, dtype=xp.float64)
     if rewards.shape != values.shape:
         raise ValueError(
             f"rewards and values must align, got {rewards.shape} vs {values.shape}"
@@ -56,13 +62,13 @@ def paper_advantages(
 
 
 def generalized_advantages(
-    rewards: np.ndarray,
-    values: np.ndarray,
+    rewards: xp.ndarray,
+    values: xp.ndarray,
     gamma: float,
     lam: float,
     *,
     bootstrap_value: float = 0.0,
-) -> np.ndarray:
+) -> xp.ndarray:
     """GAE(λ) (Schulman et al., 2015).
 
     ``A_k = Σ_{l≥k} (γλ)^{l-k} δ_l`` with TD residuals
@@ -71,17 +77,91 @@ def generalized_advantages(
     """
     require_in_range("gamma", gamma, 0.0, 1.0)
     require_in_range("lam", lam, 0.0, 1.0)
-    rewards = np.asarray(rewards, dtype=np.float64)
-    values = np.asarray(values, dtype=np.float64)
+    rewards = xp.asarray(rewards, dtype=xp.float64)
+    values = xp.asarray(values, dtype=xp.float64)
     if rewards.shape != values.shape:
         raise ValueError(
             f"rewards and values must align, got {rewards.shape} vs {values.shape}"
         )
-    next_values = np.append(values[1:], bootstrap_value)
+    next_values = xp.append(values[1:], bootstrap_value)
     deltas = rewards + gamma * next_values - values
-    advantages = np.empty_like(deltas)
+    advantages = xp.empty_like(deltas)
     running = 0.0
     for k in range(len(deltas) - 1, -1, -1):
         running = deltas[k] + gamma * lam * running
         advantages[k] = running
+    return advantages
+
+
+def _as_batch(name: str, array) -> xp.ndarray:
+    array = xp.asarray(array, dtype=xp.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (E, K), got shape {array.shape}")
+    return array
+
+
+def _as_bootstraps(bootstrap_values, num_envs: int) -> xp.ndarray:
+    if bootstrap_values is None:
+        return xp.zeros(num_envs, dtype=xp.float64)
+    bootstraps = xp.asarray(bootstrap_values, dtype=xp.float64)
+    if bootstraps.shape != (num_envs,):
+        raise ValueError(
+            f"bootstrap_values must have shape ({num_envs},), got {bootstraps.shape}"
+        )
+    return bootstraps
+
+
+def discounted_returns_batch(
+    rewards: xp.ndarray, gamma: float, *, bootstrap_values=None
+) -> xp.ndarray:
+    """Discounted return-to-go for ``E`` trajectories at once.
+
+    ``rewards`` has shape ``(E, K)``; ``bootstrap_values`` (default
+    zeros) has shape ``(E,)``. Row ``e`` of the result is bitwise
+    :func:`discounted_returns` of ``rewards[e]`` — the backward
+    recursion runs once per *step* over a length-``E`` column instead of
+    once per (env, step) pair, with identical per-element arithmetic.
+    """
+    require_in_range("gamma", gamma, 0.0, 1.0)
+    rewards = _as_batch("rewards", rewards)
+    returns = xp.empty_like(rewards)
+    running = _as_bootstraps(bootstrap_values, rewards.shape[0])
+    for k in range(rewards.shape[1] - 1, -1, -1):
+        running = rewards[:, k] + gamma * running
+        returns[:, k] = running
+    return returns
+
+
+def generalized_advantages_batch(
+    rewards: xp.ndarray,
+    values: xp.ndarray,
+    gamma: float,
+    lam: float,
+    *,
+    bootstrap_values=None,
+) -> xp.ndarray:
+    """GAE(λ) for ``E`` trajectories at once, columnwise.
+
+    Inputs have shape ``(E, K)`` (plus ``(E,)`` bootstraps); row ``e``
+    of the result is bitwise :func:`generalized_advantages` of row ``e``
+    of the inputs. The only loop left is the inherently sequential
+    backward recursion over the ``K`` time steps; everything across the
+    env axis is a single vector operation per step.
+    """
+    require_in_range("gamma", gamma, 0.0, 1.0)
+    require_in_range("lam", lam, 0.0, 1.0)
+    rewards = _as_batch("rewards", rewards)
+    values = _as_batch("values", values)
+    if rewards.shape != values.shape:
+        raise ValueError(
+            f"rewards and values must align, got {rewards.shape} vs {values.shape}"
+        )
+    bootstraps = _as_bootstraps(bootstrap_values, rewards.shape[0])
+    next_values = xp.concatenate([values[:, 1:], bootstraps[:, xp.newaxis]], axis=1)
+    deltas = rewards + gamma * next_values - values
+    advantages = xp.empty_like(deltas)
+    running = xp.zeros(rewards.shape[0], dtype=xp.float64)
+    for k in range(rewards.shape[1] - 1, -1, -1):
+        running = deltas[:, k] + gamma * lam * running
+        advantages[:, k] = running
     return advantages

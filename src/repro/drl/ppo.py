@@ -18,9 +18,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.drl.buffer import MiniBatch
+from repro.drl.fused import FusedActorCritic
 from repro.drl.policy import ActorCritic
 from repro.errors import ConfigurationError
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import Adam, FlatAdam, clip_grad_norm
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeedLike
 
@@ -68,18 +69,38 @@ class UpdateStats:
 
 
 class PPOAgent:
-    """A PPO learner wrapping a shared-trunk :class:`ActorCritic`."""
+    """A PPO learner wrapping a shared-trunk :class:`ActorCritic`.
+
+    By default (``fused=True``) the training hot path — action sampling,
+    value evaluation, and the PPO update — runs through
+    :class:`repro.drl.fused.FusedActorCritic` over a flat-parameter
+    :class:`repro.nn.optim.FlatAdam`: no autograd graph, gradients written
+    into one contiguous buffer, one fused optimiser step. The fused path
+    is bitwise-identical to the reference graph path (``fused=False``),
+    which is kept intact as the ground truth; networks whose architecture
+    the fused twin does not support fall back to the graph path
+    automatically.
+    """
 
     def __init__(
         self,
         network: ActorCritic,
         config: PPOConfig | None = None,
+        *,
+        fused: bool = True,
     ) -> None:
         self.network = network
         self.config = config if config is not None else PPOConfig()
-        self.optimizer = Adam(
+        self._fused = FusedActorCritic.compile(network) if fused else None
+        optimizer_cls = FlatAdam if self._fused is not None else Adam
+        self.optimizer = optimizer_cls(
             list(network.parameters()), learning_rate=self.config.learning_rate
         )
+
+    @property
+    def fused(self) -> bool:
+        """Whether the fused (graph-free) hot path is active."""
+        return self._fused is not None
 
     def act(
         self,
@@ -89,6 +110,13 @@ class PPOAgent:
         deterministic: bool = False,
     ) -> tuple[np.ndarray, float, float]:
         """Delegate to the network's sampling path."""
+        if self._fused is not None:
+            raws, log_probs, values = self._fused.act_batch(
+                np.asarray(observation, dtype=np.float64).reshape(1, -1),
+                seed=seed,
+                deterministic=deterministic,
+            )
+            return raws[0], float(log_probs[0]), float(values[0])
         return self.network.act(
             observation, seed=seed, deterministic=deterministic
         )
@@ -101,6 +129,10 @@ class PPOAgent:
         deterministic: bool = False,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batched sampling path: one forward pass for ``(E, obs_dim)``."""
+        if self._fused is not None:
+            return self._fused.act_batch(
+                observations, seed=seed, deterministic=deterministic
+            )
         return self.network.act_batch(
             observations, seed=seed, deterministic=deterministic
         )
@@ -114,12 +146,24 @@ class PPOAgent:
         """Critic values for an observation batch, shape ``(E,)`` (no graph)."""
         from repro.nn.tensor import no_grad
 
+        if self._fused is not None:
+            return self._fused.value_batch(observations)
         obs = np.asarray(observations, dtype=np.float64)
         with no_grad():
             return self.network.value(Tensor(obs)).data.copy()
 
     def update(self, batch: MiniBatch) -> UpdateStats:
-        """One gradient step on a mini-batch (Eq. 14)."""
+        """One gradient step on a mini-batch (Eq. 14).
+
+        Dispatches to the fused path when active; the body below is the
+        reference autograd implementation.
+        """
+        if self._fused is not None:
+            return self._fused.update(self.optimizer, self.config, batch)
+        return self._update_reference(batch)
+
+    def _update_reference(self, batch: MiniBatch) -> UpdateStats:
+        """The seed graph-based update — the fused path's bitwise oracle."""
         cfg = self.config
         advantages = batch.advantages.astype(np.float64)
         if cfg.normalize_advantages and advantages.size > 1:

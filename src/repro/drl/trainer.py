@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.drl.buffer import (
     RolloutBuffer,
+    VectorRolloutStorage,
     concatenate_minibatches,
     sample_minibatch,
 )
@@ -203,6 +204,7 @@ class VectorTrainer:
         config: TrainerConfig | None = None,
         *,
         seed: SeedLike = None,
+        preallocate: bool = True,
     ) -> None:
         if getattr(venv, "num_envs", 0) < 1:
             raise ConfigurationError(
@@ -213,21 +215,43 @@ class VectorTrainer:
         self.scaler = scaler
         self.config = config if config is not None else TrainerConfig()
         self._rng = as_generator(seed)
+        self._preallocate = bool(preallocate)
+        # Built lazily on the first round (needs the obs/action widths);
+        # reused — never reallocated — across segments and iterations.
+        self._storage: VectorRolloutStorage | None = None
         self.buffers = [
             RolloutBuffer(gamma=self.config.gamma, lam=self.config.gae_lambda)
             for _ in range(venv.num_envs)
         ]
 
+    def _ensure_storage(self, obs_dim: int, action_dim: int) -> VectorRolloutStorage:
+        if self._storage is None:
+            self._storage = VectorRolloutStorage(
+                self.venv.num_envs,
+                self.config.update_interval,
+                obs_dim,
+                action_dim,
+                gamma=self.config.gamma,
+                lam=self.config.gae_lambda,
+            )
+        return self._storage
+
     def _update_from_buffers(self, bootstrap_values: np.ndarray) -> None:
         cfg = self.config
-        for buffer, bootstrap in zip(self.buffers, bootstrap_values):
-            buffer.finalize(float(bootstrap))
-        pool = concatenate_minibatches([b.stacked() for b in self.buffers])
+        if self._preallocate and self._storage is not None:
+            pool = self._storage.pooled(bootstrap_values)
+        else:
+            for buffer, bootstrap in zip(self.buffers, bootstrap_values):
+                buffer.finalize(float(bootstrap))
+            pool = concatenate_minibatches([b.stacked() for b in self.buffers])
         for _ in range(cfg.update_epochs):
             batch = sample_minibatch(pool, cfg.batch_size, seed=self._rng)
             self.result.update_stats.append(self.agent.update(batch))
-        for buffer in self.buffers:
-            buffer.clear()
+        if self._preallocate and self._storage is not None:
+            self._storage.clear()
+        else:
+            for buffer in self.buffers:
+                buffer.clear()
 
     def train(self) -> TrainingResult:
         """Run the batched Algorithm-1 loop; returns the training traces."""
@@ -236,8 +260,12 @@ class VectorTrainer:
         self.result = TrainingResult()
         for _iteration in range(cfg.num_episodes):
             observations = self.venv.reset()
-            for buffer in self.buffers:
-                buffer.clear()
+            if self._preallocate:
+                if self._storage is not None:
+                    self._storage.clear()
+            else:
+                for buffer in self.buffers:
+                    buffer.clear()
             episode_returns = np.zeros(num_envs)
             utilities: list[list[float]] = [[] for _ in range(num_envs)]
             best_utilities = np.full(num_envs, float("-inf"))
@@ -249,11 +277,19 @@ class VectorTrainer:
                 )
                 prices = self.scaler.to_price(raws[:, 0])
                 next_observations, rewards, dones, infos = self.venv.step(prices)
-                for e in range(num_envs):
-                    self.buffers[e].add(
-                        observations[e], raws[e], rewards[e], log_probs[e], values[e]
+                if self._preallocate:
+                    storage = self._ensure_storage(
+                        np.asarray(observations).shape[1], raws.shape[1]
                     )
-                    utilities[e].append(float(infos[e]["msp_utility"]))
+                    storage.add_round(observations, raws, rewards, log_probs, values)
+                    for e in range(num_envs):
+                        utilities[e].append(float(infos[e]["msp_utility"]))
+                else:
+                    for e in range(num_envs):
+                        self.buffers[e].add(
+                            observations[e], raws[e], rewards[e], log_probs[e], values[e]
+                        )
+                        utilities[e].append(float(infos[e]["msp_utility"]))
                 episode_returns += rewards
                 best_utilities = np.maximum(
                     best_utilities, [float(i["best_utility"]) for i in infos]
@@ -294,6 +330,8 @@ def train_pricing_agent(
     ppo_config: PPOConfig | None = None,
     hidden_sizes: tuple[int, ...] = (64, 64),
     seed: SeedLike = None,
+    fused: bool = True,
+    preallocate: bool = True,
 ) -> tuple[PPOAgent, TrainingResult, ActionScaler]:
     """Convenience constructor + training run for the pricing POMDP.
 
@@ -302,13 +340,20 @@ def train_pricing_agent(
     (anything exposing ``num_envs``) are routed through
     :class:`VectorTrainer`, which collects all their episodes concurrently;
     plain envs keep the scalar :class:`Trainer`.
+
+    ``fused`` and ``preallocate`` toggle the fused (graph-free) PPO hot
+    path and the preallocated rollout scratch; both default on and both
+    are bitwise-equal to the seed reference paths (the training benchmark
+    turns them off to measure the speedup).
     """
     rng = as_generator(seed)
     network = ActorCritic(env.observation_dim, hidden_sizes, seed=rng)
-    agent = PPOAgent(network, ppo_config)
+    agent = PPOAgent(network, ppo_config, fused=fused)
     scaler = ActionScaler(low=env.action_low, high=env.action_high)
     if hasattr(env, "num_envs"):
-        trainer = VectorTrainer(env, agent, scaler, trainer_config, seed=rng)
+        trainer = VectorTrainer(
+            env, agent, scaler, trainer_config, seed=rng, preallocate=preallocate
+        )
     else:
         trainer = Trainer(env, agent, scaler, trainer_config, seed=rng)
     result = trainer.train()

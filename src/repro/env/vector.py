@@ -72,6 +72,20 @@ class VectorMigrationEnv:
         # solve as a plain single-market price batch.
         self._shared_market = all(env.market is first.market for env in envs)
         self._stack: MarketStack | None = None
+        # Uniform shared-market batches (one market object, one reward
+        # configuration, one history window — what from_market builds) take
+        # a fully vectorised step: the POMDP bookkeeping itself runs as
+        # whole-batch array ops instead of E per-env Python passes.
+        self._uniform_shared = self._shared_market and all(
+            env.reward_mode == first.reward_mode
+            and env.reward_tolerance == first.reward_tolerance
+            and env.history_length == first.history_length
+            for env in envs
+        )
+        # Observation cache for the vectorised step: the next observation
+        # is the previous one shifted left by one history entry. Written on
+        # every reset()/step(), so path switches stay consistent.
+        self._observations: np.ndarray | None = None
 
     @classmethod
     def from_market(
@@ -191,7 +205,8 @@ class VectorMigrationEnv:
         ) != 1:
             # Mixed observation windows (same obs_dim, different L·N split)
             # can't share one price matrix; fall back to per-env resets.
-            return np.stack([env.reset() for env in self._envs])
+            self._observations = np.stack([env.reset() for env in self._envs])
+            return self._observations
         price_rows = np.stack([env._draw_reset_prices() for env in self._envs])
         if self._shared_market:
             flat = self._envs[0].market.allocate_batch(price_rows.reshape(-1))
@@ -201,12 +216,13 @@ class VectorMigrationEnv:
                 self._stack = MarketStack([env.market for env in self._envs])
             stacked = self._stack.outcomes_stacked(price_rows)
             blocks = stacked.allocations
-        return np.stack(
+        self._observations = np.stack(
             [
                 env._prime_history(price_rows[e], blocks[e])
                 for e, env in enumerate(self._envs)
             ]
         )
+        return self._observations
 
     def equilibria(self, *, refine: bool = True):
         """Every member market's Stackelberg equilibrium, one stacked solve.
@@ -246,10 +262,12 @@ class VectorMigrationEnv:
             where ``infos`` is one dict per env, identical to the scalar
             env's info contract.
         """
-        acts = np.broadcast_to(
-            np.asarray(actions, dtype=float), (self.num_envs,)
-        )
+        acts = np.asarray(actions, dtype=float)
+        if acts.shape != (self.num_envs,):
+            acts = np.broadcast_to(acts, (self.num_envs,))
         if self.num_envs > 1:
+            if self._uniform_shared and self._observations is not None:
+                return self._step_shared_fast(acts)
             results = (
                 self._step_shared(acts)
                 if self._shared_market
@@ -261,6 +279,7 @@ class VectorMigrationEnv:
         rewards = np.array([r[1] for r in results], dtype=float)
         dones = np.array([r[2] for r in results], dtype=bool)
         infos = [r[3] for r in results]
+        self._observations = observations
         return observations, rewards, dones, infos
 
     def _clip_actions(self, actions: np.ndarray) -> np.ndarray:
@@ -277,6 +296,87 @@ class VectorMigrationEnv:
             env._advance(float(actions[e]), float(prices[e]), batch.row(e))
             for e, env in enumerate(self._envs)
         ]
+
+    def _step_shared_fast(self, actions: np.ndarray):
+        """Whole-batch POMDP step for a uniform shared-market fleet.
+
+        The market stage is the same single :meth:`outcomes_batch` solve as
+        :meth:`_step_shared`; the difference is the bookkeeping around it.
+        Rewards, episode bests, and the shifted observation window are
+        computed as ``(E,)``/``(E, obs_dim)`` array ops instead of ``E``
+        per-env ``_advance`` passes — every operation is the elementwise
+        twin of the scalar one, so the trace stays bit-identical. Member
+        envs are kept in sync (history deque, round counter, episode best)
+        so mid-episode reads and path switches see the same state.
+        """
+        envs = self._envs
+        for env in envs:
+            env._require_steppable()
+        prices = self._clip_actions(actions)
+        first = envs[0]
+        # The clamp just guaranteed finite positive prices, so skip the
+        # public wrappers' re-validation and solve the trusted M = 1 grid
+        # directly — the identical numpy pass ``outcomes_batch`` runs.
+        out = first.market.as_stack()._outcomes_trusted(prices[np.newaxis, :])
+        utilities = out.msp_utilities[0]
+        demands = out.demands[0]
+        allocations = out.allocations[0]
+        vmu_utilities = out.vmu_utilities[0]
+        binding = out.capacity_binding[0]
+        previous_best = np.fromiter(
+            (env._best_utility for env in envs), dtype=float, count=len(envs)
+        )
+        if first.reward_mode == "paper":
+            slack = first.reward_tolerance * first._utility_scale
+            rewards = np.where(utilities >= previous_best - slack, 1.0, 0.0)
+        else:
+            rewards = utilities / first._utility_scale
+        new_best = np.where(utilities >= previous_best, utilities, previous_best)
+
+        config = first.market.config
+        entries = np.concatenate(
+            (
+                (prices / config.max_price)[:, np.newaxis],
+                allocations / config.capacity_natural,
+            ),
+            axis=1,
+        )
+        width = entries.shape[1]
+        # o_{k+1} is o_k shifted left one (price, demands) entry — the
+        # deque-drop-then-concatenate of the scalar path, done batch-wide.
+        observations = np.concatenate(
+            (self._observations[:, width:], entries), axis=1
+        )
+        self._observations = observations
+        round_index = first._round + 1
+        done = round_index >= first.rounds_per_episode
+        dones = np.full(len(envs), done)
+        prices_list = prices.tolist()
+        actions_list = actions.tolist()
+        utilities_list = utilities.tolist()
+        best_list = new_best.tolist()
+        infos: list[dict[str, Any]] = []
+        for e, env in enumerate(envs):
+            env._history.append(entries[e])
+            env._round = round_index
+            env._best_utility = best_list[e]
+            # Info arrays are rows of this step's freshly solved batch —
+            # nothing else holds or mutates them, so views keep the scalar
+            # env's value contract without E·3 defensive copies per round.
+            infos.append(
+                {
+                    "price": prices_list[e],
+                    "raw_action": actions_list[e],
+                    "msp_utility": utilities_list[e],
+                    "best_utility": best_list[e],
+                    "demands": demands[e],
+                    "allocations": allocations[e],
+                    "vmu_utilities": vmu_utilities[e],
+                    "capacity_binding": bool(binding[e]),
+                    "round": round_index,
+                }
+            )
+        return observations, rewards, dones, infos
 
     def _step_stacked(self, actions: np.ndarray):
         """One stacked solve for a heterogeneous-market fleet."""

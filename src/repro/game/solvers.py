@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 
-import numpy as np
+from repro.backend import xp
 
 from repro.errors import ConfigurationError, GameError
 from repro.utils.validation import require_finite
@@ -26,7 +26,7 @@ __all__ = [
 ]
 
 
-def uniform_price_grid(low: float, high: float, grid_points: int) -> np.ndarray:
+def uniform_price_grid(low: float, high: float, grid_points: int) -> xp.ndarray:
     """A uniform ``(grid_points,)`` grid on ``[low, high]``.
 
     The one grid construction every landscape scan shares: the leader's
@@ -39,7 +39,7 @@ def uniform_price_grid(low: float, high: float, grid_points: int) -> np.ndarray:
     if not low < high:
         raise ConfigurationError(f"need low < high, got [{low}, {high}]")
     step = (high - low) / (grid_points - 1)
-    return low + step * np.arange(grid_points)
+    return low + step * xp.arange(grid_points)
 
 _INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/φ ≈ 0.618
 
@@ -88,13 +88,13 @@ def golden_section_maximize(
 
 
 def golden_section_maximize_batch(
-    objective: Callable[[np.ndarray], np.ndarray],
-    lows: np.ndarray,
-    highs: np.ndarray,
+    objective: Callable[[xp.ndarray], xp.ndarray],
+    lows: xp.ndarray,
+    highs: xp.ndarray,
     *,
     tolerance: float = 1e-10,
     max_iterations: int = 500,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[xp.ndarray, xp.ndarray]:
     """Maximise ``M`` unimodal objectives on ``M`` brackets in lockstep.
 
     The batched form of :func:`golden_section_maximize`: ``objective`` maps
@@ -115,16 +115,16 @@ def golden_section_maximize_batch(
         GameError: if any bracket has ``lows[m] > highs[m]`` or a
             non-finite endpoint.
     """
-    a = np.array(lows, dtype=float)
-    b = np.array(highs, dtype=float)
+    a = xp.array(lows, dtype=float)
+    b = xp.array(highs, dtype=float)
     if a.ndim != 1 or a.shape != b.shape:
         raise GameError(
             f"lows and highs must share one (M,) shape, got {a.shape} "
             f"and {b.shape}"
         )
-    if np.any(~np.isfinite(a)) or np.any(~np.isfinite(b)):
+    if xp.any(~xp.isfinite(a)) or xp.any(~xp.isfinite(b)):
         raise GameError("brackets must be finite")
-    if np.any(a > b):
+    if xp.any(a > b):
         raise GameError("invalid bracket: low > high")
 
     # Scalar early-return case: brackets already within tolerance resolve
@@ -133,8 +133,8 @@ def golden_section_maximize_batch(
     degenerate = (b - a) <= tolerance
     c = b - _INV_PHI * (b - a)
     d = a + _INV_PHI * (b - a)
-    fc = np.asarray(objective(np.where(degenerate, mid, c)), dtype=float)
-    fd = np.asarray(objective(np.where(degenerate, mid, d)), dtype=float)
+    fc = xp.asarray(objective(xp.where(degenerate, mid, c)), dtype=float)
+    fd = xp.asarray(objective(xp.where(degenerate, mid, d)), dtype=float)
     size = a.shape[0]
     active = ~degenerate
     for _ in range(max_iterations):
@@ -149,37 +149,37 @@ def golden_section_maximize_batch(
         if open_count == size:
             # Brackets of similar width converge in lockstep, so most
             # iterations have every row open: with ``right == ~left`` each
-            # three-way select below collapses to one ``np.where`` — the
+            # three-way select below collapses to one ``xp.where`` — the
             # same elementwise values, about half the dispatches. This
             # loop's fixed ~50 sequential rounds are the latency floor of
             # a small dirty-row re-solve, so the overhead matters.
             left = ge
-            b = np.where(left, old_d, b)
-            a = np.where(left, a, old_c)
+            b = xp.where(left, old_d, b)
+            a = xp.where(left, a, old_c)
             step = _INV_PHI * (b - a)
-            c = np.where(left, b - step, old_d)
-            d = np.where(left, old_c, a + step)
-            probe = np.where(left, c, d)
-            values = np.asarray(objective(probe), dtype=float)
-            fc = np.where(left, values, old_fd)
-            fd = np.where(left, old_fc, values)
+            c = xp.where(left, b - step, old_d)
+            d = xp.where(left, old_c, a + step)
+            probe = xp.where(left, c, d)
+            values = xp.asarray(objective(probe), dtype=float)
+            fc = xp.where(left, values, old_fd)
+            fd = xp.where(left, old_fc, values)
             continue
         left = active & ge
         right = active & ~ge
-        b = np.where(left, old_d, b)
-        a = np.where(right, old_c, a)
+        b = xp.where(left, old_d, b)
+        a = xp.where(right, old_c, a)
         new_c = b - _INV_PHI * (b - a)
         new_d = a + _INV_PHI * (b - a)
-        c = np.where(left, new_c, np.where(right, old_d, old_c))
-        d = np.where(right, new_d, np.where(left, old_c, old_d))
+        c = xp.where(left, new_c, xp.where(right, old_d, old_c))
+        d = xp.where(right, new_d, xp.where(left, old_c, old_d))
         # One evaluation advances every open bracket; frozen rows probe
         # their current midpoint and the value is discarded.
-        probe = np.where(left, c, np.where(right, d, 0.5 * (a + b)))
-        values = np.asarray(objective(probe), dtype=float)
-        fc = np.where(left, values, np.where(right, old_fd, old_fc))
-        fd = np.where(right, values, np.where(left, old_fc, old_fd))
-    best = np.where(degenerate, mid, 0.5 * (a + b))
-    return best, np.asarray(objective(best), dtype=float)
+        probe = xp.where(left, c, xp.where(right, d, 0.5 * (a + b)))
+        values = xp.asarray(objective(probe), dtype=float)
+        fc = xp.where(left, values, xp.where(right, old_fd, old_fc))
+        fd = xp.where(right, values, xp.where(left, old_fc, old_fd))
+    best = xp.where(degenerate, mid, 0.5 * (a + b))
+    return best, xp.asarray(objective(best), dtype=float)
 
 
 def bisect_root(
@@ -219,6 +219,33 @@ def bisect_root(
     return 0.5 * (a + b)
 
 
+def _probe_vector_scan(
+    objective: Callable[[float], float], grid: xp.ndarray
+) -> xp.ndarray | None:
+    """Try evaluating a scalar objective over the whole grid in one call.
+
+    Many objectives are written with numpy ufuncs and transparently map a
+    price vector to a value vector; when that works, the coarse scan costs
+    one batched evaluation instead of ``grid_points`` Python-level calls.
+    The probe is rejected (``None``; callers run the scalar loop) when the
+    callable raises the typical scalar-only errors (``TypeError`` /
+    ``ValueError``, e.g. ``float(array)`` or an ambiguous ``if p > t``) or
+    returns anything but one finite-shaped value per grid point — a scalar
+    objective that silently reduces over the grid comes back with the
+    wrong shape and is therefore never trusted. An accepted batched
+    evaluation performs the same elementwise float64 arithmetic as the
+    per-point loop, so its argmax (first maximum, the scalar loop's
+    tie-break) picks the identical bracket bitwise.
+    """
+    try:
+        values = xp.asarray(objective(grid), dtype=float)
+    except (TypeError, ValueError):
+        return None
+    if values.shape != grid.shape:
+        return None
+    return values
+
+
 def grid_then_golden(
     objective: Callable[[float], float],
     low: float,
@@ -226,7 +253,7 @@ def grid_then_golden(
     *,
     grid_points: int = 256,
     tolerance: float = 1e-10,
-    vector_objective: Callable[[np.ndarray], np.ndarray] | None = None,
+    vector_objective: Callable[[xp.ndarray], xp.ndarray] | None = None,
     bracket_low: float | None = None,
     bracket_high: float | None = None,
 ) -> tuple[float, float]:
@@ -242,7 +269,11 @@ def grid_then_golden(
     calls — the hot path of every equilibrium solve and fig-3 sweep. The
     golden refinement stays scalar (it brackets three points at a time), so
     the two entry points return identical results whenever the batched form
-    agrees with ``objective`` pointwise.
+    agrees with ``objective`` pointwise. Without an explicit
+    ``vector_objective`` the scan first probes ``objective`` with the whole
+    grid vector and uses the batched result when the callable transparently
+    vectorises (ufunc-style objectives); scalar-only callables fall back to
+    the per-point loop with identical results.
 
     ``bracket_low``/``bracket_high`` (given together) warm-start the
     search: the coarse scan is skipped and golden refinement runs directly
@@ -290,16 +321,20 @@ def grid_then_golden(
     step = (high - low) / (grid_points - 1)
     grid = uniform_price_grid(low, high, grid_points)
     if vector_objective is not None:
-        values = np.asarray(vector_objective(grid), dtype=float)
+        values = xp.asarray(vector_objective(grid), dtype=float)
         if values.shape != grid.shape:
             raise GameError(
                 f"vector_objective returned shape {values.shape}, "
                 f"expected {grid.shape}"
             )
-        best_idx = int(np.argmax(values))
+        best_idx = int(xp.argmax(values))
     else:
-        scalar_values = [objective(float(p)) for p in grid]
-        best_idx = max(range(grid_points), key=scalar_values.__getitem__)
+        values = _probe_vector_scan(objective, grid)
+        if values is not None:
+            best_idx = int(xp.argmax(values))
+        else:
+            scalar_values = [objective(float(p)) for p in grid]
+            best_idx = max(range(grid_points), key=scalar_values.__getitem__)
     bracket_low = low + max(0, best_idx - 1) * step
     bracket_high = low + min(grid_points - 1, best_idx + 1) * step
     return golden_section_maximize(
@@ -308,15 +343,15 @@ def grid_then_golden(
 
 
 def grid_then_golden_batch(
-    objective: Callable[[np.ndarray], np.ndarray],
-    lows: np.ndarray,
-    highs: np.ndarray,
+    objective: Callable[[xp.ndarray], xp.ndarray],
+    lows: xp.ndarray,
+    highs: xp.ndarray,
     *,
     grid_points: int = 256,
     tolerance: float = 1e-10,
-    bracket_lows: np.ndarray | None = None,
-    bracket_highs: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
+    bracket_lows: xp.ndarray | None = None,
+    bracket_highs: xp.ndarray | None = None,
+) -> tuple[xp.ndarray, xp.ndarray]:
     """Global maximisation of ``M`` objectives on ``M`` intervals, stacked.
 
     The batched form of :func:`grid_then_golden`: one coarse scan over the
@@ -348,40 +383,40 @@ def grid_then_golden_batch(
     """
     if grid_points < 3:
         raise GameError(f"grid_points must be >= 3, got {grid_points}")
-    low_v = np.asarray(lows, dtype=float)
-    high_v = np.asarray(highs, dtype=float)
+    low_v = xp.asarray(lows, dtype=float)
+    high_v = xp.asarray(highs, dtype=float)
     if low_v.ndim != 1 or low_v.shape != high_v.shape:
         raise GameError(
             f"lows and highs must share one (M,) shape, got {low_v.shape} "
             f"and {high_v.shape}"
         )
-    if np.any(low_v > high_v):
+    if xp.any(low_v > high_v):
         raise GameError("invalid bracket: low > high")
     if (bracket_lows is None) != (bracket_highs is None):
         raise GameError(
             "bracket_lows and bracket_highs must be given together"
         )
     steps = (high_v - low_v) / (grid_points - 1)
-    scan_cache: tuple[np.ndarray, np.ndarray] | None = None
+    scan_cache: tuple[xp.ndarray, xp.ndarray] | None = None
 
-    def scan_brackets() -> tuple[np.ndarray, np.ndarray]:
+    def scan_brackets() -> tuple[xp.ndarray, xp.ndarray]:
         """Cold coarse scan: each row's best grid bracket (computed once)."""
         nonlocal scan_cache
         if scan_cache is None:
             grids = (
-                low_v[:, np.newaxis]
-                + steps[:, np.newaxis] * np.arange(grid_points)
+                low_v[:, xp.newaxis]
+                + steps[:, xp.newaxis] * xp.arange(grid_points)
             )
-            values = np.asarray(objective(grids), dtype=float)
+            values = xp.asarray(objective(grids), dtype=float)
             if values.shape != grids.shape:
                 raise GameError(
                     f"objective returned shape {values.shape}, expected "
                     f"{grids.shape}"
                 )
-            best_idx = np.argmax(values, axis=1)
+            best_idx = xp.argmax(values, axis=1)
             scan_cache = (
-                low_v + np.maximum(0, best_idx - 1) * steps,
-                low_v + np.minimum(grid_points - 1, best_idx + 1) * steps,
+                low_v + xp.maximum(0, best_idx - 1) * steps,
+                low_v + xp.minimum(grid_points - 1, best_idx + 1) * steps,
             )
         return scan_cache
 
@@ -391,24 +426,24 @@ def grid_then_golden_batch(
             objective, cold_lows, cold_highs, tolerance=tolerance
         )
 
-    warm_low_v = np.asarray(bracket_lows, dtype=float)
-    warm_high_v = np.asarray(bracket_highs, dtype=float)
+    warm_low_v = xp.asarray(bracket_lows, dtype=float)
+    warm_high_v = xp.asarray(bracket_highs, dtype=float)
     if warm_low_v.shape != low_v.shape or warm_high_v.shape != low_v.shape:
         raise GameError(
             f"warm brackets must share the (M,) shape {low_v.shape}, got "
             f"{warm_low_v.shape} and {warm_high_v.shape}"
         )
-    warm = np.isfinite(warm_low_v) & np.isfinite(warm_high_v)
-    if np.any(warm & (warm_low_v > warm_high_v)):
+    warm = xp.isfinite(warm_low_v) & xp.isfinite(warm_high_v)
+    if xp.any(warm & (warm_low_v > warm_high_v)):
         raise GameError("invalid warm bracket: low > high")
-    clipped_low = np.where(warm, np.clip(warm_low_v, low_v, high_v), low_v)
-    clipped_high = np.where(warm, np.clip(warm_high_v, low_v, high_v), high_v)
-    if bool(np.all(warm)):
+    clipped_low = xp.where(warm, xp.clip(warm_low_v, low_v, high_v), low_v)
+    clipped_high = xp.where(warm, xp.clip(warm_high_v, low_v, high_v), high_v)
+    if bool(xp.all(warm)):
         refine_lows, refine_highs = clipped_low, clipped_high
     else:
         cold_lows, cold_highs = scan_brackets()
-        refine_lows = np.where(warm, clipped_low, cold_lows)
-        refine_highs = np.where(warm, clipped_high, cold_highs)
+        refine_lows = xp.where(warm, clipped_low, cold_lows)
+        refine_highs = xp.where(warm, clipped_high, cold_highs)
     prices, values = golden_section_maximize_batch(
         objective, refine_lows, refine_highs, tolerance=tolerance
     )
@@ -416,16 +451,16 @@ def grid_then_golden_batch(
         ((prices - clipped_low <= tolerance) & (clipped_low > low_v))
         | ((clipped_high - prices <= tolerance) & (clipped_high < high_v))
     )
-    if bool(np.any(stale)):
+    if bool(xp.any(stale)):
         cold_lows, cold_highs = scan_brackets()
         # Non-stale rows ride along frozen on a degenerate [p, p] bracket
         # (resolving back to p bitwise); only stale rows re-refine.
         redo_prices, redo_values = golden_section_maximize_batch(
             objective,
-            np.where(stale, cold_lows, prices),
-            np.where(stale, cold_highs, prices),
+            xp.where(stale, cold_lows, prices),
+            xp.where(stale, cold_highs, prices),
             tolerance=tolerance,
         )
-        prices = np.where(stale, redo_prices, prices)
-        values = np.where(stale, redo_values, values)
+        prices = xp.where(stale, redo_prices, prices)
+        values = xp.where(stale, redo_values, values)
     return prices, values

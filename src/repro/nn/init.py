@@ -34,7 +34,11 @@ def orthogonal(
     q *= np.sign(np.diag(r))  # make the factorisation unique/uniform
     if fan_in < fan_out:
         q = q.T
-    return gain * q[:fan_in, :fan_out]
+    # C-order is a contract, not a nicety: BLAS kernels pick summation
+    # orders by operand layout, so a transposed (Fortran-ordered) weight
+    # would make batch-1 forwards bitwise-diverge from the same weights
+    # adopted into a flat optimiser buffer.
+    return np.ascontiguousarray(gain * q[:fan_in, :fan_out])
 
 
 def xavier_uniform(

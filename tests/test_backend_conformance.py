@@ -1,0 +1,222 @@
+"""Backend seam conformance: selection plumbing + numpy-default bitwise pins.
+
+The ``repro.backend.xp`` seam must be invisible under the default numpy
+backend: every seam attribute resolves to the *identical* numpy function
+object, so all downstream arithmetic is bitwise-unchanged. This suite pins
+
+- the selection plumbing (``REPRO_BACKEND``, :func:`set_backend`,
+  :func:`use_backend`, error paths for unknown/incomplete backends);
+- attribute identity for every name in :data:`SEAM_ATTRS`;
+- that no seam-covered hot-path module imports numpy directly;
+- end-to-end bitwise equality of a 50-market stacked solve and a seeded
+  fig2 smoke training run under an explicitly selected numpy backend
+  (and, for training, fused vs reference hot paths).
+"""
+
+import ast
+import pathlib
+
+import numpy as np
+import pytest
+from test_core_equilibria_stacked import random_markets
+
+from repro.backend import (
+    SEAM_ATTRS,
+    ArrayBackend,
+    active_backend,
+    get_backend,
+    set_backend,
+    use_backend,
+    xp,
+)
+from repro.core import MarketStack
+from repro.core.stackelberg import StackelbergMarket
+from repro.drl.ppo import PPOConfig
+from repro.drl.trainer import TrainerConfig, train_pricing_agent
+from repro.entities.vmu import paper_fig2_population
+from repro.env import VectorMigrationEnv
+from repro.errors import ConfigurationError
+
+REPO_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+SEAM_MODULES = [
+    "repro/nn/tensor.py",
+    "repro/nn/optim.py",
+    "repro/drl/gae.py",
+    "repro/drl/fused.py",
+    "repro/game/solvers.py",
+    "repro/core/utilities.py",
+    "repro/channel/ofdma.py",
+    "repro/core/marketstack.py",
+]
+
+
+@pytest.fixture
+def clean_backend(monkeypatch):
+    """Default selection state (no env var, no explicit backend) with
+    deterministic restoration afterwards."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    set_backend(None)
+    yield monkeypatch
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    set_backend(None)
+
+
+class TestSelectionPlumbing:
+    def test_default_backend_is_numpy(self, clean_backend):
+        backend = active_backend()
+        assert backend.name == "numpy"
+        assert backend.is_numpy
+        assert backend.missing_seam_attrs() == []
+
+    def test_env_var_selects_numpy(self, clean_backend):
+        clean_backend.setenv("REPRO_BACKEND", "numpy")
+        set_backend(None)
+        assert active_backend().is_numpy
+
+    def test_unknown_backend_name_raises(self):
+        with pytest.raises(ConfigurationError, match="not importable"):
+            get_backend("definitely_not_an_importable_module_xyz")
+
+    def test_env_var_unknown_backend_raises_on_resolution(self, clean_backend):
+        clean_backend.setenv(
+            "REPRO_BACKEND", "definitely_not_an_importable_module_xyz"
+        )
+        with pytest.raises(ConfigurationError, match="not importable"):
+            set_backend(None)
+
+    def test_backend_missing_seam_attrs_rejected(self):
+        # ``json`` imports fine but is nothing like an array namespace.
+        with pytest.raises(ConfigurationError, match="missing required"):
+            get_backend("json")
+
+    def test_explicit_set_backend_by_name(self, clean_backend):
+        backend = set_backend("numpy")
+        assert backend.is_numpy
+        assert active_backend() is backend
+
+    def test_use_backend_wrapper_dispatch_and_restore(self, clean_backend):
+        class CountingNamespace:
+            def __init__(self):
+                self.calls = 0
+
+            def __getattr__(self, name):
+                self.calls += 1
+                return getattr(np, name)
+
+        wrapper = CountingNamespace()
+        counting = ArrayBackend("counting", wrapper)
+        assert counting.missing_seam_attrs() == []
+        default = active_backend()
+        with use_backend(counting) as entered:
+            assert entered is counting
+            assert active_backend() is counting
+            values = xp.asarray([1.0, 2.0, 3.0])
+            total = float(xp.sum(values))
+        assert total == 6.0
+        assert wrapper.calls >= 2
+        assert active_backend() is default
+        assert active_backend().is_numpy
+
+
+class TestSeamIsInvisibleUnderNumpy:
+    @pytest.mark.parametrize("attr", SEAM_ATTRS)
+    def test_xp_attr_is_the_numpy_object(self, clean_backend, attr):
+        """The strongest possible bitwise pin: ``xp.<op>`` under the
+        default backend IS the numpy function/object, identically."""
+        assert getattr(xp, attr) is getattr(np, attr)
+
+    def test_no_seam_module_imports_numpy_directly(self):
+        for relative in SEAM_MODULES:
+            tree = ast.parse((REPO_SRC / relative).read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                    assert "numpy" not in names, f"{relative} imports numpy"
+                elif isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    assert not module.startswith(
+                        "numpy"
+                    ), f"{relative} imports from numpy"
+
+
+class TestEndToEndBitwiseUnderExplicitNumpy:
+    STACK_FIELDS = (
+        "prices",
+        "demands",
+        "msp_utilities",
+        "vmu_utilities",
+        "capacity_binding",
+        "price_cap_binding",
+        "feasible",
+        "mask",
+        "counts",
+        "unit_costs",
+    )
+
+    def test_50_market_stacked_solve(self, clean_backend):
+        default = MarketStack(random_markets(50, root_seed=3)).equilibria_stacked()
+        with use_backend("numpy"):
+            explicit = MarketStack(
+                random_markets(50, root_seed=3)
+            ).equilibria_stacked()
+        for name in self.STACK_FIELDS:
+            a, b = getattr(explicit, name), getattr(default, name)
+            assert a.shape == b.shape, name
+            assert np.array_equal(a, b, equal_nan=True), name
+
+    SMOKE = TrainerConfig(
+        num_episodes=3,
+        update_interval=5,
+        update_epochs=2,
+        batch_size=5,
+        gamma=0.0,
+    )
+
+    def _train(self, *, fused, preallocate):
+        market = StackelbergMarket(paper_fig2_population())
+        venv = VectorMigrationEnv.from_market(
+            market,
+            2,
+            seed=0,
+            history_length=2,
+            rounds_per_episode=10,
+            reward_mode="utility",
+        )
+        agent, result, _ = train_pricing_agent(
+            venv,
+            trainer_config=self.SMOKE,
+            ppo_config=PPOConfig(learning_rate=1e-3, entropy_coef=0.01),
+            seed=11,
+            fused=fused,
+            preallocate=preallocate,
+        )
+        return agent, result
+
+    def _assert_same_training(self, left, right):
+        agent_a, result_a = left
+        agent_b, result_b = right
+        assert result_a.episode_returns == result_b.episode_returns
+        assert result_a.episode_best_utilities == result_b.episode_best_utilities
+        assert result_a.episode_mean_utilities == result_b.episode_mean_utilities
+        assert result_a.episode_final_prices == result_b.episode_final_prices
+        assert result_a.update_stats == result_b.update_stats
+        for p, q in zip(
+            agent_a.network.parameters(), agent_b.network.parameters()
+        ):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_fig2_smoke_training_fused_matches_reference(self, clean_backend):
+        """The whole fused hot path (flat Adam + batch GAE + preallocated
+        storage + graph-free update) against the seed autograd path."""
+        self._assert_same_training(
+            self._train(fused=True, preallocate=True),
+            self._train(fused=False, preallocate=False),
+        )
+
+    def test_fig2_smoke_training_explicit_numpy_backend(self, clean_backend):
+        default = self._train(fused=True, preallocate=True)
+        clean_backend.setenv("REPRO_BACKEND", "numpy")
+        set_backend(None)
+        explicit = self._train(fused=True, preallocate=True)
+        self._assert_same_training(default, explicit)

@@ -1,0 +1,493 @@
+"""Fused training hot path: bitwise pins against the reference implementations.
+
+Every fast path introduced by the flat-parameter/fused refactor is pinned
+here against its seed counterpart, bit for bit:
+
+- :class:`FlatSGD` / :class:`FlatAdam` vs the per-parameter ``SGD`` /
+  ``Adam`` loops (including None-grad skips, clipping, and
+  ``load_state_dict``-style data re-binds);
+- :func:`global_grad_norm` / :func:`clip_grad_norm` vs the historical
+  per-parameter Python reduction;
+- the batched GAE/returns recursions vs the scalar per-trajectory ones;
+- :class:`VectorRolloutStorage` pooling vs per-env ``RolloutBuffer``
+  finalize + ``concatenate_minibatches``;
+- :class:`FusedActorCritic` act/value/update vs the autograd
+  ``PPOAgent`` reference path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.drl.buffer import (
+    MiniBatch,
+    RolloutBuffer,
+    VectorRolloutStorage,
+    concatenate_minibatches,
+)
+from repro.drl.fused import FusedActorCritic
+from repro.drl.gae import (
+    discounted_returns,
+    discounted_returns_batch,
+    generalized_advantages,
+    generalized_advantages_batch,
+)
+from repro.drl.policy import ActorCritic
+from repro.drl.ppo import PPOAgent, PPOConfig
+from repro.errors import ConfigurationError, NeuralNetworkError
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    FlatAdam,
+    FlatSGD,
+    clip_grad_norm,
+    global_grad_norm,
+)
+from repro.nn.tensor import Tensor
+
+SHAPES = [(3,), (4, 3), (4,), (1, 4), (1,)]
+
+
+def make_params(seed):
+    rng = np.random.default_rng(seed)
+    return [Tensor(rng.normal(size=shape), requires_grad=True) for shape in SHAPES]
+
+
+def set_grads(params, rng, *, none_indices=()):
+    for index, parameter in enumerate(params):
+        if index in none_indices:
+            parameter.grad = None
+        else:
+            parameter.grad = rng.normal(size=parameter.data.shape)
+
+
+def assert_params_equal(left, right):
+    for a, b in zip(left, right):
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestFlatOptimizersBitwise:
+    def _run_pair(self, ref_opt_factory, flat_opt_factory, *, steps=12, clip=None):
+        ref_params = make_params(seed=0)
+        flat_params = make_params(seed=0)
+        ref_opt = ref_opt_factory(ref_params)
+        flat_opt = flat_opt_factory(flat_params)
+        for step in range(steps):
+            rng_ref = np.random.default_rng(100 + step)
+            rng_flat = np.random.default_rng(100 + step)
+            none_indices = (1, 3) if step % 4 == 2 else ()
+            set_grads(ref_params, rng_ref, none_indices=none_indices)
+            set_grads(flat_params, rng_flat, none_indices=none_indices)
+            if clip is not None:
+                ref_norm = clip_grad_norm(
+                    [p for p in ref_params if p.grad is not None], clip
+                )
+                ref_opt.step()
+                flat_norm = flat_opt.fused_step(max_grad_norm=clip)
+                assert flat_norm == ref_norm
+            else:
+                ref_opt.step()
+                flat_opt.step()
+            assert_params_equal(ref_params, flat_params)
+
+    def test_flat_adam_matches_adam(self):
+        self._run_pair(
+            lambda p: Adam(p, learning_rate=0.01),
+            lambda p: FlatAdam(p, learning_rate=0.01),
+        )
+
+    def test_flat_adam_matches_adam_with_clipping(self):
+        self._run_pair(
+            lambda p: Adam(p, learning_rate=0.01),
+            lambda p: FlatAdam(p, learning_rate=0.01),
+            clip=0.5,
+        )
+
+    def test_flat_sgd_matches_sgd_with_momentum(self):
+        self._run_pair(
+            lambda p: SGD(p, learning_rate=0.05, momentum=0.9),
+            lambda p: FlatSGD(p, learning_rate=0.05, momentum=0.9),
+        )
+
+    def test_flat_sgd_matches_sgd_with_clipping(self):
+        self._run_pair(
+            lambda p: SGD(p, learning_rate=0.05, momentum=0.9),
+            lambda p: FlatSGD(p, learning_rate=0.05, momentum=0.9),
+            clip=0.25,
+        )
+
+    def test_parameters_view_into_flat_buffer(self):
+        params = make_params(seed=1)
+        opt = FlatAdam(params, learning_rate=0.01)
+        flat = opt.flat_parameters
+        base_addr = flat.__array_interface__["data"][0]
+        offset = 0
+        for parameter, shape in zip(params, SHAPES):
+            size = int(np.prod(shape))
+            np.testing.assert_array_equal(
+                parameter.data.ravel(), flat[offset : offset + size]
+            )
+            assert parameter.data.base is not None
+            # segment starts keep standalone-allocation alignment (64-byte)
+            view_addr = parameter.data.__array_interface__["data"][0]
+            assert (view_addr - base_addr) % 64 == 0
+            offset += -(-size // 8) * 8
+        assert flat.size == offset
+
+    def test_data_rebind_is_readopted(self):
+        """A ``load_state_dict``-style ``parameter.data = fresh_array``
+        re-bind must be adopted back into the flat buffer on the next step."""
+        ref_params = make_params(seed=2)
+        flat_params = make_params(seed=2)
+        ref_opt = Adam(ref_params, learning_rate=0.01)
+        flat_opt = FlatAdam(flat_params, learning_rate=0.01)
+        rng = np.random.default_rng(7)
+        replacement = [rng.normal(size=shape) for shape in SHAPES]
+        for parameter, fresh in zip(ref_params, replacement):
+            parameter.data = fresh.copy()
+        for parameter, fresh in zip(flat_params, replacement):
+            parameter.data = fresh.copy()
+        set_grads(ref_params, np.random.default_rng(8))
+        set_grads(flat_params, np.random.default_rng(8))
+        ref_opt.step()
+        flat_opt.step()
+        assert_params_equal(ref_params, flat_params)
+        # The flat optimiser's view is re-bound as parameter.data again.
+        for parameter in flat_params:
+            assert parameter.data.base is flat_opt.flat_parameters.base or (
+                parameter.data.base is not None
+            )
+
+    def test_step_count_advances_like_reference(self):
+        """Adam's bias correction depends on the step counter advancing
+        even when no parameter has a gradient."""
+        ref_params = make_params(seed=3)
+        flat_params = make_params(seed=3)
+        ref_opt = Adam(ref_params, learning_rate=0.01)
+        flat_opt = FlatAdam(flat_params, learning_rate=0.01)
+        set_grads(ref_params, np.random.default_rng(1))
+        set_grads(flat_params, np.random.default_rng(1))
+        ref_opt.step()
+        flat_opt.step()
+        set_grads(ref_params, np.random.default_rng(2), none_indices=range(len(SHAPES)))
+        set_grads(flat_params, np.random.default_rng(2), none_indices=range(len(SHAPES)))
+        ref_opt.step()
+        flat_opt.step()
+        set_grads(ref_params, np.random.default_rng(3))
+        set_grads(flat_params, np.random.default_rng(3))
+        ref_opt.step()
+        flat_opt.step()
+        assert ref_opt.step_count == flat_opt.step_count == 3
+        assert_params_equal(ref_params, flat_params)
+
+    def test_validation(self):
+        params = make_params(seed=4)
+        with pytest.raises(NeuralNetworkError):
+            FlatAdam(params, learning_rate=-1.0)
+        with pytest.raises(NeuralNetworkError):
+            FlatAdam(params, learning_rate=0.1, beta1=1.0)
+        with pytest.raises(NeuralNetworkError):
+            FlatAdam(params, learning_rate=0.1, epsilon=0.0)
+        with pytest.raises(NeuralNetworkError):
+            FlatSGD(params, learning_rate=0.1, momentum=1.0)
+        with pytest.raises(NeuralNetworkError):
+            FlatSGD([], learning_rate=0.1)
+        opt = FlatAdam(make_params(seed=4), learning_rate=0.1)
+        with pytest.raises(NeuralNetworkError):
+            opt.fused_step(max_grad_norm=0.0)
+
+
+class TestGlobalGradNorm:
+    def test_matches_python_reduction_bitwise(self):
+        rng = np.random.default_rng(0)
+        grads = [rng.normal(size=shape) * 10.0 for shape in SHAPES]
+        reference = math.sqrt(sum(float((g**2).sum()) for g in grads))
+        assert global_grad_norm(grads) == reference
+
+    def test_empty_is_zero(self):
+        assert global_grad_norm([]) == 0.0
+
+    def test_clip_grad_norm_matches_historical_loop(self):
+        rng = np.random.default_rng(1)
+        params = make_params(seed=5)
+        set_grads(params, rng)
+        reference = make_params(seed=5)
+        for parameter, source in zip(reference, params):
+            parameter.grad = source.grad.copy()
+        max_norm = 0.5
+        # Historical implementation: per-parameter float round trip.
+        total = math.sqrt(
+            sum(float((p.grad**2).sum()) for p in reference if p.grad is not None)
+        )
+        if total > max_norm and total > 0.0:
+            scale = max_norm / total
+            for parameter in reference:
+                parameter.grad *= scale
+        norm = clip_grad_norm(params, max_norm)
+        assert norm == total
+        for parameter, expected in zip(params, reference):
+            np.testing.assert_array_equal(parameter.grad, expected.grad)
+
+    def test_small_norm_untouched(self):
+        params = make_params(seed=6)
+        for parameter in params:
+            parameter.grad = np.zeros_like(parameter.data)
+        params[0].grad = np.array([1e-3, 0.0, 0.0])
+        before = [p.grad.copy() for p in params]
+        clip_grad_norm(params, 10.0)
+        for parameter, expected in zip(params, before):
+            np.testing.assert_array_equal(parameter.grad, expected)
+
+
+class TestBatchGae:
+    @pytest.mark.parametrize("gamma,lam", [(0.0, 1.0), (0.9, 1.0), (0.99, 0.95)])
+    def test_rows_match_scalar_recursion_bitwise(self, gamma, lam):
+        rng = np.random.default_rng(0)
+        num_envs, horizon = 5, 17
+        rewards = rng.normal(size=(num_envs, horizon)) * 3.0
+        values = rng.normal(size=(num_envs, horizon))
+        bootstraps = rng.normal(size=num_envs)
+        advantages = generalized_advantages_batch(
+            rewards, values, gamma, lam, bootstrap_values=bootstraps
+        )
+        returns = discounted_returns_batch(
+            rewards, gamma, bootstrap_values=bootstraps
+        )
+        for env in range(num_envs):
+            np.testing.assert_array_equal(
+                advantages[env],
+                generalized_advantages(
+                    rewards[env],
+                    values[env],
+                    gamma,
+                    lam,
+                    bootstrap_value=float(bootstraps[env]),
+                ),
+            )
+            np.testing.assert_array_equal(
+                returns[env],
+                discounted_returns(
+                    rewards[env], gamma, bootstrap_value=float(bootstraps[env])
+                ),
+            )
+
+    def test_default_bootstraps_are_zeros(self):
+        rng = np.random.default_rng(1)
+        rewards = rng.normal(size=(3, 9))
+        values = rng.normal(size=(3, 9))
+        np.testing.assert_array_equal(
+            generalized_advantages_batch(rewards, values, 0.9, 0.95),
+            generalized_advantages_batch(
+                rewards, values, 0.9, 0.95, bootstrap_values=np.zeros(3)
+            ),
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            discounted_returns_batch(np.zeros(4), 0.9)
+        with pytest.raises(ValueError):
+            generalized_advantages_batch(np.zeros((2, 4)), np.zeros((2, 5)), 0.9, 1.0)
+        with pytest.raises(ValueError):
+            generalized_advantages_batch(
+                np.zeros((2, 4)), np.zeros((2, 4)), 0.9, 1.0, bootstrap_values=np.zeros(3)
+            )
+
+
+class TestVectorRolloutStorage:
+    def _fill(self, storage, buffers, rng, rounds):
+        num_envs = storage.num_envs
+        obs_dim = 4
+        action_dim = 2
+        for _ in range(rounds):
+            observations = rng.normal(size=(num_envs, obs_dim))
+            actions = rng.normal(size=(num_envs, action_dim))
+            rewards = rng.normal(size=num_envs)
+            log_probs = rng.normal(size=num_envs)
+            values = rng.normal(size=num_envs)
+            storage.add_round(observations, actions, rewards, log_probs, values)
+            for env, buffer in enumerate(buffers):
+                buffer.add(
+                    observations[env],
+                    actions[env],
+                    float(rewards[env]),
+                    float(log_probs[env]),
+                    float(values[env]),
+                )
+
+    def test_pooled_matches_per_env_buffers_bitwise(self):
+        num_envs, capacity = 3, 7
+        storage = VectorRolloutStorage(
+            num_envs, capacity, 4, 2, gamma=0.9, lam=0.95
+        )
+        buffers = [RolloutBuffer(gamma=0.9, lam=0.95) for _ in range(num_envs)]
+        rng = np.random.default_rng(0)
+        self._fill(storage, buffers, rng, capacity)
+        bootstraps = rng.normal(size=num_envs)
+        for env, buffer in enumerate(buffers):
+            buffer.finalize(float(bootstraps[env]))
+        pooled = storage.pooled(bootstraps)
+        reference = concatenate_minibatches([b.stacked() for b in buffers])
+        for name in ("observations", "actions", "old_log_probs", "advantages", "returns"):
+            np.testing.assert_array_equal(
+                getattr(pooled, name), getattr(reference, name), err_msg=name
+            )
+
+    def test_partial_fill_and_reuse(self):
+        storage = VectorRolloutStorage(2, 5, 4, 2, gamma=0.0)
+        buffers = [RolloutBuffer(gamma=0.0) for _ in range(2)]
+        rng = np.random.default_rng(1)
+        self._fill(storage, buffers, rng, 3)
+        pooled = storage.pooled(np.zeros(2))
+        assert pooled.observations.shape == (6, 4)
+        storage.clear()
+        assert len(storage) == 0
+        fresh_buffers = [RolloutBuffer(gamma=0.0) for _ in range(2)]
+        self._fill(storage, fresh_buffers, rng, 2)
+        for buffer in fresh_buffers:
+            buffer.finalize(0.0)
+        pooled = storage.pooled(np.zeros(2))
+        reference = concatenate_minibatches([b.stacked() for b in fresh_buffers])
+        np.testing.assert_array_equal(pooled.observations, reference.observations)
+        np.testing.assert_array_equal(pooled.advantages, reference.advantages)
+
+    def test_capacity_overflow_rejected(self):
+        storage = VectorRolloutStorage(2, 1, 4, 2, gamma=0.0)
+        args = (np.zeros((2, 4)), np.zeros((2, 2)), np.zeros(2), np.zeros(2), np.zeros(2))
+        storage.add_round(*args)
+        with pytest.raises(ConfigurationError):
+            storage.add_round(*args)
+
+    def test_empty_pool_rejected(self):
+        storage = VectorRolloutStorage(2, 3, 4, 2, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            storage.pooled(np.zeros(2))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            VectorRolloutStorage(0, 3, 4, 2, gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            VectorRolloutStorage(2, 3, 4, 2, gamma=1.5)
+
+
+def random_minibatch(rng, batch_size, obs_dim, action_dim):
+    return MiniBatch(
+        observations=rng.normal(size=(batch_size, obs_dim)),
+        actions=rng.normal(size=(batch_size, action_dim)),
+        old_log_probs=rng.normal(size=batch_size),
+        advantages=rng.normal(size=batch_size) * 2.0,
+        returns=rng.normal(size=batch_size),
+    )
+
+
+class TestFusedActorCritic:
+    def test_ppo_agent_compiles_fused_by_default(self):
+        net = ActorCritic(obs_dim=6, hidden_sizes=(16, 16), seed=0)
+        agent = PPOAgent(net, PPOConfig(learning_rate=1e-3))
+        assert agent.fused
+        legacy = PPOAgent(
+            ActorCritic(obs_dim=6, hidden_sizes=(16, 16), seed=0),
+            PPOConfig(learning_rate=1e-3),
+            fused=False,
+        )
+        assert not legacy.fused
+
+    def test_compile_rejects_foreign_architectures(self):
+        assert FusedActorCritic.compile(object()) is None
+        net = ActorCritic(obs_dim=6, seed=0)
+        net.log_std.requires_grad = False
+        assert FusedActorCritic.compile(net) is None
+
+    def test_act_batch_bitwise(self):
+        net = ActorCritic(obs_dim=5, hidden_sizes=(16, 16), seed=0)
+        fused = FusedActorCritic.compile(net)
+        assert fused is not None
+        rng = np.random.default_rng(0)
+        observations = rng.normal(size=(7, 5))
+        for deterministic in (False, True):
+            expected = net.act_batch(
+                observations, seed=42, deterministic=deterministic
+            )
+            actual = fused.act_batch(
+                observations, seed=42, deterministic=deterministic
+            )
+            for a, b in zip(actual, expected):
+                np.testing.assert_array_equal(a, b)
+
+    def test_act_scalar_bitwise(self):
+        net = ActorCritic(obs_dim=5, seed=0)
+        fused_agent = PPOAgent(net, PPOConfig(learning_rate=1e-3))
+        legacy_agent = PPOAgent(
+            ActorCritic(obs_dim=5, seed=0), PPOConfig(learning_rate=1e-3), fused=False
+        )
+        observation = np.linspace(-1.0, 1.0, 5)
+        raw_f, logp_f, value_f = fused_agent.act(observation, seed=3)
+        raw_l, logp_l, value_l = legacy_agent.act(observation, seed=3)
+        np.testing.assert_array_equal(raw_f, raw_l)
+        assert logp_f == logp_l
+        assert value_f == value_l
+
+    def test_value_batch_bitwise(self):
+        net = ActorCritic(obs_dim=5, seed=0)
+        fused_agent = PPOAgent(net, PPOConfig(learning_rate=1e-3))
+        legacy_agent = PPOAgent(
+            ActorCritic(obs_dim=5, seed=0), PPOConfig(learning_rate=1e-3), fused=False
+        )
+        rng = np.random.default_rng(1)
+        observations = rng.normal(size=(9, 5))
+        np.testing.assert_array_equal(
+            fused_agent.value_batch(observations),
+            legacy_agent.value_batch(observations),
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            PPOConfig(learning_rate=1e-3),
+            PPOConfig(learning_rate=1e-3, entropy_coef=0.01),
+            PPOConfig(learning_rate=1e-3, normalize_advantages=False),
+            PPOConfig(learning_rate=1e-3, clip_epsilon=0.05, value_coef=1.0),
+        ],
+    )
+    def test_update_bitwise(self, config):
+        """The fused update must reproduce the autograd reference exactly:
+        identical stats and identical post-step parameters, step after step."""
+        obs_dim, action_dim = 6, 1
+        fused_agent = PPOAgent(
+            ActorCritic(obs_dim=obs_dim, hidden_sizes=(16, 16), seed=0), config
+        )
+        legacy_agent = PPOAgent(
+            ActorCritic(obs_dim=obs_dim, hidden_sizes=(16, 16), seed=0),
+            config,
+            fused=False,
+        )
+        assert fused_agent.fused and not legacy_agent.fused
+        rng = np.random.default_rng(0)
+        for step in range(8):
+            batch = random_minibatch(rng, 12, obs_dim, action_dim)
+            fused_stats = fused_agent.update(batch)
+            legacy_stats = legacy_agent.update(batch)
+            assert fused_stats == legacy_stats, f"step {step}"
+            assert_params_equal(
+                list(fused_agent.network.parameters()),
+                list(legacy_agent.network.parameters()),
+            )
+
+    def test_update_single_sample_batch(self):
+        """size-1 batches skip advantage normalisation in both paths."""
+        config = PPOConfig(learning_rate=1e-3)
+        fused_agent = PPOAgent(ActorCritic(obs_dim=4, seed=0), config)
+        legacy_agent = PPOAgent(
+            ActorCritic(obs_dim=4, seed=0), config, fused=False
+        )
+        rng = np.random.default_rng(2)
+        batch = random_minibatch(rng, 1, 4, 1)
+        assert fused_agent.update(batch) == legacy_agent.update(batch)
+
+    def test_bad_observation_shape_rejected(self):
+        net = ActorCritic(obs_dim=5, seed=0)
+        fused = FusedActorCritic.compile(net)
+        with pytest.raises(ConfigurationError):
+            fused.value_batch(np.zeros((3, 4)))
+        with pytest.raises(ConfigurationError):
+            fused.act_batch(np.zeros((3, 4)))

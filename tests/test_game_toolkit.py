@@ -92,6 +92,57 @@ class TestGridThenGolden:
             grid_then_golden(lambda x: x, 0.0, 1.0, grid_points=2)
 
 
+class TestAutoVectorScan:
+    """The coarse scan probes the scalar objective with the whole grid and
+    must stay bitwise-identical to the per-point loop."""
+
+    @staticmethod
+    def _scalar_only(objective):
+        """Wrap a ufunc-style objective so arrays are rejected — forces
+        the historical per-point scan."""
+
+        def wrapped(p):
+            return objective(float(p))
+
+        return wrapped
+
+    def test_ufunc_objective_matches_scalar_loop_bitwise(self):
+        def objective(p):
+            return np.sin(p) - 0.1 * (p - 4.0) ** 2
+
+        vector_result = grid_then_golden(objective, 0.0, 10.0, grid_points=97)
+        scalar_result = grid_then_golden(
+            self._scalar_only(objective), 0.0, 10.0, grid_points=97
+        )
+        assert vector_result == scalar_result
+
+    def test_tie_break_picks_first_maximum(self):
+        # Symmetric two-peak objective: several grid points share the max.
+        def objective(p):
+            return -np.abs(np.abs(p) - 2.0)
+
+        vector_result = grid_then_golden(objective, -4.0, 4.0, grid_points=17)
+        scalar_result = grid_then_golden(
+            self._scalar_only(objective), -4.0, 4.0, grid_points=17
+        )
+        assert vector_result == scalar_result
+
+    def test_reducing_callable_falls_back(self):
+        # Accepts an array but returns a scalar — the probe must reject
+        # the wrong-shape result and run the per-point loop.
+        def objective(p):
+            return float(np.sum(-((p - 3.0) ** 2)))
+
+        argmax, _ = grid_then_golden(objective, 0.0, 10.0)
+        assert argmax == pytest.approx(3.0, abs=1e-6)
+
+    def test_scalar_only_callable_falls_back(self):
+        argmax, _ = grid_then_golden(
+            lambda p: -abs(float(p) - 6.0), 0.0, 10.0
+        )
+        assert argmax == pytest.approx(6.0, abs=1e-6)
+
+
 class TestAnalysis:
     def test_numerical_derivative(self):
         assert numerical_derivative(lambda x: x**2, 3.0) == pytest.approx(6.0, abs=1e-4)
