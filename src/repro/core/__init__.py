@@ -30,7 +30,23 @@ from repro.core.marketstack import (
     StackedEquilibria,
     StackedOutcome,
 )
-from repro.core.multimsp import MspSpec, MultiMspMarket, OligopolyOutcome
+from repro.core.bayesian import (
+    BayesianStackelbergEquilibrium,
+    BayesianStackelbergMarket,
+    ScenarioSpec,
+    sample_market_distribution,
+    sample_scenarios,
+    scenario_market,
+)
+from repro.core.multimsp import (
+    BestResponseTrace,
+    MspSpec,
+    MultiMspMarket,
+    OligopolyEquilibrium,
+    OligopolyOutcome,
+    oligopoly_equilibria_batch,
+    oligopoly_from_market,
+)
 from repro.core.welfare import (
     WelfareReport,
     social_welfare,
@@ -73,9 +89,19 @@ __all__ = [
     "MutableMarketStack",
     "StackedEquilibria",
     "StackedOutcome",
+    "BayesianStackelbergEquilibrium",
+    "BayesianStackelbergMarket",
+    "ScenarioSpec",
+    "sample_market_distribution",
+    "sample_scenarios",
+    "scenario_market",
+    "BestResponseTrace",
     "MspSpec",
     "MultiMspMarket",
+    "OligopolyEquilibrium",
     "OligopolyOutcome",
+    "oligopoly_equilibria_batch",
+    "oligopoly_from_market",
     "WelfareReport",
     "social_welfare",
     "social_welfare_batch",

@@ -8,31 +8,56 @@ oligopoly extension:
 - Each VMU buys from the *cheapest* MSP (ties split evenly) and
   best-responds with Eq. (8) at that price; capacity is rationed per MSP.
 - MSPs compete à la Bertrand with capacity limits: given rivals' prices,
-  each MSP best-responds over ``[C_m, p_max]``; we iterate simultaneous
+  each MSP best-responds over ``[C_m, p_max]``; we iterate Gauss-Seidel
   best responses to a (pure-strategy) equilibrium when one exists.
 
 Classic results to expect (and which the tests assert): with two identical
 unconstrained MSPs, undercutting drives prices down to cost (Bertrand);
-with tight capacities, prices stay above cost (Edgeworth interval can
-cycle — the dynamics then report non-convergence rather than looping
-forever).
+with tight capacities, prices stay above cost and the dynamics can enter
+an Edgeworth cycle — detected exactly (profiles on the tick lattice
+repeat bitwise) and reported as a diagnosis (cycle length and price
+interval) rather than a bare ``converged=False``.
+
+Each MSP's lattice best response is evaluated as **one batched pass**
+(the whole candidate lattice against fixed rivals in a single set of
+vectorised array ops), bitwise-equal to the scalar one-``outcome()``-call-
+per-lattice-point reference, which is kept as ``batched=False`` for the
+property tests and the speedup bench.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.channel.link import RsuLink, paper_link
 from repro.channel.ofdma import proportional_rationing
-from repro.core.utilities import follower_best_response
+from repro.core.utilities import follower_best_response, vmu_utilities
 from repro.entities.vmu import VmuProfile
 from repro.errors import ConfigurationError, GameError
-from repro.utils.validation import require_positive
+from repro.game.best_response import iterate_best_response_batch
+from repro.utils.validation import require_in_range, require_positive
 
-__all__ = ["MspSpec", "OligopolyOutcome", "MultiMspMarket"]
+if TYPE_CHECKING:
+    from repro.core.stackelberg import StackelbergMarket
+
+__all__ = [
+    "MspSpec",
+    "OligopolyOutcome",
+    "OligopolyEquilibrium",
+    "BestResponseTrace",
+    "MultiMspMarket",
+    "oligopoly_equilibria_batch",
+    "oligopoly_from_market",
+]
+
+# Strict-improvement margin for the lattice sweep: the current price is
+# kept unless a candidate beats it by more than this, which is what gives
+# the dynamics inertia on zero-utility plateaus.
+_IMPROVEMENT_MARGIN = 1e-12
 
 
 @dataclass(frozen=True)
@@ -64,16 +89,51 @@ class OligopolyOutcome:
     """Bandwidth sold per MSP (natural units)."""
     vmu_allocations: np.ndarray
     """Bandwidth received per VMU (natural units)."""
+    vmu_utilities: np.ndarray
+    """Eq. (7) utility per VMU at the cheapest posted price — the
+    consumer-surplus side of the oligopoly welfare comparison."""
+
+    @property
+    def social_welfare(self) -> float:
+        """Total MSP profit plus total VMU surplus."""
+        return float(self.msp_utilities.sum() + self.vmu_utilities.sum())
+
+
+@dataclass(frozen=True)
+class BestResponseTrace:
+    """Full Gauss-Seidel trajectory of an oligopoly solve.
+
+    Attributes:
+        profiles: ``(T + 1, N)`` price profiles — the initial profile
+            followed by the profile after each sweep.
+        residuals: ``(T,)`` sup-norm change of each sweep.
+    """
+
+    profiles: np.ndarray
+    residuals: np.ndarray
 
 
 @dataclass(frozen=True)
 class OligopolyEquilibrium:
-    """Fixed point of simultaneous price best responses."""
+    """Fixed point (or cycle diagnosis) of Gauss-Seidel price dynamics.
+
+    ``cycle_length > 0`` means the dynamics revisited an earlier price
+    profile exactly (profiles live on the tick lattice, so recurrence is
+    bitwise) — the Edgeworth-cycle regime of capacity-constrained
+    Bertrand competition. ``cycle_low``/``cycle_high`` bound the prices
+    visited along the cycle (the Edgeworth price interval); both are 0.0
+    when no cycle was detected.
+    """
 
     prices: np.ndarray
     msp_utilities: np.ndarray
     converged: bool
     iterations: int
+    residual: float = 0.0
+    cycle_length: int = 0
+    cycle_low: float = 0.0
+    cycle_high: float = 0.0
+    trace: BestResponseTrace | None = field(default=None, compare=False)
 
 
 class MultiMspMarket:
@@ -104,6 +164,7 @@ class MultiMspMarket:
         self._link = link if link is not None else paper_link()
         self._alphas = np.array([v.immersion_coef for v in vmus])
         self._data = np.array([v.data_units for v in vmus])
+        self._unit_costs = np.array([m.unit_cost for m in msps])
 
     @property
     def msps(self) -> tuple[MspSpec, ...]:
@@ -114,6 +175,21 @@ class MultiMspMarket:
     def num_msps(self) -> int:
         """Number of providers."""
         return len(self._msps)
+
+    @property
+    def vmus(self) -> tuple[VmuProfile, ...]:
+        """The buyer population."""
+        return self._vmus
+
+    @property
+    def max_price(self) -> float:
+        """Price cap shared by all providers."""
+        return self._max_price
+
+    @property
+    def price_tick(self) -> float:
+        """Lattice tick prices are quoted on."""
+        return self._price_tick
 
     @property
     def spectral_efficiency(self) -> float:
@@ -147,12 +223,19 @@ class MultiMspMarket:
             )
             sales[msp_index] = granted.sum()
             allocations += granted
-        utilities = (prices - np.array([m.unit_cost for m in self._msps])) * sales
+        utilities = (prices - self._unit_costs) * sales
         return OligopolyOutcome(
             prices=prices,
             msp_utilities=utilities,
             msp_sales=sales,
             vmu_allocations=allocations,
+            vmu_utilities=vmu_utilities(
+                self._alphas,
+                self._data,
+                allocations,
+                float(best_price),
+                self.spectral_efficiency,
+            ),
         )
 
     def msp_utility(self, msp_index: int, price: float, rival_prices: Sequence[float]) -> float:
@@ -166,12 +249,63 @@ class MultiMspMarket:
         return float(self.outcome(full).msp_utilities[msp_index])
 
     def _price_lattice(self, unit_cost: float) -> np.ndarray:
-        count = int((self._max_price - unit_cost) / self._price_tick) + 1
-        lattice = unit_cost + self._price_tick * np.arange(count + 1)
-        return lattice[lattice <= self._max_price + 1e-12]
+        """The candidate lattice ``{C + k·tick : k ≥ 0} ∩ [C, p_max]``.
+
+        Built exactly: a point belongs to the lattice iff
+        ``unit_cost + k * price_tick <= max_price`` holds in float
+        arithmetic — inclusive endpoint, no slop. (The previous
+        construction over-generated with ``arange(count + 1)`` and
+        filtered with a ``1e-12`` tolerance, which could admit a point
+        strictly above ``max_price``.)
+        """
+        if unit_cost > self._max_price:
+            return np.empty(0)
+        count = int((self._max_price - unit_cost) / self._price_tick)
+        # Float division can land one step off either way; correct with
+        # the exact membership predicate.
+        while unit_cost + (count + 1) * self._price_tick <= self._max_price:
+            count += 1
+        while count > 0 and unit_cost + count * self._price_tick > self._max_price:
+            count -= 1
+        return unit_cost + self._price_tick * np.arange(count + 1)
+
+    def _lattice_utilities(
+        self, msp_index: int, prices: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Utility of ``msp_index`` at each candidate own-price, batched.
+
+        One vectorised pass over the whole candidate vector with rivals
+        fixed at ``prices`` — bitwise-equal to calling
+        :meth:`msp_utility` once per candidate (every array op below is
+        the elementwise replica of the scalar ``outcome()`` chain,
+        including the ``np.isclose`` winner test and the per-row
+        contiguous-sum rationing).
+        """
+        spec = self._msps[msp_index]
+        candidates = np.asarray(candidates, dtype=float)
+        rivals = np.delete(np.asarray(prices, dtype=float), msp_index)
+        if rivals.size:
+            best = np.minimum(candidates, rivals.min())
+        else:
+            best = candidates
+        self_wins = np.isclose(candidates, best, rtol=1e-12)
+        if rivals.size:
+            rival_wins = np.isclose(
+                rivals[np.newaxis, :], best[:, np.newaxis], rtol=1e-12
+            ).sum(axis=1)
+        else:
+            rival_wins = np.zeros(candidates.shape, dtype=int)
+        num_winners = self_wins.astype(int) + rival_wins
+        demands = follower_best_response(
+            self._alphas, self._data, best, self.spectral_efficiency
+        )
+        share = demands / num_winners[:, np.newaxis]
+        granted = proportional_rationing(share, spec.capacity)
+        sales = np.where(self_wins, granted.sum(axis=-1), 0.0)
+        return (candidates - spec.unit_cost) * sales
 
     def _best_response_price(self, msp_index: int, prices: np.ndarray) -> float:
-        """Best response over the discrete price lattice.
+        """Best response over the discrete price lattice (batched).
 
         Prices live on a tick lattice (``price_tick``), which is the
         standard discretisation that gives capacity-less Bertrand a pure
@@ -181,16 +315,70 @@ class MultiMspMarket:
         a lattice point is *strictly* better — inertia on ties is what
         makes the dynamics terminate instead of drifting around
         zero-utility plateaus.
+
+        The whole lattice is evaluated in one batched call; the
+        first-strict-improvement sweep over the resulting values is
+        bitwise-identical to the scalar reference
+        (:meth:`_best_response_price_scalar`).
         """
+        spec = self._msps[msp_index]
+        lattice = self._price_lattice(spec.unit_cost)
+        candidates = np.concatenate(([float(prices[msp_index])], lattice))
+        values = self._lattice_utilities(msp_index, prices, candidates)
+        best_price = float(candidates[0])
+        best_value = float(values[0])
+        for price, value in zip(lattice.tolist(), values[1:].tolist()):
+            if value > best_value + _IMPROVEMENT_MARGIN:
+                best_price, best_value = price, value
+        return best_price
+
+    def _best_response_price_scalar(self, msp_index: int, prices: np.ndarray) -> float:
+        """Scalar reference best response: one ``outcome()`` per lattice
+        point. Kept as the bitwise ground truth for the batched path
+        (property tests) and the speedup baseline (bench)."""
         spec = self._msps[msp_index]
         rivals = [p for i, p in enumerate(prices) if i != msp_index]
         best_price = float(prices[msp_index])
         best_value = self.msp_utility(msp_index, best_price, rivals)
         for price in self._price_lattice(spec.unit_cost):
             value = self.msp_utility(msp_index, float(price), rivals)
-            if value > best_value + 1e-12:
+            if value > best_value + _IMPROVEMENT_MARGIN:
                 best_price, best_value = float(price), value
         return best_price
+
+    def _sweep(
+        self, prices: np.ndarray, *, damping: float = 1.0, batched: bool = True
+    ) -> np.ndarray:
+        """One in-place Gauss-Seidel sweep: each MSP responds to the
+        *freshest* prices (simultaneous updates make undercutting
+        duopolies oscillate — both jump below each other's stale price).
+        ``damping < 1`` relaxes each update toward the best response,
+        which moves prices off the lattice but can stabilise cycling
+        instances."""
+        respond = (
+            self._best_response_price if batched else self._best_response_price_scalar
+        )
+        for index in range(self.num_msps):
+            response = respond(index, prices)
+            if damping == 1.0:
+                prices[index] = response
+            else:
+                prices[index] = (1.0 - damping) * prices[index] + damping * response
+        return prices
+
+    def _initial_prices(
+        self, initial_prices: Sequence[float] | None
+    ) -> np.ndarray:
+        if initial_prices is None:
+            return np.array(
+                [min(self._max_price, 2.0 * m.unit_cost) for m in self._msps]
+            )
+        prices = np.asarray(initial_prices, dtype=float).copy()
+        if prices.shape != (self.num_msps,):
+            raise ConfigurationError(
+                f"expected {self.num_msps} initial prices"
+            )
+        return prices
 
     def equilibrium(
         self,
@@ -198,48 +386,253 @@ class MultiMspMarket:
         initial_prices: Sequence[float] | None = None,
         max_iterations: int = 1000,
         tolerance: float = 1e-3,
+        damping: float = 1.0,
+        batched: bool = True,
+        record_trace: bool = True,
     ) -> OligopolyEquilibrium:
-        """Iterate simultaneous price best responses to a fixed point.
+        """Iterate Gauss-Seidel price best responses to a fixed point.
 
         Undercutting descends one grid/tick step per iteration (Bertrand
         dynamics are genuinely gradual), hence the generous default
-        iteration budget. Returns ``converged=False`` (with the last
-        iterate) when the dynamics cycle — the Edgeworth-cycle regime of
-        capacity-constrained Bertrand competition, a real feature of the
-        game rather than a numerical failure.
+        iteration budget. When the dynamics revisit an earlier profile
+        exactly — the Edgeworth-cycle regime of capacity-constrained
+        Bertrand competition, a real feature of the game rather than a
+        numerical failure — the solve stops immediately and reports the
+        cycle's length and price interval (``cycle_length``,
+        ``cycle_low``/``cycle_high``) alongside ``converged=False``.
         """
         if max_iterations < 1:
             raise GameError("max_iterations must be >= 1")
-        if initial_prices is None:
-            prices = np.array(
-                [min(self._max_price, 2.0 * m.unit_cost) for m in self._msps]
-            )
-        else:
-            prices = np.asarray(initial_prices, dtype=float).copy()
-            if prices.shape != (self.num_msps,):
-                raise ConfigurationError(
-                    f"expected {self.num_msps} initial prices"
-                )
+        require_in_range("damping", damping, 0.0, 1.0, inclusive=True)
+        if damping == 0.0:
+            raise GameError("damping must be > 0 (0 never moves)")
+        prices = self._initial_prices(initial_prices)
+        profiles = [prices.copy()]
+        residuals: list[float] = []
+        seen = {tuple(prices.tolist()): 0}
+        converged = False
+        residual = float("inf")
+        cycle_length = 0
+        cycle_low = cycle_high = 0.0
         iterations = 0
         for iterations in range(1, max_iterations + 1):
-            # Gauss-Seidel sweep: each MSP responds to the *freshest*
-            # prices. Simultaneous updates make undercutting duopolies
-            # oscillate (both jump below each other's stale price).
             previous = prices.copy()
-            for index in range(self.num_msps):
-                prices[index] = self._best_response_price(index, prices)
-            if np.max(np.abs(prices - previous)) <= tolerance:
-                outcome = self.outcome(prices)
-                return OligopolyEquilibrium(
-                    prices=prices,
-                    msp_utilities=outcome.msp_utilities,
-                    converged=True,
-                    iterations=iterations,
-                )
+            self._sweep(prices, damping=damping, batched=batched)
+            residual = float(np.max(np.abs(prices - previous)))
+            profiles.append(prices.copy())
+            residuals.append(residual)
+            if residual <= tolerance:
+                converged = True
+                break
+            key = tuple(prices.tolist())
+            if key in seen:
+                start = seen[key]
+                cycle_length = iterations - start
+                cycle_states = np.asarray(profiles[start:iterations])
+                cycle_low = float(cycle_states.min())
+                cycle_high = float(cycle_states.max())
+                break
+            seen[key] = iterations
         outcome = self.outcome(prices)
+        trace = (
+            BestResponseTrace(
+                profiles=np.asarray(profiles), residuals=np.asarray(residuals)
+            )
+            if record_trace
+            else None
+        )
         return OligopolyEquilibrium(
             prices=prices,
             msp_utilities=outcome.msp_utilities,
-            converged=False,
+            converged=converged,
             iterations=iterations,
+            residual=residual,
+            cycle_length=cycle_length,
+            cycle_low=cycle_low,
+            cycle_high=cycle_high,
+            trace=trace,
         )
+
+
+def oligopoly_equilibria_batch(
+    markets: Sequence[MultiMspMarket],
+    *,
+    initial_prices: Sequence[Sequence[float] | None] | None = None,
+    max_iterations: int = 1000,
+    tolerance: float = 1e-3,
+    damping: float = 1.0,
+    record_trace: bool = False,
+) -> list[OligopolyEquilibrium]:
+    """Solve ``M`` independent oligopolies in lockstep on the stack.
+
+    Drives :func:`repro.game.best_response.iterate_best_response_batch`
+    with one Gauss-Seidel sweep per game per round (profiles padded to
+    the widest game; padded columns masked out). Each game's trajectory
+    — sweeps, convergence round, cycle detection, final profile — is
+    bitwise-equal to calling :meth:`MultiMspMarket.equilibrium` on it
+    alone; games that converge or cycle early freeze while the rest keep
+    iterating.
+    """
+    if max_iterations < 1:
+        raise GameError("max_iterations must be >= 1")
+    require_in_range("damping", damping, 0.0, 1.0, inclusive=True)
+    if damping == 0.0:
+        raise GameError("damping must be > 0 (0 never moves)")
+    games = list(markets)
+    if not games:
+        return []
+    if initial_prices is None:
+        starts = [game._initial_prices(None) for game in games]
+    else:
+        if len(initial_prices) != len(games):
+            raise ConfigurationError(
+                f"expected {len(games)} initial price vectors, got {len(initial_prices)}"
+            )
+        starts = [
+            game._initial_prices(start)
+            for game, start in zip(games, initial_prices)
+        ]
+    width = max(game.num_msps for game in games)
+    stacked = np.zeros((len(games), width))
+    mask = np.zeros((len(games), width), dtype=bool)
+    for row, (game, start) in enumerate(zip(games, starts)):
+        stacked[row, : game.num_msps] = start
+        mask[row, : game.num_msps] = True
+
+    # Per-game bookkeeping mirroring the scalar `equilibrium()` loop:
+    # cycle detection runs inside the sweep map (after the convergence
+    # check, exactly as in the scalar loop), and a cycled game freezes so
+    # the lockstep iterator retires its row.
+    rounds = 0
+    done = [False] * len(games)
+    seen = [{tuple(start.tolist()): 0} for start in starts]
+    profiles = [[start.copy()] for start in starts]
+    residual_logs: list[list[float]] = [[] for _ in games]
+    converged_flags = [False] * len(games)
+    iteration_counts = [max_iterations] * len(games)
+    cycle_info: list[tuple[int, float, float] | None] = [None] * len(games)
+
+    def sweep_stack(current: np.ndarray) -> np.ndarray:
+        nonlocal rounds
+        rounds += 1
+        if rounds > max_iterations:
+            # Budget exhausted: freeze every remaining game exactly where
+            # the scalar loop would have stopped. The zero residual this
+            # produces retires the rows in the lockstep iterator.
+            for row in range(len(games)):
+                done[row] = True
+            return current
+        swept = current.copy()
+        for row, game in enumerate(games):
+            if done[row]:
+                continue
+            width_row = game.num_msps
+            prices = swept[row, :width_row].copy()
+            previous = prices.copy()
+            game._sweep(prices, damping=damping)
+            swept[row, :width_row] = prices
+            residual = float(np.max(np.abs(prices - previous)))
+            profiles[row].append(prices.copy())
+            residual_logs[row].append(residual)
+            if residual <= tolerance:
+                done[row] = True
+                converged_flags[row] = True
+                iteration_counts[row] = rounds
+                continue
+            key = tuple(prices.tolist())
+            if key in seen[row]:
+                start = seen[row][key]
+                states = np.asarray(profiles[row][start:rounds])
+                cycle_info[row] = (
+                    rounds - start,
+                    float(states.min()),
+                    float(states.max()),
+                )
+                done[row] = True
+                iteration_counts[row] = rounds
+                continue
+            seen[row][key] = rounds
+        return swept
+
+    # Game damping is applied inside each sweep (per component, exactly
+    # as in the scalar loop); the iterator itself runs undamped. Cycled
+    # rows freeze and need one extra round to register residual 0, hence
+    # the +1 budget; their fields are overridden below.
+    result = iterate_best_response_batch(
+        sweep_stack,
+        stacked,
+        damping=1.0,
+        tolerance=tolerance,
+        max_iterations=max_iterations + 1,
+        mask=mask,
+    )
+
+    equilibria: list[OligopolyEquilibrium] = []
+    for row, game in enumerate(games):
+        prices = result.strategies[row, : game.num_msps].copy()
+        outcome = game.outcome(prices)
+        iterations = iteration_counts[row]
+        converged = converged_flags[row]
+        residual = residual_logs[row][-1] if residual_logs[row] else 0.0
+        info = cycle_info[row]
+        if info is not None:
+            cycle_length, cycle_low, cycle_high = info
+        else:
+            cycle_length = 0
+            cycle_low = cycle_high = 0.0
+        trace = (
+            BestResponseTrace(
+                profiles=np.asarray(profiles[row]),
+                residuals=np.asarray(residual_logs[row]),
+            )
+            if record_trace
+            else None
+        )
+        equilibria.append(
+            OligopolyEquilibrium(
+                prices=prices,
+                msp_utilities=outcome.msp_utilities,
+                converged=converged,
+                iterations=iterations,
+                residual=residual,
+                cycle_length=cycle_length,
+                cycle_low=cycle_low,
+                cycle_high=cycle_high,
+                trace=trace,
+            )
+        )
+    return equilibria
+
+
+def oligopoly_from_market(
+    market: "StackelbergMarket",
+    num_msps: int,
+    *,
+    split_capacity: bool = True,
+    price_tick: float = 0.05,
+) -> MultiMspMarket:
+    """Build an ``N``-MSP oligopoly from a monopoly Stackelberg market.
+
+    Every provider inherits the monopolist's unit cost and price cap;
+    ``split_capacity=True`` divides the monopolist's capacity evenly
+    (fixed industry capacity, the standard comparison for
+    price-of-anarchy sweeps), ``False`` replicates it per provider
+    (entry adds capacity).
+    """
+    if num_msps < 1:
+        raise ConfigurationError("num_msps must be >= 1")
+    config = market.config
+    capacity = config.capacity_natural
+    if split_capacity:
+        capacity = capacity / num_msps
+    msps = [
+        MspSpec(f"msp-{index}", unit_cost=config.unit_cost, capacity=capacity)
+        for index in range(num_msps)
+    ]
+    return MultiMspMarket(
+        market.vmus,
+        msps,
+        max_price=config.max_price,
+        price_tick=price_tick,
+        link=market.link,
+    )

@@ -3,6 +3,7 @@
 from repro.env.base import Environment, StepResult
 from repro.env.migration_game import MigrationGameEnv
 from repro.env.nonstationary import ChurnConfig, ChurningMigrationEnv
+from repro.env.stochastic import StochasticMarketEnv
 from repro.env.vector import VectorMigrationEnv
 from repro.env.wrappers import EpisodeStats, NormalizeObservation, RunningMeanStd
 
@@ -10,6 +11,7 @@ __all__ = [
     "Environment",
     "StepResult",
     "MigrationGameEnv",
+    "StochasticMarketEnv",
     "VectorMigrationEnv",
     "ChurnConfig",
     "ChurningMigrationEnv",

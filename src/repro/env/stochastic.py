@@ -1,0 +1,131 @@
+"""Stochastic-market episodes: nature redraws the market per episode.
+
+The Bayesian game's chance node, as an environment mode: each
+:meth:`StochasticMarketEnv.reset` draws a scenario from the distribution
+(weights included) through the env's own RNG stream, rebinds the episode
+to that scenario's market, and then primes the observation history
+exactly like the deterministic env. Training the DRL pricing agent on
+this env measures robustness under market uncertainty — the policy must
+price well *in expectation* over scenarios it cannot observe directly
+(only through the demand history).
+
+Determinism contract: the scenario sequence and the priming prices both
+come from the env's single stream, in a fixed order (one scenario draw,
+then the ``L`` priming prices), so a seeded env replays the exact same
+episode sequence. This env is scalar-only — the vectorised fleet env
+binds a static :class:`MarketStack` at construction and cannot rebind
+per episode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bayesian import BayesianStackelbergMarket
+from repro.core.stackelberg import StackelbergMarket
+from repro.env.migration_game import MigrationGameEnv
+from repro.errors import EnvironmentError_
+from repro.utils.rng import SeedLike
+
+__all__ = ["StochasticMarketEnv"]
+
+
+class StochasticMarketEnv(MigrationGameEnv):
+    """A :class:`MigrationGameEnv` whose market is redrawn per episode."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[StackelbergMarket],
+        *,
+        weights: Sequence[float] | None = None,
+        history_length: int = 4,
+        rounds_per_episode: int = 100,
+        reward_mode: str = "paper",
+        reward_tolerance: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> None:
+        markets = tuple(scenarios)
+        if not markets:
+            raise EnvironmentError_("need at least one market scenario")
+        num_vmus = markets[0].num_vmus
+        for index, market in enumerate(markets):
+            if market.num_vmus != num_vmus:
+                raise EnvironmentError_(
+                    "scenarios must share the population size (the "
+                    f"observation layout): scenario {index} has "
+                    f"{market.num_vmus} VMUs, expected {num_vmus}"
+                )
+        if weights is None:
+            probabilities = np.full(len(markets), 1.0 / len(markets))
+        else:
+            probabilities = np.asarray(weights, dtype=float)
+            if probabilities.shape != (len(markets),):
+                raise EnvironmentError_(
+                    f"expected {len(markets)} weights, got shape "
+                    f"{probabilities.shape}"
+                )
+            if not np.all(np.isfinite(probabilities)) or np.any(
+                probabilities <= 0.0
+            ):
+                raise EnvironmentError_("weights must be finite and > 0")
+            probabilities = probabilities / probabilities.sum()
+        super().__init__(
+            markets[0],
+            history_length=history_length,
+            rounds_per_episode=rounds_per_episode,
+            reward_mode=reward_mode,
+            reward_tolerance=reward_tolerance,
+            seed=seed,
+        )
+        self._scenarios = markets
+        self._probabilities = probabilities
+        self._scenario_index = 0
+
+    @classmethod
+    def from_distribution(
+        cls, distribution: BayesianStackelbergMarket, **kwargs
+    ) -> "StochasticMarketEnv":
+        """The episode env of a :class:`BayesianStackelbergMarket`
+        (scenarios and weights taken from the distribution)."""
+        return cls(
+            distribution.scenarios, weights=distribution.weights, **kwargs
+        )
+
+    @property
+    def scenarios(self) -> tuple[StackelbergMarket, ...]:
+        """The scenario markets nature draws from."""
+        return self._scenarios
+
+    @property
+    def scenario_probabilities(self) -> np.ndarray:
+        """Normalised scenario weights (copy)."""
+        return self._probabilities.copy()
+
+    @property
+    def scenario_index(self) -> int:
+        """Index of the scenario the current episode is playing."""
+        return self._scenario_index
+
+    def reset(self) -> np.ndarray:
+        """Draw the episode's scenario, rebind the market, prime history.
+
+        The scenario draw consumes the env stream *before* the priming
+        prices (fixed stream layout — see the module docstring), and the
+        per-episode utility scale / action bounds follow the drawn
+        scenario's config.
+        """
+        index = int(
+            self._rng.choice(len(self._scenarios), p=self._probabilities)
+        )
+        self._bind_market(self._scenarios[index])
+        self._scenario_index = index
+        return super().reset()
+
+    def _bind_market(self, market: StackelbergMarket) -> None:
+        self.market = market
+        config = market.config
+        self._utility_scale = (
+            (config.max_price - config.unit_cost) * config.capacity_natural
+        )

@@ -28,12 +28,17 @@ from repro.experiments.api import (
     run_experiment,
     schedule,
 )
+from repro.experiments.bayesian import BayesianPricingResult, run_bayesian_pricing
 from repro.experiments.cityscale import CityScaleResult, run_city_sweep
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig3_cost import CostSweepResult, run_fig3_cost
 from repro.experiments.fig3_vmus import VmuSweepResult, run_fig3_vmus
 from repro.experiments.multiseed import MultiSeedResult, run_multiseed_comparison
+from repro.experiments.price_of_anarchy import (
+    PriceOfAnarchyResult,
+    run_price_of_anarchy,
+)
 from repro.experiments.pricing_service import (
     PricingServiceResult,
     run_pricing_service,
@@ -87,8 +92,12 @@ __all__ = [
     "run_experiment",
     "schedule",
     "ExperimentConfig",
+    "BayesianPricingResult",
+    "run_bayesian_pricing",
     "Fig2Result",
     "run_fig2",
+    "PriceOfAnarchyResult",
+    "run_price_of_anarchy",
     "CityScaleResult",
     "run_city_sweep",
     "CostSweepResult",

@@ -45,6 +45,8 @@ import typing
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.channel.fading import (
     FadingModel,
     LogNormalShadowing,
@@ -760,6 +762,11 @@ def _decode_value(hint, value):
         return value
     if dataclasses.is_dataclass(hint) and isinstance(hint, type):
         return _decode_dataclass(hint, value)
+    if hint is np.ndarray:
+        # Float arrays only: `to_jsonable` encoded the array as (nested)
+        # lists of floats, which survive JSON exactly, so the rebuilt
+        # array is bitwise-equal element for element.
+        return np.asarray(value, dtype=float)
     if origin in (list, typing.List):
         item = args[0] if args else object
         return [_decode_value(item, v) for v in _expect_sequence(hint, value)]

@@ -1,0 +1,278 @@
+"""Price-of-anarchy experiment: welfare vs the number of competing MSPs.
+
+For each ``N`` in ``ns``, builds the N-MSP oligopoly sharing the base
+market's demand side (:func:`repro.core.multimsp.oligopoly_from_market`:
+``split_capacity=True`` holds industry capacity fixed, ``False`` lets
+each entrant bring the monopolist's capacity), solves the Gauss-Seidel
+price equilibrium, and reports welfare / efficiency / PoA against the
+monopoly and planner baselines of :func:`repro.core.welfare.welfare_report`.
+
+Work units: one ``welfare_report`` job (the baselines) plus one
+``oligopoly_cell`` job per N. The direct path solves all N-cells in
+lockstep through :func:`repro.core.multimsp.oligopoly_equilibria_batch`,
+which is bitwise-equal to the per-game solves the workers run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.multimsp import (
+    MultiMspMarket,
+    OligopolyEquilibrium,
+    oligopoly_equilibria_batch,
+    oligopoly_from_market,
+)
+from repro.core.stackelberg import StackelbergMarket
+from repro.core.welfare import welfare_report
+from repro.experiments import api
+from repro.experiments.api import MARKET_PARAM, ExperimentPlan, ParamSpec
+from repro.experiments.scheduler import (
+    Job,
+    JobScheduler,
+    market_from_payload,
+    market_to_payload,
+)
+from repro.experiments.welfare import WelfareResult, _result_from_report
+from repro.utils.tables import Table
+
+__all__ = [
+    "PriceOfAnarchyResult",
+    "run_price_of_anarchy",
+    "run_oligopoly_cell_job",
+    "PRICE_OF_ANARCHY",
+]
+
+
+@dataclass
+class PriceOfAnarchyResult:
+    """Oligopoly welfare vs N against monopoly and planner baselines.
+
+    ``poa`` is planner welfare over realised welfare (≥ 1 when the
+    equilibrium is inefficient); ``efficiency`` is its reciprocal.
+    ``cycle_lengths[i] > 0`` flags an Edgeworth cycle diagnosis for that
+    N (the reported prices are then the cycle state at detection).
+    """
+
+    ns: list[int]
+    prices: list[float]
+    """Cheapest posted price per N (what VMUs actually pay)."""
+    msp_profits: list[float]
+    vmu_surpluses: list[float]
+    welfares: list[float]
+    efficiencies: list[float]
+    poa: list[float]
+    converged: list[bool]
+    iterations: list[int]
+    cycle_lengths: list[int]
+    monopoly_price: float
+    monopoly_welfare: float
+    planner_price: float
+    planner_welfare: float
+
+    def table(self) -> Table:
+        """Printable welfare-vs-N summary (the CLI's figure)."""
+        table = Table(
+            headers=(
+                "N",
+                "price",
+                "MSP profit",
+                "VMU surplus",
+                "welfare",
+                "efficiency",
+                "PoA",
+                "converged",
+            ),
+            title=(
+                f"Price of anarchy vs N — monopoly welfare "
+                f"{self.monopoly_welfare:.4f} @ p={self.monopoly_price:.4f}, "
+                f"planner welfare {self.planner_welfare:.4f} "
+                f"@ p={self.planner_price:.4f}"
+            ),
+        )
+        for index, n in enumerate(self.ns):
+            table.add_row(
+                n,
+                self.prices[index],
+                self.msp_profits[index],
+                self.vmu_surpluses[index],
+                self.welfares[index],
+                self.efficiencies[index],
+                self.poa[index],
+                self.converged[index],
+            )
+        return table
+
+
+_PARAMS = (
+    MARKET_PARAM,
+    ParamSpec("ns", "ints", tuple(range(1, 9)), "MSP counts to sweep"),
+    ParamSpec(
+        "split_capacity", "bool", True,
+        "True: split the monopolist's capacity across the N MSPs "
+        "(fixed industry capacity); False: replicate it per MSP",
+    ),
+    ParamSpec("price_tick", "float", 0.05, "price lattice tick of the oligopoly game"),
+    ParamSpec("damping", "float", 1.0, "best-response damping in (0, 1]"),
+    ParamSpec("max_iterations", "int", 1000, "Gauss-Seidel sweep budget per N"),
+    ParamSpec("tolerance", "float", 1e-3, "sup-norm convergence tolerance on prices"),
+)
+
+
+def _cell_summary(game: MultiMspMarket, equilibrium: OligopolyEquilibrium) -> dict:
+    """The per-N result row — shared verbatim by the worker job and the
+    lockstep direct path, so the two produce identical floats."""
+    outcome = game.outcome(equilibrium.prices)
+    profit = float(outcome.msp_utilities.sum())
+    surplus = float(outcome.vmu_utilities.sum())
+    return {
+        "n": game.num_msps,
+        "price": float(equilibrium.prices.min()),
+        "profit": profit,
+        "surplus": surplus,
+        "welfare": profit + surplus,
+        "converged": bool(equilibrium.converged),
+        "iterations": int(equilibrium.iterations),
+        "cycle_length": int(equilibrium.cycle_length),
+    }
+
+
+def run_oligopoly_cell_job(payload: Mapping) -> dict:
+    """Job kind ``oligopoly_cell``: one N-MSP equilibrium solve."""
+    market = market_from_payload(payload["market"])
+    game = oligopoly_from_market(
+        market,
+        int(payload["n"]),
+        split_capacity=bool(payload["split_capacity"]),
+        price_tick=float(payload["price_tick"]),
+    )
+    equilibrium = game.equilibrium(
+        max_iterations=int(payload["max_iterations"]),
+        tolerance=float(payload["tolerance"]),
+        damping=float(payload["damping"]),
+        record_trace=False,
+    )
+    return _cell_summary(game, equilibrium)
+
+
+def _games(params: Mapping, market: StackelbergMarket) -> list[MultiMspMarket]:
+    return [
+        oligopoly_from_market(
+            market,
+            int(n),
+            split_capacity=bool(params["split_capacity"]),
+            price_tick=float(params["price_tick"]),
+        )
+        for n in params["ns"]
+    ]
+
+
+def _assemble_result(
+    params: Mapping, welfare_payload: Mapping, cells: list[Mapping]
+) -> PriceOfAnarchyResult:
+    baseline = api.result_from_payload(WelfareResult, welfare_payload)
+    planner_welfare = float(baseline.planner_welfare)
+    welfares = [float(cell["welfare"]) for cell in cells]
+    return PriceOfAnarchyResult(
+        ns=[int(cell["n"]) for cell in cells],
+        prices=[float(cell["price"]) for cell in cells],
+        msp_profits=[float(cell["profit"]) for cell in cells],
+        vmu_surpluses=[float(cell["surplus"]) for cell in cells],
+        welfares=welfares,
+        efficiencies=[
+            welfare / planner_welfare if planner_welfare > 0.0 else float("nan")
+            for welfare in welfares
+        ],
+        poa=[
+            planner_welfare / welfare if welfare > 0.0 else float("inf")
+            for welfare in welfares
+        ],
+        converged=[bool(cell["converged"]) for cell in cells],
+        iterations=[int(cell["iterations"]) for cell in cells],
+        cycle_lengths=[int(cell["cycle_length"]) for cell in cells],
+        monopoly_price=float(baseline.monopoly_price),
+        monopoly_welfare=float(baseline.monopoly_welfare),
+        planner_price=float(baseline.planner_price),
+        planner_welfare=planner_welfare,
+    )
+
+
+def _plan(params: Mapping) -> ExperimentPlan:
+    market = api.resolve_market(params)
+    market_payload = market_to_payload(market)
+    jobs = [Job("welfare_report", {"market": market_payload})]
+    for n in params["ns"]:
+        jobs.append(
+            Job(
+                "oligopoly_cell",
+                {
+                    "market": market_payload,
+                    "n": int(n),
+                    "split_capacity": bool(params["split_capacity"]),
+                    "price_tick": float(params["price_tick"]),
+                    "damping": float(params["damping"]),
+                    "max_iterations": int(params["max_iterations"]),
+                    "tolerance": float(params["tolerance"]),
+                },
+            )
+        )
+    return ExperimentPlan("price_of_anarchy", dict(params), jobs)
+
+
+def _assemble(plan: ExperimentPlan, results: list) -> PriceOfAnarchyResult:
+    return _assemble_result(plan.params, results[0], results[1:])
+
+
+def _direct(params: Mapping) -> PriceOfAnarchyResult:
+    market = api.resolve_market(params)
+    games = _games(params, market)
+    equilibria = oligopoly_equilibria_batch(
+        games,
+        max_iterations=int(params["max_iterations"]),
+        tolerance=float(params["tolerance"]),
+        damping=float(params["damping"]),
+    )
+    cells = [
+        _cell_summary(game, equilibrium)
+        for game, equilibrium in zip(games, equilibria)
+    ]
+    welfare_payload = api.result_to_payload(
+        _result_from_report(welfare_report(market))
+    )
+    return _assemble_result(params, welfare_payload, cells)
+
+
+PRICE_OF_ANARCHY = api.register(
+    api.ExperimentSpec(
+        name="price_of_anarchy",
+        description=(
+            "Price of anarchy vs N — N-MSP oligopoly welfare against the "
+            "monopoly and planner baselines (lockstep batched solve; "
+            "Edgeworth cycles diagnosed per N)"
+        ),
+        params=_PARAMS,
+        result_type=PriceOfAnarchyResult,
+        plan=_plan,
+        assemble=_assemble,
+        direct=_direct,
+    )
+)
+
+
+def run_price_of_anarchy(
+    *,
+    market: StackelbergMarket | None = None,
+    ns: tuple[int, ...] = tuple(range(1, 9)),
+    split_capacity: bool = True,
+    scheduler: JobScheduler | None = None,
+) -> PriceOfAnarchyResult:
+    """Welfare and PoA vs the number of MSPs over ``market``.
+
+    Thin shim over the ``price_of_anarchy`` spec.
+    """
+    return api.run_experiment(
+        PRICE_OF_ANARCHY,
+        {"market": market, "ns": ns, "split_capacity": split_capacity},
+        scheduler=scheduler,
+    )

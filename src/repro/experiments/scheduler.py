@@ -99,6 +99,8 @@ _BUILTIN_JOB_KINDS: dict[str, str] = {
     "training_run": "repro.experiments.runner:run_training_job",
     "welfare_report": "repro.experiments.welfare:run_welfare_report_job",
     "pricing_service": "repro.experiments.pricing_service:run_pricing_service_job",
+    "bayesian_pricing": "repro.experiments.bayesian:run_bayesian_pricing_job",
+    "oligopoly_cell": "repro.experiments.price_of_anarchy:run_oligopoly_cell_job",
 }
 
 _REGISTERED_JOB_KINDS: dict[str, str | Callable[[Mapping], object]] = {}

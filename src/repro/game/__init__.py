@@ -7,7 +7,12 @@ from repro.game.analysis import (
     verify_best_response,
     verify_no_profitable_deviation,
 )
-from repro.game.best_response import BestResponseResult, iterate_best_response
+from repro.game.best_response import (
+    BatchBestResponseResult,
+    BestResponseResult,
+    iterate_best_response,
+    iterate_best_response_batch,
+)
 from repro.game.solvers import (
     bisect_root,
     golden_section_maximize,
@@ -22,8 +27,10 @@ __all__ = [
     "numerical_second_derivative",
     "verify_best_response",
     "verify_no_profitable_deviation",
+    "BatchBestResponseResult",
     "BestResponseResult",
     "iterate_best_response",
+    "iterate_best_response_batch",
     "bisect_root",
     "golden_section_maximize",
     "golden_section_maximize_batch",

@@ -3,10 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core.multimsp import MspSpec, MultiMspMarket
+from repro.core.multimsp import (
+    MspSpec,
+    MultiMspMarket,
+    OligopolyEquilibrium,
+    oligopoly_equilibria_batch,
+    oligopoly_from_market,
+)
 from repro.core.stackelberg import MarketConfig, StackelbergMarket
 from repro.entities.vmu import paper_fig2_population
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GameError
 
 
 def duopoly(capacity=10.0, cost=5.0) -> MultiMspMarket:
@@ -144,3 +150,264 @@ class TestValidation:
             MspSpec("x", unit_cost=0.0, capacity=1.0)
         with pytest.raises(ConfigurationError):
             MspSpec("x", unit_cost=5.0, capacity=0.0)
+
+
+class TestPriceLattice:
+    def test_inclusive_endpoints_small(self):
+        """cost 5.0, tick 0.5, cap 6.0 — both endpoints on the lattice."""
+        market = MultiMspMarket(
+            paper_fig2_population(),
+            [MspSpec("a", unit_cost=5.0, capacity=1.0)],
+            max_price=6.0,
+            price_tick=0.5,
+        )
+        np.testing.assert_array_equal(
+            market._price_lattice(5.0), [5.0, 5.5, 6.0]
+        )
+
+    def test_default_lattice_exact(self):
+        market = duopoly()
+        lattice = market._price_lattice(5.0)
+        assert lattice[0] == 5.0
+        assert lattice[-1] == 50.0  # inclusive endpoint, never beyond
+        assert lattice.size == 901
+        assert np.all(np.diff(lattice) > 0)
+        assert np.all(lattice <= market.max_price)
+
+    def test_cost_above_cap_is_empty(self):
+        market = duopoly()
+        assert market._price_lattice(60.0).size == 0
+
+    def test_cap_not_on_tick_grid(self):
+        """Cap between ticks: stop at the last lattice point below it."""
+        market = MultiMspMarket(
+            paper_fig2_population(),
+            [MspSpec("a", unit_cost=5.0, capacity=1.0)],
+            max_price=6.2,
+            price_tick=0.5,
+        )
+        np.testing.assert_array_equal(
+            market._price_lattice(5.0), [5.0, 5.5, 6.0]
+        )
+
+
+def random_oligopoly(rng) -> MultiMspMarket:
+    num_msps = int(rng.integers(2, 4))
+    specs = [
+        MspSpec(
+            f"msp-{i}",
+            unit_cost=float(rng.uniform(3.0, 12.0)),
+            capacity=float(rng.uniform(0.05, 2.0)),
+        )
+        for i in range(num_msps)
+    ]
+    return MultiMspMarket(paper_fig2_population(), specs, price_tick=0.5)
+
+
+class TestBatchedBestResponse:
+    def test_batched_matches_scalar_bitwise_property(self):
+        """Randomised duopolies/triopolies: the lattice-batched best
+        response returns the same bits as the per-point scalar sweep."""
+        rng = np.random.default_rng(1234)
+        for _ in range(12):
+            market = random_oligopoly(rng)
+            prices = rng.uniform(5.0, 45.0, size=market.num_msps)
+            prices = np.minimum(prices, market.max_price)
+            for index in range(market.num_msps):
+                batched = market._best_response_price(index, prices.copy())
+                scalar = market._best_response_price_scalar(index, prices.copy())
+                assert batched == scalar
+
+    def test_equilibrium_batched_matches_scalar_bitwise(self):
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            market = random_oligopoly(rng)
+            initial = rng.uniform(8.0, 40.0, size=market.num_msps).tolist()
+            fast = market.equilibrium(
+                initial_prices=initial, max_iterations=60, record_trace=True
+            )
+            slow = market.equilibrium(
+                initial_prices=initial,
+                max_iterations=60,
+                batched=False,
+                record_trace=True,
+            )
+            np.testing.assert_array_equal(fast.prices, slow.prices)
+            np.testing.assert_array_equal(fast.msp_utilities, slow.msp_utilities)
+            assert fast.converged == slow.converged
+            assert fast.iterations == slow.iterations
+            assert fast.residual == slow.residual
+            np.testing.assert_array_equal(
+                fast.trace.profiles, slow.trace.profiles
+            )
+
+
+class _ForcedCycleMarket(MultiMspMarket):
+    """Deterministic 2-cycle best response — exercises the Edgeworth
+    cycle detector without needing an economic cycling instance (the
+    winner-take-all demand model has no residual demand, so real
+    undercutting dynamics are monotone)."""
+
+    _CYCLE = {10.0: 12.0, 12.0: 10.0}
+
+    def _best_response_price(self, msp_index, prices):
+        return self._CYCLE.get(float(prices[msp_index]), 10.0)
+
+
+class TestEquilibriumDiagnostics:
+    def cycling_market(self) -> MultiMspMarket:
+        return _ForcedCycleMarket(
+            paper_fig2_population(),
+            [
+                MspSpec("a", unit_cost=5.0, capacity=1.0),
+                MspSpec("b", unit_cost=5.0, capacity=1.0),
+            ],
+        )
+
+    def test_cycle_detected_and_bounded(self):
+        eq = self.cycling_market().equilibrium(
+            initial_prices=[10.0, 10.0], tolerance=1e-9
+        )
+        assert not eq.converged
+        assert eq.cycle_length == 2
+        assert eq.cycle_low == 10.0
+        assert eq.cycle_high == 12.0
+        assert eq.iterations < 10  # detection stops the solve immediately
+
+    def test_damping_stabilises_forced_cycle(self):
+        """Damped updates leave the lattice and spiral into the cycle
+        interval instead of revisiting profiles exactly."""
+        eq = self.cycling_market().equilibrium(
+            initial_prices=[10.0, 10.0], damping=0.5, tolerance=1e-6
+        )
+        assert eq.cycle_length == 0
+        assert 10.0 <= eq.prices.min() and eq.prices.max() <= 12.0
+
+    def test_damping_validation(self):
+        market = duopoly()
+        with pytest.raises(GameError):
+            market.equilibrium(damping=0.0)
+        with pytest.raises(ConfigurationError):
+            market.equilibrium(damping=1.5)
+        with pytest.raises(GameError):
+            market.equilibrium(max_iterations=0)
+
+    def test_trace_shapes(self):
+        market = duopoly()
+        eq = market.equilibrium(initial_prices=[25.0, 30.0], max_iterations=50)
+        assert eq.trace is not None
+        assert eq.trace.profiles.shape == (eq.iterations + 1, 2)
+        assert eq.trace.residuals.shape == (eq.iterations,)
+        np.testing.assert_array_equal(eq.trace.profiles[0], [25.0, 30.0])
+        np.testing.assert_array_equal(eq.trace.profiles[-1], eq.prices)
+        assert eq.trace.residuals[-1] == eq.residual
+
+    def test_trace_opt_out(self):
+        eq = duopoly().equilibrium(max_iterations=5, record_trace=False)
+        assert eq.trace is None
+
+    def test_outcome_social_welfare(self):
+        market = duopoly()
+        outcome = market.outcome([20.0, 25.0])
+        assert outcome.social_welfare == float(
+            outcome.msp_utilities.sum() + outcome.vmu_utilities.sum()
+        )
+        assert outcome.vmu_utilities.shape == (len(market.vmus),)
+
+
+class TestOligopolyBatch:
+    def games(self):
+        rng = np.random.default_rng(42)
+        return [random_oligopoly(rng) for _ in range(5)]
+
+    def test_batch_matches_sequential_bitwise(self):
+        games = self.games()
+        batched = oligopoly_equilibria_batch(
+            games, max_iterations=60, record_trace=True
+        )
+        for game, eq in zip(games, batched):
+            reference = game.equilibrium(max_iterations=60, record_trace=True)
+            np.testing.assert_array_equal(eq.prices, reference.prices)
+            np.testing.assert_array_equal(
+                eq.msp_utilities, reference.msp_utilities
+            )
+            assert eq.converged == reference.converged
+            assert eq.iterations == reference.iterations
+            assert eq.residual == reference.residual
+            assert eq.cycle_length == reference.cycle_length
+            np.testing.assert_array_equal(
+                eq.trace.profiles, reference.trace.profiles
+            )
+            np.testing.assert_array_equal(
+                eq.trace.residuals, reference.trace.residuals
+            )
+
+    def test_batch_budget_matches_sequential(self):
+        """Games that exhaust the budget freeze at the same profile the
+        sequential solver reports (no extra hidden sweep)."""
+        games = self.games()
+        batched = oligopoly_equilibria_batch(
+            games, max_iterations=2, record_trace=False
+        )
+        for game, eq in zip(games, batched):
+            reference = game.equilibrium(max_iterations=2, record_trace=False)
+            np.testing.assert_array_equal(eq.prices, reference.prices)
+            assert eq.iterations == reference.iterations
+            assert eq.converged == reference.converged
+
+    def test_empty_batch(self):
+        assert oligopoly_equilibria_batch([]) == []
+
+
+class TestOligopolyFromMarket:
+    def test_split_capacity_preserves_industry_capacity(self):
+        base = StackelbergMarket(paper_fig2_population())
+        game = oligopoly_from_market(base, 4)
+        total = sum(spec.capacity for spec in game.msps)
+        assert total == pytest.approx(base.config.capacity_natural)
+        assert game.num_msps == 4
+        assert game.max_price == base.config.max_price
+
+    def test_replicated_capacity(self):
+        base = StackelbergMarket(paper_fig2_population())
+        game = oligopoly_from_market(base, 3, split_capacity=False)
+        for spec in game.msps:
+            assert spec.capacity == base.config.capacity_natural
+
+    def test_monopoly_cell_matches_stackelberg_price_region(self):
+        base = StackelbergMarket(paper_fig2_population())
+        game = oligopoly_from_market(base, 1, price_tick=0.05)
+        eq = game.equilibrium()
+        reference = base.equilibrium()
+        assert eq.converged
+        assert eq.prices[0] == pytest.approx(reference.price, abs=0.1)
+
+
+class TestEquilibriumPayloadRoundTrip:
+    def test_bitwise_round_trip_through_json(self):
+        import json
+
+        from repro.experiments.api import result_from_payload, result_to_payload
+
+        eq = duopoly().equilibrium(initial_prices=[25.0, 30.0], max_iterations=60)
+        payload = json.loads(json.dumps(result_to_payload(eq)))
+        back = result_from_payload(OligopolyEquilibrium, payload)
+        np.testing.assert_array_equal(back.prices, eq.prices)
+        np.testing.assert_array_equal(back.msp_utilities, eq.msp_utilities)
+        assert back.converged == eq.converged
+        assert back.iterations == eq.iterations
+        assert back.residual == eq.residual
+        assert back.cycle_length == eq.cycle_length
+        np.testing.assert_array_equal(back.trace.profiles, eq.trace.profiles)
+        np.testing.assert_array_equal(back.trace.residuals, eq.trace.residuals)
+
+    def test_traceless_round_trip(self):
+        import json
+
+        from repro.experiments.api import result_from_payload, result_to_payload
+
+        eq = duopoly().equilibrium(max_iterations=5, record_trace=False)
+        payload = json.loads(json.dumps(result_to_payload(eq)))
+        back = result_from_payload(OligopolyEquilibrium, payload)
+        assert back.trace is None
+        np.testing.assert_array_equal(back.prices, eq.prices)

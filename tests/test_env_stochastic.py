@@ -1,0 +1,125 @@
+"""Stochastic-market episode env: nature redraws the market per episode."""
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import ScenarioSpec, sample_market_distribution
+from repro.core.stackelberg import MarketConfig, StackelbergMarket
+from repro.entities.vmu import VmuProfile, paper_fig2_population
+from repro.env import StochasticMarketEnv
+from repro.errors import EnvironmentError_
+
+
+def distribution(num_scenarios=4, seed=7, **jitter):
+    base = StackelbergMarket(paper_fig2_population())
+    return sample_market_distribution(
+        base, ScenarioSpec(num_scenarios=num_scenarios, seed=seed, **jitter)
+    )
+
+
+def make_env(seed=0, **kwargs):
+    return StochasticMarketEnv.from_distribution(
+        distribution(), seed=seed, rounds_per_episode=5, **kwargs
+    )
+
+
+class TestConstruction:
+    def test_from_distribution_carries_scenarios_and_weights(self):
+        dist = distribution()
+        env = StochasticMarketEnv.from_distribution(dist, seed=0)
+        assert env.scenarios == dist.scenarios
+        np.testing.assert_array_equal(
+            env.scenario_probabilities, dist.weights
+        )
+
+    def test_needs_scenarios(self):
+        with pytest.raises(EnvironmentError_):
+            StochasticMarketEnv([])
+
+    def test_population_sizes_must_match(self):
+        base = StackelbergMarket(paper_fig2_population())
+        small = StackelbergMarket(
+            [VmuProfile("only", data_size_mb=50.0, immersion_coef=1.0)]
+        )
+        with pytest.raises(EnvironmentError_):
+            StochasticMarketEnv([base, small])
+
+    def test_weight_validation(self):
+        base = StackelbergMarket(paper_fig2_population())
+        with pytest.raises(EnvironmentError_):
+            StochasticMarketEnv([base, base], weights=[1.0])
+        with pytest.raises(EnvironmentError_):
+            StochasticMarketEnv([base, base], weights=[1.0, -1.0])
+
+
+class TestEpisodes:
+    def test_scenario_draws_replay_with_seed(self):
+        def run(seed):
+            env = make_env(seed=seed)
+            draws, observations = [], []
+            for _ in range(6):
+                observations.append(env.reset())
+                draws.append(env.scenario_index)
+                for _ in range(5):
+                    env.step(12.0)
+            return draws, observations
+
+        draws_a, obs_a = run(3)
+        draws_b, obs_b = run(3)
+        assert draws_a == draws_b
+        for left, right in zip(obs_a, obs_b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_different_seeds_diverge(self):
+        def draws(seed):
+            env = make_env(seed=seed)
+            sequence = []
+            for _ in range(8):
+                env.reset()
+                sequence.append(env.scenario_index)
+            return sequence
+
+        assert draws(1) != draws(2)
+
+    def test_episode_plays_bound_scenario(self):
+        env = make_env(seed=5)
+        env.reset()
+        assert env.market is env.scenarios[env.scenario_index]
+
+    def test_visits_multiple_scenarios(self):
+        env = make_env(seed=0)
+        seen = set()
+        for _ in range(20):
+            env.reset()
+            seen.add(env.scenario_index)
+        assert len(seen) > 1
+
+    def test_steps_and_termination(self):
+        env = make_env(seed=0)
+        env.reset()
+        for round_index in range(5):
+            _, reward, done, info = env.step(12.0)
+            assert np.isfinite(reward)
+        assert done
+
+    def test_utility_scale_follows_drawn_scenario(self):
+        """Capacity jitter changes capacity_natural, and the per-episode
+        reward scale must follow the drawn market, not the first one."""
+        base = StackelbergMarket(paper_fig2_population())
+        dist = sample_market_distribution(
+            base,
+            ScenarioSpec(num_scenarios=6, seed=1, capacity_jitter=0.5),
+        )
+        env = StochasticMarketEnv.from_distribution(
+            dist, seed=0, rounds_per_episode=3
+        )
+        scales = set()
+        for _ in range(12):
+            env.reset()
+            config = env.market.config
+            expected = (
+                config.max_price - config.unit_cost
+            ) * config.capacity_natural
+            assert env._utility_scale == expected
+            scales.add(expected)
+        assert len(scales) > 1

@@ -55,6 +55,8 @@ TINY_PARAMS = {
         "churn": 0.34,
     },
     "welfare": {},
+    "bayesian_pricing": {"num_scenarios": 3, "seed": 1},
+    "price_of_anarchy": {"ns": (1, 2), "max_iterations": 40},
     "multiseed": {
         "config": SMOKE,
         "seeds": (0, 1),

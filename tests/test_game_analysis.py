@@ -1,0 +1,89 @@
+"""Coverage for the numerical game-analysis helpers (Theorems 1–2 checks)."""
+
+import math
+
+import pytest
+
+from repro.game.analysis import (
+    is_concave_on,
+    numerical_derivative,
+    numerical_second_derivative,
+    verify_best_response,
+    verify_no_profitable_deviation,
+)
+from repro.errors import GameError
+
+
+class TestDerivatives:
+    def test_first_derivative_quadratic(self):
+        assert numerical_derivative(lambda x: x * x, 3.0) == pytest.approx(6.0)
+
+    def test_first_derivative_step_size(self):
+        assert numerical_derivative(
+            math.exp, 0.0, h=1e-5
+        ) == pytest.approx(1.0, rel=1e-6)
+
+    def test_second_derivative_quadratic(self):
+        assert numerical_second_derivative(
+            lambda x: 2.0 * x * x, 1.0
+        ) == pytest.approx(4.0, rel=1e-4)
+
+    def test_second_derivative_linear_is_zero(self):
+        assert numerical_second_derivative(
+            lambda x: 3.0 * x + 1.0, 5.0
+        ) == pytest.approx(0.0, abs=1e-4)
+
+
+class TestConcavity:
+    def test_concave_function(self):
+        assert is_concave_on(lambda x: -(x - 1.0) ** 2, 0.0, 2.0)
+
+    def test_convex_function_rejected(self):
+        assert not is_concave_on(lambda x: x * x, -1.0, 1.0)
+
+    def test_linear_is_concave(self):
+        assert is_concave_on(lambda x: 2.0 * x, 0.0, 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GameError):
+            is_concave_on(lambda x: x, 0.0, 1.0, samples=1)
+        with pytest.raises(GameError):
+            is_concave_on(lambda x: x, 1.0, 1.0)
+
+
+class TestBestResponseVerification:
+    def test_true_argmax_accepted(self):
+        assert verify_best_response(lambda x: -(x - 0.5) ** 2, 0.5, 0.0, 1.0)
+
+    def test_wrong_argmax_rejected(self):
+        assert not verify_best_response(lambda x: -(x - 0.5) ** 2, 0.9, 0.0, 1.0)
+
+    def test_tolerance_guards_float_noise(self):
+        # A point within tolerance of the max passes.
+        assert verify_best_response(
+            lambda x: -(x - 0.5) ** 2, 0.5 + 1e-8, 0.0, 1.0, tolerance=1e-6
+        )
+
+
+class TestNashVerification:
+    def test_coordination_equilibrium(self):
+        # Both want to match: (0, 0) is a Nash equilibrium.
+        utilities = [
+            lambda x: -((x - 0.0) ** 2),
+            lambda x: -((x - 0.0) ** 2),
+        ]
+        assert verify_no_profitable_deviation(
+            utilities, [0.0, 0.0], [(-1.0, 1.0), (-1.0, 1.0)]
+        )
+
+    def test_profitable_deviation_rejected(self):
+        utilities = [lambda x: x, lambda x: x]  # always deviate upward
+        assert not verify_no_profitable_deviation(
+            utilities, [0.0, 0.0], [(0.0, 1.0), (0.0, 1.0)]
+        )
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(GameError):
+            verify_no_profitable_deviation(
+                [lambda x: x], [0.0, 1.0], [(0.0, 1.0)]
+            )
