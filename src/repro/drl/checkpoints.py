@@ -9,6 +9,8 @@ the deployment path a real MSP would use.
 from __future__ import annotations
 
 import json
+import os
+import uuid
 from pathlib import Path
 
 import numpy as np
@@ -30,7 +32,15 @@ def save_agent(
     *,
     history_length: int | None = None,
 ) -> Path:
-    """Write the agent's parameters and architecture to ``path`` (.npz)."""
+    """Write the agent's parameters and architecture to ``path`` (.npz).
+
+    The archive is written through a per-writer-unique temporary file,
+    ``fsync``-ed, and renamed into place, so a checkpoint parked as a
+    cache/queue artifact is all-or-nothing: a worker SIGKILLed mid-save
+    leaves no truncated ``.npz`` for a resumed run to trip over, and two
+    at-least-once workers saving the same job's checkpoint cannot
+    interleave writes.
+    """
     network = agent.network
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -51,12 +61,23 @@ def save_agent(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     target = Path(path)
+    # np.savez appends .npz to bare paths; normalise up front so the
+    # atomic rename lands on the final name.
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
     target.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(target, **arrays)
-    # np.savez appends .npz when missing; normalise the returned path.
-    return target if target.suffix == ".npz" else target.with_suffix(
-        target.suffix + ".npz"
+    temporary = target.with_name(
+        f"{target.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
     )
+    try:
+        with open(temporary, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+    finally:
+        temporary.unlink(missing_ok=True)
+    return target
 
 
 def load_agent(path: str | Path) -> tuple[PPOAgent, ActionScaler, dict]:

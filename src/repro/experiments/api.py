@@ -61,6 +61,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.scheduler import (
     Job,
     JobScheduler,
+    SchedulerLike,
     config_from_payload,
     config_to_payload,
     execute_job,
@@ -609,17 +610,21 @@ def run_experiment(
     experiment: str | ExperimentSpec,
     params: Mapping | None = None,
     *,
-    scheduler: JobScheduler | None = None,
+    scheduler: SchedulerLike | None = None,
 ):
     """Run one registered experiment; returns its result dataclass.
 
-    With ``scheduler``, the spec's ``plan()`` compiles the run into jobs
-    executed through it — process fan-out across its workers, per-job
-    result caching under its cache dir, and kill-resume for free, for
-    **every** experiment. Without one, the spec's ``direct()`` fast path
-    (stacked solves, sequential loops) runs in-process; specs without a
-    fast path execute their plan in-process. Both paths return bitwise-
-    equal results.
+    With ``scheduler`` — anything satisfying the
+    :class:`~repro.experiments.scheduler.SchedulerLike` contract: a
+    :class:`JobScheduler` (process fan-out + per-job result caching under
+    its cache dir) or a :class:`repro.queue.QueueScheduler` (the same jobs
+    batch-run against a shared queue directory and content-addressed
+    artifact store, drainable by worker fleets on other machines) — the
+    spec's ``plan()`` compiles the run into jobs executed through it, with
+    caching and kill-resume for free, for **every** experiment. Without
+    one, the spec's ``direct()`` fast path (stacked solves, sequential
+    loops) runs in-process; specs without a fast path execute their plan
+    in-process. All paths return bitwise-equal results.
 
     Specs with a ``shards`` parameter (multiseed) fan out per shard: when
     a scheduler is supplied and ``shards`` is unset, it defaults to the

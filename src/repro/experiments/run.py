@@ -11,6 +11,13 @@ Usage::
         --cache-dir .cache --resume
     python -m repro.experiments.run multiseed --seeds 0,1,2,3 --shards 2
 
+    # shared-queue path: enqueue a plan, drain it with a worker fleet
+    python -m repro.experiments.run schedule --jobs jobs.json \
+        --queue-dir /shared/queue --enqueue
+    python -m repro.experiments.run worker --queue-dir /shared/queue \
+        --ttl 60 --drain
+    python -m repro.experiments.run run fig3_cost --queue-dir /shared/queue
+
     # legacy figure interface (flags kept; --output JSON payloads are now
     # the uniform spec payloads, reloadable via result_from_payload):
     python -m repro.experiments.run --figure fig2 [--quick | --paper]
@@ -46,6 +53,14 @@ list of ``{"kind": ..., "payload": ...}`` entries (the
 :meth:`repro.experiments.api.ExperimentPlan.job_specs` emits) — against
 the scheduler: the queued-experiment path for splitting one experiment's
 jobs across machines that share (or later merge) a cache directory.
+
+``--queue-dir`` switches any of the above onto the shared job queue
+(:mod:`repro.queue`): jobs enqueue as spec files in a directory that any
+number of ``worker`` processes — on any machines sharing the filesystem —
+lease, execute, and ack, with heartbeat-based lease expiry so a killed
+worker's jobs requeue. ``schedule --enqueue`` feeds a plan in without
+executing; the queued path returns results bitwise identical to the
+direct path.
 """
 
 from __future__ import annotations
@@ -75,6 +90,7 @@ __all__ = [
     "describe_main",
     "multiseed_main",
     "schedule_main",
+    "worker_main",
     "FIGURES",
 ]
 
@@ -108,6 +124,25 @@ def _scheduler_parent() -> argparse.ArgumentParser:
         default=True,
         help="serve cached units instead of re-running (default on)",
     )
+    group.add_argument(
+        "--queue-dir",
+        type=Path,
+        default=None,
+        help=(
+            "route jobs through the shared job queue at this directory "
+            "(worker fleets drain it; see the `worker` subcommand) "
+            "instead of a local process pool"
+        ),
+    )
+    group.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help=(
+            "seconds of worker heartbeat silence before its queue leases "
+            "requeue (with --queue-dir; default 60)"
+        ),
+    )
     parent.add_argument(
         "--output", type=Path, default=None, help="directory for JSON results"
     )
@@ -117,10 +152,34 @@ def _scheduler_parent() -> argparse.ArgumentParser:
 def _validate_workers(parser: argparse.ArgumentParser, args) -> None:
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    lease_ttl = getattr(args, "lease_ttl", None)
+    if lease_ttl is not None:
+        if getattr(args, "queue_dir", None) is None:
+            parser.error("--lease-ttl only applies with --queue-dir")
+        if lease_ttl <= 0:
+            parser.error(f"--lease-ttl must be > 0 seconds, got {lease_ttl}")
 
 
-def _build_scheduler(args, *, force: bool = False) -> JobScheduler | None:
-    """The scheduler the parsed flags describe (None → run in-process)."""
+def _build_scheduler(args, *, force: bool = False):
+    """The scheduler the parsed flags describe (None → run in-process).
+
+    ``--queue-dir`` selects the shared-queue backend
+    (:class:`repro.queue.QueueScheduler`: jobs enqueue for any attached
+    worker fleet, and the invocation itself works the queue inline until
+    its batch completes); otherwise the flags describe a local
+    :class:`JobScheduler`.
+    """
+    queue_dir = getattr(args, "queue_dir", None)
+    if queue_dir is not None:
+        from repro.queue import DEFAULT_LEASE_TTL, QueueScheduler
+
+        lease_ttl = getattr(args, "lease_ttl", None)
+        return QueueScheduler(
+            queue_dir,
+            lease_ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
+            workers=args.workers,
+            resume=args.resume,
+        )
     if not force and args.workers == 1 and args.cache_dir is None:
         return None
     return JobScheduler(
@@ -347,11 +406,123 @@ def multiseed_main(argv: list[str] | None = None) -> int:
 
 
 # ------------------------------------------------------------------ #
-# schedule — execute an explicit job-spec file
+# worker — serve a shared job queue
+# ------------------------------------------------------------------ #
+def worker_main(argv: list[str] | None = None) -> int:
+    """The ``worker`` subcommand: lease→execute→store→ack against a
+    shared queue directory (see :mod:`repro.queue`)."""
+    from repro.errors import ReproError
+    from repro.queue import DEFAULT_LEASE_TTL, JobQueue, QueueWorker
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments worker",
+        description=(
+            "Serve a shared job queue: lease pending jobs (atomic rename), "
+            "heartbeat on a fixed cadence, execute, push results into the "
+            "queue's content-addressed artifact store, ack. Every worker "
+            "also reaps stale leases, so SIGKILLed workers' jobs requeue "
+            "after --ttl and the fleet self-heals. Start as many workers "
+            "as you like, on as many machines as share the directory."
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        type=Path,
+        required=True,
+        help="the shared queue directory (created if missing)",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        help=(
+            "lease TTL: seconds of heartbeat silence before this (or any) "
+            "worker's leases requeue (default %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: host-pid-random)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="heartbeat cadence in seconds (default: ttl / 4)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.1,
+        help="idle polling interval in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after completing this many jobs",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help=(
+            "exit once the queue is empty (nothing pending or leased "
+            "fleet-wide) instead of serving forever"
+        ),
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds without obtaining a lease",
+    )
+    args = parser.parse_args(argv)
+    if args.ttl <= 0:
+        parser.error(f"--ttl must be > 0 seconds, got {args.ttl}")
+    if args.max_jobs is not None and args.max_jobs < 1:
+        parser.error(f"--max-jobs must be >= 1, got {args.max_jobs}")
+    try:
+        queue = JobQueue(args.queue_dir, lease_ttl=args.ttl)
+        worker = QueueWorker(
+            queue,
+            worker_id=args.worker_id,
+            heartbeat_interval=args.heartbeat,
+            poll_interval=args.poll,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    print(f"worker {worker.worker_id} serving {queue.root} (ttl {args.ttl}s)")
+    try:
+        stats = worker.run(
+            max_jobs=args.max_jobs,
+            drain=args.drain,
+            idle_timeout=args.idle_timeout,
+        )
+    except KeyboardInterrupt:
+        print("interrupted; leases release via reaping after the TTL")
+        return 130
+    except ReproError as exc:
+        # The failing job was released back to pending/ for a retry by
+        # another worker; this worker reports and exits nonzero.
+        print(f"job failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{stats.completed} job(s) completed: {stats.executed} executed, "
+        f"{stats.deduplicated} already stored, {stats.requeued} stale "
+        f"lease(s) requeued"
+    )
+    return 0
+
+
+# ------------------------------------------------------------------ #
+# schedule — execute (or enqueue) an explicit job-spec file
 # ------------------------------------------------------------------ #
 def schedule_main(argv: list[str] | None = None) -> int:
     """The ``schedule`` subcommand: execute a job-spec file through the
-    experiment scheduler (process pool + on-disk result cache + resume)."""
+    experiment scheduler (process pool + on-disk result cache + resume),
+    or — with ``--enqueue`` — feed it into a shared ``--queue-dir`` for a
+    worker fleet without executing anything locally."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments schedule",
         parents=[_scheduler_parent()],
@@ -374,8 +545,18 @@ def schedule_main(argv: list[str] | None = None) -> int:
         default=None,
         help="seconds without any job finishing before the run fails fast",
     )
+    parser.add_argument(
+        "--enqueue",
+        action="store_true",
+        help=(
+            "only enqueue the jobs into --queue-dir (for a worker fleet "
+            "to drain) instead of executing anything locally"
+        ),
+    )
     args = parser.parse_args(argv)
     _validate_workers(parser, args)
+    if args.enqueue and args.queue_dir is None:
+        parser.error("--enqueue needs --queue-dir")
     try:
         specs = load_json(args.jobs)
     except (OSError, json.JSONDecodeError) as exc:
@@ -386,6 +567,25 @@ def schedule_main(argv: list[str] | None = None) -> int:
         jobs = [Job.from_spec(spec) for spec in specs]
     except ExperimentError as exc:
         parser.error(f"bad job spec in --jobs file: {exc}")
+    if args.enqueue:
+        from repro.queue import DEFAULT_LEASE_TTL, JobQueue
+
+        lease_ttl = getattr(args, "lease_ttl", None)
+        queue = JobQueue(
+            args.queue_dir,
+            lease_ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
+        )
+        enqueued = queue.enqueue_many(jobs)
+        stats = queue.stats()
+        print(
+            f"enqueued {enqueued} of {len(jobs)} job(s) into {queue.root} "
+            f"({len(jobs) - enqueued} already pending/leased/stored)"
+        )
+        print(
+            f"queue: {stats.pending} pending, {stats.leased} leased, "
+            f"{stats.stored} stored"
+        )
+        return 0
     scheduler = _build_scheduler(args, force=True)
     results = scheduler.run(jobs)
     table = Table(
@@ -490,6 +690,7 @@ SUBCOMMANDS = {
     "describe": describe_main,
     "multiseed": multiseed_main,
     "schedule": schedule_main,
+    "worker": worker_main,
 }
 
 
@@ -506,7 +707,8 @@ def main(argv: list[str] | None = None) -> int:
             "Subcommands: `run <experiment> --param k=v` executes any "
             "registered experiment; `list` and `describe <experiment>` "
             "show the registry; `multiseed` runs the seeds-axis "
-            "comparison; `schedule` executes a job-spec file (see each "
+            "comparison; `schedule` executes a job-spec file; `worker` "
+            "serves a shared --queue-dir job queue (see each "
             "subcommand's --help)."
         ),
     )
@@ -526,8 +728,8 @@ def main(argv: list[str] | None = None) -> int:
             "experiments:", ", ".join(experiment_names())
         )
         print(
-            "subcommands: run, list, describe, multiseed, schedule "
-            "(see `run --help` / `list --help` / ...)"
+            "subcommands: run, list, describe, multiseed, schedule, "
+            "worker (see `run --help` / `list --help` / ...)"
         )
         return 0
     _validate_workers(parser, args)

@@ -51,10 +51,12 @@ import hashlib
 import importlib
 import json
 import os
+import uuid
 from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
 from repro.channel.link import LinkBudget, RsuLink
 from repro.channel.pathloss import FreeSpacePathLoss, LogDistancePathLoss
@@ -66,12 +68,16 @@ from repro.utils.serialization import load_json, to_jsonable
 
 __all__ = [
     "ARTIFACT_DIR_KEY",
+    "MISSING_RESULT",
     "Job",
     "JobScheduler",
+    "SchedulerLike",
     "register_job_kind",
     "job_function",
     "execute_job",
     "execute_spec",
+    "write_result_entry",
+    "read_result_entry",
     "market_to_payload",
     "market_from_payload",
     "config_to_payload",
@@ -180,10 +186,22 @@ class Job:
 
     @classmethod
     def from_spec(cls, spec: object) -> "Job":
-        """Rebuild a job from its :meth:`spec` dict (e.g. a jobs-file entry)."""
+        """Rebuild a job from its :meth:`spec` dict (e.g. a jobs-file entry).
+
+        The spec must be exactly ``{"kind", "payload"}``: unknown keys are
+        rejected rather than dropped, because a dropped key would change
+        the job hash — the same bytes that enqueued would silently execute
+        and cache under a different identity.
+        """
         if not isinstance(spec, Mapping):
             raise ExperimentError(
                 f"job spec must be a mapping, got {type(spec).__name__}"
+            )
+        unknown = sorted(set(map(str, spec)) - {"kind", "payload"})
+        if unknown:
+            raise ExperimentError(
+                f"job spec has unknown key{'s' if len(unknown) > 1 else ''} "
+                f"{unknown}; a spec is exactly {{'kind', 'payload'}}"
             )
         try:
             kind = spec["kind"]
@@ -225,6 +243,105 @@ def execute_spec(
         for name, path in registered_paths.items():
             _REGISTERED_JOB_KINDS.setdefault(str(name), str(path))
     return execute_job(Job.from_spec(spec), artifact_dir)
+
+
+@runtime_checkable
+class SchedulerLike(Protocol):
+    """The contract ``run_experiment(..., scheduler=...)`` needs.
+
+    :class:`JobScheduler` (process pool + cache) and
+    :class:`repro.queue.QueueScheduler` (shared queue + artifact store)
+    both satisfy it: execute a job batch returning result payloads in job
+    order, expose ``workers`` (sizes shard-style plan fan-out) and the
+    post-run ``cache_hits`` / ``jobs_executed`` accounting the CLI prints.
+    """
+
+    workers: int
+    cache_hits: int
+    jobs_executed: int
+
+    def run(self, jobs: Sequence[Job]) -> list: ...
+
+
+# ---------------------------------------------------------------------- #
+# result-entry codec — the ``{"job", "result"}`` files shared by the
+# scheduler cache and the queue subsystem's artifact store
+# ---------------------------------------------------------------------- #
+MISSING_RESULT = object()
+"""Sentinel :func:`read_result_entry` returns for absent/corrupt entries."""
+
+
+def write_result_entry(path: str | Path, job: Job, result: object) -> Path:
+    """Atomically persist ``{"job": spec, "result": payload}`` at ``path``.
+
+    Written through a *per-writer-unique* temporary name (pid + random
+    suffix) so concurrent writers sharing a cache/store directory — two
+    schedulers, a scheduler and a queue worker, two workers racing on the
+    same at-least-once job — never clobber each other's half-written temp
+    file, and ``fsync``-ed before the ``os.replace`` so a visible entry is
+    always complete even across a crash or SIGKILL mid-write. Embedding
+    the full job spec is the provenance contract: every stored result
+    reloads and re-runs from its own metadata.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    entry = {"job": job.spec(), "result": to_jsonable(result)}
+    temporary = target.with_name(
+        f"{target.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    )
+    try:
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, indent=2) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+    finally:
+        temporary.unlink(missing_ok=True)
+    return target
+
+
+def read_result_entry(path: str | Path, job: Job | None = None) -> object:
+    """Load the result payload a :func:`write_result_entry` file holds.
+
+    Returns :data:`MISSING_RESULT` for an absent, truncated, or otherwise
+    unreadable entry (a killed writer's leftovers are a cache miss, not an
+    error). With ``job`` given, the recorded spec must match it exactly;
+    a mismatch raises :class:`ExperimentError` distinguishing the two ways
+    a wrong spec can occupy a hash-named slot — a *foreign file* (the
+    recorded spec does not even hash to this job's key: something else was
+    dropped or copied into the directory) versus a genuine *hash
+    collision* (same SHA-256, different spec) — and naming both the found
+    and the expected job kinds.
+    """
+    source = Path(path)
+    try:
+        entry = load_json(source)
+    except (json.JSONDecodeError, OSError):
+        return MISSING_RESULT
+    if not isinstance(entry, Mapping) or "result" not in entry:
+        return MISSING_RESULT
+    if job is not None and entry.get("job") != job.spec():
+        recorded = entry.get("job")
+        found_kind = (
+            recorded.get("kind") if isinstance(recorded, Mapping) else None
+        )
+        try:
+            collision = Job.from_spec(recorded).job_hash() == job.job_hash()
+        except ExperimentError:
+            collision = False
+        reason = (
+            "the recorded spec hashes to the same key — a SHA-256 "
+            "collision between distinct specs"
+            if collision
+            else "the recorded spec does not hash to this entry's key — a "
+            "foreign file is occupying the slot"
+        )
+        raise ExperimentError(
+            f"cache entry {source} was written by a different job spec "
+            f"(found kind {found_kind!r}, expected kind {job.kind!r}; "
+            f"{reason}); clear the cache directory or use a fresh one"
+        )
+    return entry["result"]
 
 
 class JobScheduler:
@@ -275,36 +392,26 @@ class JobScheduler:
             return None
         return self.cache_dir / "checkpoints" / f"{job.job_hash()}.npz"
 
-    _MISS = object()
+    _MISS = MISSING_RESULT
 
     def _load_cached(self, job: Job) -> object:
         path = self.cache_path(job)
         if path is None or not self.resume or not path.exists():
             return self._MISS
-        try:
-            entry = load_json(path)
-        except (json.JSONDecodeError, OSError):
-            # A truncated file from a killed run is a miss, not an error —
-            # the job simply recomputes and overwrites it.
-            return self._MISS
-        if not isinstance(entry, Mapping) or "result" not in entry:
-            return self._MISS
-        if entry.get("job") != job.spec():
-            raise ExperimentError(
-                f"cache entry {path} was written by a different job spec; "
-                "clear the cache directory or use a fresh one"
-            )
-        return entry["result"]
+        # A truncated file from a killed run is a miss, not an error —
+        # the job simply recomputes and overwrites it. A spec mismatch is
+        # a hard error (read_result_entry distinguishes foreign files from
+        # hash collisions in its message).
+        return read_result_entry(path, job)
 
     def _store(self, job: Job, result: object) -> None:
         path = self.cache_path(job)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"job": job.spec(), "result": to_jsonable(result)}
-        temporary = path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(entry, indent=2) + "\n")
-        os.replace(temporary, path)
+        # Unique-temp-name + fsync atomic write: schedulers and queue
+        # workers sharing one cache directory never trample each other's
+        # in-flight writes, and kill-resume never sees a torn entry.
+        write_result_entry(path, job, result)
 
     # ------------------------------------------------------------------ #
     # execution

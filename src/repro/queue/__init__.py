@@ -1,0 +1,53 @@
+"""Shared job queue + content-addressed artifact store.
+
+The cross-machine half of the experiment scheduler: producers enqueue
+:class:`~repro.experiments.scheduler.Job` specs into a shared directory,
+:class:`QueueWorker` processes lease them via atomic rename, heartbeat on
+a fixed cadence, and push results into a content-addressed
+:class:`ArtifactStore` whose every entry embeds the full job spec
+(provenance: any artifact reloads and re-runs from its own metadata —
+:meth:`Artifact.replay`). A reaper pass expires stale leases so a dead
+worker's jobs requeue; results stay exactly-once via the content hash
+even though execution is at-least-once. :class:`QueueScheduler` plugs the
+queue into ``run_experiment(..., scheduler=...)`` — the queued path is
+bitwise-equal to the direct path.
+
+Quickstart (one shared directory, any number of processes/machines)::
+
+    from repro.experiments import run_experiment
+    from repro.queue import QueueScheduler
+
+    scheduler = QueueScheduler("/shared/queue", lease_ttl=60.0)
+    result = run_experiment("fig3_cost", {"costs": (5.0, 7.0)},
+                            scheduler=scheduler)
+
+    # elsewhere, as many times as you like:
+    #   python -m repro.experiments.run worker --queue-dir /shared/queue
+"""
+
+from repro.queue.artifacts import Artifact, ArtifactStore
+from repro.queue.queue import (
+    DEFAULT_LEASE_TTL,
+    JobQueue,
+    LeasedJob,
+    QueueStats,
+)
+from repro.queue.worker import (
+    QueueScheduler,
+    QueueWorker,
+    WorkerStats,
+    default_worker_id,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "DEFAULT_LEASE_TTL",
+    "JobQueue",
+    "LeasedJob",
+    "QueueStats",
+    "QueueScheduler",
+    "QueueWorker",
+    "WorkerStats",
+    "default_worker_id",
+]

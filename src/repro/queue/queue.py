@@ -1,0 +1,336 @@
+"""Shared job queue: lease-based work distribution over a directory.
+
+The queue is a directory any number of producers and workers share — on
+one box, or across machines via a network filesystem (nothing below needs
+more than atomic rename within one filesystem; an object-store backend
+would swap the directory primitives for conditional puts). Layout::
+
+    <queue_dir>/
+        pending/<job_hash>.json        # enqueued job specs {"kind","payload"}
+        leases/<worker_id>/<hash>.json # specs a worker is executing
+        heartbeats/<worker_id>.json    # liveness beacons, one per worker
+        results/<hash>.json            # the ArtifactStore (+ checkpoints/)
+
+**Leasing.** A worker takes a job by atomically renaming its spec file
+from ``pending/`` into its own ``leases/<worker_id>/`` directory — rename
+either succeeds for exactly one contender or raises, so no lock manager is
+needed and two workers can never both hold the same job. Acking (after the
+result is stored) deletes the lease file; releasing renames it back.
+
+**Heartbeats.** Every worker rewrites its heartbeat file on a fixed
+cadence (a daemon thread in :class:`~repro.queue.worker.QueueWorker`, so a
+long job does not starve the beacon). A reaper pass —
+:meth:`JobQueue.reap`, run opportunistically by every worker and by the
+scheduler's wait loop — expires any worker whose heartbeat is older than
+``lease_ttl`` (or missing) and renames its leased specs back to
+``pending/``, so a SIGKILLed worker's jobs requeue after at most one TTL.
+
+**Exactly-once results from at-least-once execution.** Reaping a worker
+that was merely slow (not dead) means two workers may execute the same
+job. That is safe by construction: results are content-addressed by the
+job hash in the artifact store, job functions are pure, and every store
+write is atomic — both workers produce the identical entry, and a worker
+finding the result already stored acks without executing. Requeue/retry
+therefore never forks state; it only wastes the duplicated compute.
+
+Timestamps ride *inside* the heartbeat file (wall clock of the writer),
+falling back to the file's mtime if unreadable; ``lease_ttl`` must
+comfortably exceed heartbeat cadence + clock skew between machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.scheduler import Job
+from repro.queue.artifacts import ArtifactStore
+from repro.utils.serialization import load_json
+
+__all__ = ["JobQueue", "LeasedJob", "QueueStats", "DEFAULT_LEASE_TTL"]
+
+DEFAULT_LEASE_TTL = 60.0
+"""Default seconds of heartbeat silence before a worker's leases requeue."""
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """One job a worker currently holds: the spec plus its lease file."""
+
+    job: Job
+    job_hash: str
+    worker_id: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """A point-in-time census of the queue directory."""
+
+    pending: int
+    leased: int
+    stored: int
+    workers: int
+
+
+class JobQueue:
+    """A shared-directory job queue with leasing, heartbeats, and reaping.
+
+    Every operation is safe under concurrent producers, workers, and
+    reapers; none holds a lock. ``lease_ttl`` is the liveness contract:
+    a worker whose heartbeat goes stale for longer than this forfeits its
+    leases.
+    """
+
+    def __init__(
+        self, queue_dir: str | Path, *, lease_ttl: float = DEFAULT_LEASE_TTL
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ExperimentError(
+                f"lease_ttl must be > 0 seconds, got {lease_ttl}"
+            )
+        self.root = Path(queue_dir)
+        self.lease_ttl = float(lease_ttl)
+        self.pending_dir = self.root / "pending"
+        self.leases_dir = self.root / "leases"
+        self.heartbeats_dir = self.root / "heartbeats"
+        self.store = ArtifactStore(self.root / "results")
+        for directory in (
+            self.pending_dir,
+            self.leases_dir,
+            self.heartbeats_dir,
+            self.store.root,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # producing
+    # ------------------------------------------------------------------ #
+    def enqueue(self, job: Job) -> bool:
+        """Make ``job`` available for leasing; returns False if redundant.
+
+        Redundant means its result is already in the artifact store, or an
+        identical spec is already pending or leased — the content hash
+        dedupes across producers, so N schedulers enqueueing the same plan
+        yield one execution. The spec file is written atomically through a
+        unique temp name; racing producers both "win" with identical
+        content.
+        """
+        key = job.job_hash()
+        if (
+            self.store.contains(key)
+            or (self.pending_dir / f"{key}.json").exists()
+            or self._lease_paths(key)
+        ):
+            return False
+        self._write_spec(self.pending_dir / f"{key}.json", job)
+        return True
+
+    def enqueue_many(self, jobs: Iterable[Job]) -> int:
+        """Enqueue a batch; returns how many were newly enqueued."""
+        return sum(1 for job in jobs if self.enqueue(job))
+
+    # ------------------------------------------------------------------ #
+    # leasing
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> LeasedJob | None:
+        """Atomically claim one pending job for ``worker_id`` (or None).
+
+        Claiming renames the spec file into ``leases/<worker_id>/``;
+        losing a rename race to another worker just moves on to the next
+        candidate. A fresh heartbeat is written first so a job can never
+        be held by a worker that looks dead from the moment it leased.
+        Candidates are taken in hash order — deterministic across workers,
+        which spreads contenders instead of having every worker fight over
+        one file (each loser retries the next candidate).
+        """
+        worker_dir = self.leases_dir / self._safe_worker_id(worker_id)
+        worker_dir.mkdir(parents=True, exist_ok=True)
+        self.heartbeat(worker_id)
+        for candidate in sorted(self.pending_dir.glob("*.json")):
+            claimed = worker_dir / candidate.name
+            try:
+                os.replace(candidate, claimed)
+            except FileNotFoundError:
+                continue  # another worker won this rename; try the next
+            try:
+                job = Job.from_spec(load_json(claimed))
+            except (ExperimentError, json.JSONDecodeError, OSError) as exc:
+                # A malformed spec must not wedge the queue: park it out
+                # of rotation with a .rejected suffix and keep leasing.
+                claimed.rename(claimed.with_suffix(".rejected"))
+                raise ExperimentError(
+                    f"queue spec {candidate.name} is malformed and was "
+                    f"quarantined as {claimed.with_suffix('.rejected').name}: "
+                    f"{exc}"
+                ) from exc
+            return LeasedJob(
+                job=job,
+                job_hash=candidate.stem,
+                worker_id=worker_id,
+                path=claimed,
+            )
+        return None
+
+    def ack(self, leased: LeasedJob) -> None:
+        """Complete a lease: the result is stored, drop the spec file.
+
+        Tolerates the file having been reaped away (the slow-worker race):
+        the job will be re-leased elsewhere, find its result stored, and
+        ack again harmlessly.
+        """
+        leased.path.unlink(missing_ok=True)
+
+    def release(self, leased: LeasedJob) -> None:
+        """Return a leased job to ``pending/`` without completing it."""
+        try:
+            os.replace(leased.path, self.pending_dir / leased.path.name)
+        except FileNotFoundError:
+            pass  # already reaped back or acked concurrently
+
+    # ------------------------------------------------------------------ #
+    # heartbeats and reaping
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, worker_id: str, *, now: float | None = None) -> Path:
+        """Rewrite ``worker_id``'s liveness beacon (atomic replace)."""
+        path = self.heartbeats_dir / f"{self._safe_worker_id(worker_id)}.json"
+        stamp = time.time() if now is None else float(now)
+        entry = {"worker_id": str(worker_id), "pid": os.getpid(), "time": stamp}
+        temporary = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
+        try:
+            temporary.write_text(json.dumps(entry) + "\n")
+            os.replace(temporary, path)
+        finally:
+            temporary.unlink(missing_ok=True)
+        return path
+
+    def heartbeat_age(
+        self, worker_id: str, *, now: float | None = None
+    ) -> float | None:
+        """Seconds since ``worker_id`` last beat, or None if it never has.
+
+        Prefers the timestamp written inside the beacon; falls back to the
+        file's mtime if the content is unreadable.
+        """
+        path = self.heartbeats_dir / f"{self._safe_worker_id(worker_id)}.json"
+        reference = time.time() if now is None else float(now)
+        try:
+            entry = load_json(path)
+            stamp = float(entry["time"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            try:
+                stamp = path.stat().st_mtime
+            except OSError:
+                return None
+        return max(0.0, reference - stamp)
+
+    def reap(self, *, now: float | None = None) -> list[str]:
+        """Requeue every lease held by a stale or heartbeat-less worker.
+
+        A worker is stale when its heartbeat is older than ``lease_ttl``
+        (or missing entirely — e.g. its beacon was cleaned up but a lease
+        file survived a partial crash). Returns the requeued job hashes.
+        Safe to run from any process at any time; concurrent reapers race
+        benignly on the renames.
+        """
+        requeued: list[str] = []
+        for worker_dir in sorted(self.leases_dir.iterdir()):
+            if not worker_dir.is_dir():
+                continue
+            age = self.heartbeat_age(worker_dir.name, now=now)
+            leases = sorted(worker_dir.glob("*.json"))
+            if age is not None and age <= self.lease_ttl:
+                continue
+            for lease in leases:
+                try:
+                    os.replace(lease, self.pending_dir / lease.name)
+                except FileNotFoundError:
+                    continue  # acked/released/reaped concurrently
+                requeued.append(lease.stem)
+            # Retire the dead worker's bookkeeping once its leases are
+            # drained; ignore races with the worker coming back to life.
+            if not any(worker_dir.iterdir()):
+                heartbeat = (
+                    self.heartbeats_dir / f"{worker_dir.name}.json"
+                )
+                heartbeat.unlink(missing_ok=True)
+                try:
+                    worker_dir.rmdir()
+                except OSError:
+                    pass
+        return requeued
+
+    # ------------------------------------------------------------------ #
+    # census
+    # ------------------------------------------------------------------ #
+    def pending_hashes(self) -> list[str]:
+        """Hashes currently waiting to be leased (sorted)."""
+        return sorted(path.stem for path in self.pending_dir.glob("*.json"))
+
+    def leased_hashes(self) -> dict[str, list[str]]:
+        """worker directory name → hashes it currently holds."""
+        return {
+            worker_dir.name: sorted(
+                path.stem for path in worker_dir.glob("*.json")
+            )
+            for worker_dir in sorted(self.leases_dir.iterdir())
+            if worker_dir.is_dir()
+        }
+
+    def outstanding(self, hashes: Sequence[str] | None = None) -> list[str]:
+        """Of ``hashes`` (default: everything enqueued), those without a
+        stored result yet — the completion predicate schedulers wait on."""
+        if hashes is None:
+            keys = set(self.pending_hashes())
+            for held in self.leased_hashes().values():
+                keys.update(held)
+        else:
+            keys = set(hashes)
+        return sorted(key for key in keys if not self.store.contains(key))
+
+    def stats(self) -> QueueStats:
+        """A point-in-time census (counts race with live workers)."""
+        leased = self.leased_hashes()
+        return QueueStats(
+            pending=len(self.pending_hashes()),
+            leased=sum(len(held) for held in leased.values()),
+            stored=len(self.store),
+            workers=len(leased),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _safe_worker_id(worker_id: str) -> str:
+        """Worker ids become directory names; reject path-meaningful ones."""
+        text = str(worker_id)
+        if not text or "/" in text or "\\" in text or text in (".", ".."):
+            raise ExperimentError(
+                f"worker id {worker_id!r} is not a valid directory name"
+            )
+        return text
+
+    def _lease_paths(self, job_hash: str) -> list[Path]:
+        return list(self.leases_dir.glob(f"*/{job_hash}.json"))
+
+    def _write_spec(self, path: Path, job: Job) -> None:
+        temporary = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(job.spec(), indent=2) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, path)
+        finally:
+            temporary.unlink(missing_ok=True)

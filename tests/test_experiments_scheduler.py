@@ -105,6 +105,19 @@ class TestJob:
         with pytest.raises(ExperimentError):
             Job.from_spec({"kind": "k", "payload": "oops"})
 
+    def test_from_spec_rejects_unknown_keys(self):
+        """A spec is exactly {kind, payload}: extra keys are junk (a
+        tampered or foreign file), never silently dropped — dropping them
+        would make two different files hash to the same job."""
+        with pytest.raises(ExperimentError, match=r"unknown key \['priority'\]"):
+            Job.from_spec({"kind": "k", "payload": {}, "priority": 3})
+        with pytest.raises(
+            ExperimentError, match=r"unknown keys \['owner', 'priority'\]"
+        ):
+            Job.from_spec(
+                {"kind": "k", "payload": {}, "priority": 3, "owner": "me"}
+            )
+
     def test_unknown_kind_rejected_at_execution(self):
         with pytest.raises(ExperimentError, match="unknown job kind"):
             execute_job(Job("no_such_kind", {}))
@@ -245,6 +258,59 @@ class TestSchedulerRun:
         path.write_text(json.dumps(entry))
         with pytest.raises(ExperimentError, match="different job spec"):
             JobScheduler(workers=1, cache_dir=tmp_path).run(jobs)
+
+    def test_mismatch_error_distinguishes_foreign_from_collision(
+        self, tmp_path
+    ):
+        """A wrong spec in a hash-named slot has two explanations — a
+        foreign file dropped into the directory, or a genuine SHA-256
+        collision — and the error must say which, naming both the found
+        and the expected job kinds (the operator's first question)."""
+        jobs = _cell_jobs(_markets(1))
+        scheduler = JobScheduler(workers=1, cache_dir=tmp_path)
+        scheduler.run(jobs)
+        path = tmp_path / f"{jobs[0].job_hash()}.json"
+        entry = load_json(path)
+        # A foreign file: another kind's entry occupying this job's slot.
+        entry["job"] = {"kind": "multiseed_shard", "payload": {"seeds": [0]}}
+        path.write_text(json.dumps(entry))
+        with pytest.raises(ExperimentError) as excinfo:
+            JobScheduler(workers=1, cache_dir=tmp_path).run(jobs)
+        message = str(excinfo.value)
+        assert "found kind 'multiseed_shard'" in message
+        assert "expected kind 'equilibrium_cell'" in message
+        assert "foreign file" in message
+        assert "SHA-256 collision" not in message
+        # An unparseable recorded spec is also a foreign file, not a crash
+        # inside the error path.
+        entry["job"] = {"kind": "equilibrium_cell"}  # no payload: malformed
+        path.write_text(json.dumps(entry))
+        with pytest.raises(ExperimentError, match="foreign file"):
+            JobScheduler(workers=1, cache_dir=tmp_path).run(jobs)
+
+    def test_concurrent_cache_writers_never_clobber(self, tmp_path):
+        """Many writers racing on one entry (the at-least-once execution
+        story) each use a unique fsync-ed temp name, so the visible entry
+        is always one writer's complete output and no temp debris stays."""
+        import concurrent.futures
+
+        from repro.experiments.scheduler import (
+            read_result_entry,
+            write_result_entry,
+        )
+
+        job = _cell_jobs(_markets(1))[0]
+        result = {"price": 1.25, "msp_utility": 2.5, "capacity_binding": False}
+        target = tmp_path / f"{job.job_hash()}.json"
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(
+                pool.map(
+                    lambda _: write_result_entry(target, job, result),
+                    range(64),
+                )
+            )
+        assert read_result_entry(target, job) == result
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_failing_job_propagates(self):
         # 'market_scheme' with an unknown scheme raises inside the worker.

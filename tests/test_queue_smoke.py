@@ -1,0 +1,160 @@
+"""End-to-end queue smoke: real worker processes, a real SIGKILL.
+
+The in-process tests (``test_queue.py``) cover the lease/reap mechanics on
+fake time; this file is the acceptance drill for the whole subsystem with
+nothing faked: a small fig3 plan is enqueued into a shared directory, two
+``repro.experiments.run worker`` subprocesses serve it, one is SIGKILLed
+mid-job, and the survivor — reaping the dead worker's stale lease after
+the TTL — completes the batch. The assembled figure is then served
+entirely from the artifact store and must be bitwise-equal to the direct
+sequential run, and a stored DRL artifact must replay from its embedded
+spec alone.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import run_experiment
+from repro.experiments.api import get_experiment
+from repro.experiments.scheduler import Job
+from repro.queue import JobQueue, QueueScheduler
+
+LEASE_TTL = 2.0
+DEADLINE = 90.0  # generous; the whole drill normally takes a few seconds
+
+PARAMS = {
+    "preset": "smoke",
+    "costs": (5.0, 7.0),
+    "schemes": ("drl", "equilibrium"),
+}
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX fallback: no guard
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"queue smoke exceeded the {DEADLINE + 30.0}s watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, DEADLINE + 30.0)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _plan_jobs():
+    spec = get_experiment("fig3_cost")
+    plan = spec.plan(spec.validate(PARAMS))
+    return [Job.from_spec(entry) for entry in plan.job_specs()]
+
+
+def _spawn_worker(queue_dir: Path, worker_id: str, *extra: str):
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.run", "worker",
+            "--queue-dir", str(queue_dir),
+            "--ttl", str(LEASE_TTL),
+            "--worker-id", worker_id,
+            "--poll", "0.05",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_lease(queue: JobQueue, worker_id: str, timeout: float):
+    """The hashes ``worker_id`` holds once it first leases (or [])."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        held = queue.leased_hashes().get(worker_id, [])
+        if held:
+            return held
+        if not queue.pending_hashes() and not any(
+            queue.leased_hashes().values()
+        ):
+            return []  # batch finished before the victim leased anything
+        time.sleep(0.001)
+    return []
+
+
+def test_sigkilled_worker_resumes_on_survivor(tmp_path):
+    queue_dir = tmp_path / "queue"
+    jobs = _plan_jobs()
+    queue = JobQueue(queue_dir, lease_ttl=LEASE_TTL)
+    assert queue.enqueue_many(jobs) == len(jobs)
+
+    # Victim first, alone, so it is guaranteed to be the one mid-job.
+    victim = _spawn_worker(queue_dir, "victim")
+    try:
+        held_at_kill = _wait_for_lease(queue, "victim", timeout=30.0)
+        victim.kill()  # SIGKILL: no cleanup, no heartbeat thread survives
+        victim.wait(timeout=30.0)
+    finally:
+        if victim.poll() is None:  # pragma: no cover - watchdog path
+            victim.kill()
+    assert held_at_kill, "victim never leased a job — nothing was tested"
+    # The kill landed mid-job: the lease file is orphaned on disk.
+    assert queue.leased_hashes().get("victim") == held_at_kill
+
+    survivor = _spawn_worker(queue_dir, "survivor", "--drain")
+    try:
+        stdout, _ = survivor.communicate(timeout=DEADLINE)
+    finally:
+        if survivor.poll() is None:  # pragma: no cover - watchdog path
+            survivor.kill()
+    assert survivor.returncode == 0, stdout
+
+    # The survivor reaped the victim's stale lease and completed it.
+    assert queue.outstanding() == []
+    assert queue.leased_hashes().get("victim", []) == []
+    assert sorted(queue.store.hashes()) == sorted(
+        job.job_hash() for job in jobs
+    )
+    for job_hash in held_at_kill:
+        assert queue.store.contains(job_hash)
+
+    # Bitwise acceptance: assembling from the store equals the direct run.
+    direct = run_experiment("fig3_cost", PARAMS)
+    scheduler = QueueScheduler(queue_dir, poll_interval=0.01)
+    queued = run_experiment("fig3_cost", PARAMS, scheduler=scheduler)
+    assert scheduler.cache_hits == len(jobs)
+    assert scheduler.jobs_executed == 0
+    for cost in PARAMS["costs"]:
+        for scheme in PARAMS["schemes"]:
+            assert vars(queued.evaluations[cost][scheme]) == vars(
+                direct.evaluations[cost][scheme]
+            )
+
+    # Provenance acceptance: a stored DRL artifact replays bitwise from
+    # its embedded spec, and its checkpoint sidecar resolved.
+    drl_artifacts = [
+        artifact
+        for artifact in queue.store
+        if artifact.checkpoint() is not None
+    ]
+    assert drl_artifacts, "expected at least one checkpoint-bearing artifact"
+    artifact = drl_artifacts[0]
+    assert artifact.checkpoint().exists()
+    assert artifact.replay() == artifact.result
